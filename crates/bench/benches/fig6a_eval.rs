@@ -1,0 +1,28 @@
+//! Figure 6.a — streaming vs in-memory PUL evaluation.
+//!
+//! The paper evaluates a 1000-operation PUL over XMark documents of increasing
+//! size and reports that streaming evaluation is ≈3× faster than the in-memory
+//! (parse → apply → serialize) baseline, with the gap growing with document
+//! size. Document sizes are scaled down for CI budgets; the *ratio* is the
+//! reproduced quantity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pul_bench::{eval_in_memory, eval_streaming, setup_eval};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6a_eval");
+    group.sample_size(10);
+    for &nodes in &[10_000usize, 30_000] {
+        let w = setup_eval(nodes, 1_000, 42);
+        group.bench_with_input(BenchmarkId::new("in_memory", nodes), &w, |b, w| {
+            b.iter(|| eval_in_memory(w))
+        });
+        group.bench_with_input(BenchmarkId::new("streaming", nodes), &w, |b, w| {
+            b.iter(|| eval_streaming(w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 6.b — PUL reduction: deserialize + reduce + re-serialize PULs of
+//! increasing size (~1 successful rule application every 10 operations).
+//! Includes the reduce-only series and the naive O(k²) ablation baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pul_bench::{run_reduction_end_to_end, run_reduction_naive, run_reduction_only, setup_reduction};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6b_reduction");
+    group.sample_size(10);
+    for &n_ops in &[2_000usize, 5_000, 10_000] {
+        let w = setup_reduction(n_ops, 42);
+        group.bench_with_input(BenchmarkId::new("end_to_end", n_ops), &w, |b, w| {
+            b.iter(|| run_reduction_end_to_end(w))
+        });
+        group.bench_with_input(BenchmarkId::new("reduce_only", n_ops), &w, |b, w| {
+            b.iter(|| run_reduction_only(w))
+        });
+    }
+    // the quadratic baseline is only run on a small size (it is the ablation
+    // showing why the label-indexed algorithm is needed)
+    let w = setup_reduction(500, 42);
+    group.bench_function("naive_baseline_500", |b| b.iter(|| run_reduction_naive(&w)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

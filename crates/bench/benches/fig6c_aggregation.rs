@@ -1,0 +1,24 @@
+//! Figure 6.c — PUL aggregation: deserialize + aggregate + re-serialize an
+//! increasing number of PULs (half of the operations target nodes inserted by
+//! previous PULs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pul_bench::{run_aggregation_end_to_end, run_aggregation_only, setup_aggregation};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6c_aggregation");
+    group.sample_size(10);
+    for &n_puls in &[1usize, 5, 10] {
+        let w = setup_aggregation(20_000, n_puls, 500, 42);
+        group.bench_with_input(BenchmarkId::new("end_to_end", n_puls), &w, |b, w| {
+            b.iter(|| run_aggregation_end_to_end(w))
+        });
+        group.bench_with_input(BenchmarkId::new("aggregate_only", n_puls), &w, |b, w| {
+            b.iter(|| run_aggregation_only(w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 6.d — evaluating a list of PULs: aggregation followed by a single
+//! streaming evaluation vs the sequential streaming evaluation of every PUL.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pul_bench::{run_aggregate_then_evaluate, run_sequential_evaluation, setup_aggregation};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6d_agg_vs_seq");
+    group.sample_size(10);
+    for &n_puls in &[2usize, 5, 10] {
+        let w = setup_aggregation(20_000, n_puls, 300, 42);
+        group.bench_with_input(BenchmarkId::new("aggregate_then_evaluate", n_puls), &w, |b, w| {
+            b.iter(|| run_aggregate_then_evaluate(w))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_evaluation", n_puls), &w, |b, w| {
+            b.iter(|| run_sequential_evaluation(w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 6.e — integration of 10 parallel PULs with a varying number of
+//! operations each (half involved in conflicts of ~5 operations), including the
+//! best-effort conflict resolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pul_bench::{run_integration, run_integration_and_resolution, setup_integration};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6e_integration");
+    group.sample_size(10);
+    for &ops in &[400usize, 1_000] {
+        let w = setup_integration(10, ops, 42);
+        group.bench_with_input(BenchmarkId::new("integration", ops), &w, |b, w| {
+            b.iter(|| run_integration(w))
+        });
+        group.bench_with_input(BenchmarkId::new("integration_and_resolution", ops), &w, |b, w| {
+            b.iter(|| run_integration_and_resolution(w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,181 @@
+//! Regenerates the evaluation of §4.3: one table per figure of the paper.
+//!
+//! ```text
+//! experiments [--fig 6a|6b|6c|6d|6e|all] [--full]
+//! ```
+//!
+//! By default a scaled-down workload is used so that the whole run completes in
+//! a couple of minutes on a laptop; `--full` uses larger sizes (closer to the
+//! paper's operation counts — document sizes remain scaled, see DESIGN.md).
+//! The tables printed here are the ones recorded in `EXPERIMENTS.md`.
+
+use std::env;
+use std::time::Duration;
+
+use pul_bench::*;
+
+fn avg<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let (mut out, mut total) = {
+        let (o, d) = timed(&mut f);
+        (o, d)
+    };
+    for _ in 1..reps {
+        let (o, d) = timed(&mut f);
+        out = o;
+        total += d;
+    }
+    (out, total / reps as u32)
+}
+
+fn fig6a(full: bool) {
+    println!("\n=== Figure 6.a — streaming vs in-memory PUL evaluation (1000-op PUL) ===");
+    println!(
+        "{:>12} {:>12} {:>14} {:>14} {:>9}",
+        "doc nodes", "doc bytes", "in-memory ms", "streaming ms", "speedup"
+    );
+    let sizes: &[usize] = if full {
+        &[20_000, 50_000, 100_000, 200_000, 400_000]
+    } else {
+        &[10_000, 20_000, 50_000, 100_000]
+    };
+    for &nodes in sizes {
+        let w = setup_eval(nodes, 1_000, 42);
+        let reps = if nodes >= 200_000 { 2 } else { 3 };
+        let (_, mem) = avg(reps, || eval_in_memory(&w));
+        let (_, streamed) = avg(reps, || eval_streaming(&w));
+        println!(
+            "{:>12} {:>12} {:>14} {:>14} {:>8.2}x",
+            w.doc.node_count(),
+            w.xml.len(),
+            ms(mem),
+            ms(streamed),
+            mem.as_secs_f64() / streamed.as_secs_f64()
+        );
+    }
+}
+
+fn fig6b(full: bool) {
+    println!("\n=== Figure 6.b — PUL reduction (deserialize + reduce + serialize) ===");
+    println!(
+        "{:>10} {:>14} {:>15} {:>12} {:>12}",
+        "ops", "end-to-end ms", "reduce-only ms", "reduced ops", "naive ms"
+    );
+    let sizes: &[usize] = if full {
+        &[5_000, 10_000, 25_000, 50_000, 100_000]
+    } else {
+        &[5_000, 10_000, 20_000, 40_000]
+    };
+    for &n in sizes {
+        let w = setup_reduction(n, 42);
+        let (reduced, end_to_end) = avg(2, || run_reduction_end_to_end(&w));
+        let (_, only) = avg(2, || run_reduction_only(&w));
+        // the naive baseline is quadratic: only run it on the small sizes
+        let naive = if n <= 5_000 {
+            let (_, d) = timed(|| run_reduction_naive(&w));
+            ms(d)
+        } else {
+            "-".to_string()
+        };
+        println!("{:>10} {:>14} {:>15} {:>12} {:>12}", n, ms(end_to_end), ms(only), reduced, naive);
+    }
+}
+
+fn fig6c(full: bool) {
+    println!("\n=== Figure 6.c — PUL aggregation (50% of ops on new nodes) ===");
+    println!(
+        "{:>8} {:>10} {:>16} {:>18} {:>15}",
+        "puls", "total ops", "end-to-end ms", "aggregate-only ms", "aggregated ops"
+    );
+    let counts: &[usize] = &[1, 3, 5, 10, 15];
+    let ops_per_pul = if full { 1_000 } else { 500 };
+    for &n in counts {
+        let w = setup_aggregation(20_000, n, ops_per_pul, 42);
+        let (agg_len, end_to_end) = avg(2, || run_aggregation_end_to_end(&w));
+        let (_, only) = avg(2, || run_aggregation_only(&w));
+        println!(
+            "{:>8} {:>10} {:>16} {:>18} {:>15}",
+            n,
+            n * ops_per_pul,
+            ms(end_to_end),
+            ms(only),
+            agg_len
+        );
+    }
+}
+
+fn fig6d(full: bool) {
+    println!("\n=== Figure 6.d — aggregation + single evaluation vs sequential evaluation ===");
+    println!(
+        "{:>8} {:>20} {:>20} {:>9}",
+        "puls", "aggregate+eval ms", "sequential eval ms", "speedup"
+    );
+    let counts: &[usize] = &[2, 4, 6, 8, 10];
+    let ops_per_pul = if full { 1_000 } else { 300 };
+    let doc_nodes = if full { 60_000 } else { 30_000 };
+    for &n in counts {
+        let w = setup_aggregation(doc_nodes, n, ops_per_pul, 42);
+        let (_, agg) = avg(2, || run_aggregate_then_evaluate(&w));
+        let (_, seq) = avg(2, || run_sequential_evaluation(&w));
+        println!(
+            "{:>8} {:>20} {:>20} {:>8.2}x",
+            n,
+            ms(agg),
+            ms(seq),
+            seq.as_secs_f64() / agg.as_secs_f64()
+        );
+    }
+}
+
+fn fig6e(full: bool) {
+    println!("\n=== Figure 6.e — integration of 10 PULs (50% conflicting ops, ~5 ops/conflict) ===");
+    println!(
+        "{:>14} {:>12} {:>16} {:>20} {:>16}",
+        "ops per PUL", "conflicts", "integration ms", "int.+resolution ms", "reconciled ops"
+    );
+    let sizes: &[usize] =
+        if full { &[4_000, 8_000, 20_000, 40_000, 80_000] } else { &[400, 800, 2_000, 4_000] };
+    for &n in sizes {
+        let w = setup_integration(10, n, 42);
+        let (integration, d_int) = timed(|| run_integration(&w));
+        let (reconciled, d_rec) = timed(|| run_integration_and_resolution(&w));
+        println!(
+            "{:>14} {:>12} {:>16} {:>20} {:>16}",
+            n,
+            integration.conflicts.len(),
+            ms(d_int),
+            ms(d_rec),
+            reconciled
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let fig = args
+        .iter()
+        .position(|a| a == "--fig")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("all");
+
+    println!(
+        "Dynamic Reasoning on XML Updates — experiment harness (mode: {})",
+        if full { "full" } else { "quick" }
+    );
+    if matches!(fig, "6a" | "all") {
+        fig6a(full);
+    }
+    if matches!(fig, "6b" | "all") {
+        fig6b(full);
+    }
+    if matches!(fig, "6c" | "all") {
+        fig6c(full);
+    }
+    if matches!(fig, "6d" | "all") {
+        fig6d(full);
+    }
+    if matches!(fig, "6e" | "all") {
+        fig6e(full);
+    }
+}

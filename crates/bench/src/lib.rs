@@ -1,0 +1,291 @@
+//! # pul-bench — benchmark harness for the EDBT 2011 evaluation (§4.3)
+//!
+//! One module per figure of the paper. Each module exposes
+//!
+//! * a `setup_*` function building the workload (documents, PULs, serialized
+//!   forms) exactly as described in the paper, scaled by a size parameter, and
+//! * one or more `run_*` functions performing the measured work.
+//!
+//! The Criterion benches under `benches/` and the `experiments` binary (which
+//! prints the paper-style tables recorded in `EXPERIMENTS.md`) are both thin
+//! wrappers over these functions, so the measured code paths are identical.
+
+use std::time::{Duration, Instant};
+
+use pul::apply::{apply_pul, ApplyOptions};
+use pul::stream::{apply_streaming, apply_streaming_with};
+use pul::xmlio::{pul_from_xml, pul_to_xml, puls_from_xml, puls_to_xml};
+use pul::Pul;
+use pul_core::{aggregate, integrate, reconcile_integration, Integration, Policy};
+use workload::pulgen::{
+    generate_parallel_puls, generate_pul, generate_sequential_puls, ParallelConfig, PulGenConfig,
+    SequentialConfig,
+};
+use workload::xmark::{generate as xmark, XmarkConfig};
+use xdm::parser::parse_document_identified;
+use xdm::writer::{write_document_identified, write_document};
+use xdm::Document;
+use xlabel::Labeling;
+
+/// Times a closure, returning its result and the elapsed wall-clock time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration in milliseconds with two decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6.a — streaming vs in-memory PUL evaluation
+// ---------------------------------------------------------------------------
+
+/// Workload for Fig. 6.a: an XMark document (identified serialization) and a
+/// PUL of `n_ops` operations on it.
+pub struct EvalWorkload {
+    /// The document itself.
+    pub doc: Document,
+    /// Its identified serialization (the executor's on-disk form).
+    pub xml: String,
+    /// The PUL to evaluate.
+    pub pul: Pul,
+    /// First identifier free for nodes created during evaluation.
+    pub first_new_id: u64,
+}
+
+/// Builds the Fig. 6.a workload.
+pub fn setup_eval(doc_nodes: usize, n_ops: usize, seed: u64) -> EvalWorkload {
+    let doc = xmark(&XmarkConfig { target_nodes: doc_nodes, seed });
+    let labeling = Labeling::assign(&doc);
+    let pul = generate_pul(
+        &doc,
+        &labeling,
+        &PulGenConfig { n_ops, reducible_ratio: 0.0, content_id_base: doc.next_id() + 1_000_000, seed },
+    );
+    let xml = write_document_identified(&doc);
+    let first_new_id = doc.next_id() + 10_000_000;
+    EvalWorkload { doc, xml, pul, first_new_id }
+}
+
+/// In-memory evaluation: parse the identified document, apply the PUL on the
+/// DOM, serialize the result back (the "extended Qizx" baseline of §4.3).
+pub fn eval_in_memory(w: &EvalWorkload) -> String {
+    let mut doc = parse_document_identified(&w.xml).expect("well-formed identified document");
+    apply_pul(&mut doc, &w.pul, &ApplyOptions { validate: false, preserve_content_ids: false })
+        .expect("applicable PUL");
+    write_document_identified(&doc)
+}
+
+/// Streaming evaluation: transform the SAX event stream on the fly (§4.3).
+pub fn eval_streaming(w: &EvalWorkload) -> String {
+    apply_streaming(&w.xml, &w.pul, w.first_new_id).expect("applicable PUL")
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6.b — PUL reduction
+// ---------------------------------------------------------------------------
+
+/// Workload for Fig. 6.b: a serialized PUL with ~1 successful rule application
+/// every 10 operations, on a fixed XMark document.
+pub struct ReductionWorkload {
+    /// The serialized PUL (reduction is measured end-to-end, including
+    /// deserialization and re-serialization, as in the paper).
+    pub pul_xml: String,
+    /// The in-memory PUL (for measuring the reduction step alone).
+    pub pul: Pul,
+}
+
+/// Builds the Fig. 6.b workload.
+pub fn setup_reduction(n_ops: usize, seed: u64) -> ReductionWorkload {
+    let doc = xmark(&XmarkConfig { target_nodes: (n_ops * 4).max(2_000), seed });
+    let labeling = Labeling::assign(&doc);
+    let pul = generate_pul(
+        &doc,
+        &labeling,
+        &PulGenConfig { n_ops, reducible_ratio: 0.1, content_id_base: doc.next_id() + 1_000_000, seed },
+    );
+    ReductionWorkload { pul_xml: pul_to_xml(&pul), pul }
+}
+
+/// Deserialize + reduce + re-serialize (the measurement of Fig. 6.b).
+/// Returns the size of the reduced PUL.
+pub fn run_reduction_end_to_end(w: &ReductionWorkload) -> usize {
+    let pul = pul_from_xml(&w.pul_xml).expect("valid PUL document");
+    let reduced = pul_core::reduce(&pul);
+    let _xml = pul_to_xml(&reduced);
+    reduced.len()
+}
+
+/// Reduction alone, on the already-deserialized PUL.
+pub fn run_reduction_only(w: &ReductionWorkload) -> usize {
+    pul_core::reduce(&w.pul).len()
+}
+
+/// Naive O(k²) reduction baseline (ablation).
+pub fn run_reduction_naive(w: &ReductionWorkload) -> usize {
+    pul_core::reduce::reduce_naive(&w.pul).len()
+}
+
+// ---------------------------------------------------------------------------
+// Figures 6.c / 6.d — PUL aggregation
+// ---------------------------------------------------------------------------
+
+/// Workload for Fig. 6.c/6.d: an XMark document and a sequence of PULs, also
+/// available in serialized form.
+pub struct AggregationWorkload {
+    /// The original document.
+    pub doc: Document,
+    /// Its identified serialization.
+    pub doc_xml: String,
+    /// The sequence of PULs.
+    pub puls: Vec<Pul>,
+    /// The serialized sequence.
+    pub puls_xml: String,
+    /// First identifier free for nodes created during evaluation.
+    pub first_new_id: u64,
+}
+
+/// Builds the Fig. 6.c/6.d workload: `n_puls` PULs of `ops_per_pul` operations,
+/// half of them on nodes inserted by previous PULs (the paper's setting).
+pub fn setup_aggregation(doc_nodes: usize, n_puls: usize, ops_per_pul: usize, seed: u64) -> AggregationWorkload {
+    let doc = xmark(&XmarkConfig { target_nodes: doc_nodes, seed });
+    let puls = generate_sequential_puls(
+        &doc,
+        &SequentialConfig { n_puls, ops_per_pul, new_node_ratio: 0.5, seed },
+    );
+    let puls_xml = puls_to_xml(&puls);
+    let doc_xml = write_document_identified(&doc);
+    let first_new_id = doc.next_id() + 10_000_000;
+    AggregationWorkload { doc, doc_xml, puls, puls_xml, first_new_id }
+}
+
+/// Deserialize + aggregate + re-serialize (the measurement of Fig. 6.c).
+/// Returns the size of the aggregated PUL.
+pub fn run_aggregation_end_to_end(w: &AggregationWorkload) -> usize {
+    let puls = puls_from_xml(&w.puls_xml).expect("valid PUL list");
+    let agg = aggregate(&puls).expect("aggregable sequence");
+    let _xml = pul_to_xml(&agg);
+    agg.len()
+}
+
+/// Aggregation alone, on already-deserialized PULs.
+pub fn run_aggregation_only(w: &AggregationWorkload) -> usize {
+    aggregate(&w.puls).expect("aggregable sequence").len()
+}
+
+/// Fig. 6.d, aggregated side: aggregate the list, then evaluate the single
+/// resulting PUL in streaming over the document. Returns the output size.
+pub fn run_aggregate_then_evaluate(w: &AggregationWorkload) -> usize {
+    let agg = aggregate(&w.puls).expect("aggregable sequence");
+    let out =
+        apply_streaming_with(&w.doc_xml, &agg, w.first_new_id, true).expect("applicable PUL");
+    out.len()
+}
+
+/// Fig. 6.d, sequential side: evaluate each PUL in streaming, one after the
+/// other, re-reading the (updated) document each time. Returns the output size.
+pub fn run_sequential_evaluation(w: &AggregationWorkload) -> usize {
+    let mut xml = w.doc_xml.clone();
+    let mut next_id = w.first_new_id;
+    for pul in &w.puls {
+        xml = apply_streaming_with(&xml, pul, next_id, true).expect("applicable PUL");
+        next_id += 1_000_000;
+    }
+    xml.len()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6.e — PUL integration and conflict resolution
+// ---------------------------------------------------------------------------
+
+/// Workload for Fig. 6.e: parallel PULs with injected conflicts.
+pub struct IntegrationWorkload {
+    /// The parallel PULs.
+    pub puls: Vec<Pul>,
+    /// One (relaxed) policy per producer.
+    pub policies: Vec<Policy>,
+}
+
+/// Builds the Fig. 6.e workload: `n_puls` PULs of `ops_per_pul` operations,
+/// half of the operations involved in conflicts of ~5 operations each.
+pub fn setup_integration(n_puls: usize, ops_per_pul: usize, seed: u64) -> IntegrationWorkload {
+    let doc_nodes = (n_puls * ops_per_pul * 4).max(20_000);
+    let doc = xmark(&XmarkConfig { target_nodes: doc_nodes, seed });
+    let labeling = Labeling::assign(&doc);
+    let puls = generate_parallel_puls(
+        &doc,
+        &labeling,
+        &ParallelConfig { n_puls, ops_per_pul, conflict_fraction: 0.5, ops_per_conflict: 5, seed },
+    );
+    let policies = vec![Policy::relaxed(); n_puls];
+    IntegrationWorkload { puls, policies }
+}
+
+/// Integration (conflict detection) alone. Returns the number of conflicts.
+pub fn run_integration(w: &IntegrationWorkload) -> Integration {
+    integrate(&w.puls)
+}
+
+/// Integration followed by best-effort conflict resolution. Returns the size
+/// of the reconciled PUL.
+pub fn run_integration_and_resolution(w: &IntegrationWorkload) -> usize {
+    let integration = integrate(&w.puls);
+    let reconciled = reconcile_integration(&w.puls, &integration, &w.policies)
+        .expect("relaxed policies always reconcile");
+    reconciled.len()
+}
+
+/// Serialized size (bytes) of a document, used when reporting workloads.
+pub fn document_size_bytes(doc: &Document) -> usize {
+    write_document(doc).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_workload_both_paths_agree() {
+        let w = setup_eval(2_000, 50, 1);
+        let mem = eval_in_memory(&w);
+        let streamed = eval_streaming(&w);
+        let a = parse_document_identified(&mem).unwrap();
+        let b = parse_document_identified(&streamed).unwrap();
+        assert_eq!(pul::obtainable::canonical_string(&a), pul::obtainable::canonical_string(&b));
+    }
+
+    #[test]
+    fn reduction_workload_reduces_by_about_ten_percent() {
+        let w = setup_reduction(500, 2);
+        let reduced = run_reduction_end_to_end(&w);
+        assert!(reduced < 500, "reduced size {reduced}");
+        assert_eq!(run_reduction_only(&w), reduced);
+        assert_eq!(run_reduction_naive(&w), reduced);
+    }
+
+    #[test]
+    fn aggregation_workload_runs_and_matches_sequential_size() {
+        let w = setup_aggregation(3_000, 3, 60, 3);
+        let agg_len = run_aggregation_end_to_end(&w);
+        assert!(agg_len <= 180);
+        assert_eq!(run_aggregation_only(&w), agg_len);
+        let a = run_aggregate_then_evaluate(&w);
+        let b = run_sequential_evaluation(&w);
+        // same final document, hence (almost) the same serialized size; allow a
+        // tiny difference due to identifier digits
+        let diff = a.abs_diff(b) as f64 / a.max(b) as f64;
+        assert!(diff < 0.01, "aggregate-then-evaluate {a} vs sequential {b}");
+    }
+
+    #[test]
+    fn integration_workload_has_conflicts_and_reconciles() {
+        let w = setup_integration(4, 80, 4);
+        let integration = run_integration(&w);
+        assert!(!integration.conflicts.is_empty());
+        let reconciled = run_integration_and_resolution(&w);
+        assert!(reconciled > 0);
+    }
+}

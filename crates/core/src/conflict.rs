@@ -1,0 +1,323 @@
+//! The conflict model of §3.2: Fig. 3 rules and Definition 10.
+//!
+//! Conflicts arise between operations of *different* PULs that are to be
+//! integrated as parallel update requests. Five types are distinguished:
+//!
+//! 1. **repeated modification** — two replacements of the same kind with the
+//!    same target (they would be incompatible in a single PUL);
+//! 2. **repeated attribute insertion** — two `insA` on the same target
+//!    inserting an attribute with the same name (a dynamic repetition error);
+//! 3. **element insertion order** — two insertions of the same kind (except
+//!    `ins↓`) with the same target, whose relative order would be arbitrary;
+//! 4. **local override** — an operation overridden by a `del`/`repN` (or a
+//!    children insertion overridden by a `repC`) with the same target;
+//! 5. **non-local override** — an operation overridden by a `del`/`repN`/`repC`
+//!    targeted at an ancestor of its target.
+//!
+//! Types 1–3 are symmetric, types 4–5 are asymmetric (there is an *overriding*
+//! operation and a set of *overridden* ones).
+
+use std::fmt;
+
+use pul::{OpName, Pul, UpdateOp};
+use xlabel::NodeLabel;
+
+/// A reference to an operation inside a list of PULs being integrated:
+/// `(PUL index, operation index within that PUL)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpRef {
+    /// Index of the PUL in the input list.
+    pub pul: usize,
+    /// Index of the operation within that PUL.
+    pub op: usize,
+}
+
+impl OpRef {
+    /// Creates a reference.
+    pub fn new(pul: usize, op: usize) -> Self {
+        OpRef { pul, op }
+    }
+
+    /// Resolves the reference against the input PUL list.
+    pub fn resolve<'a>(&self, puls: &'a [Pul]) -> &'a UpdateOp {
+        &puls[self.pul].ops()[self.op]
+    }
+}
+
+impl fmt::Display for OpRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "∆{}#{}", self.pul + 1, self.op)
+    }
+}
+
+/// The conflict type (1–5 of §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConflictType {
+    /// Type 1 — repeated modification.
+    RepeatedModification,
+    /// Type 2 — repeated attribute insertion.
+    RepeatedAttributeInsertion,
+    /// Type 3 — element insertion order.
+    InsertionOrder,
+    /// Type 4 — local override.
+    LocalOverride,
+    /// Type 5 — non-local override.
+    NonLocalOverride,
+}
+
+impl ConflictType {
+    /// The numeric code used by the paper (1–5).
+    pub fn code(self) -> u8 {
+        match self {
+            ConflictType::RepeatedModification => 1,
+            ConflictType::RepeatedAttributeInsertion => 2,
+            ConflictType::InsertionOrder => 3,
+            ConflictType::LocalOverride => 4,
+            ConflictType::NonLocalOverride => 5,
+        }
+    }
+
+    /// Whether the conflict type is symmetric (types 1–3).
+    pub fn is_symmetric(self) -> bool {
+        self.code() <= 3
+    }
+}
+
+impl fmt::Display for ConflictType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type {}", self.code())
+    }
+}
+
+/// A conflict (Def. 10): `⟨op, OS, ct⟩` where `op` is the overriding operation
+/// for asymmetric conflicts (and unspecified, `Λ`, for symmetric ones) and
+/// `OS` is the (maximal) set of involved/overridden operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict {
+    /// The overriding operation (`Λ` for symmetric conflicts).
+    pub overrider: Option<OpRef>,
+    /// The set of conflicting / overridden operations.
+    pub ops: Vec<OpRef>,
+    /// The conflict type.
+    pub ctype: ConflictType,
+}
+
+impl Conflict {
+    /// Builds a symmetric conflict (types 1–3).
+    pub fn symmetric(ctype: ConflictType, ops: Vec<OpRef>) -> Self {
+        debug_assert!(ctype.is_symmetric());
+        Conflict { overrider: None, ops, ctype }
+    }
+
+    /// Builds an asymmetric conflict (types 4–5).
+    pub fn asymmetric(ctype: ConflictType, overrider: OpRef, ops: Vec<OpRef>) -> Self {
+        debug_assert!(!ctype.is_symmetric());
+        Conflict { overrider: Some(overrider), ops, ctype }
+    }
+
+    /// Every operation involved in the conflict (overrider included).
+    pub fn all_ops(&self) -> Vec<OpRef> {
+        let mut v = self.ops.clone();
+        if let Some(o) = self.overrider {
+            v.push(o);
+        }
+        v
+    }
+}
+
+impl fmt::Display for Conflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ov = self.overrider.map(|o| o.to_string()).unwrap_or_else(|| "Λ".into());
+        let ops: Vec<String> = self.ops.iter().map(|o| o.to_string()).collect();
+        write!(f, "⟨{ov}, {{{}}}, {}⟩", ops.join(", "), self.ctype.code())
+    }
+}
+
+/// Whether an operation behaves as a deletion for conflict purposes
+/// (`del` or `repN` with an empty replacement list, cf. footnote 3 of §3.2).
+pub fn acts_as_delete(op: &UpdateOp) -> bool {
+    match op.name() {
+        OpName::Delete => true,
+        OpName::ReplaceNode => op.content().map(|c| c.is_empty()).unwrap_or(false),
+        _ => false,
+    }
+}
+
+/// Pairwise check of the Fig. 3 symmetric *local* conflict rules (types 1–3)
+/// for two operations with the same target, belonging to different PULs.
+pub fn symmetric_local_conflict(op1: &UpdateOp, op2: &UpdateOp) -> Option<ConflictType> {
+    debug_assert_eq!(op1.target(), op2.target());
+    let (n1, n2) = (op1.name(), op2.name());
+    // Type 1: repeated modification.
+    if n1 == n2
+        && matches!(n1, OpName::Rename | OpName::ReplaceNode | OpName::ReplaceContent | OpName::ReplaceValue)
+    {
+        return Some(ConflictType::RepeatedModification);
+    }
+    // Type 2: repeated attribute insertion (same attribute name inserted twice).
+    if n1 == OpName::InsAttributes && n2 == OpName::InsAttributes {
+        let names1: Vec<String> =
+            op1.content().unwrap_or(&[]).iter().filter_map(|t| t.root_name()).collect();
+        let shares = op2
+            .content()
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|t| t.root_name())
+            .any(|n| names1.contains(&n));
+        if shares {
+            return Some(ConflictType::RepeatedAttributeInsertion);
+        }
+    }
+    // Type 3: element insertion order (same insertion kind, except ins↓).
+    if n1 == n2 && matches!(n1, OpName::InsBefore | OpName::InsAfter | OpName::InsFirst | OpName::InsLast)
+    {
+        return Some(ConflictType::InsertionOrder);
+    }
+    None
+}
+
+/// Fig. 3 *local overriding* (type 4): does `overrider` override `other` when
+/// both target the same node?
+pub fn local_override(overrider: &UpdateOp, other: &UpdateOp) -> bool {
+    debug_assert_eq!(overrider.target(), other.target());
+    let n1 = overrider.name();
+    let n2 = other.name();
+    // o(op1) ∈ {repN, del}, o(op2) ∈ {ren, repV, repC, ins↙, ins↘, insA, ins↓, del}
+    // and not both deletions.
+    if matches!(n1, OpName::ReplaceNode | OpName::Delete)
+        && matches!(
+            n2,
+            OpName::Rename
+                | OpName::ReplaceValue
+                | OpName::ReplaceContent
+                | OpName::InsFirst
+                | OpName::InsLast
+                | OpName::InsAttributes
+                | OpName::InsInto
+                | OpName::Delete
+        )
+        && !(acts_as_delete(overrider) && acts_as_delete(other))
+    {
+        return true;
+    }
+    // o(op1) = repC, o(op2) ∈ {ins↙, ins↓, ins↘}
+    if n1 == OpName::ReplaceContent
+        && matches!(n2, OpName::InsFirst | OpName::InsInto | OpName::InsLast)
+    {
+        return true;
+    }
+    false
+}
+
+/// Fig. 3 *non-local overriding* (type 5): does `overrider` override `other`
+/// given the labels of their (distinct) targets?
+pub fn non_local_override(
+    overrider: &UpdateOp,
+    overrider_label: &NodeLabel,
+    other: &UpdateOp,
+    other_label: &NodeLabel,
+) -> bool {
+    if other.name() == OpName::Delete {
+        return false;
+    }
+    match overrider.name() {
+        OpName::ReplaceNode | OpName::Delete => other_label.is_descendant_of(overrider_label),
+        OpName::ReplaceContent => other_label.is_descendant_not_attr_of(overrider_label),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdm::Tree;
+
+    #[test]
+    fn opref_display_and_resolve() {
+        let mut p1 = Pul::new();
+        p1.push(UpdateOp::delete(5u64));
+        let mut p2 = Pul::new();
+        p2.push(UpdateOp::rename(7u64, "x"));
+        let puls = vec![p1, p2];
+        let r = OpRef::new(1, 0);
+        assert_eq!(r.to_string(), "∆2#0");
+        assert_eq!(r.resolve(&puls).name(), OpName::Rename);
+    }
+
+    #[test]
+    fn conflict_type_metadata() {
+        assert!(ConflictType::RepeatedModification.is_symmetric());
+        assert!(ConflictType::InsertionOrder.is_symmetric());
+        assert!(!ConflictType::LocalOverride.is_symmetric());
+        assert_eq!(ConflictType::NonLocalOverride.code(), 5);
+    }
+
+    #[test]
+    fn type1_repeated_modification() {
+        let a = UpdateOp::replace_value(9u64, "34");
+        let b = UpdateOp::replace_value(9u64, "35");
+        assert_eq!(symmetric_local_conflict(&a, &b), Some(ConflictType::RepeatedModification));
+        let a = UpdateOp::rename(9u64, "x");
+        let b = UpdateOp::replace_value(9u64, "35");
+        assert_eq!(symmetric_local_conflict(&a, &b), None);
+    }
+
+    #[test]
+    fn type2_repeated_attribute_insertion() {
+        let a = UpdateOp::ins_attributes(7u64, vec![Tree::attribute("email", "a@disi")]);
+        let b = UpdateOp::ins_attributes(7u64, vec![Tree::attribute("email", "b@gmail")]);
+        assert_eq!(symmetric_local_conflict(&a, &b), Some(ConflictType::RepeatedAttributeInsertion));
+        let c = UpdateOp::ins_attributes(7u64, vec![Tree::attribute("phone", "123")]);
+        assert_eq!(symmetric_local_conflict(&a, &c), None, "different attribute names do not clash");
+    }
+
+    #[test]
+    fn type3_insertion_order() {
+        let a = UpdateOp::ins_after(5u64, vec![Tree::element("x")]);
+        let b = UpdateOp::ins_after(5u64, vec![Tree::element("y")]);
+        assert_eq!(symmetric_local_conflict(&a, &b), Some(ConflictType::InsertionOrder));
+        // ins↓ is excluded from the insertion-order conflict
+        let a = UpdateOp::ins_into(5u64, vec![Tree::element("x")]);
+        let b = UpdateOp::ins_into(5u64, vec![Tree::element("y")]);
+        assert_eq!(symmetric_local_conflict(&a, &b), None);
+    }
+
+    #[test]
+    fn type4_local_override() {
+        let del = UpdateOp::delete(5u64);
+        let ren = UpdateOp::rename(5u64, "x");
+        let repn = UpdateOp::replace_node(5u64, vec![Tree::element("r")]);
+        let repc = UpdateOp::replace_content(5u64, None);
+        let ins_last = UpdateOp::ins_last(5u64, vec![Tree::element("c")]);
+        let ins_before = UpdateOp::ins_before(5u64, vec![Tree::element("c")]);
+
+        assert!(local_override(&del, &ren));
+        assert!(local_override(&repn, &ren));
+        assert!(local_override(&repn, &del), "repN overrides del");
+        assert!(!local_override(&del, &del), "two deletions do not conflict");
+        assert!(local_override(&repc, &ins_last), "repC overrides children insertions");
+        assert!(!local_override(&repc, &ins_before), "repC does not override sibling insertions");
+        assert!(!local_override(&ren, &del), "ren overrides nothing");
+        assert!(!local_override(&del, &ins_before), "sibling insertions survive deletions");
+    }
+
+    #[test]
+    fn acts_as_delete_covers_empty_repn() {
+        assert!(acts_as_delete(&UpdateOp::delete(1u64)));
+        assert!(acts_as_delete(&UpdateOp::replace_node(1u64, vec![])));
+        assert!(!acts_as_delete(&UpdateOp::replace_node(1u64, vec![Tree::element("x")])));
+        assert!(!acts_as_delete(&UpdateOp::rename(1u64, "x")));
+    }
+
+    #[test]
+    fn conflict_display() {
+        let c = Conflict::symmetric(
+            ConflictType::InsertionOrder,
+            vec![OpRef::new(0, 1), OpRef::new(1, 1)],
+        );
+        assert_eq!(c.to_string(), "⟨Λ, {∆1#1, ∆2#1}, 3⟩");
+        let c = Conflict::asymmetric(ConflictType::LocalOverride, OpRef::new(2, 0), vec![OpRef::new(1, 3)]);
+        assert!(c.to_string().contains("∆3#0"));
+        assert_eq!(c.all_ops().len(), 2);
+    }
+}

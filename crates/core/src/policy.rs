@@ -1,0 +1,140 @@
+//! Producer conflict-resolution policies (§4.2).
+//!
+//! Each PUL producer may attach a [`Policy`] to the PULs it sends for
+//! execution. During reconciliation (Algorithm 3) the executor must strictly
+//! observe these policies: a conflict resolution that would violate the policy
+//! of any involved producer makes the whole reconciliation fail.
+
+use pul::{OpClass, OpName, UpdateOp};
+
+/// The conflict-resolution constraints a producer may specify (§4.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Policy {
+    /// *Preservation of insertion order*: the order specified for inserted
+    /// nodes must not be altered by operations of other PULs.
+    pub preserve_insertion_order: bool,
+    /// *Preservation of inserted data*: data inserted through `repN`, `repC`,
+    /// `repV` or `ins` must occur in the final document.
+    pub preserve_inserted_data: bool,
+    /// *Preservation of removed data*: data removed through `repN`, `repC`,
+    /// `repV` or `del` must not occur in the final document.
+    pub preserve_removed_data: bool,
+}
+
+impl Policy {
+    /// A producer with no constraints: any resolution is acceptable.
+    pub fn relaxed() -> Self {
+        Policy::default()
+    }
+
+    /// A producer that requires all three preservation guarantees.
+    pub fn strict() -> Self {
+        Policy {
+            preserve_insertion_order: true,
+            preserve_inserted_data: true,
+            preserve_removed_data: true,
+        }
+    }
+
+    /// Only insertion order must be preserved.
+    pub fn insertion_order() -> Self {
+        Policy { preserve_insertion_order: true, ..Policy::default() }
+    }
+
+    /// Only inserted data must be preserved.
+    pub fn inserted_data() -> Self {
+        Policy { preserve_inserted_data: true, ..Policy::default() }
+    }
+
+    /// Only removed data must be preserved (i.e. removals must happen).
+    pub fn removed_data() -> Self {
+        Policy { preserve_removed_data: true, ..Policy::default() }
+    }
+
+    /// Whether the operation inserts data into the final document (any
+    /// insertion, a non-empty `repN`, a `repC` with text, or a `repV`).
+    pub fn op_inserts_data(op: &UpdateOp) -> bool {
+        match op.name() {
+            _ if op.class() == OpClass::Insertion => true,
+            OpName::ReplaceNode => op.content().map(|c| !c.is_empty()).unwrap_or(false),
+            OpName::ReplaceContent => matches!(op, UpdateOp::ReplaceContent { text: Some(_), .. }),
+            OpName::ReplaceValue => true,
+            _ => false,
+        }
+    }
+
+    /// Whether the operation removes data from the final document
+    /// (`del`, `repN`, `repC` or `repV` — the list given in §4.2).
+    pub fn op_removes_data(op: &UpdateOp) -> bool {
+        matches!(
+            op.name(),
+            OpName::Delete | OpName::ReplaceNode | OpName::ReplaceContent | OpName::ReplaceValue
+        )
+    }
+
+    /// Whether *excluding* (discarding) `op` from the reconciled PUL would
+    /// violate this policy: discarding an insertion violates the inserted-data
+    /// guarantee, discarding a removal violates the removed-data guarantee.
+    pub fn forbids_excluding(&self, op: &UpdateOp) -> bool {
+        (self.preserve_inserted_data && Self::op_inserts_data(op))
+            || (self.preserve_removed_data && Self::op_removes_data(op))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdm::Tree;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Policy::relaxed(), Policy::default());
+        assert!(Policy::strict().preserve_insertion_order);
+        assert!(Policy::insertion_order().preserve_insertion_order);
+        assert!(!Policy::insertion_order().preserve_inserted_data);
+        assert!(Policy::inserted_data().preserve_inserted_data);
+        assert!(Policy::removed_data().preserve_removed_data);
+    }
+
+    #[test]
+    fn insert_and_remove_classification() {
+        let ins = UpdateOp::ins_last(1u64, vec![Tree::element("x")]);
+        let del = UpdateOp::delete(1u64);
+        let repn = UpdateOp::replace_node(1u64, vec![Tree::element("x")]);
+        let repn_empty = UpdateOp::replace_node(1u64, vec![]);
+        let repv = UpdateOp::replace_value(1u64, "v");
+        let repc_none = UpdateOp::replace_content(1u64, None);
+        let ren = UpdateOp::rename(1u64, "n");
+
+        assert!(Policy::op_inserts_data(&ins));
+        assert!(!Policy::op_removes_data(&ins));
+        assert!(Policy::op_removes_data(&del));
+        assert!(!Policy::op_inserts_data(&del));
+        assert!(Policy::op_inserts_data(&repn) && Policy::op_removes_data(&repn));
+        assert!(!Policy::op_inserts_data(&repn_empty));
+        assert!(Policy::op_inserts_data(&repv) && Policy::op_removes_data(&repv));
+        assert!(!Policy::op_inserts_data(&repc_none) && Policy::op_removes_data(&repc_none));
+        assert!(!Policy::op_inserts_data(&ren) && !Policy::op_removes_data(&ren));
+    }
+
+    #[test]
+    fn forbids_excluding_follows_the_policy() {
+        let ins = UpdateOp::ins_last(1u64, vec![Tree::element("x")]);
+        let del = UpdateOp::delete(1u64);
+        let ren = UpdateOp::rename(1u64, "n");
+
+        let relaxed = Policy::relaxed();
+        assert!(!relaxed.forbids_excluding(&ins));
+        assert!(!relaxed.forbids_excluding(&del));
+
+        let keep_inserted = Policy::inserted_data();
+        assert!(keep_inserted.forbids_excluding(&ins));
+        assert!(!keep_inserted.forbids_excluding(&del));
+
+        let keep_removed = Policy::removed_data();
+        assert!(keep_removed.forbids_excluding(&del));
+        assert!(!keep_removed.forbids_excluding(&ins));
+
+        assert!(!Policy::strict().forbids_excluding(&ren), "renames carry no data guarantee");
+    }
+}

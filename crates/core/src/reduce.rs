@@ -1,0 +1,997 @@
+//! PUL reduction (§3.1): Fig. 2 rules, Defs. 7–9, Prop. 1.
+//!
+//! Reduction transforms a PUL into a more compact PUL with the *same or more
+//! specific* effect (it is substitutable to the original, Prop. 1) by
+//!
+//! * removing operations whose effects are overridden by a `repN`, `del` or
+//!   `repC` on the same node or on an ancestor (rules `O1`–`O4`);
+//! * collapsing insertion operations targeted at the same node, at sibling
+//!   nodes or at parent/child nodes (rules `I5`–`I18`);
+//! * collapsing insertions into replacement operations (`IR8`–`IR20`).
+//!
+//! Rules are organised in nine stages and applied stage by stage. The
+//! **deterministic reduction** (Def. 8) adds a tenth stage that rewrites the
+//! remaining `ins↓` operations into `ins↙`, making the PUL semantics
+//! deterministic. The **canonical form** (Def. 9) additionally constrains the
+//! order of rule applications (always the `<p`-least applicable pair), which
+//! makes the result unique for a given PUL.
+//!
+//! Structural side conditions (`/c`, `/a`, `/←c`, `/→c`, `≺s`, `//d`, `//¬a_d`)
+//! are evaluated on the labels carried by the PUL; pairs whose labels are
+//! missing simply never match, which keeps reduction sound (fewer rules fire).
+
+use std::collections::HashMap;
+
+use pul::{OpClass, OpName, Pul, UpdateOp};
+use xdm::{NodeId, Tree};
+use xlabel::NodeLabel;
+
+/// Which reduction is requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReductionKind {
+    /// Stages 1–9 (Def. 7): the result may still contain `ins↓`.
+    Plain,
+    /// Stages 1–10 (Def. 8): `ins↓` is rewritten into `ins↙`.
+    Deterministic,
+    /// Stages 1–10 with `<p`-least pair selection (Def. 9): unique result.
+    Canonical,
+}
+
+/// Label-based evaluation of the Table 1 predicates between operation targets.
+struct Ctx<'a> {
+    labels: &'a HashMap<NodeId, NodeLabel>,
+}
+
+impl<'a> Ctx<'a> {
+    fn label(&self, id: NodeId) -> Option<&NodeLabel> {
+        self.labels.get(&id)
+    }
+
+    fn pair(&self, a: NodeId, b: NodeId) -> Option<(&NodeLabel, &NodeLabel)> {
+        Some((self.label(a)?, self.label(b)?))
+    }
+
+    fn is_child(&self, a: NodeId, b: NodeId) -> bool {
+        self.pair(a, b).map(|(x, y)| x.is_child_of(y)).unwrap_or(false)
+    }
+
+    fn is_attribute(&self, a: NodeId, b: NodeId) -> bool {
+        self.pair(a, b).map(|(x, y)| x.is_attribute_of(y)).unwrap_or(false)
+    }
+
+    fn is_first_child(&self, a: NodeId, b: NodeId) -> bool {
+        self.pair(a, b).map(|(x, y)| x.is_first_child_of(y)).unwrap_or(false)
+    }
+
+    fn is_last_child(&self, a: NodeId, b: NodeId) -> bool {
+        self.pair(a, b).map(|(x, y)| x.is_last_child_of(y)).unwrap_or(false)
+    }
+
+    fn is_left_sibling(&self, a: NodeId, b: NodeId) -> bool {
+        self.pair(a, b).map(|(x, y)| x.is_left_sibling_of(y)).unwrap_or(false)
+    }
+
+    fn is_descendant(&self, a: NodeId, b: NodeId) -> bool {
+        self.pair(a, b).map(|(x, y)| x.is_descendant_of(y)).unwrap_or(false)
+    }
+
+    fn is_descendant_not_attr(&self, a: NodeId, b: NodeId) -> bool {
+        self.pair(a, b).map(|(x, y)| x.is_descendant_not_attr_of(y)).unwrap_or(false)
+    }
+
+    /// Document order of two targets (`≺`), falling back to identifier order
+    /// when labels are missing (only used for canonical tie-breaking).
+    fn precedes(&self, a: NodeId, b: NodeId) -> bool {
+        match self.pair(a, b) {
+            Some((x, y)) => x.precedes(y),
+            None => a < b,
+        }
+    }
+}
+
+fn concat_content(first: &UpdateOp, second: &UpdateOp) -> Vec<Tree> {
+    let mut out: Vec<Tree> = first.content().unwrap_or(&[]).to_vec();
+    out.extend(second.content().unwrap_or(&[]).iter().cloned());
+    out
+}
+
+fn rebuild(name: OpName, target: NodeId, content: Vec<Tree>) -> UpdateOp {
+    match name {
+        OpName::InsBefore => UpdateOp::ins_before(target, content),
+        OpName::InsAfter => UpdateOp::ins_after(target, content),
+        OpName::InsFirst => UpdateOp::ins_first(target, content),
+        OpName::InsLast => UpdateOp::ins_last(target, content),
+        OpName::InsInto => UpdateOp::ins_into(target, content),
+        OpName::InsAttributes => UpdateOp::ins_attributes(target, content),
+        OpName::ReplaceNode => UpdateOp::replace_node(target, content),
+        other => unreachable!("rebuild called with non-tree operation {other:?}"),
+    }
+}
+
+/// Tries to apply a Fig. 2 rule of the given stage to the ordered pair
+/// `(op1, op2)`. Returns the reduced operation when a rule matches.
+fn try_rule(stage: u8, op1: &UpdateOp, op2: &UpdateOp, ctx: &Ctx<'_>) -> Option<UpdateOp> {
+    use OpName::*;
+    let (t1, t2) = (op1.target(), op2.target());
+    let (n1, n2) = (op1.name(), op2.name());
+    match stage {
+        1 => {
+            // O1: any op (except repN and sibling insertions) on v is overridden
+            // by a repN/del on the same v.
+            if t1 == t2
+                && matches!(n2, ReplaceNode | Delete)
+                && matches!(
+                    n1,
+                    Rename | ReplaceValue | ReplaceContent | Delete | InsFirst | InsLast | InsInto
+                        | InsAttributes
+                )
+            {
+                return Some(op2.clone());
+            }
+            // O2: children insertions on v are overridden by a repC on v.
+            if t1 == t2 && n2 == ReplaceContent && matches!(n1, InsFirst | InsInto | InsLast) {
+                return Some(op2.clone());
+            }
+            // O3: any op on a descendant of a repN/del target is overridden.
+            if matches!(n2, ReplaceNode | Delete) && ctx.is_descendant(t1, t2) {
+                return Some(op2.clone());
+            }
+            // O4: any op on a (non-attribute) descendant of a repC target is overridden.
+            if n2 == ReplaceContent && ctx.is_descendant_not_attr(t1, t2) {
+                return Some(op2.clone());
+            }
+            // I5: same-type insertions on the same target are concatenated.
+            if t1 == t2 && n1 == n2 && op1.class() == OpClass::Insertion {
+                return Some(rebuild(n1, t1, concat_content(op1, op2)));
+            }
+            None
+        }
+        2 => {
+            // I6: ins↓(v, L1), ins↙(v, L2) → ins↙(v, [L2, L1])
+            if t1 == t2 && n1 == InsInto && n2 == InsFirst {
+                return Some(rebuild(InsFirst, t1, concat_content(op2, op1)));
+            }
+            None
+        }
+        3 => {
+            // I7: ins↓(v, L1), ins↘(v, L2) → ins↘(v, [L1, L2])
+            if t1 == t2 && n1 == InsInto && n2 == InsLast {
+                return Some(rebuild(InsLast, t1, concat_content(op1, op2)));
+            }
+            None
+        }
+        4 => {
+            // IR8: repN(v, L1), ins←(v, L2) → repN(v, [L2, L1])
+            if t1 == t2 && n1 == ReplaceNode && n2 == InsBefore {
+                return Some(rebuild(ReplaceNode, t1, concat_content(op2, op1)));
+            }
+            // IR9: repN(v, L1), ins→(v, L2) → repN(v, [L1, L2])
+            if t1 == t2 && n1 == ReplaceNode && n2 == InsAfter {
+                return Some(rebuild(ReplaceNode, t1, concat_content(op1, op2)));
+            }
+            None
+        }
+        5 => {
+            // I10: ins↓(v, L1), ins←(v', L2), v' /c v → ins←(v', [L1, L2])
+            if n1 == InsInto && n2 == InsBefore && ctx.is_child(t2, t1) {
+                return Some(rebuild(InsBefore, t2, concat_content(op1, op2)));
+            }
+            None
+        }
+        6 => {
+            // I11: ins↓(v, L1), ins→(v', L2), v' /c v → ins→(v', [L2, L1])
+            if n1 == InsInto && n2 == InsAfter && ctx.is_child(t2, t1) {
+                return Some(rebuild(InsAfter, t2, concat_content(op2, op1)));
+            }
+            None
+        }
+        7 => {
+            // IR12: repN(v, L1), ins↓(v', L2), v /c v' → repN(v, [L1, L2])
+            if n1 == ReplaceNode && n2 == InsInto && ctx.is_child(t1, t2) {
+                return Some(rebuild(ReplaceNode, t1, concat_content(op1, op2)));
+            }
+            None
+        }
+        8 => {
+            // IR13: repN(v, L1), insA(v', L2), v /a v' → repN(v, [L1, L2])
+            if n1 == ReplaceNode && n2 == InsAttributes && ctx.is_attribute(t1, t2) {
+                return Some(rebuild(ReplaceNode, t1, concat_content(op1, op2)));
+            }
+            // I14: ins←(v, L1), ins↙(v', L2), v /←c v' → ins←(v, [L2, L1])
+            if n1 == InsBefore && n2 == InsFirst && ctx.is_first_child(t1, t2) {
+                return Some(rebuild(InsBefore, t1, concat_content(op2, op1)));
+            }
+            // I15: ins→(v, L1), ins↘(v', L2), v /→c v' → ins→(v, [L1, L2])
+            if n1 == InsAfter && n2 == InsLast && ctx.is_last_child(t1, t2) {
+                return Some(rebuild(InsAfter, t1, concat_content(op1, op2)));
+            }
+            // IR16: repN(v, L1), ins↙(v', L2), v /←c v' → repN(v, [L2, L1])
+            if n1 == ReplaceNode && n2 == InsFirst && ctx.is_first_child(t1, t2) {
+                return Some(rebuild(ReplaceNode, t1, concat_content(op2, op1)));
+            }
+            // IR17: repN(v, L1), ins↘(v', L2), v /→c v' → repN(v, [L1, L2])
+            if n1 == ReplaceNode && n2 == InsLast && ctx.is_last_child(t1, t2) {
+                return Some(rebuild(ReplaceNode, t1, concat_content(op1, op2)));
+            }
+            None
+        }
+        9 => {
+            // I18: ins←(v, L1), ins→(v', L2), v' ≺s v → ins←(v, [L2, L1])
+            if n1 == InsBefore && n2 == InsAfter && ctx.is_left_sibling(t2, t1) {
+                return Some(rebuild(InsBefore, t1, concat_content(op2, op1)));
+            }
+            // IR19: repN(v, L1), ins→(v', L2), v' ≺s v → repN(v, [L2, L1])
+            if n1 == ReplaceNode && n2 == InsAfter && ctx.is_left_sibling(t2, t1) {
+                return Some(rebuild(ReplaceNode, t1, concat_content(op2, op1)));
+            }
+            // IR20: repN(v, L1), ins←(v', L2), v ≺s v' → repN(v, [L1, L2])
+            if n1 == ReplaceNode && n2 == InsBefore && ctx.is_left_sibling(t1, t2) {
+                return Some(rebuild(ReplaceNode, t1, concat_content(op1, op2)));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Slot-based working set of operations.
+struct Work {
+    slots: Vec<Option<UpdateOp>>,
+}
+
+impl Work {
+    fn active(&self) -> impl Iterator<Item = (usize, &UpdateOp)> {
+        self.slots.iter().enumerate().filter_map(|(i, o)| o.as_ref().map(|op| (i, op)))
+    }
+
+    /// Applies the result of a rule on slots `(i, j)`: the result replaces the
+    /// slot whose operation target matches the result target, the other slot is
+    /// cleared.
+    fn apply(&mut self, i: usize, j: usize, result: UpdateOp) {
+        let tj = self.slots[j].as_ref().map(|o| o.target());
+        if tj == Some(result.target()) {
+            self.slots[j] = Some(result);
+            self.slots[i] = None;
+        } else {
+            self.slots[i] = Some(result);
+            self.slots[j] = None;
+        }
+    }
+}
+
+/// Candidate ordered pairs for a stage, generated from hash indexes so that
+/// only pairs that can possibly satisfy a rule's side condition are examined
+/// (same target, parent/child, attribute/owner, sibling or ancestor).
+fn candidates(stage: u8, work: &Work, ctx: &Ctx<'_>) -> Vec<(usize, usize)> {
+    let mut by_target: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    for (i, op) in work.active() {
+        by_target.entry(op.target()).or_default().push(i);
+    }
+    let mut out = Vec::new();
+    let push_both = |a: usize, b: usize, out: &mut Vec<(usize, usize)>| {
+        out.push((a, b));
+        out.push((b, a));
+    };
+    // Same-target pairs are candidates in every stage that has same-target rules.
+    if matches!(stage, 1 | 2 | 3 | 4) {
+        for slots in by_target.values() {
+            for (x, &a) in slots.iter().enumerate() {
+                for &b in &slots[x + 1..] {
+                    push_both(a, b, &mut out);
+                }
+            }
+        }
+    }
+    // Ancestor/descendant pairs (rules O3/O4, stage 1): a single sweep over the
+    // targets in document order (start-key order) pairs every operation with
+    // the repN/del/repC operations whose containment interval is still open,
+    // i.e. exactly the candidate ancestors — O(k log k) overall.
+    if stage == 1 {
+        let mut labeled: Vec<(usize, &NodeLabel)> = work
+            .active()
+            .filter_map(|(i, op)| ctx.label(op.target()).map(|l| (i, l)))
+            .collect();
+        labeled.sort_by(|(_, a), (_, b)| a.start.cmp(&b.start));
+        let mut active_overriders: Vec<(usize, &NodeLabel)> = Vec::new();
+        for &(i, label) in &labeled {
+            active_overriders.retain(|(_, l)| l.end > label.start);
+            for &(j, _) in &active_overriders {
+                if i != j {
+                    out.push((i, j));
+                }
+            }
+            let op = work.slots[i].as_ref().expect("active");
+            if matches!(op.name(), OpName::ReplaceNode | OpName::Delete | OpName::ReplaceContent) {
+                active_overriders.push((i, label));
+            }
+        }
+    }
+    // Parent/child, attribute/owner, first/last-child and sibling pairs: use
+    // the parent / left-sibling identifiers recorded in the labels.
+    if matches!(stage, 5 | 6 | 7 | 8 | 9) {
+        for (i, op) in work.active() {
+            let t = op.target();
+            if let Some(label) = ctx.label(t) {
+                if let Some(parent) = label.parent {
+                    if let Some(others) = by_target.get(&parent) {
+                        for &j in others {
+                            if i != j {
+                                push_both(i, j, &mut out);
+                            }
+                        }
+                    }
+                }
+                if let Some(left) = label.left_sibling {
+                    if let Some(others) = by_target.get(&left) {
+                        for &j in others {
+                            if i != j {
+                                push_both(i, j, &mut out);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `<o` of Def. 9: document order of targets, then lexicographic order of the
+/// serialized parameters.
+fn op_order(ctx: &Ctx<'_>, a: &UpdateOp, b: &UpdateOp) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    if a.target() != b.target() {
+        return if ctx.precedes(a.target(), b.target()) { Ordering::Less } else { Ordering::Greater };
+    }
+    a.param_sort_key().cmp(&b.param_sort_key()).then_with(|| a.name().code().cmp(b.name().code()))
+}
+
+fn pair_order(
+    ctx: &Ctx<'_>,
+    (a1, a2): (&UpdateOp, &UpdateOp),
+    (b1, b2): (&UpdateOp, &UpdateOp),
+) -> std::cmp::Ordering {
+    op_order(ctx, a1, b1).then_with(|| op_order(ctx, a2, b2))
+}
+
+fn run_stage(stage: u8, work: &mut Work, ctx: &Ctx<'_>, canonical: bool) {
+    loop {
+        let pairs = candidates(stage, work, ctx);
+        if canonical {
+            // Find the applicable pair that is least under <p (Def. 9).
+            let mut best: Option<(usize, usize, UpdateOp)> = None;
+            for (i, j) in pairs {
+                let (Some(op1), Some(op2)) = (&work.slots[i], &work.slots[j]) else { continue };
+                if let Some(result) = try_rule(stage, op1, op2, ctx) {
+                    let better = match &best {
+                        None => true,
+                        Some((bi, bj, _)) => {
+                            let b1 = work.slots[*bi].as_ref().expect("active");
+                            let b2 = work.slots[*bj].as_ref().expect("active");
+                            pair_order(ctx, (op1, op2), (b1, b2)) == std::cmp::Ordering::Less
+                        }
+                    };
+                    if better {
+                        best = Some((i, j, result));
+                    }
+                }
+            }
+            match best {
+                Some((i, j, result)) => work.apply(i, j, result),
+                None => break,
+            }
+        } else {
+            let mut applied = false;
+            for (i, j) in pairs {
+                let (Some(op1), Some(op2)) = (&work.slots[i], &work.slots[j]) else { continue };
+                if let Some(result) = try_rule(stage, op1, op2, ctx) {
+                    work.apply(i, j, result);
+                    applied = true;
+                }
+            }
+            if !applied {
+                break;
+            }
+        }
+    }
+}
+
+/// Reduces a PUL with the requested [`ReductionKind`].
+pub fn reduce_with(pul: &Pul, kind: ReductionKind) -> Pul {
+    let ctx = Ctx { labels: pul.labels() };
+    let mut work = Work { slots: pul.ops().iter().cloned().map(Some).collect() };
+    for stage in 1..=9 {
+        run_stage(stage, &mut work, &ctx, kind == ReductionKind::Canonical);
+    }
+    // Stage 10: make the semantics deterministic by rewriting ins↓ into ins↙.
+    if matches!(kind, ReductionKind::Deterministic | ReductionKind::Canonical) {
+        for slot in &mut work.slots {
+            if let Some(op) = slot {
+                if op.name() == OpName::InsInto {
+                    let content = op.content().unwrap_or(&[]).to_vec();
+                    *op = UpdateOp::ins_first(op.target(), content);
+                }
+            }
+        }
+    }
+    let mut ops: Vec<UpdateOp> = work.slots.into_iter().flatten().collect();
+    if kind == ReductionKind::Canonical {
+        // Present the canonical form in a fixed order (<o) — the PUL is an
+        // unordered list, so this only normalizes the presentation.
+        ops.sort_by(|a, b| op_order(&ctx, a, b).then_with(|| a.name().code().cmp(b.name().code())));
+        ops.dedup_by(|a, b| {
+            a.target() == b.target() && a.name() == b.name() && a.param_sort_key() == b.param_sort_key()
+        });
+    }
+    let mut out = Pul::with_capacity(ops.len());
+    for op in ops {
+        out.push(op);
+    }
+    for label in pul.labels().values() {
+        out.add_label(label.clone());
+    }
+    out
+}
+
+/// PUL reduction `∆O` (Def. 7): stages 1–9.
+pub fn reduce(pul: &Pul) -> Pul {
+    reduce_with(pul, ReductionKind::Plain)
+}
+
+/// Deterministic PUL reduction `∆H` (Def. 8): stages 1–10.
+pub fn deterministic_reduce(pul: &Pul) -> Pul {
+    reduce_with(pul, ReductionKind::Deterministic)
+}
+
+/// Canonical form `∆H̄` (Def. 9): the unique deterministic reduction obtained
+/// by always applying a rule to the `<p`-least applicable pair.
+pub fn canonical_form(pul: &Pul) -> Pul {
+    reduce_with(pul, ReductionKind::Canonical)
+}
+
+/// Naive O(k²) reduction that examines *every* ordered pair at each step, used
+/// as a baseline in the ablation benchmark for Fig. 6.b. Produces a PUL with
+/// the same semantics as [`reduce`].
+pub fn reduce_naive(pul: &Pul) -> Pul {
+    let ctx = Ctx { labels: pul.labels() };
+    let mut work = Work { slots: pul.ops().iter().cloned().map(Some).collect() };
+    for stage in 1..=9 {
+        loop {
+            let active: Vec<usize> = work.active().map(|(i, _)| i).collect();
+            let mut applied = false;
+            'outer: for &i in &active {
+                for &j in &active {
+                    if i == j {
+                        continue;
+                    }
+                    let (Some(op1), Some(op2)) = (&work.slots[i], &work.slots[j]) else { continue };
+                    if let Some(result) = try_rule(stage, op1, op2, &ctx) {
+                        work.apply(i, j, result);
+                        applied = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !applied {
+                break;
+            }
+        }
+    }
+    let mut out = Pul::new();
+    for op in work.slots.into_iter().flatten() {
+        out.push(op);
+    }
+    for label in pul.labels().values() {
+        out.add_label(label.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pul::obtainable::{obtainable_documents, substitutable, DEFAULT_OUTCOME_LIMIT};
+    use xdm::parser::parse_document;
+    use xdm::Document;
+    use xlabel::Labeling;
+
+    /// A document shaped like the Figure 1 fragment, with known identifiers:
+    /// issue=1 … paper(4) title(5) text(6) author(7) text(8) initPage(9=attr)
+    /// paper(10) title(11) text(12) authors(13) author(14) text(15) author(16) text(17)
+    fn figure1() -> (Document, Labeling) {
+        let doc = parse_document(
+            "<issue><volume>30</volume><paper initPage=\"12\"><title>Old title</title>\
+             <author>A.Chaudhri</author></paper><paper><title>Report</title><authors>\
+             <author>One</author><author>Two</author></authors></paper></issue>",
+        )
+        .unwrap();
+        let labeling = Labeling::assign(&doc);
+        (doc, labeling)
+    }
+
+    fn pul_of(doc_labels: &Labeling, ops: Vec<UpdateOp>) -> Pul {
+        Pul::from_ops(ops, doc_labels)
+    }
+
+    fn assert_reduction_substitutable(doc: &Document, pul: &Pul, reduced: &Pul) {
+        assert!(
+            substitutable(doc, reduced, pul, DEFAULT_OUTCOME_LIMIT).unwrap(),
+            "reduced PUL must be substitutable to the original\noriginal: {pul}\nreduced: {reduced}"
+        );
+    }
+
+    #[test]
+    fn rule_o1_same_target_override() {
+        let (doc, labels) = figure1();
+        let title = doc.find_elements("title")[0];
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::rename(title, "heading"),
+                UpdateOp::replace_node(title, vec![Tree::element_with_text("author", "M M")]),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red.ops()[0].name(), OpName::ReplaceNode);
+        assert_reduction_substitutable(&doc, &pul, &red);
+    }
+
+    #[test]
+    fn rule_o1_delete_overrides_everything_local() {
+        let (doc, labels) = figure1();
+        let paper = doc.find_elements("paper")[0];
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::rename(paper, "article"),
+                UpdateOp::ins_last(paper, vec![Tree::element("x")]),
+                UpdateOp::ins_attributes(paper, vec![Tree::attribute("k", "v")]),
+                UpdateOp::delete(paper),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red.ops()[0].name(), OpName::Delete);
+        assert_reduction_substitutable(&doc, &pul, &red);
+    }
+
+    #[test]
+    fn rule_o1_keeps_sibling_insertions() {
+        // ins← / ins→ survive a deletion of the same target (they insert
+        // siblings, which are not removed by the deletion).
+        let (doc, labels) = figure1();
+        let title = doc.find_elements("title")[0];
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::ins_before(title, vec![Tree::element("kept")]),
+                UpdateOp::delete(title),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 2, "sibling insertion must not be dropped: {red}");
+        assert_reduction_substitutable(&doc, &pul, &red);
+    }
+
+    #[test]
+    fn rule_o2_repc_overrides_children_insertions() {
+        let (doc, labels) = figure1();
+        let paper = doc.find_elements("paper")[0];
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::ins_last(paper, vec![Tree::element("x")]),
+                UpdateOp::ins_into(paper, vec![Tree::element("y")]),
+                UpdateOp::replace_content(paper, Some("done".into())),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red.ops()[0].name(), OpName::ReplaceContent);
+        assert_reduction_substitutable(&doc, &pul, &red);
+    }
+
+    #[test]
+    fn rule_o3_ancestor_override() {
+        let (doc, labels) = figure1();
+        let paper = doc.find_elements("paper")[0];
+        let title = doc.find_elements("title")[0];
+        let title_text = doc.children(title).unwrap()[0];
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::replace_value(title_text, "New"),
+                UpdateOp::rename(title, "heading"),
+                UpdateOp::delete(paper),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red.ops()[0].name(), OpName::Delete);
+        assert_eq!(red.ops()[0].target(), paper);
+        assert_reduction_substitutable(&doc, &pul, &red);
+    }
+
+    #[test]
+    fn rule_o4_repc_ancestor_override_spares_attributes() {
+        let (doc, labels) = figure1();
+        let paper = doc.find_elements("paper")[0];
+        let init_page = doc.attribute_by_name(paper, "initPage").unwrap().unwrap();
+        let title = doc.find_elements("title")[0];
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::rename(title, "heading"),
+                UpdateOp::replace_value(init_page, "99"),
+                UpdateOp::replace_content(paper, None),
+            ],
+        );
+        let red = reduce(&pul);
+        // the rename of the (removed) title is dropped, the attribute update survives
+        assert_eq!(red.len(), 2, "{red}");
+        assert!(red.ops().iter().any(|o| o.name() == OpName::ReplaceValue && o.target() == init_page));
+        assert!(red.ops().iter().any(|o| o.name() == OpName::ReplaceContent));
+        assert_reduction_substitutable(&doc, &pul, &red);
+    }
+
+    #[test]
+    fn rule_i5_collapses_same_type_insertions() {
+        let (doc, labels) = figure1();
+        let author = doc.find_elements("author")[0];
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::ins_after(author, vec![Tree::element_with_text("author", "A C")]),
+                UpdateOp::ins_after(author, vec![Tree::element_with_text("author", "G G")]),
+                UpdateOp::ins_after(author, vec![Tree::element_with_text("author", "F C")]),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red.ops()[0].content().unwrap().len(), 3);
+        assert_reduction_substitutable(&doc, &pul, &red);
+    }
+
+    #[test]
+    fn rules_i6_i7_fold_ins_into() {
+        let (doc, labels) = figure1();
+        let authors = doc.find_element("authors").unwrap();
+        // ins↓ + ins↙ → ins↙ with [L2, L1]
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::ins_into(authors, vec![Tree::element_with_text("author", "Into")]),
+                UpdateOp::ins_first(authors, vec![Tree::element_with_text("author", "First")]),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red.ops()[0].name(), OpName::InsFirst);
+        let texts: Vec<String> = red.ops()[0]
+            .content()
+            .unwrap()
+            .iter()
+            .map(|t| t.text_content(t.root_id()))
+            .collect();
+        assert_eq!(texts, vec!["First", "Into"]);
+        assert_reduction_substitutable(&doc, &pul, &red);
+
+        // ins↓ + ins↘ → ins↘ with [L1, L2]
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::ins_into(authors, vec![Tree::element_with_text("author", "Into")]),
+                UpdateOp::ins_last(authors, vec![Tree::element_with_text("author", "Last")]),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red.ops()[0].name(), OpName::InsLast);
+        let texts: Vec<String> = red.ops()[0]
+            .content()
+            .unwrap()
+            .iter()
+            .map(|t| t.text_content(t.root_id()))
+            .collect();
+        assert_eq!(texts, vec!["Into", "Last"]);
+        assert_reduction_substitutable(&doc, &pul, &red);
+    }
+
+    #[test]
+    fn rules_ir8_ir9_fold_sibling_insertions_into_repn() {
+        let (doc, labels) = figure1();
+        let title = doc.find_elements("title")[0];
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::replace_node(title, vec![Tree::element_with_text("t", "R")]),
+                UpdateOp::ins_before(title, vec![Tree::element_with_text("b", "B")]),
+                UpdateOp::ins_after(title, vec![Tree::element_with_text("a", "A")]),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1, "{red}");
+        let op = &red.ops()[0];
+        assert_eq!(op.name(), OpName::ReplaceNode);
+        let names: Vec<String> = op.content().unwrap().iter().map(|t| t.root_name().unwrap()).collect();
+        assert_eq!(names, vec!["b", "t", "a"]);
+        assert_reduction_substitutable(&doc, &pul, &red);
+    }
+
+    #[test]
+    fn rules_i10_i11_fold_ins_into_with_child_sibling_insertions() {
+        let (doc, labels) = figure1();
+        let authors = doc.find_element("authors").unwrap();
+        let first_author = doc.children(authors).unwrap()[0];
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::ins_into(authors, vec![Tree::element_with_text("author", "Into")]),
+                UpdateOp::ins_before(first_author, vec![Tree::element_with_text("author", "Before")]),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red.ops()[0].name(), OpName::InsBefore);
+        assert_eq!(red.ops()[0].target(), first_author);
+        assert_reduction_substitutable(&doc, &pul, &red);
+
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::ins_into(authors, vec![Tree::element_with_text("author", "Into")]),
+                UpdateOp::ins_after(first_author, vec![Tree::element_with_text("author", "After")]),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red.ops()[0].name(), OpName::InsAfter);
+        assert_reduction_substitutable(&doc, &pul, &red);
+    }
+
+    #[test]
+    fn rules_ir12_ir13_fold_parent_insertions_into_repn() {
+        let (doc, labels) = figure1();
+        let authors = doc.find_element("authors").unwrap();
+        let first_author = doc.children(authors).unwrap()[0];
+        // repN(child) + ins↓(parent)
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::replace_node(first_author, vec![Tree::element_with_text("author", "R")]),
+                UpdateOp::ins_into(authors, vec![Tree::element_with_text("author", "I")]),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red.ops()[0].name(), OpName::ReplaceNode);
+        assert_eq!(red.ops()[0].content().unwrap().len(), 2);
+        assert_reduction_substitutable(&doc, &pul, &red);
+
+        // repN(attribute) + insA(owner)
+        let paper = doc.find_elements("paper")[0];
+        let init_page = doc.attribute_by_name(paper, "initPage").unwrap().unwrap();
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::replace_node(init_page, vec![Tree::attribute("initPage", "1")]),
+                UpdateOp::ins_attributes(paper, vec![Tree::attribute("lastPage", "9")]),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1, "{red}");
+        assert_eq!(red.ops()[0].name(), OpName::ReplaceNode);
+        assert_eq!(red.ops()[0].content().unwrap().len(), 2);
+        assert_reduction_substitutable(&doc, &pul, &red);
+    }
+
+    #[test]
+    fn rules_i14_to_ir17_first_last_child() {
+        let (doc, labels) = figure1();
+        let authors = doc.find_element("authors").unwrap();
+        let first = doc.children(authors).unwrap()[0];
+        let last = *doc.children(authors).unwrap().last().unwrap();
+
+        // I14: ins←(first child) + ins↙(parent)
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::ins_before(first, vec![Tree::element_with_text("author", "B")]),
+                UpdateOp::ins_first(authors, vec![Tree::element_with_text("author", "F")]),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red.ops()[0].name(), OpName::InsBefore);
+        assert_reduction_substitutable(&doc, &pul, &red);
+
+        // I15: ins→(last child) + ins↘(parent)
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::ins_after(last, vec![Tree::element_with_text("author", "A")]),
+                UpdateOp::ins_last(authors, vec![Tree::element_with_text("author", "L")]),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red.ops()[0].name(), OpName::InsAfter);
+        assert_reduction_substitutable(&doc, &pul, &red);
+
+        // IR16: repN(first child) + ins↙(parent)
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::replace_node(first, vec![Tree::element_with_text("author", "R")]),
+                UpdateOp::ins_first(authors, vec![Tree::element_with_text("author", "F")]),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red.ops()[0].name(), OpName::ReplaceNode);
+        assert_reduction_substitutable(&doc, &pul, &red);
+
+        // IR17: repN(last child) + ins↘(parent)
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::replace_node(last, vec![Tree::element_with_text("author", "R")]),
+                UpdateOp::ins_last(authors, vec![Tree::element_with_text("author", "L")]),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red.ops()[0].name(), OpName::ReplaceNode);
+        assert_reduction_substitutable(&doc, &pul, &red);
+    }
+
+    #[test]
+    fn rules_i18_to_ir20_siblings() {
+        let (doc, labels) = figure1();
+        let authors = doc.find_element("authors").unwrap();
+        let kids = doc.children(authors).unwrap().to_vec();
+        let (left, right) = (kids[0], kids[1]);
+
+        // I18: ins←(right) + ins→(left sibling)
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::ins_before(right, vec![Tree::element_with_text("author", "B")]),
+                UpdateOp::ins_after(left, vec![Tree::element_with_text("author", "A")]),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red.ops()[0].name(), OpName::InsBefore);
+        assert_reduction_substitutable(&doc, &pul, &red);
+
+        // IR19: repN(right) + ins→(left sibling)
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::replace_node(right, vec![Tree::element_with_text("author", "R")]),
+                UpdateOp::ins_after(left, vec![Tree::element_with_text("author", "A")]),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red.ops()[0].name(), OpName::ReplaceNode);
+        assert_reduction_substitutable(&doc, &pul, &red);
+
+        // IR20: repN(left) + ins←(right sibling)
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::replace_node(left, vec![Tree::element_with_text("author", "R")]),
+                UpdateOp::ins_before(right, vec![Tree::element_with_text("author", "B")]),
+            ],
+        );
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red.ops()[0].name(), OpName::ReplaceNode);
+        assert_reduction_substitutable(&doc, &pul, &red);
+    }
+
+    #[test]
+    fn deterministic_reduction_removes_nondeterminism() {
+        let (doc, labels) = figure1();
+        let authors = doc.find_element("authors").unwrap();
+        let pul = pul_of(
+            &labels,
+            vec![UpdateOp::ins_into(authors, vec![Tree::element_with_text("author", "X")])],
+        );
+        let plain = reduce(&pul);
+        assert_eq!(plain.ops()[0].name(), OpName::InsInto, "plain reduction keeps ins↓");
+        let det = deterministic_reduce(&pul);
+        assert_eq!(det.ops()[0].name(), OpName::InsFirst, "stage 10 rewrites ins↓ into ins↙");
+        let o = obtainable_documents(&doc, &det, DEFAULT_OUTCOME_LIMIT).unwrap();
+        assert_eq!(o.len(), 1, "deterministic reduction has a single outcome (Prop. 1)");
+        assert_reduction_substitutable(&doc, &pul, &det);
+    }
+
+    #[test]
+    fn canonical_form_is_unique_and_idempotent() {
+        let (doc, labels) = figure1();
+        let author = doc.find_elements("author")[0];
+        // the same logical PUL written with operations in two different orders
+        let ops_a = vec![
+            UpdateOp::ins_after(author, vec![Tree::element_with_text("author", "G G")]),
+            UpdateOp::ins_after(author, vec![Tree::element_with_text("author", "A C")]),
+            UpdateOp::rename(author, "writer"),
+        ];
+        let ops_b = vec![
+            UpdateOp::rename(author, "writer"),
+            UpdateOp::ins_after(author, vec![Tree::element_with_text("author", "A C")]),
+            UpdateOp::ins_after(author, vec![Tree::element_with_text("author", "G G")]),
+        ];
+        let c1 = canonical_form(&pul_of(&labels, ops_a));
+        let c2 = canonical_form(&pul_of(&labels, ops_b));
+        assert_eq!(c1.to_string(), c2.to_string(), "canonical form is unique (Prop. 1)");
+        // idempotence: (∆r)r = ∆r
+        let c3 = canonical_form(&c1);
+        assert_eq!(c1.to_string(), c3.to_string());
+        // the insertion parameters are ordered lexicographically (A C before G G)
+        let ins = c1.ops().iter().find(|o| o.name() == OpName::InsAfter).unwrap();
+        let texts: Vec<String> =
+            ins.content().unwrap().iter().map(|t| t.text_content(t.root_id())).collect();
+        assert_eq!(texts, vec!["A C", "G G"]);
+        assert_reduction_substitutable(&doc, &pul_of(&labels, vec![]), &Pul::new());
+    }
+
+    #[test]
+    fn reduction_is_idempotent() {
+        let (doc, labels) = figure1();
+        let paper = doc.find_elements("paper")[0];
+        let title = doc.find_elements("title")[0];
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::rename(title, "t"),
+                UpdateOp::delete(paper),
+                UpdateOp::ins_after(paper, vec![Tree::element("x")]),
+                UpdateOp::ins_after(paper, vec![Tree::element("y")]),
+            ],
+        );
+        for kind in [ReductionKind::Plain, ReductionKind::Deterministic, ReductionKind::Canonical] {
+            let once = reduce_with(&pul, kind);
+            let twice = reduce_with(&once, kind);
+            assert_eq!(once.to_string(), twice.to_string(), "(∆r)r = ∆r for {kind:?}");
+        }
+    }
+
+    #[test]
+    fn naive_and_fast_reduction_agree_on_size() {
+        let (doc, labels) = figure1();
+        let paper = doc.find_elements("paper")[0];
+        let title = doc.find_elements("title")[0];
+        let author = doc.find_elements("author")[0];
+        let pul = pul_of(
+            &labels,
+            vec![
+                UpdateOp::rename(title, "t"),
+                UpdateOp::replace_node(title, vec![Tree::element_with_text("t", "x")]),
+                UpdateOp::ins_after(author, vec![Tree::element_with_text("author", "1")]),
+                UpdateOp::ins_after(author, vec![Tree::element_with_text("author", "2")]),
+                UpdateOp::ins_attributes(paper, vec![Tree::attribute("k", "v")]),
+            ],
+        );
+        let fast = reduce(&pul);
+        let naive = reduce_naive(&pul);
+        assert_eq!(fast.len(), naive.len());
+        let d1 = doc.clone();
+        assert_reduction_substitutable(&d1, &pul, &fast);
+        assert_reduction_substitutable(&d1, &pul, &naive);
+    }
+
+    #[test]
+    fn ops_without_labels_are_left_untouched() {
+        // operations targeting unlabeled nodes cannot be proven related: the
+        // reduction must keep them (sound, if not minimal).
+        let mut pul = Pul::new();
+        pul.push(UpdateOp::rename(100u64, "x"));
+        pul.push(UpdateOp::delete(200u64));
+        let red = reduce(&pul);
+        assert_eq!(red.len(), 2);
+    }
+}

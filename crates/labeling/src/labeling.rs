@@ -1,0 +1,476 @@
+//! Label assignment over documents and incremental labeling of inserted nodes.
+
+use std::collections::HashMap;
+
+use xdm::{Document, NodeId, NodeKind};
+
+use crate::label::NodeLabel;
+use crate::orderkey::OrderKey;
+
+/// The set of labels of a document's nodes.
+///
+/// A `Labeling` is computed once from the authoritative document (the labels
+/// are then attached to the target nodes of the operations in a PUL), and is
+/// only modified by the executor when updates are made effective: new nodes
+/// receive labels generated *between* existing ones, so that no existing label
+/// ever changes (§4.1).
+#[derive(Debug, Clone, Default)]
+pub struct Labeling {
+    map: HashMap<NodeId, NodeLabel>,
+}
+
+impl Labeling {
+    /// Creates an empty labeling.
+    pub fn new() -> Self {
+        Labeling { map: HashMap::new() }
+    }
+
+    /// Computes the labeling of a whole document.
+    pub fn assign(doc: &Document) -> Self {
+        let mut labeling = Labeling::new();
+        let Some(root) = doc.root() else { return labeling };
+        // Two keys (start/end) per node, evenly spaced so that initial labels
+        // are short; later insertions use `OrderKey::between`.
+        let n = doc.node_count();
+        let keys = OrderKey::evenly_spaced(2 * n + 2);
+        let mut next = 0usize;
+        let mut take = || {
+            let k = keys[next].clone();
+            next += 1;
+            k
+        };
+        labeling.assign_subtree(doc, root, 0, &mut take);
+        labeling
+    }
+
+    fn assign_subtree(
+        &mut self,
+        doc: &Document,
+        id: NodeId,
+        level: u32,
+        take: &mut impl FnMut() -> OrderKey,
+    ) {
+        let start = take();
+        let Ok(data) = doc.node(id) else { return };
+        // attributes first (they live inside the element's interval)
+        for &a in &data.attributes {
+            let astart = take();
+            let aend = take();
+            let label = NodeLabel {
+                id: a,
+                start: astart,
+                end: aend,
+                level: level + 1,
+                kind: NodeKind::Attribute,
+                parent: Some(id),
+                left_sibling: None,
+                is_first_child: false,
+                is_last_child: false,
+            };
+            self.map.insert(a, label);
+        }
+        for &c in &data.children {
+            self.assign_subtree(doc, c, level + 1, take);
+        }
+        let end = take();
+        let parent = data.parent;
+        let (left_sibling, is_first, is_last) = match parent {
+            Some(p) => {
+                let siblings = doc.children(p).unwrap_or(&[]);
+                let pos = siblings.iter().position(|&s| s == id);
+                match pos {
+                    Some(i) => (
+                        if i > 0 { Some(siblings[i - 1]) } else { None },
+                        i == 0,
+                        i + 1 == siblings.len(),
+                    ),
+                    None => (None, false, false),
+                }
+            }
+            None => (None, false, false),
+        };
+        let label = NodeLabel {
+            id,
+            start,
+            end,
+            level,
+            kind: data.kind,
+            parent,
+            left_sibling,
+            is_first_child: is_first,
+            is_last_child: is_last,
+        };
+        self.map.insert(id, label);
+    }
+
+    /// Returns the label of a node, if present.
+    pub fn get(&self, id: NodeId) -> Option<&NodeLabel> {
+        self.map.get(&id)
+    }
+
+    /// Returns the label of a node, panicking when absent (for internal use by
+    /// generators and tests where presence is an invariant).
+    pub fn require(&self, id: NodeId) -> &NodeLabel {
+        self.map.get(&id).unwrap_or_else(|| panic!("node {id} has no label"))
+    }
+
+    /// Inserts or replaces the label of a node.
+    pub fn insert(&mut self, label: NodeLabel) {
+        self.map.insert(label.id, label);
+    }
+
+    /// Removes the label of a node (the identifier is never reused, so neither
+    /// is the label).
+    pub fn remove(&mut self, id: NodeId) -> Option<NodeLabel> {
+        self.map.remove(&id)
+    }
+
+    /// Number of labeled nodes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the labeling is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over all labels.
+    pub fn iter(&self) -> impl Iterator<Item = &NodeLabel> {
+        self.map.values()
+    }
+
+    // ------------------------------------------------------------------
+    // predicate helpers on identifiers
+    // ------------------------------------------------------------------
+
+    fn pair(&self, a: NodeId, b: NodeId) -> Option<(&NodeLabel, &NodeLabel)> {
+        Some((self.map.get(&a)?, self.map.get(&b)?))
+    }
+
+    /// `a ≺ b` in document order.
+    pub fn precedes(&self, a: NodeId, b: NodeId) -> bool {
+        self.pair(a, b).map(|(x, y)| x.precedes(y)).unwrap_or(false)
+    }
+
+    /// `a` is the left sibling of `b`.
+    pub fn is_left_sibling(&self, a: NodeId, b: NodeId) -> bool {
+        self.pair(a, b).map(|(x, y)| x.is_left_sibling_of(y)).unwrap_or(false)
+    }
+
+    /// `a /c b`.
+    pub fn is_child(&self, a: NodeId, b: NodeId) -> bool {
+        self.pair(a, b).map(|(x, y)| x.is_child_of(y)).unwrap_or(false)
+    }
+
+    /// `a /a b`.
+    pub fn is_attribute(&self, a: NodeId, b: NodeId) -> bool {
+        self.pair(a, b).map(|(x, y)| x.is_attribute_of(y)).unwrap_or(false)
+    }
+
+    /// `a /←c b`.
+    pub fn is_first_child(&self, a: NodeId, b: NodeId) -> bool {
+        self.pair(a, b).map(|(x, y)| x.is_first_child_of(y)).unwrap_or(false)
+    }
+
+    /// `a /→c b`.
+    pub fn is_last_child(&self, a: NodeId, b: NodeId) -> bool {
+        self.pair(a, b).map(|(x, y)| x.is_last_child_of(y)).unwrap_or(false)
+    }
+
+    /// `a //d b`.
+    pub fn is_descendant(&self, a: NodeId, b: NodeId) -> bool {
+        self.pair(a, b).map(|(x, y)| x.is_descendant_of(y)).unwrap_or(false)
+    }
+
+    /// `a //¬a_d b`.
+    pub fn is_descendant_not_attr(&self, a: NodeId, b: NodeId) -> bool {
+        self.pair(a, b).map(|(x, y)| x.is_descendant_not_attr_of(y)).unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
+    // incremental labeling of inserted nodes
+    // ------------------------------------------------------------------
+
+    /// Labels the subtree rooted at `new_root`, which must already be attached
+    /// inside `doc`. The labels of pre-existing nodes are not modified: new
+    /// interval keys are generated between the keys of the neighbouring
+    /// siblings (or the parent's interval ends). Used by the executor when it
+    /// makes a PUL effective on the authoritative document.
+    pub fn label_inserted_subtree(&mut self, doc: &Document, new_root: NodeId) {
+        let Ok(Some(parent)) = doc.parent(new_root) else { return };
+        let Some(parent_label) = self.map.get(&parent).cloned() else { return };
+        // Determine the order-key bounds from the closest labeled neighbours.
+        let (lo, hi) = self.bounds_for(doc, new_root, &parent_label);
+        let size = doc.preorder(new_root).len();
+        // Generate 2*size increasing keys strictly between lo and hi.
+        let mut keys = Vec::with_capacity(2 * size);
+        let mut left = lo;
+        for _ in 0..(2 * size) {
+            let k = OrderKey::between(&left, &hi);
+            keys.push(k.clone());
+            left = k;
+        }
+        let mut next = 0usize;
+        let mut take = move || {
+            let k = keys[next].clone();
+            next += 1;
+            k
+        };
+        let level = parent_label.level + 1;
+        self.assign_subtree(doc, new_root, level, &mut take);
+        // Sibling first/last flags of pre-existing nodes may have become stale;
+        // refresh the flags of the parent's children (cheap, local).
+        self.refresh_sibling_flags(doc, parent);
+    }
+
+    fn bounds_for(
+        &self,
+        doc: &Document,
+        new_node: NodeId,
+        parent_label: &NodeLabel,
+    ) -> (OrderKey, OrderKey) {
+        let is_attr = doc.kind(new_node).map(|k| k == NodeKind::Attribute).unwrap_or(false);
+        if is_attr {
+            // attributes: anywhere inside the parent's interval, before children
+            let hi = doc
+                .children(parent_label.id)
+                .ok()
+                .and_then(|cs| cs.iter().find_map(|c| self.map.get(c)))
+                .map(|l| l.start.clone())
+                .unwrap_or_else(|| parent_label.end.clone());
+            return (parent_label.start.clone(), hi);
+        }
+        let siblings: Vec<NodeId> = doc.children(parent_label.id).unwrap_or(&[]).to_vec();
+        let pos = siblings.iter().position(|&s| s == new_node).unwrap_or(0);
+        // closest labeled left neighbour
+        let lo = siblings[..pos]
+            .iter()
+            .rev()
+            .find_map(|s| self.map.get(s))
+            .map(|l| l.end.clone())
+            .unwrap_or_else(|| parent_label.start.clone());
+        let hi = siblings[pos + 1..]
+            .iter()
+            .find_map(|s| self.map.get(s))
+            .map(|l| l.start.clone())
+            .unwrap_or_else(|| parent_label.end.clone());
+        (lo, hi)
+    }
+
+    /// Recomputes parent/left-sibling/first/last metadata of the children of
+    /// `parent` (interval keys are left untouched).
+    pub fn refresh_sibling_flags(&mut self, doc: &Document, parent: NodeId) {
+        let Ok(children) = doc.children(parent) else { return };
+        let children: Vec<NodeId> = children.to_vec();
+        for (i, &c) in children.iter().enumerate() {
+            if let Some(label) = self.map.get_mut(&c) {
+                label.parent = Some(parent);
+                label.left_sibling = if i > 0 { Some(children[i - 1]) } else { None };
+                label.is_first_child = i == 0;
+                label.is_last_child = i + 1 == children.len();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdm::parser::parse_document;
+
+    fn doc_and_labels(xml: &str) -> (Document, Labeling) {
+        let doc = parse_document(xml).unwrap();
+        let labels = Labeling::assign(&doc);
+        (doc, labels)
+    }
+
+    /// The labeling must agree with the ground-truth structural queries of the
+    /// document for every pair of nodes — this is the "Table 1" contract.
+    fn check_against_document(doc: &Document, labels: &Labeling) {
+        let nodes = doc.preorder_from_root();
+        assert_eq!(labels.len(), nodes.len());
+        for &a in &nodes {
+            for &b in &nodes {
+                assert_eq!(
+                    labels.precedes(a, b),
+                    doc.precedes(a, b),
+                    "precedes({a},{b})"
+                );
+                assert_eq!(
+                    labels.is_child(a, b),
+                    doc.is_child_of(a, b),
+                    "child({a},{b})"
+                );
+                assert_eq!(
+                    labels.is_attribute(a, b),
+                    doc.is_attribute_of(a, b),
+                    "attr({a},{b})"
+                );
+                assert_eq!(
+                    labels.is_descendant(a, b),
+                    doc.is_descendant_of(a, b),
+                    "desc({a},{b})"
+                );
+                let gt_left = doc.left_sibling(b).ok().flatten() == Some(a);
+                assert_eq!(labels.is_left_sibling(a, b), gt_left, "leftsib({a},{b})");
+                let gt_first = doc.is_child_of(a, b) && doc.children(b).unwrap().first() == Some(&a);
+                assert_eq!(labels.is_first_child(a, b), gt_first, "first({a},{b})");
+                let gt_last = doc.is_child_of(a, b) && doc.children(b).unwrap().last() == Some(&a);
+                assert_eq!(labels.is_last_child(a, b), gt_last, "last({a},{b})");
+                let gt_nda = doc.is_descendant_of(a, b) && !doc.is_attribute_of(a, b);
+                assert_eq!(labels.is_descendant_not_attr(a, b), gt_nda, "nda({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn table1_predicates_match_document_ground_truth() {
+        let (doc, labels) = doc_and_labels(
+            "<issue volume=\"30\" number=\"3\"><paper><title>t1</title><author>A</author>\
+             <author>B</author></paper><paper id=\"x\"><title>t2</title></paper></issue>",
+        );
+        check_against_document(&doc, &labels);
+    }
+
+    #[test]
+    fn table1_predicates_on_deeper_document() {
+        let (doc, labels) = doc_and_labels(
+            "<a><b><c><d>t</d></c></b><e f=\"1\"><g/><h>u</h></e><i/></a>",
+        );
+        check_against_document(&doc, &labels);
+    }
+
+    #[test]
+    fn empty_document_yields_empty_labeling() {
+        let doc = Document::new();
+        let labels = Labeling::assign(&doc);
+        assert!(labels.is_empty());
+    }
+
+    #[test]
+    fn get_and_require() {
+        let (doc, labels) = doc_and_labels("<a><b/></a>");
+        let root = doc.root().unwrap();
+        assert!(labels.get(root).is_some());
+        assert_eq!(labels.require(root).level, 0);
+        assert!(labels.get(NodeId::new(999)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "has no label")]
+    fn require_panics_on_missing() {
+        let (_, labels) = doc_and_labels("<a/>");
+        labels.require(NodeId::new(42));
+    }
+
+    #[test]
+    fn levels_follow_depth() {
+        let (doc, labels) = doc_and_labels("<a><b><c/></b></a>");
+        let a = doc.find_element("a").unwrap();
+        let b = doc.find_element("b").unwrap();
+        let c = doc.find_element("c").unwrap();
+        assert_eq!(labels.require(a).level, 0);
+        assert_eq!(labels.require(b).level, 1);
+        assert_eq!(labels.require(c).level, 2);
+    }
+
+    #[test]
+    fn inserted_subtree_gets_labels_without_touching_existing_ones() {
+        let (mut doc, mut labels) = doc_and_labels("<issue><paper>one</paper><paper>two</paper></issue>");
+        let issue = doc.find_element("issue").unwrap();
+        let before: HashMap<NodeId, NodeLabel> =
+            labels.iter().map(|l| (l.id, l.clone())).collect();
+
+        // Insert a new <paper> between the two existing ones.
+        let papers = doc.find_elements("paper");
+        let new_paper = doc.new_element("paper");
+        let new_text = doc.new_text("three");
+        doc.append_child(new_paper, new_text).unwrap();
+        doc.insert_after(papers[0], new_paper).unwrap();
+
+        labels.label_inserted_subtree(&doc, new_paper);
+
+        // New nodes labeled, old interval keys untouched.
+        assert!(labels.get(new_paper).is_some());
+        assert!(labels.get(new_text).is_some());
+        for (id, old) in &before {
+            let now = labels.require(*id);
+            assert_eq!(now.start, old.start, "start key of {id} unchanged");
+            assert_eq!(now.end, old.end, "end key of {id} unchanged");
+        }
+        // Predicates on the updated document are still correct.
+        check_against_document(&doc, &labels);
+        assert!(labels.is_child(new_paper, issue));
+        assert!(labels.precedes(papers[0], new_paper));
+        assert!(labels.precedes(new_paper, papers[1]));
+    }
+
+    #[test]
+    fn inserted_first_and_last_children() {
+        let (mut doc, mut labels) = doc_and_labels("<list><item>a</item></list>");
+        let list = doc.find_element("list").unwrap();
+        let first = doc.new_element("first");
+        doc.insert_first_child(list, first).unwrap();
+        labels.label_inserted_subtree(&doc, first);
+        let last = doc.new_element("last");
+        doc.append_child(list, last).unwrap();
+        labels.label_inserted_subtree(&doc, last);
+        check_against_document(&doc, &labels);
+        assert!(labels.is_first_child(first, list));
+        assert!(labels.is_last_child(last, list));
+    }
+
+    #[test]
+    fn inserted_attribute_is_labeled() {
+        let (mut doc, mut labels) = doc_and_labels("<e><c/></e>");
+        let e = doc.find_element("e").unwrap();
+        let a = doc.new_attribute("k", "v");
+        doc.add_attribute(e, a).unwrap();
+        labels.label_inserted_subtree(&doc, a);
+        assert!(labels.is_attribute(a, e));
+        assert!(labels.is_descendant(a, e));
+        check_against_document(&doc, &labels);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use xdm::parser::parse_document;
+
+    /// Generates a small random XML document as a string.
+    fn arb_xml() -> impl Strategy<Value = String> {
+        // recursive tree of element names a..e with optional text and attributes
+        let leaf = prop_oneof![
+            Just("<x/>".to_string()),
+            "[a-z]{1,6}".prop_map(|t| format!("<t>{t}</t>")),
+        ];
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            (proptest::collection::vec(inner, 1..4), 0u8..3).prop_map(|(children, nattr)| {
+                let attrs: String =
+                    (0..nattr).map(|i| format!(" a{i}=\"v{i}\"")).collect::<Vec<_>>().join("");
+                format!("<e{attrs}>{}</e>", children.join(""))
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn labeling_agrees_with_document(xml in arb_xml()) {
+            let doc = parse_document(&xml).unwrap();
+            let labels = Labeling::assign(&doc);
+            let nodes = doc.preorder_from_root();
+            for &a in &nodes {
+                for &b in &nodes {
+                    prop_assert_eq!(labels.precedes(a, b), doc.precedes(a, b));
+                    prop_assert_eq!(labels.is_descendant(a, b), doc.is_descendant_of(a, b));
+                    prop_assert_eq!(labels.is_child(a, b), doc.is_child_of(a, b));
+                    prop_assert_eq!(labels.is_attribute(a, b), doc.is_attribute_of(a, b));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Dynamic order keys.
+//!
+//! An [`OrderKey`] is a non-empty byte string with no trailing zero byte,
+//! interpreted as the digits of a fraction in base 256 (so `[128]` ≈ 0.5).
+//! Keys are compared lexicographically, which — thanks to the no-trailing-zero
+//! invariant — coincides with the numeric order of the fractions.
+//!
+//! The crucial property (shared with the CDBS/CDQS encodings used by the paper)
+//! is that **between any two distinct keys a new key can be generated without
+//! modifying any existing key**, so documents never need relabeling when nodes
+//! are inserted (§4.1: "document updates should not lead to relabeling of
+//! nodes").
+
+use std::fmt;
+
+/// A dynamic order key (see module documentation).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OrderKey(Vec<u8>);
+
+impl OrderKey {
+    /// The canonical first key, 0.5 in fractional terms.
+    pub fn initial() -> Self {
+        OrderKey(vec![128])
+    }
+
+    /// Builds a key from raw digits. Trailing zeros are stripped; an all-zero
+    /// or empty input yields the smallest representable key `[1]`.
+    pub fn from_digits(mut digits: Vec<u8>) -> Self {
+        while digits.last() == Some(&0) {
+            digits.pop();
+        }
+        if digits.is_empty() {
+            digits.push(1);
+        }
+        OrderKey(digits)
+    }
+
+    /// Raw digits of the key.
+    pub fn digits(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Number of bytes used by the key.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Keys are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Generates a key strictly greater than `self` (and smaller than any key
+    /// that `self` itself is smaller than only if that key differs from `self`
+    /// in a digit greater by at least two; use [`OrderKey::between`] when an
+    /// upper bound must be respected).
+    pub fn after(&self) -> Self {
+        midpoint_above(&self.0, 0, Vec::new())
+    }
+
+    /// Generates a key strictly smaller than `self`.
+    pub fn before(&self) -> Self {
+        midpoint(&[], &self.0)
+    }
+
+    /// Generates a key strictly between `a` and `b`.
+    ///
+    /// # Panics
+    /// Panics if `a >= b`; callers are expected to order the bounds.
+    pub fn between(a: &OrderKey, b: &OrderKey) -> Self {
+        assert!(a < b, "OrderKey::between requires a < b (got {a} >= {b})");
+        midpoint(&a.0, &b.0)
+    }
+
+    /// Generates `n` evenly spaced keys in increasing order, all of the same
+    /// byte length. Used for the initial labeling of a document, where the
+    /// number of nodes is known in advance.
+    pub fn evenly_spaced(n: usize) -> Vec<OrderKey> {
+        if n == 0 {
+            return Vec::new();
+        }
+        // Width such that 255^width > n (digits range over 1..=255 so that no
+        // key has a trailing/embedded zero issue and all keys share a length).
+        let mut width = 1usize;
+        let mut capacity = 255usize;
+        while capacity < n {
+            width += 1;
+            capacity = capacity.saturating_mul(255);
+        }
+        (0..n)
+            .map(|i| {
+                let mut digits = vec![1u8; width];
+                let mut v = i;
+                for d in digits.iter_mut().rev() {
+                    *d = (v % 255) as u8 + 1;
+                    v /= 255;
+                }
+                OrderKey(digits)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for OrderKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|d| d.to_string()).collect();
+        write!(f, "{}", parts.join("."))
+    }
+}
+
+/// Returns a key strictly between fraction `a` and fraction `b` (`a < b`).
+fn midpoint(a: &[u8], b: &[u8]) -> OrderKey {
+    let mut prefix = Vec::new();
+    let mut i = 0usize;
+    loop {
+        let da = *a.get(i).unwrap_or(&0) as u16;
+        // A missing digit in `b` means `b` acts as an exclusive upper bound at
+        // this depth (conceptually digit 256).
+        let db = b.get(i).map(|&x| x as u16).unwrap_or(256);
+        if db > da + 1 {
+            prefix.push(((da + db) / 2) as u8);
+            return OrderKey(prefix);
+        } else if db == da + 1 {
+            // No room at this digit: fix `da` and find something above a's rest.
+            prefix.push(da as u8);
+            return midpoint_above(a, i + 1, prefix);
+        } else {
+            debug_assert_eq!(da, db, "midpoint requires a < b");
+            prefix.push(da as u8);
+            i += 1;
+        }
+    }
+}
+
+/// Returns a key strictly greater than the fraction `a[i..]`, prefixed by `prefix`.
+fn midpoint_above(a: &[u8], mut i: usize, mut prefix: Vec<u8>) -> OrderKey {
+    loop {
+        let da = *a.get(i).unwrap_or(&0);
+        if da == 255 {
+            prefix.push(255);
+            i += 1;
+        } else {
+            prefix.push(da + 1);
+            return OrderKey(prefix);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_before_after() {
+        let k = OrderKey::initial();
+        let b = k.before();
+        let a = k.after();
+        assert!(b < k, "{b} < {k}");
+        assert!(k < a, "{k} < {a}");
+    }
+
+    #[test]
+    fn between_is_strictly_between() {
+        let a = OrderKey::from_digits(vec![10]);
+        let b = OrderKey::from_digits(vec![10, 1]);
+        let m = OrderKey::between(&a, &b);
+        assert!(a < m && m < b, "{a} < {m} < {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a < b")]
+    fn between_rejects_unordered_bounds() {
+        let a = OrderKey::from_digits(vec![20]);
+        let b = OrderKey::from_digits(vec![10]);
+        let _ = OrderKey::between(&a, &b);
+    }
+
+    #[test]
+    fn repeated_between_never_relabels() {
+        // Insert 200 keys always between the same two neighbours: all keys stay
+        // distinct and ordered, and the originals are untouched.
+        let lo = OrderKey::from_digits(vec![100]);
+        let hi = OrderKey::from_digits(vec![101]);
+        let mut keys = vec![lo.clone(), hi.clone()];
+        let mut left = lo.clone();
+        for _ in 0..200 {
+            let m = OrderKey::between(&left, &hi);
+            keys.push(m.clone());
+            left = m;
+        }
+        let mut sorted = keys.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len(), "all generated keys are distinct");
+        assert_eq!(keys[0], lo);
+        assert_eq!(keys[1], hi);
+    }
+
+    #[test]
+    fn repeated_before_and_after() {
+        let mut k = OrderKey::initial();
+        let mut prev = k.clone();
+        for _ in 0..100 {
+            k = k.after();
+            assert!(prev < k);
+            prev = k.clone();
+        }
+        let mut k = OrderKey::initial();
+        let mut prev = k.clone();
+        for _ in 0..100 {
+            k = k.before();
+            assert!(k < prev);
+            prev = k.clone();
+        }
+    }
+
+    #[test]
+    fn evenly_spaced_is_sorted_unique_same_width() {
+        for n in [0usize, 1, 2, 10, 255, 256, 1000] {
+            let keys = OrderKey::evenly_spaced(n);
+            assert_eq!(keys.len(), n);
+            for w in keys.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            if n > 0 {
+                let width = keys[0].len();
+                assert!(keys.iter().all(|k| k.len() == width));
+            }
+        }
+    }
+
+    #[test]
+    fn from_digits_strips_trailing_zeros() {
+        let k = OrderKey::from_digits(vec![5, 0, 0]);
+        assert_eq!(k.digits(), &[5]);
+        let z = OrderKey::from_digits(vec![0, 0]);
+        assert_eq!(z.digits(), &[1]);
+    }
+
+    #[test]
+    fn display_is_dot_separated() {
+        let k = OrderKey::from_digits(vec![1, 200]);
+        assert_eq!(k.to_string(), "1.200");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_key() -> impl Strategy<Value = OrderKey> {
+        proptest::collection::vec(0u8..=255, 1..6).prop_map(OrderKey::from_digits)
+    }
+
+    proptest! {
+        #[test]
+        fn between_property(a in arb_key(), b in arb_key()) {
+            prop_assume!(a != b);
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            let m = OrderKey::between(&lo, &hi);
+            prop_assert!(lo < m, "{lo} < {m}");
+            prop_assert!(m < hi, "{m} < {hi}");
+            // no trailing zero
+            prop_assert_ne!(*m.digits().last().unwrap(), 0u8);
+        }
+
+        #[test]
+        fn before_after_property(a in arb_key()) {
+            prop_assert!(a.before() < a);
+            prop_assert!(a < a.after());
+        }
+
+        #[test]
+        fn chain_of_inserts_stays_ordered(seed in proptest::collection::vec(any::<bool>(), 1..50)) {
+            // Randomly insert at the left or right half of the current span.
+            let mut keys = vec![OrderKey::from_digits(vec![50]), OrderKey::from_digits(vec![200])];
+            for go_left in seed {
+                let (i, j) = if go_left { (0, 1) } else { (keys.len() - 2, keys.len() - 1) };
+                let m = OrderKey::between(&keys[i], &keys[j]);
+                keys.insert(j, m);
+            }
+            for w in keys.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

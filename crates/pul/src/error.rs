@@ -1,0 +1,89 @@
+//! Error type for PUL construction, validation and evaluation.
+
+use std::fmt;
+
+use xdm::{NodeId, XdmError};
+
+/// Errors raised while validating or evaluating PULs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PulError {
+    /// An operation is not applicable on the document (Def. 1): the target is
+    /// missing or an applicability condition of Table 2 is violated.
+    NotApplicable {
+        /// Target of the offending operation.
+        target: NodeId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Two operations of the PUL are incompatible (Def. 3), so the PUL is not
+    /// applicable (Def. 4) and merging is rejected (Def. 5).
+    Incompatible {
+        /// Common target of the incompatible operations.
+        target: NodeId,
+        /// Name of the operations (e.g. `ren`).
+        op: String,
+    },
+    /// Dynamic error during evaluation (e.g. inserting twice an attribute with
+    /// the same name — the "repetition" error of §3.2).
+    Dynamic(String),
+    /// Error bubbled up from the document model.
+    Xdm(XdmError),
+    /// Error while parsing the PUL exchange format.
+    Format(String),
+    /// The obtainable-document set is too large to enumerate.
+    TooManyOutcomes {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for PulError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PulError::NotApplicable { target, reason } => {
+                write!(f, "operation on node {target} is not applicable: {reason}")
+            }
+            PulError::Incompatible { target, op } => {
+                write!(f, "incompatible {op} operations on node {target}")
+            }
+            PulError::Dynamic(msg) => write!(f, "dynamic error: {msg}"),
+            PulError::Xdm(e) => write!(f, "document error: {e}"),
+            PulError::Format(msg) => write!(f, "PUL format error: {msg}"),
+            PulError::TooManyOutcomes { limit } => {
+                write!(f, "obtainable-document set exceeds the limit of {limit} documents")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PulError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PulError::Xdm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XdmError> for PulError {
+    fn from(e: XdmError) -> Self {
+        PulError::Xdm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PulError::NotApplicable { target: NodeId::new(4), reason: "target is a text node".into() };
+        assert!(e.to_string().contains("node 4"));
+        let e = PulError::Incompatible { target: NodeId::new(1), op: "ren".into() };
+        assert!(e.to_string().contains("ren"));
+        let e: PulError = XdmError::NoRoot.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(PulError::Dynamic("boom".into()).to_string().contains("boom"));
+        assert!(PulError::TooManyOutcomes { limit: 10 }.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,387 @@
+//! The PUL exchange format (§4).
+//!
+//! To decouple PUL production from PUL execution, PULs are serialized as XML
+//! documents "containing the serialization of each PUL operation along with
+//! the identifiers and labels of the target nodes". The format produced here
+//! is:
+//!
+//! ```xml
+//! <pul>
+//!   <op kind="insAfter" target="19" label="…">
+//!     <content>
+//!       <tree>…escaped identified XML of an element/text tree…</tree>
+//!       <atree id="31" name="initPage" value="132"/>
+//!       <ttree id="40" value="Report on …"/>
+//!     </content>
+//!   </op>
+//!   <op kind="rename" target="5" name="title" label="…"/>
+//!   <op kind="replaceValue" target="15" value="Report on …" label="…"/>
+//!   <op kind="replaceContent" target="14" empty="true"/>
+//!   <op kind="delete" target="14"/>
+//! </pul>
+//! ```
+//!
+//! Element and text parameter trees are embedded in their *identified*
+//! serialization so that their node identifiers survive the round trip — a
+//! requirement for reasoning on sequential PULs, where later PULs refer to
+//! nodes inserted by earlier ones (§4.1).
+
+use xdm::parser::{parse_document, parse_document_identified};
+use xdm::writer::{escape_attr, escape_text, write_fragment_identified};
+use xdm::{Document, NodeId, NodeKind, Tree};
+use xlabel::NodeLabel;
+
+use crate::error::PulError;
+use crate::op::{OpName, UpdateOp};
+use crate::pul::Pul;
+use crate::Result;
+
+fn tree_to_xml(tree: &Tree, out: &mut String) {
+    match tree.root_kind() {
+        NodeKind::Attribute => {
+            out.push_str(&format!(
+                "<atree id=\"{}\" name=\"{}\" value=\"{}\"/>",
+                tree.root_id().as_u64(),
+                escape_attr(&tree.root_name().unwrap_or_default()),
+                escape_attr(tree.value(tree.root_id()).ok().flatten().unwrap_or(""))
+            ));
+        }
+        NodeKind::Text => {
+            out.push_str(&format!(
+                "<ttree id=\"{}\" value=\"{}\"/>",
+                tree.root_id().as_u64(),
+                escape_attr(tree.value(tree.root_id()).ok().flatten().unwrap_or(""))
+            ));
+        }
+        NodeKind::Element => {
+            let ident = write_fragment_identified(tree.as_document(), tree.root_id());
+            out.push_str("<tree>");
+            out.push_str(&escape_text(&ident));
+            out.push_str("</tree>");
+        }
+    }
+}
+
+fn op_to_xml(op: &UpdateOp, label: Option<&NodeLabel>, out: &mut String) {
+    out.push_str(&format!("<op kind=\"{}\" target=\"{}\"", op.name().code(), op.target().as_u64()));
+    if let Some(l) = label {
+        out.push_str(&format!(" label=\"{}\"", escape_attr(&l.to_compact_string())));
+    }
+    match op {
+        UpdateOp::ReplaceValue { value, .. } => {
+            out.push_str(&format!(" value=\"{}\"/>", escape_attr(value)));
+        }
+        UpdateOp::Rename { name, .. } => {
+            out.push_str(&format!(" name=\"{}\"/>", escape_attr(name)));
+        }
+        UpdateOp::ReplaceContent { text, .. } => match text {
+            Some(t) => out.push_str(&format!(" value=\"{}\"/>", escape_attr(t))),
+            None => out.push_str(" empty=\"true\"/>"),
+        },
+        UpdateOp::Delete { .. } => out.push_str("/>"),
+        _ => {
+            let trees = op.content().unwrap_or(&[]);
+            if trees.is_empty() {
+                out.push_str("><content/></op>");
+            } else {
+                out.push_str("><content>");
+                for t in trees {
+                    tree_to_xml(t, out);
+                }
+                out.push_str("</content></op>");
+            }
+        }
+    }
+}
+
+/// Serializes a PUL into the XML exchange format.
+pub fn pul_to_xml(pul: &Pul) -> String {
+    let mut out = String::with_capacity(64 * pul.len() + 16);
+    out.push_str("<pul>");
+    for op in pul.ops() {
+        op_to_xml(op, pul.label(op.target()), &mut out);
+    }
+    out.push_str("</pul>");
+    out
+}
+
+/// Serializes a list of PULs (e.g. a sequence produced during disconnected
+/// operation) into a single XML document.
+pub fn puls_to_xml(puls: &[Pul]) -> String {
+    let mut out = String::from("<puls>");
+    for p in puls {
+        out.push_str(&pul_to_xml(p));
+    }
+    out.push_str("</puls>");
+    out
+}
+
+fn attr<'d>(doc: &'d Document, el: NodeId, name: &str) -> Option<&'d str> {
+    let a = doc.attribute_by_name(el, name).ok().flatten()?;
+    doc.value(a).ok().flatten()
+}
+
+fn parse_tree_element(doc: &Document, el: NodeId) -> Result<Tree> {
+    let elname = doc.name(el).ok().flatten().unwrap_or("");
+    match elname {
+        "atree" => {
+            let id: u64 = attr(doc, el, "id")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| PulError::Format("atree without a valid id".into()))?;
+            let name = attr(doc, el, "name").unwrap_or("").to_string();
+            let value = attr(doc, el, "value").unwrap_or("").to_string();
+            let mut d = Document::new();
+            let a = d.new_attribute_with_id(id, name, value)?;
+            d.set_root(a)?;
+            Ok(Tree::from_document(d)?)
+        }
+        "ttree" => {
+            let id: u64 = attr(doc, el, "id")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| PulError::Format("ttree without a valid id".into()))?;
+            let value = attr(doc, el, "value").unwrap_or("").to_string();
+            let mut d = Document::new();
+            let t = d.new_text_with_id(id, value)?;
+            d.set_root(t)?;
+            Ok(Tree::from_document(d)?)
+        }
+        "tree" => {
+            let ident = doc.text_content(el);
+            let inner = parse_document_identified(&ident)
+                .map_err(|e| PulError::Format(format!("invalid embedded tree: {e}")))?;
+            Ok(Tree::from_document(inner)?)
+        }
+        other => Err(PulError::Format(format!("unexpected content element <{other}>"))),
+    }
+}
+
+fn parse_op_element(doc: &Document, el: NodeId) -> Result<(UpdateOp, Option<NodeLabel>)> {
+    let kind = attr(doc, el, "kind")
+        .ok_or_else(|| PulError::Format("<op> without kind attribute".into()))?;
+    let name = OpName::from_code(kind)
+        .ok_or_else(|| PulError::Format(format!("unknown operation kind '{kind}'")))?;
+    let target: u64 = attr(doc, el, "target")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| PulError::Format("<op> without a valid target attribute".into()))?;
+    let target = NodeId::new(target);
+    let label = attr(doc, el, "label").and_then(|s| NodeLabel::parse_compact(target, s));
+
+    let content = || -> Result<Vec<Tree>> {
+        let mut trees = Vec::new();
+        for &c in doc.children(el)? {
+            if doc.name(c).ok().flatten() == Some("content") {
+                for &t in doc.children(c)? {
+                    trees.push(parse_tree_element(doc, t)?);
+                }
+            }
+        }
+        Ok(trees)
+    };
+
+    let op = match name {
+        OpName::InsBefore => UpdateOp::ins_before(target, content()?),
+        OpName::InsAfter => UpdateOp::ins_after(target, content()?),
+        OpName::InsFirst => UpdateOp::ins_first(target, content()?),
+        OpName::InsLast => UpdateOp::ins_last(target, content()?),
+        OpName::InsInto => UpdateOp::ins_into(target, content()?),
+        OpName::InsAttributes => UpdateOp::ins_attributes(target, content()?),
+        OpName::Delete => UpdateOp::delete(target),
+        OpName::ReplaceNode => UpdateOp::replace_node(target, content()?),
+        OpName::ReplaceValue => UpdateOp::replace_value(target, attr(doc, el, "value").unwrap_or("")),
+        OpName::ReplaceContent => {
+            if attr(doc, el, "empty") == Some("true") {
+                UpdateOp::replace_content(target, None)
+            } else {
+                UpdateOp::replace_content(target, Some(attr(doc, el, "value").unwrap_or("").to_string()))
+            }
+        }
+        OpName::Rename => UpdateOp::rename(target, attr(doc, el, "name").unwrap_or("")),
+    };
+    Ok((op, label))
+}
+
+/// Parses a PUL from the XML exchange format.
+pub fn pul_from_xml(xml: &str) -> Result<Pul> {
+    let doc = parse_document(xml).map_err(|e| PulError::Format(format!("invalid PUL document: {e}")))?;
+    let root = doc.require_root()?;
+    if doc.name(root).ok().flatten() != Some("pul") {
+        return Err(PulError::Format("the root element of a PUL document must be <pul>".into()));
+    }
+    pul_from_element(&doc, root)
+}
+
+fn pul_from_element(doc: &Document, root: NodeId) -> Result<Pul> {
+    let mut pul = Pul::new();
+    for &c in doc.children(root)? {
+        if doc.name(c).ok().flatten() != Some("op") {
+            continue;
+        }
+        let (op, label) = parse_op_element(doc, c)?;
+        match label {
+            Some(l) => pul.push_with_label(op, l),
+            None => pul.push(op),
+        }
+    }
+    Ok(pul)
+}
+
+/// Parses a list of PULs from a `<puls>` document.
+pub fn puls_from_xml(xml: &str) -> Result<Vec<Pul>> {
+    let doc = parse_document(xml).map_err(|e| PulError::Format(format!("invalid PULs document: {e}")))?;
+    let root = doc.require_root()?;
+    if doc.name(root).ok().flatten() != Some("puls") {
+        return Err(PulError::Format("the root element must be <puls>".into()));
+    }
+    let mut out = Vec::new();
+    for &c in doc.children(root)? {
+        if doc.name(c).ok().flatten() == Some("pul") {
+            out.push(pul_from_element(&doc, c)?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdm::parser::{parse_document as parse_doc, parse_fragment_with_first_id};
+    use xlabel::Labeling;
+
+    fn sample_pul() -> Pul {
+        let doc = parse_doc(
+            "<issue volume=\"30\"><article><title>T</title></article><article/></issue>",
+        )
+        .unwrap();
+        let labeling = Labeling::assign(&doc);
+        let tree = parse_fragment_with_first_id("<author email=\"g@unige\">G.Guerrini</author>", 100).unwrap();
+        let ops = vec![
+            UpdateOp::ins_last(3u64, vec![tree]),
+            UpdateOp::ins_attributes(6u64, vec![Tree::attribute("id", "a2"), Tree::attribute("lang", "en")]),
+            UpdateOp::rename(3u64, "paper"),
+            UpdateOp::replace_value(5u64, "Report on <XML> & \"updates\""),
+            UpdateOp::replace_content(6u64, None),
+            UpdateOp::replace_content(3u64, Some("plain".into())),
+            UpdateOp::replace_node(4u64, vec![Tree::element_with_text("heading", "H")]),
+            UpdateOp::delete(2u64),
+            UpdateOp::ins_before(4u64, vec![Tree::text("bare text"), Tree::element("e")]),
+            UpdateOp::ins_into(3u64, vec![Tree::element("x")]),
+            UpdateOp::ins_first(3u64, vec![Tree::element("y")]),
+            UpdateOp::ins_after(4u64, vec![Tree::element("z")]),
+        ];
+        Pul::from_ops(ops, &labeling)
+    }
+
+    fn ops_equal(a: &UpdateOp, b: &UpdateOp) -> bool {
+        a.target() == b.target()
+            && a.name() == b.name()
+            && a.param_sort_key() == b.param_sort_key()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_operation() {
+        let pul = sample_pul();
+        let xml = pul_to_xml(&pul);
+        let back = pul_from_xml(&xml).unwrap();
+        assert_eq!(back.len(), pul.len());
+        for (a, b) in pul.ops().iter().zip(back.ops()) {
+            assert!(ops_equal(a, b), "op mismatch: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_labels() {
+        let pul = sample_pul();
+        let xml = pul_to_xml(&pul);
+        let back = pul_from_xml(&xml).unwrap();
+        for target in pul.targets() {
+            match (pul.label(target), back.label(target)) {
+                (Some(a), Some(b)) => assert_eq!(a, b, "label of {target}"),
+                (None, None) => {}
+                _ => panic!("label presence mismatch for {target}"),
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_content_tree_identifiers() {
+        let pul = sample_pul();
+        let xml = pul_to_xml(&pul);
+        let back = pul_from_xml(&xml).unwrap();
+        let orig_tree = &pul.ops()[0].content().unwrap()[0];
+        let back_tree = &back.ops()[0].content().unwrap()[0];
+        assert_eq!(orig_tree.root_id(), back_tree.root_id());
+        assert_eq!(
+            orig_tree.preorder_from_root(),
+            back_tree.preorder_from_root(),
+            "identifiers of embedded trees survive the round trip"
+        );
+        assert!(orig_tree.structurally_equal(back_tree));
+    }
+
+    #[test]
+    fn special_characters_survive() {
+        let mut pul = Pul::new();
+        pul.push(UpdateOp::replace_value(5u64, "a < b & \"c\" > 'd'"));
+        pul.push(UpdateOp::rename(6u64, "weird-name"));
+        let back = pul_from_xml(&pul_to_xml(&pul)).unwrap();
+        match &back.ops()[0] {
+            UpdateOp::ReplaceValue { value, .. } => assert_eq!(value, "a < b & \"c\" > 'd'"),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_pul_roundtrip() {
+        let pul = Pul::new();
+        let back = pul_from_xml(&pul_to_xml(&pul)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn replace_node_with_empty_content_roundtrip() {
+        let mut pul = Pul::new();
+        pul.push(UpdateOp::replace_node(4u64, vec![]));
+        let back = pul_from_xml(&pul_to_xml(&pul)).unwrap();
+        assert_eq!(back.ops()[0].content().unwrap().len(), 0);
+        assert_eq!(back.ops()[0].name(), OpName::ReplaceNode);
+    }
+
+    #[test]
+    fn multiple_puls_roundtrip() {
+        let p1 = sample_pul();
+        let mut p2 = Pul::new();
+        p2.push(UpdateOp::delete(9u64));
+        let xml = puls_to_xml(&[p1.clone(), p2.clone()]);
+        let back = puls_from_xml(&xml).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].len(), p1.len());
+        assert_eq!(back[1].len(), 1);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(pul_from_xml("<notapul/>").is_err());
+        assert!(pul_from_xml("not xml at all").is_err());
+        assert!(pul_from_xml("<pul><op target=\"1\"/></pul>").is_err(), "missing kind");
+        assert!(pul_from_xml("<pul><op kind=\"bogus\" target=\"1\"/></pul>").is_err());
+        assert!(pul_from_xml("<pul><op kind=\"delete\"/></pul>").is_err(), "missing target");
+        assert!(
+            pul_from_xml("<pul><op kind=\"insLast\" target=\"1\"><content><wat/></content></op></pul>")
+                .is_err(),
+            "unknown content element"
+        );
+        assert!(puls_from_xml("<pul/>").is_err());
+    }
+
+    #[test]
+    fn size_is_roughly_linear_in_op_count() {
+        // sanity check used by the benchmarks: serialization should not blow up
+        let mut pul = Pul::new();
+        for i in 0..100u64 {
+            pul.push(UpdateOp::replace_value(i, format!("value {i}")));
+        }
+        let xml = pul_to_xml(&pul);
+        assert!(xml.len() < 100 * 120);
+        assert_eq!(pul_from_xml(&xml).unwrap().len(), 100);
+    }
+}

@@ -1,0 +1,575 @@
+//! Synthetic PUL generators for the experiment families of §4.3.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use pul::apply::{apply_pul, ApplyOptions};
+use pul::{Pul, UpdateOp};
+use xdm::parser::parse_fragment_with_first_id;
+use xdm::{Document, NodeId, NodeKind, Tree};
+use xlabel::Labeling;
+
+/// Configuration for a single synthetic PUL (reduction experiments, Fig. 6.b).
+#[derive(Debug, Clone)]
+pub struct PulGenConfig {
+    /// Number of operations in the PUL.
+    pub n_ops: usize,
+    /// Approximate number of *successful rule applications* per operation. The
+    /// paper uses "approximatively a successful rule application every 10
+    /// operations", i.e. `0.1`.
+    pub reducible_ratio: f64,
+    /// First identifier used for the nodes of parameter trees (must not clash
+    /// with document identifiers).
+    pub content_id_base: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PulGenConfig {
+    fn default() -> Self {
+        PulGenConfig { n_ops: 1000, reducible_ratio: 0.1, content_id_base: 1 << 32, seed: 42 }
+    }
+}
+
+/// Configuration for a sequence of PULs (aggregation experiments, Fig. 6.c/d).
+#[derive(Debug, Clone)]
+pub struct SequentialConfig {
+    /// Number of PULs in the sequence.
+    pub n_puls: usize,
+    /// Operations per PUL.
+    pub ops_per_pul: usize,
+    /// Fraction of operations targeting nodes inserted by previous PULs.
+    pub new_node_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SequentialConfig {
+    fn default() -> Self {
+        SequentialConfig { n_puls: 5, ops_per_pul: 1000, new_node_ratio: 0.5, seed: 42 }
+    }
+}
+
+/// Configuration for parallel PULs with injected conflicts (integration
+/// experiments, Fig. 6.e).
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Number of PULs.
+    pub n_puls: usize,
+    /// Operations per PUL.
+    pub ops_per_pul: usize,
+    /// Fraction of operations involved in a conflict.
+    pub conflict_fraction: f64,
+    /// Average number of operations per conflict.
+    pub ops_per_conflict: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig { n_puls: 10, ops_per_pul: 1000, conflict_fraction: 0.5, ops_per_conflict: 5, seed: 42 }
+    }
+}
+
+/// Node pools extracted from a document.
+struct Pools {
+    /// Non-root elements.
+    elements: Vec<NodeId>,
+    /// Text nodes.
+    texts: Vec<NodeId>,
+    /// Attribute nodes.
+    attributes: Vec<NodeId>,
+}
+
+impl Pools {
+    fn of(doc: &Document) -> Self {
+        let root = doc.root();
+        let mut elements = Vec::new();
+        let mut texts = Vec::new();
+        let mut attributes = Vec::new();
+        for id in doc.preorder_from_root() {
+            match doc.kind(id).unwrap() {
+                NodeKind::Element => {
+                    if Some(id) != root {
+                        elements.push(id);
+                    }
+                }
+                NodeKind::Text => texts.push(id),
+                NodeKind::Attribute => attributes.push(id),
+            }
+        }
+        Pools { elements, texts, attributes }
+    }
+
+    fn of_subtrees(doc: &Document, roots: &[NodeId]) -> Self {
+        let mut elements = Vec::new();
+        let mut texts = Vec::new();
+        let mut attributes = Vec::new();
+        for &r in roots {
+            for id in doc.preorder(r) {
+                match doc.kind(id).unwrap() {
+                    NodeKind::Element => elements.push(id),
+                    NodeKind::Text => texts.push(id),
+                    NodeKind::Attribute => attributes.push(id),
+                }
+            }
+        }
+        Pools { elements, texts, attributes }
+    }
+}
+
+/// Stateful helper producing parameter trees with globally unique identifiers.
+struct ContentGen {
+    next_id: u64,
+    counter: u64,
+}
+
+impl ContentGen {
+    fn new(base: u64) -> Self {
+        ContentGen { next_id: base, counter: 0 }
+    }
+
+    fn element_tree(&mut self) -> Tree {
+        self.counter += 1;
+        let t = parse_fragment_with_first_id(
+            &format!("<new><label>generated {}</label></new>", self.counter),
+            self.next_id,
+        )
+        .expect("valid fragment");
+        self.next_id += t.size() as u64;
+        t
+    }
+
+    fn attribute_tree(&mut self) -> Tree {
+        self.counter += 1;
+        let mut doc = Document::with_first_id(self.next_id);
+        let a = doc.new_attribute(format!("gen{}", self.counter), format!("v{}", self.counter));
+        doc.set_root(a).expect("root");
+        self.next_id += 1;
+        Tree::from_document(doc).expect("tree")
+    }
+}
+
+/// Generates a single PUL on `doc` with operations equally distributed among
+/// the operation types and a controllable rate of reducible pairs (Fig. 6.b).
+pub fn generate_pul(doc: &Document, labeling: &Labeling, cfg: &PulGenConfig) -> Pul {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let pools = Pools::of(doc);
+    let mut content = ContentGen::new(cfg.content_id_base);
+    let mut ops: Vec<UpdateOp> = Vec::with_capacity(cfg.n_ops);
+    let mut used_replacement: std::collections::HashSet<(NodeId, pul::OpName)> =
+        std::collections::HashSet::new();
+
+    let n_pairs = ((cfg.n_ops as f64) * cfg.reducible_ratio).round() as usize;
+
+    // 1. Reducible pairs: alternate among a few rule archetypes.
+    for i in 0..n_pairs {
+        let target = pools.elements[rng.gen_range(0..pools.elements.len())];
+        match i % 4 {
+            // O1: ren overridden by del on the same node
+            0 => {
+                ops.push(UpdateOp::rename(target, format!("renamed{i}")));
+                ops.push(UpdateOp::delete(target));
+            }
+            // I5: two insertions of the same type on the same node
+            1 => {
+                ops.push(UpdateOp::ins_last(target, vec![content.element_tree()]));
+                ops.push(UpdateOp::ins_last(target, vec![content.element_tree()]));
+            }
+            // I7: ins↓ folded into ins↘ on the same node
+            2 => {
+                ops.push(UpdateOp::ins_into(target, vec![content.element_tree()]));
+                ops.push(UpdateOp::ins_last(target, vec![content.element_tree()]));
+            }
+            // IR9: ins→ folded into a repN of the same node
+            _ => {
+                ops.push(UpdateOp::replace_node(target, vec![content.element_tree()]));
+                ops.push(UpdateOp::ins_after(target, vec![content.element_tree()]));
+                used_replacement.insert((target, pul::OpName::ReplaceNode));
+            }
+        }
+    }
+
+    // 2. Fill with independent operations, cycling through the op types.
+    let mut kind = 0usize;
+    while ops.len() < cfg.n_ops {
+        kind += 1;
+        let op = match kind % 8 {
+            0 => {
+                let t = pools.texts[rng.gen_range(0..pools.texts.len())];
+                if !used_replacement.insert((t, pul::OpName::ReplaceValue)) {
+                    continue;
+                }
+                UpdateOp::replace_value(t, format!("value {kind}"))
+            }
+            1 => {
+                let t = pools.elements[rng.gen_range(0..pools.elements.len())];
+                if !used_replacement.insert((t, pul::OpName::Rename)) {
+                    continue;
+                }
+                UpdateOp::rename(t, format!("name{kind}"))
+            }
+            2 => {
+                let t = pools.elements[rng.gen_range(0..pools.elements.len())];
+                UpdateOp::ins_last(t, vec![content.element_tree()])
+            }
+            3 => {
+                let t = pools.elements[rng.gen_range(0..pools.elements.len())];
+                UpdateOp::ins_after(t, vec![content.element_tree()])
+            }
+            4 => {
+                let t = pools.elements[rng.gen_range(0..pools.elements.len())];
+                UpdateOp::ins_before(t, vec![content.element_tree()])
+            }
+            5 => {
+                let t = pools.elements[rng.gen_range(0..pools.elements.len())];
+                UpdateOp::ins_attributes(t, vec![content.attribute_tree()])
+            }
+            6 => {
+                let t = pools.attributes[rng.gen_range(0..pools.attributes.len())];
+                if !used_replacement.insert((t, pul::OpName::ReplaceValue)) {
+                    continue;
+                }
+                UpdateOp::replace_value(t, format!("attr {kind}"))
+            }
+            _ => {
+                let t = pools.texts[rng.gen_range(0..pools.texts.len())];
+                UpdateOp::delete(t)
+            }
+        };
+        ops.push(op);
+    }
+    Pul::from_ops(ops, labeling)
+}
+
+/// Generates a sequence of PULs to be executed one after the other
+/// (aggregation experiments, Fig. 6.c/d). The `k`-th PUL is generated against
+/// the document obtained by applying the previous ones on a working copy, so a
+/// configurable fraction of its operations targets nodes inserted by earlier
+/// PULs — which is what exercises rule D6 of the aggregation algorithm.
+pub fn generate_sequential_puls(doc: &Document, cfg: &SequentialConfig) -> Vec<Pul> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let labeling = Labeling::assign(doc);
+    let mut working = doc.clone();
+    let mut content = ContentGen::new(doc.next_id() + 1_000_000);
+    let mut inserted_nodes: Vec<NodeId> = Vec::new();
+    let mut puls = Vec::with_capacity(cfg.n_puls);
+
+    for _ in 0..cfg.n_puls {
+        let pools = Pools::of(&working);
+        let mut ops: Vec<UpdateOp> = Vec::with_capacity(cfg.ops_per_pul);
+        // At most one operation per (target, operation name) pair within a PUL:
+        // this keeps every generated PUL deterministic (no same-type same-target
+        // insertion groups whose relative order would be arbitrary), so that the
+        // aggregated PUL and the sequential application coincide exactly.
+        let mut used_replacement: std::collections::HashSet<(NodeId, pul::OpName)> =
+            std::collections::HashSet::new();
+        let mut kind = 0usize;
+        while ops.len() < cfg.ops_per_pul {
+            kind += 1;
+            // Choose the target among original or previously inserted nodes.
+            let on_new = !inserted_nodes.is_empty() && rng.gen_bool(cfg.new_node_ratio);
+            let element = |rng: &mut StdRng, pools: &Pools, inserted: &[NodeId], working: &Document| {
+                if on_new {
+                    // pick an inserted element node still present
+                    for _ in 0..8 {
+                        let cand = inserted[rng.gen_range(0..inserted.len())];
+                        if working.contains(cand)
+                            && working.kind(cand) == Ok(NodeKind::Element)
+                        {
+                            return Some(cand);
+                        }
+                    }
+                    None
+                } else {
+                    Some(pools.elements[rng.gen_range(0..pools.elements.len())])
+                }
+            };
+            let Some(target) = element(&mut rng, &pools, &inserted_nodes, &working) else {
+                continue;
+            };
+            let op = match kind % 6 {
+                0 => UpdateOp::ins_last(target, vec![content.element_tree()]),
+                1 => UpdateOp::rename(target, format!("renamed{kind}")),
+                2 => {
+                    if working.parent(target).ok().flatten().is_some() {
+                        UpdateOp::ins_after(target, vec![content.element_tree()])
+                    } else {
+                        continue;
+                    }
+                }
+                3 => UpdateOp::ins_attributes(target, vec![content.attribute_tree()]),
+                4 => {
+                    // replace the value of a text child, if any
+                    let texts: Vec<NodeId> = working
+                        .children(target)
+                        .map(|c| {
+                            c.iter()
+                                .copied()
+                                .filter(|&n| working.kind(n) == Ok(NodeKind::Text))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    match texts.first() {
+                        Some(&t) => UpdateOp::replace_value(t, format!("edited {kind}")),
+                        None => continue,
+                    }
+                }
+                _ => UpdateOp::ins_first(target, vec![content.element_tree()]),
+            };
+            if !used_replacement.insert((op.target(), op.name())) {
+                continue;
+            }
+            ops.push(op);
+        }
+        let pul = Pul::from_ops(ops, &labeling);
+        // Apply on the working copy (producer mode) so that later PULs can be
+        // generated against the updated document.
+        let report = apply_pul(&mut working, &pul, &ApplyOptions { validate: false, preserve_content_ids: true })
+            .expect("generated PUL must apply");
+        for root in report.inserted_roots {
+            inserted_nodes.extend(working.preorder(root));
+        }
+        puls.push(pul);
+    }
+    puls
+}
+
+/// Generates parallel PULs with injected conflicts (integration experiments,
+/// Fig. 6.e). Each PUL operates on a disjoint set of XMark "unit" subtrees for
+/// its non-conflicting operations; conflicts are injected on dedicated targets
+/// with the requested size and an even mix of the five conflict types.
+pub fn generate_parallel_puls(doc: &Document, labeling: &Labeling, cfg: &ParallelConfig) -> Vec<Pul> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Unit subtrees: the repetitive XMark entities.
+    let mut units: Vec<NodeId> = ["item", "person", "open_auction", "closed_auction", "category"]
+        .iter()
+        .flat_map(|n| doc.find_elements(n))
+        .collect();
+    units.shuffle(&mut rng);
+    assert!(units.len() >= cfg.n_puls + 1, "document too small for the requested workload");
+
+    let total_ops = cfg.n_puls * cfg.ops_per_pul;
+    let conflicted_ops = ((total_ops as f64) * cfg.conflict_fraction) as usize;
+    let n_conflicts = (conflicted_ops / cfg.ops_per_conflict.max(2)).max(1);
+
+    // Reserve units: the first `n_conflicts` units host conflicts, the rest are
+    // distributed round-robin among the PULs.
+    let n_reserved = n_conflicts.min(units.len() / 2);
+    let (conflict_units, free_units) = units.split_at(n_reserved);
+    let mut per_pul_units: Vec<Vec<NodeId>> = vec![Vec::new(); cfg.n_puls];
+    for (i, &u) in free_units.iter().enumerate() {
+        per_pul_units[i % cfg.n_puls].push(u);
+    }
+
+    let mut ops_per_pul: Vec<Vec<UpdateOp>> = vec![Vec::new(); cfg.n_puls];
+    let mut content = ContentGen::new(doc.next_id() + 1_000_000);
+
+    // 1. Inject conflicts, cycling through the five types.
+    for c in 0..n_conflicts {
+        let unit = conflict_units[c % n_reserved];
+        let involved = cfg.ops_per_conflict.max(2).min(cfg.n_puls);
+        // choose the PULs participating in this conflict
+        let mut parts: Vec<usize> = (0..cfg.n_puls).collect();
+        parts.shuffle(&mut rng);
+        let parts = &parts[..involved];
+        let texts: Vec<NodeId> = doc
+            .preorder(unit)
+            .into_iter()
+            .filter(|&n| doc.kind(n) == Ok(NodeKind::Text))
+            .collect();
+        let elements: Vec<NodeId> = doc
+            .preorder(unit)
+            .into_iter()
+            .filter(|&n| doc.kind(n) == Ok(NodeKind::Element))
+            .collect();
+        match c % 5 {
+            // type 1: repeated modification (repV of the same text node)
+            0 if !texts.is_empty() => {
+                let t = texts[rng.gen_range(0..texts.len())];
+                for (j, &p) in parts.iter().enumerate() {
+                    ops_per_pul[p].push(UpdateOp::replace_value(t, format!("conflict{c} v{j}")));
+                }
+            }
+            // type 2: repeated attribute insertion (same name on the same element)
+            1 => {
+                for (j, &p) in parts.iter().enumerate() {
+                    ops_per_pul[p].push(UpdateOp::ins_attributes(
+                        unit,
+                        vec![Tree::attribute(format!("conf{c}"), format!("v{j}"))],
+                    ));
+                }
+            }
+            // type 3: insertion order (ins→ on the same element)
+            2 => {
+                for &p in parts {
+                    ops_per_pul[p].push(UpdateOp::ins_after(unit, vec![content.element_tree()]));
+                }
+            }
+            // type 4: local override (one del + renames of the same node)
+            3 => {
+                ops_per_pul[parts[0]].push(UpdateOp::delete(unit));
+                for (j, &p) in parts.iter().enumerate().skip(1) {
+                    ops_per_pul[p].push(UpdateOp::rename(unit, format!("conf{c}n{j}")));
+                }
+            }
+            // type 5: non-local override (del of the unit + ops on descendants)
+            _ => {
+                ops_per_pul[parts[0]].push(UpdateOp::delete(unit));
+                for (j, &p) in parts.iter().enumerate().skip(1) {
+                    let d = elements[1 + (j % (elements.len() - 1).max(1))];
+                    ops_per_pul[p].push(UpdateOp::rename(d, format!("conf{c}d{j}")));
+                }
+            }
+        }
+    }
+
+    // 2. Fill every PUL with non-conflicting operations confined to its units.
+    for (p, ops) in ops_per_pul.iter_mut().enumerate() {
+        let pools = Pools::of_subtrees(doc, &per_pul_units[p]);
+        let mut used_replacement: std::collections::HashSet<(NodeId, pul::OpName)> =
+            std::collections::HashSet::new();
+        let mut kind = p; // desynchronise the op-type cycle across PULs
+        while ops.len() < cfg.ops_per_pul {
+            kind += 1;
+            let op = match kind % 6 {
+                0 if !pools.texts.is_empty() => {
+                    let t = pools.texts[rng.gen_range(0..pools.texts.len())];
+                    if !used_replacement.insert((t, pul::OpName::ReplaceValue)) {
+                        continue;
+                    }
+                    UpdateOp::replace_value(t, format!("p{p} {kind}"))
+                }
+                1 => {
+                    let t = pools.elements[rng.gen_range(0..pools.elements.len())];
+                    if !used_replacement.insert((t, pul::OpName::Rename)) {
+                        continue;
+                    }
+                    UpdateOp::rename(t, format!("p{p}n{kind}"))
+                }
+                2 => {
+                    let t = pools.elements[rng.gen_range(0..pools.elements.len())];
+                    UpdateOp::ins_last(t, vec![content.element_tree()])
+                }
+                3 => {
+                    let t = pools.elements[rng.gen_range(0..pools.elements.len())];
+                    UpdateOp::ins_after(t, vec![content.element_tree()])
+                }
+                4 => {
+                    let t = pools.elements[rng.gen_range(0..pools.elements.len())];
+                    UpdateOp::ins_attributes(t, vec![content.attribute_tree()])
+                }
+                _ if !pools.attributes.is_empty() => {
+                    let t = pools.attributes[rng.gen_range(0..pools.attributes.len())];
+                    if !used_replacement.insert((t, pul::OpName::ReplaceValue)) {
+                        continue;
+                    }
+                    UpdateOp::replace_value(t, format!("p{p}a{kind}"))
+                }
+                _ => continue,
+            };
+            ops.push(op);
+        }
+    }
+
+    ops_per_pul.into_iter().map(|ops| Pul::from_ops(ops, labeling)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xmark::{generate as xmark, XmarkConfig};
+    use pul::obtainable::canonical_string;
+
+    fn doc() -> Document {
+        xmark(&XmarkConfig { target_nodes: 3_000, seed: 1 })
+    }
+
+    #[test]
+    fn single_pul_is_applicable_and_sized() {
+        let d = doc();
+        let labeling = Labeling::assign(&d);
+        let cfg = PulGenConfig { n_ops: 500, ..Default::default() };
+        let pul = generate_pul(&d, &labeling, &cfg);
+        assert_eq!(pul.len(), 500);
+        pul.check_compatible().expect("generated PULs are compatible");
+        // and it actually applies
+        let mut work = d.clone();
+        apply_pul(&mut work, &pul, &ApplyOptions { validate: false, preserve_content_ids: false })
+            .expect("apply");
+    }
+
+    #[test]
+    fn single_pul_generation_is_deterministic() {
+        let d = doc();
+        let labeling = Labeling::assign(&d);
+        let cfg = PulGenConfig { n_ops: 200, ..Default::default() };
+        let a = generate_pul(&d, &labeling, &cfg);
+        let b = generate_pul(&d, &labeling, &cfg);
+        assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn reducible_ratio_controls_reduction_gain() {
+        let d = doc();
+        let labeling = Labeling::assign(&d);
+        let none = generate_pul(&d, &labeling, &PulGenConfig { n_ops: 400, reducible_ratio: 0.0, ..Default::default() });
+        let some = generate_pul(&d, &labeling, &PulGenConfig { n_ops: 400, reducible_ratio: 0.1, ..Default::default() });
+        let red_none = pul_core::reduce(&none);
+        let red_some = pul_core::reduce(&some);
+        let gain_none = none.len() - red_none.len();
+        let gain_some = some.len() - red_some.len();
+        assert!(gain_some > gain_none, "gain with pairs {gain_some} vs without {gain_none}");
+        assert!(gain_some >= 30, "≈ one rule application every 10 ops, got {gain_some}");
+    }
+
+    #[test]
+    fn sequential_puls_apply_in_sequence_and_aggregate() {
+        let d = doc();
+        let cfg = SequentialConfig { n_puls: 4, ops_per_pul: 100, new_node_ratio: 0.5, seed: 9 };
+        let puls = generate_sequential_puls(&d, &cfg);
+        assert_eq!(puls.len(), 4);
+        // sequential application succeeds
+        let mut seq = d.clone();
+        for p in &puls {
+            apply_pul(&mut seq, p, &ApplyOptions { validate: false, preserve_content_ids: true })
+                .expect("sequential apply");
+        }
+        // aggregation matches the sequential result
+        let agg = pul_core::aggregate(&puls).expect("aggregate");
+        let mut once = d.clone();
+        apply_pul(&mut once, &agg, &ApplyOptions { validate: false, preserve_content_ids: true })
+            .expect("aggregated apply");
+        assert_eq!(canonical_string(&seq), canonical_string(&once));
+        assert!(agg.len() <= puls.iter().map(|p| p.len()).sum::<usize>());
+    }
+
+    #[test]
+    fn parallel_puls_have_conflicts_of_every_type() {
+        let d = doc();
+        let labeling = Labeling::assign(&d);
+        let cfg = ParallelConfig {
+            n_puls: 4,
+            ops_per_pul: 100,
+            conflict_fraction: 0.3,
+            ops_per_conflict: 3,
+            seed: 5,
+        };
+        let puls = generate_parallel_puls(&d, &labeling, &cfg);
+        assert_eq!(puls.len(), 4);
+        for p in &puls {
+            assert_eq!(p.len(), 100);
+            p.check_compatible().expect("each PUL alone is compatible");
+        }
+        let integration = pul_core::integrate(&puls);
+        assert!(!integration.conflicts.is_empty());
+        let types: std::collections::HashSet<u8> =
+            integration.conflicts.iter().map(|c| c.ctype.code()).collect();
+        assert!(types.len() >= 4, "expected a mix of conflict types, got {types:?}");
+        // and the reconciliation with relaxed policies succeeds
+        let policies = vec![pul_core::Policy::relaxed(); 4];
+        pul_core::reconcile(&puls, &policies).expect("reconcile");
+    }
+}

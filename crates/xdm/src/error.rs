@@ -1,0 +1,62 @@
+//! Error type shared by the document model and the XML parser/writer.
+
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// Errors raised by document manipulation or XML parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XdmError {
+    /// A node identifier was not found in the document arena.
+    NodeNotFound(NodeId),
+    /// A node identifier was allocated twice.
+    DuplicateNodeId(NodeId),
+    /// The requested structural mutation is not allowed for the node kind
+    /// (e.g. appending an element child to a text node).
+    InvalidStructure(String),
+    /// The document has no root node yet.
+    NoRoot,
+    /// XML syntax error with byte offset and message.
+    Parse { offset: usize, message: String },
+    /// An operation referenced a detached node where an attached one was
+    /// required (or vice versa).
+    Detached(NodeId),
+}
+
+impl fmt::Display for XdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XdmError::NodeNotFound(id) => write!(f, "node {id} not found in document"),
+            XdmError::DuplicateNodeId(id) => write!(f, "node id {id} already allocated"),
+            XdmError::InvalidStructure(msg) => write!(f, "invalid structure: {msg}"),
+            XdmError::NoRoot => write!(f, "document has no root node"),
+            XdmError::Parse { offset, message } => {
+                write!(f, "XML parse error at byte {offset}: {message}")
+            }
+            XdmError::Detached(id) => write!(f, "node {id} is detached"),
+        }
+    }
+}
+
+impl std::error::Error for XdmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = XdmError::NodeNotFound(NodeId::new(7));
+        assert!(e.to_string().contains('7'));
+        let e = XdmError::Parse { offset: 12, message: "unexpected '<'".into() };
+        assert!(e.to_string().contains("byte 12"));
+        let e = XdmError::InvalidStructure("text node cannot have children".into());
+        assert!(e.to_string().contains("text node"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&XdmError::NoRoot);
+    }
+}

@@ -1,0 +1,43 @@
+//! # xdm — XML document model
+//!
+//! This crate provides the tree representation of XML documents used throughout
+//! the workspace, following §2.1 of *Cavalieri, Guerrini, Mesiti — Dynamic
+//! Reasoning on XML Updates (EDBT 2011)*.
+//!
+//! A document `D` is described by `(V, γ, λ, ν)`:
+//!
+//! * `V` — a set of nodes representing **elements**, **attributes** and **text**
+//!   (element values);
+//! * `γ` — a function associating with each node its children;
+//! * `λ` — a labeling function giving element/attribute nodes a *name*;
+//! * `ν` — a labeling function giving text/attribute nodes a *value*.
+//!
+//! Every node carries a unique identifier ([`NodeId`]) that is preserved upon
+//! modification and never reused once the node is removed — the property
+//! required by the paper for exchanging PULs across process boundaries (§4.1).
+//!
+//! The crate additionally provides:
+//!
+//! * [`Tree`] — standalone fragments used as parameters of update operations;
+//! * an XML [`parser`] and [`writer`] built from scratch (no external XML
+//!   dependencies), including an *identified* serialization that embeds node
+//!   identifiers inside the document, mirroring the paper's prototype which
+//!   stores identifiers and labels within the document;
+//! * a SAX-style [`events`] module used by the streaming PUL evaluator.
+
+pub mod document;
+pub mod error;
+pub mod events;
+pub mod node;
+pub mod parser;
+pub mod tree;
+pub mod writer;
+
+pub use document::{Document, OrderRel};
+pub use error::XdmError;
+pub use events::{Event, EventReader};
+pub use node::{NodeData, NodeId, NodeKind};
+pub use tree::Tree;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, XdmError>;

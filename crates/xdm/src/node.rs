@@ -1,0 +1,173 @@
+//! Node identifiers, node kinds and per-node data.
+
+use std::fmt;
+
+/// Unique identifier of a node within a document universe.
+///
+/// Identifiers are unique in the document, immutable, and never reused once the
+/// node is removed (§4.1 of the paper). They are plain integers so that they
+/// can be exchanged inside serialized PULs; the *assignment algorithm* (e.g.
+/// preorder numbering of the authoritative document) is agreed upon by all PUL
+/// producers, see [`crate::document::Document::assign_preorder_ids`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates a node identifier from its numeric value.
+    pub const fn new(raw: u64) -> Self {
+        NodeId(raw)
+    }
+
+    /// Returns the numeric value of the identifier.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(raw: u64) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// The node types of the model: `τ(v) ∈ {e, a, t}` (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeKind {
+    /// Element node (`e`).
+    Element,
+    /// Attribute node (`a`).
+    Attribute,
+    /// Text node (`t`), modelling the textual content of elements.
+    Text,
+}
+
+impl NodeKind {
+    /// Single-letter code used by the paper and by the PUL exchange format.
+    pub fn code(self) -> char {
+        match self {
+            NodeKind::Element => 'e',
+            NodeKind::Attribute => 'a',
+            NodeKind::Text => 't',
+        }
+    }
+
+    /// Parses the single-letter code back into a kind.
+    pub fn from_code(c: char) -> Option<Self> {
+        match c {
+            'e' => Some(NodeKind::Element),
+            'a' => Some(NodeKind::Attribute),
+            't' => Some(NodeKind::Text),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// Data stored for a node in a document arena.
+///
+/// * elements have a `name` (λ) and ordered `children`, plus `attributes`;
+/// * attributes have a `name` (λ) and a `value` (ν);
+/// * text nodes have a `value` (ν).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeData {
+    /// Node type.
+    pub kind: NodeKind,
+    /// λ — name, for element and attribute nodes.
+    pub name: Option<String>,
+    /// ν — value, for text and attribute nodes.
+    pub value: Option<String>,
+    /// Parent node (element for children/attributes), if attached.
+    pub parent: Option<NodeId>,
+    /// Ordered non-attribute children (element and text nodes).
+    pub children: Vec<NodeId>,
+    /// Attribute nodes (relative order not significant, Fig. 1).
+    pub attributes: Vec<NodeId>,
+}
+
+impl NodeData {
+    /// Creates a detached element node.
+    pub fn element(name: impl Into<String>) -> Self {
+        NodeData {
+            kind: NodeKind::Element,
+            name: Some(name.into()),
+            value: None,
+            parent: None,
+            children: Vec::new(),
+            attributes: Vec::new(),
+        }
+    }
+
+    /// Creates a detached attribute node.
+    pub fn attribute(name: impl Into<String>, value: impl Into<String>) -> Self {
+        NodeData {
+            kind: NodeKind::Attribute,
+            name: Some(name.into()),
+            value: Some(value.into()),
+            parent: None,
+            children: Vec::new(),
+            attributes: Vec::new(),
+        }
+    }
+
+    /// Creates a detached text node.
+    pub fn text(value: impl Into<String>) -> Self {
+        NodeData {
+            kind: NodeKind::Text,
+            name: None,
+            value: Some(value.into()),
+            parent: None,
+            children: Vec::new(),
+            attributes: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip_and_order() {
+        let a = NodeId::new(3);
+        let b = NodeId::new(10);
+        assert!(a < b);
+        assert_eq!(a.as_u64(), 3);
+        assert_eq!(NodeId::from(10u64), b);
+        assert_eq!(a.to_string(), "3");
+    }
+
+    #[test]
+    fn node_kind_codes_roundtrip() {
+        for k in [NodeKind::Element, NodeKind::Attribute, NodeKind::Text] {
+            assert_eq!(NodeKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(NodeKind::from_code('x'), None);
+    }
+
+    #[test]
+    fn node_data_constructors() {
+        let e = NodeData::element("paper");
+        assert_eq!(e.kind, NodeKind::Element);
+        assert_eq!(e.name.as_deref(), Some("paper"));
+        assert!(e.value.is_none());
+
+        let a = NodeData::attribute("initPage", "132");
+        assert_eq!(a.kind, NodeKind::Attribute);
+        assert_eq!(a.value.as_deref(), Some("132"));
+
+        let t = NodeData::text("Report on ...");
+        assert_eq!(t.kind, NodeKind::Text);
+        assert!(t.name.is_none());
+    }
+}

@@ -1,0 +1,233 @@
+//! DOM construction on top of the pull parser.
+//!
+//! * [`parse_document`] — parses plain XML, assigning identifiers sequentially
+//!   in document order (the agreed identification algorithm of §4.1);
+//! * [`parse_document_identified`] — parses the identified serialization,
+//!   reconstructing the original identifiers;
+//! * [`parse_fragment`] — parses a fragment into a [`Tree`] (also accepts the
+//!   `name="value"` form for attribute fragments and bare text).
+
+use crate::document::Document;
+use crate::error::XdmError;
+use crate::events::{decode_entities, Event, EventReader, IdMode};
+use crate::node::NodeId;
+use crate::tree::Tree;
+use crate::Result;
+
+fn build(mut reader: EventReader<'_>) -> Result<Document> {
+    let mut doc = Document::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    while let Some(event) = reader.next_event()? {
+        match event {
+            Event::StartElement { id, name, attributes } => {
+                doc.new_element_with_id(id, name)?;
+                for a in attributes {
+                    doc.new_attribute_with_id(a.id, a.name, a.value)?;
+                    doc.add_attribute(id, a.id)?;
+                }
+                match stack.last() {
+                    Some(&parent) => doc.append_child(parent, id)?,
+                    None => {
+                        if doc.root().is_some() {
+                            return Err(XdmError::Parse {
+                                offset: 0,
+                                message: "multiple root elements".into(),
+                            });
+                        }
+                        doc.set_root(id)?;
+                    }
+                }
+                stack.push(id);
+            }
+            Event::Text { id, value } => {
+                doc.new_text_with_id(id, value)?;
+                match stack.last() {
+                    Some(&parent) => doc.append_child(parent, id)?,
+                    None => {
+                        return Err(XdmError::Parse {
+                            offset: 0,
+                            message: "text outside the root element".into(),
+                        })
+                    }
+                }
+            }
+            Event::EndElement { .. } => {
+                stack.pop();
+            }
+        }
+    }
+    if doc.root().is_none() {
+        return Err(XdmError::Parse { offset: 0, message: "no root element found".into() });
+    }
+    Ok(doc)
+}
+
+/// Parses plain XML text into a [`Document`], assigning node identifiers
+/// sequentially in document order starting at 1.
+pub fn parse_document(xml: &str) -> Result<Document> {
+    build(EventReader::new(xml))
+}
+
+/// Parses plain XML text, assigning identifiers starting at `first_id`.
+pub fn parse_document_with_first_id(xml: &str, first_id: u64) -> Result<Document> {
+    build(EventReader::with_mode(xml, IdMode::Sequential(first_id)))
+}
+
+/// Parses the identified serialization, reconstructing embedded identifiers.
+pub fn parse_document_identified(xml: &str) -> Result<Document> {
+    build(EventReader::identified(xml))
+}
+
+/// Parses a fragment into a [`Tree`].
+///
+/// Accepted forms:
+/// * an element fragment: `<author>G.Guerrini</author>`;
+/// * an attribute fragment: `initPage="132"`;
+/// * bare text (anything that does not start with `<`), e.g. `Report on ...`.
+pub fn parse_fragment(text: &str) -> Result<Tree> {
+    parse_fragment_with_first_id(text, 1)
+}
+
+/// Parses a fragment assigning identifiers starting at `first_id`.
+pub fn parse_fragment_with_first_id(text: &str, first_id: u64) -> Result<Tree> {
+    let trimmed = text.trim();
+    if trimmed.starts_with('<') {
+        let doc = parse_document_with_first_id(trimmed, first_id)?;
+        return Tree::from_document(doc);
+    }
+    // attribute form: name="value" (single attribute, no '<')
+    if let Some(eq) = trimmed.find('=') {
+        let name = trimmed[..eq].trim();
+        let rest = trimmed[eq + 1..].trim();
+        let is_name = !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'));
+        if is_name
+            && rest.len() >= 2
+            && ((rest.starts_with('"') && rest.ends_with('"'))
+                || (rest.starts_with('\'') && rest.ends_with('\'')))
+        {
+            let value = decode_entities(&rest[1..rest.len() - 1])?;
+            let mut doc = Document::with_first_id(first_id);
+            let a = doc.new_attribute(name, value);
+            doc.set_root(a)?;
+            return Tree::from_document(doc);
+        }
+    }
+    // bare text
+    let mut doc = Document::with_first_id(first_id);
+    let t = doc.new_text(decode_entities(text)?);
+    doc.set_root(t)?;
+    Tree::from_document(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+    use crate::writer;
+
+    #[test]
+    fn parse_simple_document() {
+        let xml = "<issue volume=\"30\"><article><title>Report on EDBT</title></article><article/></issue>";
+        let doc = parse_document(xml).unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(doc.name(root).unwrap(), Some("issue"));
+        assert_eq!(doc.children(root).unwrap().len(), 2);
+        assert_eq!(doc.attributes(root).unwrap().len(), 1);
+        assert_eq!(doc.node_count(), 6);
+        // preorder ids starting at 1
+        let ids: Vec<u64> = doc.preorder_from_root().iter().map(|n| n.as_u64()).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn parse_ids_match_assign_preorder_ids() {
+        let xml = "<a x=\"1\"><b><c>t</c></b><d y=\"2\">u</d></a>";
+        let doc = parse_document(xml).unwrap();
+        let mut doc2 = parse_document(xml).unwrap();
+        doc2.assign_preorder_ids(1);
+        // Reassigning must be the identity on a freshly parsed document.
+        assert_eq!(
+            doc.preorder_from_root(),
+            doc2.preorder_from_root(),
+            "sequential parse ids are preorder ids"
+        );
+    }
+
+    #[test]
+    fn roundtrip_plain() {
+        let xml = "<issue volume=\"30\"><article><title>R &amp; D</title></article><article/></issue>";
+        let doc = parse_document(xml).unwrap();
+        assert_eq!(writer::write_document(&doc), xml);
+    }
+
+    #[test]
+    fn roundtrip_identified() {
+        let xml = "<issue volume=\"30\"><article><title>R &amp; D</title></article></issue>";
+        let doc = parse_document(xml).unwrap();
+        let ident = writer::write_document_identified(&doc);
+        let doc2 = parse_document_identified(&ident).unwrap();
+        assert_eq!(doc.node_count(), doc2.node_count());
+        let r1 = doc.root().unwrap();
+        let r2 = doc2.root().unwrap();
+        assert_eq!(r1, r2);
+        assert!(doc.subtree_equal(r1, &doc2, r2));
+        // identifiers preserved node by node
+        assert_eq!(doc.preorder_from_root(), doc2.preorder_from_root());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_document("").is_err());
+        assert!(parse_document("<a><b></c></a>").is_err());
+        assert!(parse_document("<a/><b/>").is_err());
+        assert!(parse_document("junk").is_err());
+    }
+
+    #[test]
+    fn parse_with_first_id_offsets_ids() {
+        let doc = parse_document_with_first_id("<a><b/></a>", 100).unwrap();
+        let ids: Vec<u64> = doc.preorder_from_root().iter().map(|n| n.as_u64()).collect();
+        assert_eq!(ids, vec![100, 101]);
+    }
+
+    #[test]
+    fn parse_fragment_forms() {
+        let e = parse_fragment("<author>G.Guerrini</author>").unwrap();
+        assert_eq!(e.root_kind(), NodeKind::Element);
+        assert_eq!(e.text_content(e.root_id()), "G.Guerrini");
+
+        let a = parse_fragment("initPage=\"132\"").unwrap();
+        assert_eq!(a.root_kind(), NodeKind::Attribute);
+        assert_eq!(a.root_name().as_deref(), Some("initPage"));
+        assert_eq!(a.value(a.root_id()).unwrap(), Some("132"));
+
+        let a2 = parse_fragment("email='catania@disi'").unwrap();
+        assert_eq!(a2.root_kind(), NodeKind::Attribute);
+
+        let t = parse_fragment("Report on ...").unwrap();
+        assert_eq!(t.root_kind(), NodeKind::Text);
+        assert_eq!(t.value(t.root_id()).unwrap(), Some("Report on ..."));
+
+        // a text that merely contains '=' is still text
+        let t2 = parse_fragment("x = y").unwrap();
+        assert_eq!(t2.root_kind(), NodeKind::Text);
+    }
+
+    #[test]
+    fn parse_fragment_with_ids() {
+        let t = parse_fragment_with_first_id("<article><title>XML</title></article>", 24).unwrap();
+        let ids: Vec<u64> = t.preorder_from_root().iter().map(|n| n.as_u64()).collect();
+        assert_eq!(ids, vec![24, 25, 26]);
+    }
+
+    #[test]
+    fn whitespace_between_elements_is_skipped() {
+        let xml = "<a>\n  <b>x</b>\n  <c/>\n</a>";
+        let doc = parse_document(xml).unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(doc.children(root).unwrap().len(), 2);
+    }
+}

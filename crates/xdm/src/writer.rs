@@ -1,0 +1,228 @@
+//! XML serialization.
+//!
+//! Two serializations are provided:
+//!
+//! * the **plain** form (`write_document`, `write_fragment`) — ordinary XML;
+//! * the **identified** form (`write_document_identified`) — XML in which node
+//!   identifiers are embedded in the document itself, mirroring the paper's
+//!   prototype where "node identifiers and labeling have been stored within the
+//!   related documents" (§4.3). Element identifiers are stored in a reserved
+//!   `_xid` attribute, attribute-node identifiers in `_xaid`, and each text node
+//!   is preceded by a `<?xtid N?>` processing instruction carrying its
+//!   identifier (a PI is used so that the format stays streamable). The
+//!   identified form is what PUL producers and the executor exchange, and it is
+//!   the input of the streaming PUL evaluator.
+
+use crate::document::Document;
+use crate::node::{NodeId, NodeKind};
+
+/// Reserved attribute carrying the identifier of an element node.
+pub const XID_ATTR: &str = "_xid";
+/// Reserved attribute carrying the identifiers of the attribute nodes of an element.
+pub const XAID_ATTR: &str = "_xaid";
+
+/// Escapes character data (text content).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes an attribute value (double-quoted).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, identified: bool, out: &mut String) {
+    let Ok(data) = doc.node(id) else { return };
+    match data.kind {
+        NodeKind::Text => {
+            if identified {
+                out.push_str("<?xtid ");
+                out.push_str(&id.as_u64().to_string());
+                out.push_str("?>");
+            }
+            out.push_str(&escape_text(data.value.as_deref().unwrap_or("")));
+        }
+        NodeKind::Attribute => {
+            // A standalone attribute fragment: serialize as name="value".
+            out.push_str(data.name.as_deref().unwrap_or(""));
+            out.push_str("=\"");
+            out.push_str(&escape_attr(data.value.as_deref().unwrap_or("")));
+            out.push('"');
+        }
+        NodeKind::Element => {
+            let name = data.name.as_deref().unwrap_or("");
+            out.push('<');
+            out.push_str(name);
+            if identified {
+                out.push(' ');
+                out.push_str(XID_ATTR);
+                out.push_str("=\"");
+                out.push_str(&id.as_u64().to_string());
+                out.push('"');
+                if !data.attributes.is_empty() {
+                    let pairs: Vec<String> = data
+                        .attributes
+                        .iter()
+                        .filter_map(|&a| {
+                            let ad = doc.node(a).ok()?;
+                            Some(format!("{}:{}", ad.name.as_deref().unwrap_or(""), a.as_u64()))
+                        })
+                        .collect();
+                    out.push(' ');
+                    out.push_str(XAID_ATTR);
+                    out.push_str("=\"");
+                    out.push_str(&pairs.join(" "));
+                    out.push('"');
+                }
+            }
+            for &a in &data.attributes {
+                if let Ok(ad) = doc.node(a) {
+                    out.push(' ');
+                    out.push_str(ad.name.as_deref().unwrap_or(""));
+                    out.push_str("=\"");
+                    out.push_str(&escape_attr(ad.value.as_deref().unwrap_or("")));
+                    out.push('"');
+                }
+            }
+            if data.children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for &c in &data.children {
+                    write_node(doc, c, identified, out);
+                }
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
+        }
+    }
+}
+
+/// Serializes the whole document (plain form, no XML declaration).
+pub fn write_document(doc: &Document) -> String {
+    match doc.root() {
+        Some(r) => write_fragment(doc, r),
+        None => String::new(),
+    }
+}
+
+/// Serializes the subtree rooted at `root` (plain form).
+pub fn write_fragment(doc: &Document, root: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, root, false, &mut out);
+    out
+}
+
+/// Serializes the whole document in the identified form (node identifiers
+/// embedded via the reserved `_xid` / `_xaid` / `_xtid` attributes).
+pub fn write_document_identified(doc: &Document) -> String {
+    match doc.root() {
+        Some(r) => {
+            let mut out = String::new();
+            write_node(doc, r, true, &mut out);
+            out
+        }
+        None => String::new(),
+    }
+}
+
+/// Serializes the subtree rooted at `root` in the identified form.
+pub fn write_fragment_identified(doc: &Document, root: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, root, true, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        let mut d = Document::new();
+        let issue = d.new_element("issue");
+        let vol = d.new_attribute("volume", "30");
+        let a1 = d.new_element("article");
+        let t = d.new_element("title");
+        let txt = d.new_text("XML & \"updates\" <here>");
+        d.set_root(issue).unwrap();
+        d.add_attribute(issue, vol).unwrap();
+        d.append_child(issue, a1).unwrap();
+        d.append_child(a1, t).unwrap();
+        d.append_child(t, txt).unwrap();
+        d
+    }
+
+    #[test]
+    fn plain_serialization_escapes_content() {
+        let d = sample();
+        let xml = write_document(&d);
+        assert_eq!(
+            xml,
+            "<issue volume=\"30\"><article><title>XML &amp; \"updates\" &lt;here&gt;</title></article></issue>"
+        );
+    }
+
+    #[test]
+    fn empty_document_serializes_to_empty_string() {
+        let d = Document::new();
+        assert_eq!(write_document(&d), "");
+        assert_eq!(write_document_identified(&d), "");
+    }
+
+    #[test]
+    fn self_closing_for_empty_elements() {
+        let mut d = Document::new();
+        let e = d.new_element("authors");
+        d.set_root(e).unwrap();
+        assert_eq!(write_document(&d), "<authors/>");
+    }
+
+    #[test]
+    fn identified_serialization_embeds_ids() {
+        let d = sample();
+        let xml = write_document_identified(&d);
+        assert!(xml.contains("_xid=\"1\""), "root element id embedded: {xml}");
+        assert!(xml.contains("_xaid=\"volume:2\""), "attribute id embedded: {xml}");
+        assert!(xml.contains("<?xtid 5?>"), "text id embedded: {xml}");
+        assert!(xml.contains("volume=\"30\""), "plain attribute still present");
+    }
+
+    #[test]
+    fn attribute_escaping() {
+        let mut d = Document::new();
+        let e = d.new_element("e");
+        let a = d.new_attribute("k", "a\"b<c>&d");
+        d.set_root(e).unwrap();
+        d.add_attribute(e, a).unwrap();
+        let xml = write_document(&d);
+        assert_eq!(xml, "<e k=\"a&quot;b&lt;c&gt;&amp;d\"/>");
+    }
+
+    #[test]
+    fn fragment_of_attribute_node() {
+        let mut d = Document::new();
+        let a = d.new_attribute("initPage", "132");
+        d.set_root(a).unwrap();
+        assert_eq!(write_document(&d), "initPage=\"132\"");
+    }
+}

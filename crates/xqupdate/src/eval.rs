@@ -1,0 +1,388 @@
+//! Parsing and evaluation of updating expressions, producing PULs.
+
+use std::fmt;
+
+use pul::{Pul, UpdateOp};
+use xdm::parser::parse_fragment_with_first_id;
+use xdm::{Document, NodeKind, Tree};
+use xlabel::Labeling;
+
+use crate::path::Path;
+
+/// Errors raised while parsing or evaluating an updating expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XqError(pub String);
+
+impl fmt::Display for XqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XQuery Update error: {}", self.0)
+    }
+}
+
+impl std::error::Error for XqError {}
+
+fn err(msg: impl Into<String>) -> XqError {
+    XqError(msg.into())
+}
+
+/// Splits a compound expression on top-level commas (commas inside quotes or
+/// inside `<…>` fragments do not separate statements).
+fn split_statements(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_quote: Option<char> = None;
+    let mut current = String::new();
+    for c in src.chars() {
+        match in_quote {
+            Some(q) => {
+                current.push(c);
+                if c == q {
+                    in_quote = None;
+                }
+            }
+            None => match c {
+                '"' | '\'' => {
+                    in_quote = Some(c);
+                    current.push(c);
+                }
+                '<' => {
+                    depth += 1;
+                    current.push(c);
+                }
+                '>' => {
+                    depth -= 1;
+                    current.push(c);
+                }
+                ',' if depth <= 0 => {
+                    out.push(current.trim().to_string());
+                    current.clear();
+                }
+                _ => current.push(c),
+            },
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current.trim().to_string());
+    }
+    out.into_iter().filter(|s| !s.is_empty()).collect()
+}
+
+fn unquote(s: &str) -> String {
+    let s = s.trim();
+    if (s.starts_with('"') && s.ends_with('"') && s.len() >= 2)
+        || (s.starts_with('\'') && s.ends_with('\'') && s.len() >= 2)
+    {
+        s[1..s.len() - 1].to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+/// Splits `left <keyword> right` at the first occurrence of one of the
+/// keywords that is outside any `<…>` fragment and outside quotes. When two
+/// keywords match at the same position the longest one wins (so
+/// `as first into` is preferred over `into`).
+fn split_on_keyword<'a>(s: &'a str, keywords: &[&'static str]) -> Option<(&'a str, &'static str, &'a str)> {
+    let bytes = s.as_bytes();
+    let mut depth = 0i32;
+    let mut in_quote: Option<u8> = None;
+    for i in 0..s.len() {
+        match in_quote {
+            Some(q) => {
+                if bytes[i] == q {
+                    in_quote = None;
+                }
+                continue;
+            }
+            None => match bytes[i] {
+                b'"' | b'\'' => {
+                    in_quote = Some(bytes[i]);
+                    continue;
+                }
+                b'<' => depth += 1,
+                b'>' => depth -= 1,
+                _ => {}
+            },
+        }
+        if depth != 0 {
+            continue;
+        }
+        let mut best: Option<&'static str> = None;
+        for kw in keywords {
+            let pattern = format!(" {kw} ");
+            if s[i..].starts_with(&pattern) && best.map(|b| b.len() < kw.len()).unwrap_or(true) {
+                best = Some(kw);
+            }
+        }
+        if let Some(kw) = best {
+            let left = s[..i].trim();
+            let right = s[i + kw.len() + 2..].trim();
+            return Some((left, kw, right));
+        }
+    }
+    None
+}
+
+/// The evaluation context: the document, its labeling, and the identifier
+/// counter used for the nodes of inserted fragments.
+struct Ctx<'a> {
+    doc: &'a Document,
+    next_content_id: u64,
+}
+
+impl<'a> Ctx<'a> {
+    fn parse_fragments(&mut self, src: &str) -> Result<Vec<Tree>, XqError> {
+        // Fragments are a whitespace-separated sequence of `<elem>…</elem>`,
+        // `name="value"` attribute fragments or quoted strings (text nodes).
+        let mut out = Vec::new();
+        let src = src.trim();
+        if src.is_empty() {
+            return Ok(out);
+        }
+        // Try to parse a sequence of XML fragments; fall back to a single
+        // attribute or text fragment.
+        let mut rest = src;
+        while !rest.is_empty() {
+            rest = rest.trim_start();
+            if rest.starts_with('<') {
+                // find the end of this element fragment by balancing tags
+                let mut depth = 0i32;
+                let mut pos = 0usize;
+                let mut end: Option<usize> = None;
+                while pos < rest.len() {
+                    let Some(lt) = rest[pos..].find('<') else { break };
+                    let lt = pos + lt;
+                    let Some(gt) = rest[lt..].find('>') else {
+                        return Err(err(format!("unterminated tag in fragment '{rest}'")));
+                    };
+                    let gt = lt + gt;
+                    let tag = &rest[lt..=gt];
+                    if tag.starts_with("</") {
+                        depth -= 1;
+                    } else if tag.ends_with("/>") || tag.starts_with("<?") || tag.starts_with("<!") {
+                        // no depth change
+                    } else {
+                        depth += 1;
+                    }
+                    pos = gt + 1;
+                    if depth == 0 {
+                        end = Some(pos);
+                        break;
+                    }
+                }
+                let end = end.ok_or_else(|| err(format!("unbalanced fragment '{rest}'")))?;
+                let frag = &rest[..end];
+                let tree = parse_fragment_with_first_id(frag, self.next_content_id)
+                    .map_err(|e| err(format!("invalid fragment '{frag}': {e}")))?;
+                self.next_content_id += tree.size() as u64;
+                out.push(tree);
+                rest = &rest[end..];
+            } else {
+                // attribute or text fragment: take the remainder as one fragment
+                let tree = parse_fragment_with_first_id(&unquote(rest), self.next_content_id)
+                    .map_err(|e| err(format!("invalid fragment '{rest}': {e}")))?;
+                self.next_content_id += tree.size() as u64;
+                out.push(tree);
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn select(&self, path_src: &str) -> Result<Vec<xdm::NodeId>, XqError> {
+        let path = Path::parse(path_src).map_err(err)?;
+        let hits = path.select(self.doc);
+        if hits.is_empty() {
+            return Err(err(format!("the path '{path_src}' selects no node")));
+        }
+        Ok(hits)
+    }
+
+    fn eval_statement(&mut self, stmt: &str, pul: &mut Pul) -> Result<(), XqError> {
+        let s = stmt.trim();
+        let lower = s.to_lowercase();
+        if lower.starts_with("insert node") {
+            let rest = s["insert node".len()..].trim_start_matches('s').trim();
+            let (frag_src, kw, path_src) = split_on_keyword(
+                rest,
+                &["as first into", "as last into", "into", "before", "after"],
+            )
+            .ok_or_else(|| err(format!("missing insertion position in '{s}'")))?;
+            let content = self.parse_fragments(frag_src)?;
+            if content.is_empty() {
+                return Err(err(format!("nothing to insert in '{s}'")));
+            }
+            let all_attributes = content.iter().all(|t| t.root_kind() == NodeKind::Attribute);
+            for target in self.select(path_src)? {
+                let op = match kw {
+                    "as first into" => UpdateOp::ins_first(target, content.clone()),
+                    "as last into" => UpdateOp::ins_last(target, content.clone()),
+                    "into" if all_attributes => UpdateOp::ins_attributes(target, content.clone()),
+                    "into" => UpdateOp::ins_into(target, content.clone()),
+                    "before" => UpdateOp::ins_before(target, content.clone()),
+                    "after" => UpdateOp::ins_after(target, content.clone()),
+                    other => return Err(err(format!("unsupported insertion position '{other}'"))),
+                };
+                pul.push(op);
+            }
+            Ok(())
+        } else if lower.starts_with("delete node") {
+            let path_src = s["delete node".len()..].trim_start_matches('s').trim();
+            for target in self.select(path_src)? {
+                pul.push(UpdateOp::delete(target));
+            }
+            Ok(())
+        } else if lower.starts_with("replace value of node") {
+            let rest = s["replace value of node".len()..].trim();
+            let (path_src, _, value_src) = split_on_keyword(rest, &["with"])
+                .ok_or_else(|| err(format!("missing 'with' in '{s}'")))?;
+            let value = unquote(value_src);
+            for target in self.select(path_src)? {
+                pul.push(UpdateOp::replace_value(target, value.clone()));
+            }
+            Ok(())
+        } else if lower.starts_with("replace node") {
+            let rest = s["replace node".len()..].trim();
+            let (path_src, _, frag_src) = split_on_keyword(rest, &["with"])
+                .ok_or_else(|| err(format!("missing 'with' in '{s}'")))?;
+            let content = self.parse_fragments(frag_src)?;
+            for target in self.select(path_src)? {
+                pul.push(UpdateOp::replace_node(target, content.clone()));
+            }
+            Ok(())
+        } else if lower.starts_with("rename node") {
+            let rest = s["rename node".len()..].trim();
+            let (path_src, _, name_src) = split_on_keyword(rest, &["as"])
+                .ok_or_else(|| err(format!("missing 'as' in '{s}'")))?;
+            let name = unquote(name_src);
+            for target in self.select(path_src)? {
+                pul.push(UpdateOp::rename(target, name.clone()));
+            }
+            Ok(())
+        } else {
+            Err(err(format!("unrecognised updating expression: '{s}'")))
+        }
+    }
+}
+
+/// Evaluates an updating expression against a document, producing a PUL whose
+/// operations carry the labels of their targets. Identifiers of inserted
+/// fragments are assigned from `doc.next_id()` upwards (the producer-side
+/// identifier space of §4.1).
+pub fn evaluate(doc: &Document, labeling: &Labeling, source: &str) -> Result<Pul, XqError> {
+    let mut ctx = Ctx { doc, next_content_id: doc.next_id() + 1_000 };
+    let mut pul = Pul::new();
+    for stmt in split_statements(source) {
+        ctx.eval_statement(&stmt, &mut pul)?;
+    }
+    pul.attach_labels(labeling);
+    pul.check_compatible().map_err(|e| err(format!("the expression produces an invalid PUL: {e}")))?;
+    Ok(pul)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pul::apply::{apply_pul, ApplyOptions};
+    use pul::OpName;
+    use xdm::parser::parse_document;
+    use xdm::writer::write_document;
+
+    fn setup() -> (Document, Labeling) {
+        let doc = parse_document(
+            "<issue volume=\"30\"><paper><title>A</title><author>X</author></paper>\
+             <paper><title>B</title><authors><author>Y</author></authors></paper></issue>",
+        )
+        .unwrap();
+        let labeling = Labeling::assign(&doc);
+        (doc, labeling)
+    }
+
+    #[test]
+    fn insert_variants() {
+        let (doc, labels) = setup();
+        let pul = evaluate(
+            &doc,
+            &labels,
+            "insert nodes <author>G.Guerrini</author> as last into /issue/paper[2]/authors, \
+             insert nodes <year>2004</year> before /issue/paper[1]/title, \
+             insert nodes lastPage=\"134\" into /issue/paper[1], \
+             insert nodes <note>n</note> into /issue/paper[2]",
+        )
+        .unwrap();
+        let names: Vec<OpName> = pul.ops().iter().map(|o| o.name()).collect();
+        assert_eq!(
+            names,
+            vec![OpName::InsLast, OpName::InsBefore, OpName::InsAttributes, OpName::InsInto]
+        );
+        // labels attached to targets
+        for op in pul.ops() {
+            assert!(pul.label(op.target()).is_some());
+        }
+        let mut d = doc.clone();
+        apply_pul(&mut d, &pul, &ApplyOptions::default()).unwrap();
+        let xml = write_document(&d);
+        assert!(xml.contains("G.Guerrini"));
+        assert!(xml.contains("<year>2004</year><title>A</title>"));
+        assert!(xml.contains("lastPage=\"134\""));
+    }
+
+    #[test]
+    fn delete_replace_rename() {
+        let (doc, labels) = setup();
+        let pul = evaluate(
+            &doc,
+            &labels,
+            "delete nodes /issue/paper[1]/author, \
+             replace node /issue/paper[2]/title with <title>New B</title>, \
+             replace value of node /issue/paper[1]/title/text() with \"New A\", \
+             rename node /issue/paper[1] as \"article\"",
+        )
+        .unwrap();
+        assert_eq!(pul.len(), 4);
+        let mut d = doc.clone();
+        apply_pul(&mut d, &pul, &ApplyOptions::default()).unwrap();
+        let xml = write_document(&d);
+        assert!(xml.contains("<article"));
+        assert!(xml.contains("New A"));
+        assert!(xml.contains("New B"));
+        assert!(!xml.contains("<author>X</author>"));
+    }
+
+    #[test]
+    fn multiple_targets_expand_to_multiple_ops() {
+        let (doc, labels) = setup();
+        let pul = evaluate(&doc, &labels, "rename node //title as \"heading\"").unwrap();
+        assert_eq!(pul.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let (doc, labels) = setup();
+        assert!(evaluate(&doc, &labels, "frobnicate /issue").is_err());
+        assert!(evaluate(&doc, &labels, "delete nodes /nowhere/to/be/found").is_err());
+        assert!(evaluate(&doc, &labels, "insert nodes <a/> /issue/paper[1]").is_err());
+        // incompatible PUL: two renames of the same node
+        assert!(evaluate(
+            &doc,
+            &labels,
+            "rename node /issue/paper[1] as \"a\", rename node /issue/paper[1] as \"b\""
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn produced_pul_roundtrips_through_the_exchange_format() {
+        let (doc, labels) = setup();
+        let pul = evaluate(
+            &doc,
+            &labels,
+            "insert nodes <author>M.Mesiti</author> after /issue/paper[2]/authors/author[1]",
+        )
+        .unwrap();
+        let xml = pul::xmlio::pul_to_xml(&pul);
+        let back = pul::xmlio::pul_from_xml(&xml).unwrap();
+        assert_eq!(back.len(), pul.len());
+        assert!(back.label(pul.ops()[0].target()).is_some());
+    }
+}

@@ -1,0 +1,208 @@
+//! The XPath subset used to select update targets.
+
+use xdm::{Document, NodeId, NodeKind};
+
+/// A node test within a step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// An element with the given name.
+    Element(String),
+    /// Any element (`*`).
+    AnyElement,
+    /// An attribute with the given name (`@name`).
+    Attribute(String),
+    /// Any attribute (`@*`).
+    AnyAttribute,
+    /// A text node (`text()`).
+    Text,
+}
+
+/// One step of a path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Whether the step searches all descendants (`//`) or only children (`/`).
+    pub descendant: bool,
+    /// The node test.
+    pub test: NodeTest,
+    /// Optional 1-based positional predicate.
+    pub position: Option<usize>,
+}
+
+/// A parsed absolute path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// The steps of the path, in order.
+    pub steps: Vec<Step>,
+}
+
+impl Path {
+    /// Parses a path expression such as `/issue/paper[2]//author/@email`.
+    pub fn parse(input: &str) -> Result<Path, String> {
+        let s = input.trim();
+        if !s.starts_with('/') {
+            return Err(format!("paths must be absolute (start with '/'): '{s}'"));
+        }
+        let mut steps = Vec::new();
+        let mut rest = s;
+        while !rest.is_empty() {
+            let descendant = if let Some(r) = rest.strip_prefix("//") {
+                rest = r;
+                true
+            } else if let Some(r) = rest.strip_prefix('/') {
+                rest = r;
+                false
+            } else {
+                return Err(format!("expected '/' in path near '{rest}'"));
+            };
+            if rest.is_empty() {
+                return Err("path ends with a dangling '/'".into());
+            }
+            let end = rest.find('/').unwrap_or(rest.len());
+            let (step_str, tail) = rest.split_at(end);
+            rest = tail;
+            let (name_part, position) = match step_str.find('[') {
+                Some(i) => {
+                    let close = step_str
+                        .find(']')
+                        .ok_or_else(|| format!("missing ']' in step '{step_str}'"))?;
+                    let pos: usize = step_str[i + 1..close]
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("invalid position predicate in '{step_str}'"))?;
+                    (&step_str[..i], Some(pos))
+                }
+                None => (step_str, None),
+            };
+            let test = if name_part == "text()" {
+                NodeTest::Text
+            } else if name_part == "@*" {
+                NodeTest::AnyAttribute
+            } else if let Some(attr) = name_part.strip_prefix('@') {
+                NodeTest::Attribute(attr.to_string())
+            } else if name_part == "*" {
+                NodeTest::AnyElement
+            } else if !name_part.is_empty() {
+                NodeTest::Element(name_part.to_string())
+            } else {
+                return Err(format!("empty step in path '{s}'"));
+            };
+            steps.push(Step { descendant, test, position });
+        }
+        Ok(Path { steps })
+    }
+
+    /// Evaluates the path against a document, returning the matched nodes in
+    /// document order.
+    pub fn select(&self, doc: &Document) -> Vec<NodeId> {
+        let Some(root) = doc.root() else { return Vec::new() };
+        // The initial context is the (virtual) document node: the first step
+        // matches the root element among its "children".
+        let mut context: Vec<NodeId> = vec![root];
+        let mut first = true;
+        for step in &self.steps {
+            let mut next: Vec<NodeId> = Vec::new();
+            for &ctx in &context {
+                let candidates: Vec<NodeId> = if first {
+                    // first step: the root element itself (plus its descendants for `//`)
+                    if step.descendant {
+                        let mut v = vec![ctx];
+                        v.extend(doc.descendants(ctx));
+                        v
+                    } else {
+                        vec![ctx]
+                    }
+                } else if step.descendant {
+                    doc.descendants(ctx)
+                } else {
+                    let mut v: Vec<NodeId> = doc.children(ctx).map(|c| c.to_vec()).unwrap_or_default();
+                    if matches!(step.test, NodeTest::Attribute(_) | NodeTest::AnyAttribute) {
+                        v = doc.attributes(ctx).map(|a| a.to_vec()).unwrap_or_default();
+                    }
+                    v
+                };
+                let mut matched: Vec<NodeId> = candidates
+                    .into_iter()
+                    .filter(|&c| match &step.test {
+                        NodeTest::Element(name) => {
+                            doc.kind(c) == Ok(NodeKind::Element)
+                                && doc.name(c).ok().flatten() == Some(name.as_str())
+                        }
+                        NodeTest::AnyElement => doc.kind(c) == Ok(NodeKind::Element),
+                        NodeTest::Attribute(name) => {
+                            doc.kind(c) == Ok(NodeKind::Attribute)
+                                && doc.name(c).ok().flatten() == Some(name.as_str())
+                        }
+                        NodeTest::AnyAttribute => doc.kind(c) == Ok(NodeKind::Attribute),
+                        NodeTest::Text => doc.kind(c) == Ok(NodeKind::Text),
+                    })
+                    .collect();
+                if let Some(pos) = step.position {
+                    matched = matched.into_iter().skip(pos - 1).take(1).collect();
+                }
+                next.extend(matched);
+            }
+            next.dedup();
+            context = next;
+            first = false;
+        }
+        context
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdm::parser::parse_document;
+
+    fn doc() -> Document {
+        parse_document(
+            "<issue volume=\"30\"><paper id=\"p1\"><title>A</title><author>X</author></paper>\
+             <paper id=\"p2\"><title>B</title><authors><author>Y</author><author>Z</author>\
+             </authors></paper></issue>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_and_select_children() {
+        let d = doc();
+        let p = Path::parse("/issue/paper").unwrap();
+        assert_eq!(p.select(&d).len(), 2);
+        let p = Path::parse("/issue/paper[2]/title").unwrap();
+        let hits = p.select(&d);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(d.text_content(hits[0]), "B");
+    }
+
+    #[test]
+    fn descendant_and_wildcards() {
+        let d = doc();
+        assert_eq!(Path::parse("//author").unwrap().select(&d).len(), 3);
+        assert_eq!(Path::parse("/issue/paper[2]//author").unwrap().select(&d).len(), 2);
+        assert_eq!(Path::parse("/issue/*").unwrap().select(&d).len(), 2);
+        assert_eq!(Path::parse("//paper[1]/title/text()").unwrap().select(&d).len(), 1);
+    }
+
+    #[test]
+    fn attributes() {
+        let d = doc();
+        assert_eq!(Path::parse("/issue/@volume").unwrap().select(&d).len(), 1);
+        assert_eq!(Path::parse("//paper/@id").unwrap().select(&d).len(), 2);
+        assert_eq!(Path::parse("//@*").unwrap().select(&d).len(), 3);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Path::parse("relative/path").is_err());
+        assert!(Path::parse("/a[").is_err());
+        assert!(Path::parse("/a[x]").is_err());
+        assert!(Path::parse("/a/").is_err());
+    }
+
+    #[test]
+    fn root_element_test_must_match() {
+        let d = doc();
+        assert!(Path::parse("/wrong/paper").unwrap().select(&d).is_empty());
+        assert_eq!(Path::parse("/issue").unwrap().select(&d).len(), 1);
+    }
+}

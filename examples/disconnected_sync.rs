@@ -1,0 +1,79 @@
+//! Disconnected operation (§1): a client works offline on its copy of the
+//! document, producing a *sequence* of PULs. On reconnection it ships the
+//! whole sequence; the server aggregates it into a single PUL and applies it
+//! in one streaming pass over the authoritative copy.
+//!
+//! Run with `cargo run --example disconnected_sync`.
+
+use xmlpul::prelude::*;
+use xmlpul::workload::xmark::{generate, XmarkConfig};
+
+fn main() {
+    // The authoritative document lives on the server (an XMark auction site).
+    let server_doc = generate(&XmarkConfig { target_nodes: 5_000, seed: 7 });
+    let _labels = Labeling::assign(&server_doc);
+    println!(
+        "server document: {} nodes, {} bytes serialized",
+        server_doc.node_count(),
+        xdm::writer::write_document(&server_doc).len()
+    );
+
+    // The client checks the document out and works offline: three editing
+    // sessions, each producing one PUL evaluated with the XQuery Update
+    // front-end against the *local* copy (identifiers of inserted nodes come
+    // from the client's identifier space and are preserved locally).
+    let mut local = server_doc.clone();
+    let mut sessions: Vec<Pul> = Vec::new();
+    let scripts = [
+        "insert nodes <item id=\"offline-1\"><name>restored gramophone</name></item> \
+           as last into /site/regions/europe, \
+         rename node /site/categories/category[1]/name as \"label\"",
+        "insert nodes <bidder><date>03/03/2003</date><increase>7.50</increase></bidder> \
+           as last into /site/open_auctions/open_auction[1], \
+         replace value of node /site/people/person[1]/name/text() with \"Offline Olga\"",
+        "delete nodes /site/closed_auctions/closed_auction[1], \
+         insert nodes verified=\"yes\" into /site/people/person[1]",
+    ];
+    for (i, script) in scripts.iter().enumerate() {
+        let local_labels = Labeling::assign(&local);
+        let pul = xqupdate::evaluate(&local, &local_labels, script).expect("valid script");
+        // the client applies the PUL locally (keeping the identifiers it assigned)
+        apply_pul(&mut local, &pul, &ApplyOptions::producer()).expect("applicable PUL");
+        println!("session {}: produced {} operations", i + 1, pul.len());
+        sessions.push(pul);
+    }
+
+    // On reconnection the sequence is shipped as one XML document …
+    let wire = pul::xmlio::puls_to_xml(&sessions);
+    println!("shipping {} PULs as {} bytes of XML", sessions.len(), wire.len());
+
+    // … and the server aggregates it into a single PUL (Def. 13) instead of
+    // applying each PUL in turn (and re-reading the document three times).
+    let received = pul::xmlio::puls_from_xml(&wire).expect("valid PUL list");
+    let aggregated = aggregate(&received).expect("aggregable sequence");
+    println!(
+        "aggregated PUL: {} operations (instead of {} in {} PULs)",
+        aggregated.len(),
+        received.iter().map(|p| p.len()).sum::<usize>(),
+        received.len()
+    );
+
+    // One streaming pass over the authoritative copy makes it all effective.
+    let identified = xdm::writer::write_document_identified(&server_doc);
+    let updated_xml = pul::stream::apply_streaming_with(
+        &identified,
+        &aggregated,
+        server_doc.next_id() + 1_000_000,
+        true,
+    )
+    .expect("applicable PUL");
+    let updated = xdm::parser::parse_document_identified(&updated_xml).expect("well-formed output");
+
+    // The server's copy now matches the client's offline copy.
+    assert_eq!(
+        pul::obtainable::canonical_string(&local),
+        pul::obtainable::canonical_string(&updated),
+        "server and client converge"
+    );
+    println!("server and client documents converge ✓");
+}

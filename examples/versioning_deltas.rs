@@ -1,0 +1,68 @@
+//! Document versioning (§1): versions are stored as deltas (PULs) over the
+//! original document. Dropping intermediate versions amounts to aggregating
+//! consecutive deltas; the reduction gives a compact, deterministic delta.
+//!
+//! Run with `cargo run --example versioning_deltas`.
+
+use xmlpul::prelude::*;
+use xmlpul::xdm::parser::parse_fragment_with_first_id;
+
+fn main() {
+    let v0 = xdm::parser::parse_document(
+        "<article status=\"draft\"><title>PUL reasoning</title>\
+         <abstract>TODO</abstract><body><sec>Intro</sec></body></article>",
+    )
+    .expect("well-formed document");
+    let labels = Labeling::assign(&v0);
+    let title = v0.find_element("title").unwrap();
+    let abstract_el = v0.find_element("abstract").unwrap();
+    let abstract_text = v0.children(abstract_el).unwrap()[0];
+    let body = v0.find_element("body").unwrap();
+    let status = v0.attribute_by_name(v0.root().unwrap(), "status").unwrap().unwrap();
+
+    // Each revision is a delta (a PUL) over the previous version.
+    let delta1 = Pul::from_ops(
+        vec![
+            UpdateOp::replace_value(abstract_text, "We study reduction, integration and aggregation."),
+            UpdateOp::ins_last(body, vec![parse_fragment_with_first_id("<sec>Reduction</sec>", 100).unwrap()]),
+        ],
+        &labels,
+    );
+    let delta2 = Pul::from_ops(
+        vec![
+            UpdateOp::ins_last(body, vec![parse_fragment_with_first_id("<sec>Integration</sec>", 110).unwrap()]),
+            UpdateOp::rename(title, "heading"),
+        ],
+        &labels,
+    );
+    let delta3 = Pul::from_ops(
+        vec![
+            UpdateOp::ins_last(body, vec![parse_fragment_with_first_id("<sec>Aggregation</sec>", 120).unwrap()]),
+            UpdateOp::replace_value(status, "camera-ready"),
+            UpdateOp::rename(title, "name"),
+        ],
+        &labels,
+    );
+
+    // Keeping every version means keeping every delta. To drop the
+    // intermediate versions v1 and v2, the archive aggregates the deltas.
+    let deltas = vec![delta1, delta2, delta3];
+    let combined = aggregate(&deltas).expect("aggregable deltas");
+    let compact = deterministic_reduce(&combined);
+    println!("three deltas with {} operations in total", deltas.iter().map(|d| d.len()).sum::<usize>());
+    println!("single combined delta v0→v3 ({} operations):\n  {compact}\n", compact.len());
+
+    // Applying the combined delta to v0 yields exactly v3.
+    let mut v3_direct = v0.clone();
+    for d in &deltas {
+        apply_pul(&mut v3_direct, d, &ApplyOptions::producer()).expect("applicable delta");
+    }
+    let mut v3_from_combined = v0.clone();
+    apply_pul(&mut v3_from_combined, &compact, &ApplyOptions::producer()).expect("applicable delta");
+    assert_eq!(
+        pul::obtainable::canonical_string(&v3_direct),
+        pul::obtainable::canonical_string(&v3_from_combined)
+    );
+    println!("v0 + combined delta == v3 ✓\n");
+    println!("v3:\n  {}", xdm::writer::write_document(&v3_from_combined));
+}

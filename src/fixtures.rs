@@ -1,0 +1,101 @@
+//! Shared fixtures: the SigmodRecord fragment of Figure 1.
+//!
+//! The paper's running example is a fragment of the SigmodRecord document. The
+//! exact node identifiers used by the paper (1–19) are reproduced here so that
+//! the tests mirroring Examples 1–9 can be written with the same numbers:
+//!
+//! ```text
+//! 1  issue
+//! 2    volume          3    "30"            (text)
+//! 4    paper
+//! 5      title         6    "Database Replication …"   (text)
+//! 7      author        8    "A.Chaudhri"    (text)
+//! 9      initPage      (attribute of paper 4, value "12")
+//! 10   paper
+//! 11     title         12   "XML Views"     (text)
+//! 13     initPage      (attribute of paper 10, value "87")
+//! 14     abstract      15   "Report on …"   (text)
+//! 16     authors
+//! 17       author      18   "B.Catania"     (text)
+//! 19       author      20   "E.Ferrari"     (text)
+//! ```
+
+use xdm::{Document, NodeId};
+use xlabel::Labeling;
+
+/// Builds the Figure 1 fixture with the identifiers listed in the module
+/// documentation, and its labeling.
+pub fn figure1() -> (Document, Labeling) {
+    let mut d = Document::new();
+    let issue = d.new_element_with_id(1u64, "issue").unwrap();
+    d.set_root(issue).unwrap();
+
+    let volume = d.new_element_with_id(2u64, "volume").unwrap();
+    let volume_text = d.new_text_with_id(3u64, "30").unwrap();
+    d.append_child(issue, volume).unwrap();
+    d.append_child(volume, volume_text).unwrap();
+
+    let paper1 = d.new_element_with_id(4u64, "paper").unwrap();
+    d.append_child(issue, paper1).unwrap();
+    let title1 = d.new_element_with_id(5u64, "title").unwrap();
+    let title1_text = d.new_text_with_id(6u64, "Database Replication Techniques").unwrap();
+    d.append_child(paper1, title1).unwrap();
+    d.append_child(title1, title1_text).unwrap();
+    let author1 = d.new_element_with_id(7u64, "author").unwrap();
+    let author1_text = d.new_text_with_id(8u64, "A.Chaudhri").unwrap();
+    d.append_child(paper1, author1).unwrap();
+    d.append_child(author1, author1_text).unwrap();
+    let init_page1 = d.new_attribute_with_id(9u64, "initPage", "12").unwrap();
+    d.add_attribute(paper1, init_page1).unwrap();
+
+    let paper2 = d.new_element_with_id(10u64, "paper").unwrap();
+    d.append_child(issue, paper2).unwrap();
+    let title2 = d.new_element_with_id(11u64, "title").unwrap();
+    let title2_text = d.new_text_with_id(12u64, "XML Views").unwrap();
+    d.append_child(paper2, title2).unwrap();
+    d.append_child(title2, title2_text).unwrap();
+    let init_page2 = d.new_attribute_with_id(13u64, "initPage", "87").unwrap();
+    d.add_attribute(paper2, init_page2).unwrap();
+    let abstract_el = d.new_element_with_id(14u64, "abstract").unwrap();
+    let abstract_text = d.new_text_with_id(15u64, "Report on the workshop").unwrap();
+    d.append_child(paper2, abstract_el).unwrap();
+    d.append_child(abstract_el, abstract_text).unwrap();
+    let authors = d.new_element_with_id(16u64, "authors").unwrap();
+    d.append_child(paper2, authors).unwrap();
+    let author2 = d.new_element_with_id(17u64, "author").unwrap();
+    let author2_text = d.new_text_with_id(18u64, "B.Catania").unwrap();
+    d.append_child(authors, author2).unwrap();
+    d.append_child(author2, author2_text).unwrap();
+    let author3 = d.new_element_with_id(19u64, "author").unwrap();
+    let author3_text = d.new_text_with_id(20u64, "E.Ferrari").unwrap();
+    d.append_child(authors, author3).unwrap();
+    d.append_child(author3, author3_text).unwrap();
+
+    let labeling = Labeling::assign(&d);
+    (d, labeling)
+}
+
+/// Shorthand for `NodeId::new`, handy when mirroring the paper's numbering.
+pub fn n(id: u64) -> NodeId {
+    NodeId::new(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdm::NodeKind;
+
+    #[test]
+    fn figure1_shape_and_ids() {
+        let (d, labels) = figure1();
+        assert_eq!(d.node_count(), 20);
+        assert_eq!(d.name(n(1)).unwrap(), Some("issue"));
+        assert_eq!(d.kind(n(9)).unwrap(), NodeKind::Attribute);
+        assert_eq!(d.kind(n(15)).unwrap(), NodeKind::Text);
+        assert_eq!(d.children(n(16)).unwrap().len(), 2, "two authors in the second paper");
+        assert!(labels.is_child(n(17), n(16)));
+        assert!(labels.is_descendant(n(20), n(10)));
+        assert!(labels.is_attribute(n(13), n(10)));
+        assert!(labels.precedes(n(4), n(10)));
+    }
+}

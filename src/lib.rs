@@ -1,0 +1,78 @@
+//! # xmlpul — Dynamic Reasoning on XML Updates
+//!
+//! A Rust reproduction of *F. Cavalieri, G. Guerrini, M. Mesiti — “Dynamic
+//! Reasoning on XML Updates”, EDBT 2011*: a complete system for exchanging,
+//! reasoning on and executing XQuery Update Facility **Pending Update Lists
+//! (PULs)** without accessing the documents they refer to.
+//!
+//! This crate is a façade re-exporting the workspace crates:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`xdm`] | XML document model, parser/serializer, SAX events |
+//! | [`xlabel`] | update-tolerant labeling scheme (Table 1 predicates) |
+//! | [`pul`] | update primitives, PULs, semantics, in-memory & streaming evaluation, exchange format |
+//! | [`pul_core`] | **the paper's contribution**: reduction, integration, reconciliation, aggregation |
+//! | [`xqupdate`] | a miniature XQuery Update front-end producing PULs |
+//! | [`workload`] | XMark-style documents and synthetic PUL generators |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use xmlpul::prelude::*;
+//!
+//! // The executor holds the authoritative document and its labeling.
+//! let doc = xdm::parser::parse_document(
+//!     "<issue><paper><title>Old</title></paper></issue>").unwrap();
+//! let labels = Labeling::assign(&doc);
+//!
+//! // A producer expresses updates as a PUL (here, built directly).
+//! let title = doc.find_element("title").unwrap();
+//! let pul = Pul::from_ops(vec![
+//!     UpdateOp::rename(title, "heading"),
+//!     UpdateOp::ins_after(title, vec![Tree::element_with_text("author", "G.Guerrini")]),
+//! ], &labels);
+//!
+//! // PULs travel as XML, are reduced by the executor, and applied.
+//! let wire = pul::xmlio::pul_to_xml(&pul);
+//! let received = pul::xmlio::pul_from_xml(&wire).unwrap();
+//! let reduced = pul_core::reduce(&received);
+//! let mut updated = doc.clone();
+//! pul::apply_pul(&mut updated, &reduced, &Default::default()).unwrap();
+//! assert!(xdm::writer::write_document(&updated).contains("<heading>"));
+//! ```
+
+pub use pul;
+pub use pul_core;
+pub use workload;
+pub use xdm;
+pub use xlabel;
+pub use xqupdate;
+
+pub mod fixtures;
+
+/// The most commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use pul::{apply_pul, ApplyOptions, OpClass, OpName, Pul, PulError, UpdateOp};
+    pub use pul_core::{
+        aggregate, canonical_form, deterministic_reduce, integrate, reconcile, reduce, Conflict,
+        ConflictType, Policy,
+    };
+    pub use xdm::{Document, NodeId, NodeKind, Tree};
+    pub use xlabel::{Labeling, NodeLabel, OrderKey};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_are_usable() {
+        let doc = xdm::parser::parse_document("<a><b>t</b></a>").unwrap();
+        let labels = Labeling::assign(&doc);
+        let b = doc.find_element("b").unwrap();
+        let pul = Pul::from_ops(vec![UpdateOp::rename(b, "c")], &labels);
+        let reduced = reduce(&pul);
+        assert_eq!(reduced.len(), 1);
+    }
+}
