@@ -3,7 +3,9 @@
 //! Includes the reduce-only series and the naive O(k²) ablation baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pul_bench::{run_reduction_end_to_end, run_reduction_naive, run_reduction_only, setup_reduction};
+use pul_bench::{
+    run_reduction_end_to_end, run_reduction_naive, run_reduction_only, setup_reduction,
+};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6b_reduction");

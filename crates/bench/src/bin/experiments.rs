@@ -127,7 +127,9 @@ fn fig6d(full: bool) {
 }
 
 fn fig6e(full: bool) {
-    println!("\n=== Figure 6.e — integration of 10 PULs (50% conflicting ops, ~5 ops/conflict) ===");
+    println!(
+        "\n=== Figure 6.e — integration of 10 PULs (50% conflicting ops, ~5 ops/conflict) ==="
+    );
     println!(
         "{:>14} {:>12} {:>16} {:>20} {:>16}",
         "ops per PUL", "conflicts", "integration ms", "int.+resolution ms", "reconciled ops"

@@ -23,7 +23,7 @@ use workload::pulgen::{
 };
 use workload::xmark::{generate as xmark, XmarkConfig};
 use xdm::parser::parse_document_identified;
-use xdm::writer::{write_document_identified, write_document};
+use xdm::writer::{write_document, write_document_identified};
 use xdm::Document;
 use xlabel::Labeling;
 
@@ -63,7 +63,12 @@ pub fn setup_eval(doc_nodes: usize, n_ops: usize, seed: u64) -> EvalWorkload {
     let pul = generate_pul(
         &doc,
         &labeling,
-        &PulGenConfig { n_ops, reducible_ratio: 0.0, content_id_base: doc.next_id() + 1_000_000, seed },
+        &PulGenConfig {
+            n_ops,
+            reducible_ratio: 0.0,
+            content_id_base: doc.next_id() + 1_000_000,
+            seed,
+        },
     );
     let xml = write_document_identified(&doc);
     let first_new_id = doc.next_id() + 10_000_000;
@@ -105,7 +110,12 @@ pub fn setup_reduction(n_ops: usize, seed: u64) -> ReductionWorkload {
     let pul = generate_pul(
         &doc,
         &labeling,
-        &PulGenConfig { n_ops, reducible_ratio: 0.1, content_id_base: doc.next_id() + 1_000_000, seed },
+        &PulGenConfig {
+            n_ops,
+            reducible_ratio: 0.1,
+            content_id_base: doc.next_id() + 1_000_000,
+            seed,
+        },
     );
     ReductionWorkload { pul_xml: pul_to_xml(&pul), pul }
 }
@@ -114,14 +124,14 @@ pub fn setup_reduction(n_ops: usize, seed: u64) -> ReductionWorkload {
 /// Returns the size of the reduced PUL.
 pub fn run_reduction_end_to_end(w: &ReductionWorkload) -> usize {
     let pul = pul_from_xml(&w.pul_xml).expect("valid PUL document");
-    let reduced = pul_core::reduce(&pul);
+    let reduced = pul_core::reduce_with(&pul, pul_core::ReductionKind::Plain);
     let _xml = pul_to_xml(&reduced);
     reduced.len()
 }
 
 /// Reduction alone, on the already-deserialized PUL.
 pub fn run_reduction_only(w: &ReductionWorkload) -> usize {
-    pul_core::reduce(&w.pul).len()
+    pul_core::reduce_with(&w.pul, pul_core::ReductionKind::Plain).len()
 }
 
 /// Naive O(k²) reduction baseline (ablation).
@@ -150,7 +160,12 @@ pub struct AggregationWorkload {
 
 /// Builds the Fig. 6.c/6.d workload: `n_puls` PULs of `ops_per_pul` operations,
 /// half of them on nodes inserted by previous PULs (the paper's setting).
-pub fn setup_aggregation(doc_nodes: usize, n_puls: usize, ops_per_pul: usize, seed: u64) -> AggregationWorkload {
+pub fn setup_aggregation(
+    doc_nodes: usize,
+    n_puls: usize,
+    ops_per_pul: usize,
+    seed: u64,
+) -> AggregationWorkload {
     let doc = xmark(&XmarkConfig { target_nodes: doc_nodes, seed });
     let puls = generate_sequential_puls(
         &doc,
@@ -180,8 +195,7 @@ pub fn run_aggregation_only(w: &AggregationWorkload) -> usize {
 /// resulting PUL in streaming over the document. Returns the output size.
 pub fn run_aggregate_then_evaluate(w: &AggregationWorkload) -> usize {
     let agg = aggregate(&w.puls).expect("aggregable sequence");
-    let out =
-        apply_streaming_with(&w.doc_xml, &agg, w.first_new_id, true).expect("applicable PUL");
+    let out = apply_streaming_with(&w.doc_xml, &agg, w.first_new_id, true).expect("applicable PUL");
     out.len()
 }
 

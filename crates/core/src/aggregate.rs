@@ -209,8 +209,12 @@ pub fn aggregate(puls: &[Pul]) -> Result<Pul, PulError> {
                 // rules A1/A2/C4/C5: insertions of the same type on the same
                 // node are merged, with the parameter order dictated by the
                 // insertion direction.
-                OpName::InsBefore | OpName::InsAfter | OpName::InsFirst | OpName::InsLast
-                | OpName::InsInto | OpName::InsAttributes => {
+                OpName::InsBefore
+                | OpName::InsAfter
+                | OpName::InsFirst
+                | OpName::InsLast
+                | OpName::InsInto
+                | OpName::InsAttributes => {
                     // the unsupported corner case: an earlier repC followed by
                     // a child insertion on the same node.
                     let repc_before = existing.iter().any(|&i| {
@@ -238,8 +242,10 @@ pub fn aggregate(puls: &[Pul]) -> Result<Pul, PulError> {
                             // A1/A2 (same PUL) and C4 (←, ↘): existing first;
                             // C5 (→, ↙, and ins↓/insA treated alike): new first.
                             let combined: Vec<Tree> = if same_pul
-                                || matches!(op.name(), OpName::InsBefore | OpName::InsLast | OpName::InsAttributes)
-                            {
+                                || matches!(
+                                    op.name(),
+                                    OpName::InsBefore | OpName::InsLast | OpName::InsAttributes
+                                ) {
                                 existing_content.into_iter().chain(new_content).collect()
                             } else {
                                 new_content.into_iter().chain(existing_content).collect()
@@ -294,9 +300,10 @@ mod tests {
 
     /// `<db(1)><articles(2)>…</articles><count(3)>7(4)</count><note(5)>n(6)</note></db>`
     fn fixture() -> (Document, Labeling) {
-        let doc =
-            parse_document("<db><articles><old>x</old></articles><count>7</count><note>n</note></db>")
-                .unwrap();
+        let doc = parse_document(
+            "<db><articles><old>x</old></articles><count>7</count><note>n</note></db>",
+        )
+        .unwrap();
         let labeling = Labeling::assign(&doc);
         (doc, labeling)
     }
@@ -308,13 +315,21 @@ mod tests {
     fn assert_aggregation_matches_sequential(doc: &Document, puls: &[Pul]) {
         let mut sequential = doc.clone();
         for p in puls {
-            apply_pul(&mut sequential, p, &ApplyOptions { validate: false, preserve_content_ids: true })
-                .unwrap();
+            apply_pul(
+                &mut sequential,
+                p,
+                &ApplyOptions { validate: false, preserve_content_ids: true },
+            )
+            .unwrap();
         }
         let aggregated = aggregate(puls).unwrap();
         let mut once = doc.clone();
-        apply_pul(&mut once, &aggregated, &ApplyOptions { validate: false, preserve_content_ids: true })
-            .unwrap();
+        apply_pul(
+            &mut once,
+            &aggregated,
+            &ApplyOptions { validate: false, preserve_content_ids: true },
+        )
+        .unwrap();
         assert_eq!(
             canonical_string(&sequential),
             canonical_string(&once),
@@ -369,7 +384,10 @@ mod tests {
         let ins = agg12.ops().iter().find(|o| o.name() == OpName::InsLast).unwrap();
         let tree = &ins.content().unwrap()[0];
         assert_eq!(tree.children(tree.root_id()).unwrap().len(), 3, "title + two authors");
-        assert!(agg12.ops().iter().any(|o| matches!(o, UpdateOp::Rename { name, .. } if name == "title")));
+        assert!(agg12
+            .ops()
+            .iter()
+            .any(|o| matches!(o, UpdateOp::Rename { name, .. } if name == "title")));
 
         // ∆1 ⤙ ∆2 ⤙ ∆3
         let agg123 = aggregate(&[p1.clone(), p2.clone(), p3.clone()]).unwrap();
@@ -384,8 +402,14 @@ mod tests {
         let author_texts: Vec<String> = kids[1..].iter().map(|&k| tree.text_content(k)).collect();
         assert_eq!(author_texts, vec!["G G", "F C"]);
         // the rename of <note> has been superseded (rule B3)
-        assert!(agg123.ops().iter().any(|o| matches!(o, UpdateOp::Rename { name, .. } if name == "name")));
-        assert!(!agg123.ops().iter().any(|o| matches!(o, UpdateOp::Rename { name, .. } if name == "title")));
+        assert!(agg123
+            .ops()
+            .iter()
+            .any(|o| matches!(o, UpdateOp::Rename { name, .. } if name == "name")));
+        assert!(!agg123
+            .ops()
+            .iter()
+            .any(|o| matches!(o, UpdateOp::Rename { name, .. } if name == "title")));
 
         assert_aggregation_matches_sequential(&doc, &[p1, p2, p3]);
     }
@@ -405,8 +429,14 @@ mod tests {
         );
         let agg = aggregate_pair(&p1, &p2).unwrap();
         assert_eq!(agg.len(), 2, "{agg}");
-        assert!(agg.ops().iter().any(|o| matches!(o, UpdateOp::Rename { name, .. } if name == "b")));
-        assert!(agg.ops().iter().any(|o| matches!(o, UpdateOp::ReplaceValue { value, .. } if value == "2")));
+        assert!(agg
+            .ops()
+            .iter()
+            .any(|o| matches!(o, UpdateOp::Rename { name, .. } if name == "b")));
+        assert!(agg
+            .ops()
+            .iter()
+            .any(|o| matches!(o, UpdateOp::ReplaceValue { value, .. } if value == "2")));
         assert_aggregation_matches_sequential(&doc, &[p1, p2]);
     }
 
@@ -489,10 +519,7 @@ mod tests {
             ],
             &labels,
         );
-        let p2 = Pul::from_ops(
-            vec![UpdateOp::ins_last(articles, vec![t("Y", 120)])],
-            &labels,
-        );
+        let p2 = Pul::from_ops(vec![UpdateOp::ins_last(articles, vec![t("Y", 120)])], &labels);
         let agg = aggregate_pair(&p1, &p2).unwrap();
         // the two same-PUL ins→ are merged keeping their order (rule A1)
         let merged = agg.ops().iter().find(|o| o.name() == OpName::InsAfter).unwrap();
@@ -519,7 +546,10 @@ mod tests {
         let agg = aggregate_pair(&p1, &p2).unwrap();
         assert_eq!(agg.len(), 2, "{agg}");
         assert!(agg.ops().iter().any(|o| o.name() == OpName::Delete));
-        assert!(agg.ops().iter().any(|o| matches!(o, UpdateOp::Rename { name, .. } if name == "kept")));
+        assert!(agg
+            .ops()
+            .iter()
+            .any(|o| matches!(o, UpdateOp::Rename { name, .. } if name == "kept")));
         assert_aggregation_matches_sequential(&doc, &[p1, p2]);
     }
 
@@ -547,7 +577,10 @@ mod tests {
         let before = parse_fragment_with_first_id("<article>zero</article>", 70).unwrap();
         let after = parse_fragment_with_first_id("<article>second</article>", 80).unwrap();
         let p2 = Pul::from_ops(
-            vec![UpdateOp::ins_before(60u64, vec![before]), UpdateOp::ins_after(60u64, vec![after])],
+            vec![
+                UpdateOp::ins_before(60u64, vec![before]),
+                UpdateOp::ins_after(60u64, vec![after]),
+            ],
             &labels,
         );
         let agg = aggregate_pair(&p1, &p2).unwrap();
@@ -562,11 +595,10 @@ mod tests {
     fn unsupported_repc_then_child_insertion_is_an_error() {
         let (doc, labels) = fixture();
         let articles = doc.find_element("articles").unwrap();
-        let p1 = Pul::from_ops(vec![UpdateOp::replace_content(articles, Some("t".into()))], &labels);
-        let p2 = Pul::from_ops(
-            vec![UpdateOp::ins_last(articles, vec![Tree::element("x")])],
-            &labels,
-        );
+        let p1 =
+            Pul::from_ops(vec![UpdateOp::replace_content(articles, Some("t".into()))], &labels);
+        let p2 =
+            Pul::from_ops(vec![UpdateOp::ins_last(articles, vec![Tree::element("x")])], &labels);
         assert!(matches!(aggregate_pair(&p1, &p2), Err(PulError::Dynamic(_))));
     }
 
@@ -578,7 +610,7 @@ mod tests {
             vec![UpdateOp::rename(note, "x"), UpdateOp::delete(doc.find_element("old").unwrap())],
             &labels,
         );
-        let agg = aggregate(&[p1.clone()]).unwrap();
+        let agg = aggregate(std::slice::from_ref(&p1)).unwrap();
         assert_eq!(agg.len(), 2);
         assert_aggregation_matches_sequential(&doc, &[p1]);
     }

@@ -150,7 +150,10 @@ pub fn symmetric_local_conflict(op1: &UpdateOp, op2: &UpdateOp) -> Option<Confli
     let (n1, n2) = (op1.name(), op2.name());
     // Type 1: repeated modification.
     if n1 == n2
-        && matches!(n1, OpName::Rename | OpName::ReplaceNode | OpName::ReplaceContent | OpName::ReplaceValue)
+        && matches!(
+            n1,
+            OpName::Rename | OpName::ReplaceNode | OpName::ReplaceContent | OpName::ReplaceValue
+        )
     {
         return Some(ConflictType::RepeatedModification);
     }
@@ -169,7 +172,8 @@ pub fn symmetric_local_conflict(op1: &UpdateOp, op2: &UpdateOp) -> Option<Confli
         }
     }
     // Type 3: element insertion order (same insertion kind, except ins↓).
-    if n1 == n2 && matches!(n1, OpName::InsBefore | OpName::InsAfter | OpName::InsFirst | OpName::InsLast)
+    if n1 == n2
+        && matches!(n1, OpName::InsBefore | OpName::InsAfter | OpName::InsFirst | OpName::InsLast)
     {
         return Some(ConflictType::InsertionOrder);
     }
@@ -266,9 +270,16 @@ mod tests {
     fn type2_repeated_attribute_insertion() {
         let a = UpdateOp::ins_attributes(7u64, vec![Tree::attribute("email", "a@disi")]);
         let b = UpdateOp::ins_attributes(7u64, vec![Tree::attribute("email", "b@gmail")]);
-        assert_eq!(symmetric_local_conflict(&a, &b), Some(ConflictType::RepeatedAttributeInsertion));
+        assert_eq!(
+            symmetric_local_conflict(&a, &b),
+            Some(ConflictType::RepeatedAttributeInsertion)
+        );
         let c = UpdateOp::ins_attributes(7u64, vec![Tree::attribute("phone", "123")]);
-        assert_eq!(symmetric_local_conflict(&a, &c), None, "different attribute names do not clash");
+        assert_eq!(
+            symmetric_local_conflict(&a, &c),
+            None,
+            "different attribute names do not clash"
+        );
     }
 
     #[test]
@@ -316,7 +327,11 @@ mod tests {
             vec![OpRef::new(0, 1), OpRef::new(1, 1)],
         );
         assert_eq!(c.to_string(), "⟨Λ, {∆1#1, ∆2#1}, 3⟩");
-        let c = Conflict::asymmetric(ConflictType::LocalOverride, OpRef::new(2, 0), vec![OpRef::new(1, 3)]);
+        let c = Conflict::asymmetric(
+            ConflictType::LocalOverride,
+            OpRef::new(2, 0),
+            vec![OpRef::new(1, 3)],
+        );
         assert!(c.to_string().contains("∆3#0"));
         assert_eq!(c.all_ops().len(), 2);
     }

@@ -45,7 +45,7 @@ impl Integration {
     }
 }
 
-fn label_of<'a>(puls: &'a [Pul], target: NodeId) -> Option<&'a NodeLabel> {
+fn label_of(puls: &[Pul], target: NodeId) -> Option<&NodeLabel> {
     puls.iter().find_map(|p| p.label(target))
 }
 
@@ -192,9 +192,9 @@ pub fn integrate(puls: &[Pul]) -> Integration {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pul::UpdateOp;
     use pul::apply::{apply_pul, ApplyOptions};
     use pul::obtainable::canonical_string;
+    use pul::UpdateOp;
     use xdm::parser::parse_document;
     use xdm::{Document, Tree};
     use xlabel::Labeling;
@@ -286,7 +286,8 @@ mod tests {
             ],
             &labels,
         );
-        let p3 = Pul::from_ops(vec![UpdateOp::replace_content(author, Some("G G".into()))], &labels);
+        let p3 =
+            Pul::from_ops(vec![UpdateOp::replace_content(author, Some("G G".into()))], &labels);
 
         let result = integrate(&[p1, p2, p3]);
         let types: Vec<u8> = result.conflicts.iter().map(|c| c.ctype.code()).collect();

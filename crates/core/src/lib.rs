@@ -31,4 +31,6 @@ pub use conflict::{Conflict, ConflictType, OpRef};
 pub use integrate::{integrate, Integration};
 pub use policy::Policy;
 pub use reconcile::{reconcile, reconcile_integration, ReconcileError};
-pub use reduce::{canonical_form, deterministic_reduce, reduce, ReductionKind};
+#[allow(deprecated)]
+pub use reduce::{canonical_form, deterministic_reduce, reduce};
+pub use reduce::{reduce_naive, reduce_with, ReductionKind};

@@ -42,7 +42,7 @@ fn policy_of(policies: &[Policy], r: OpRef) -> Policy {
     policies.get(r.pul).copied().unwrap_or_default()
 }
 
-fn label_of<'a>(puls: &'a [Pul], target: NodeId) -> Option<&'a NodeLabel> {
+fn label_of(puls: &[Pul], target: NodeId) -> Option<&NodeLabel> {
     puls.iter().find_map(|p| p.label(target))
 }
 
@@ -60,7 +60,8 @@ fn precedence(conflict: &Conflict, puls: &[Pul]) -> u8 {
     use pul::OpName::*;
     let overrider_name = conflict.overrider.map(|o| o.resolve(puls).name());
     let first_name = conflict.ops.first().map(|o| o.resolve(puls).name());
-    let first_is_del = conflict.ops.first().map(|o| acts_as_delete(o.resolve(puls))).unwrap_or(false);
+    let first_is_del =
+        conflict.ops.first().map(|o| acts_as_delete(o.resolve(puls))).unwrap_or(false);
     match conflict.ctype {
         ConflictType::RepeatedModification => match first_name {
             Some(ReplaceNode) if !first_is_del => 1,
@@ -158,7 +159,9 @@ fn solve(
                 pul::OpName::InsAfter => UpdateOp::ins_after(target, content),
                 pul::OpName::InsFirst => UpdateOp::ins_first(target, content),
                 pul::OpName::InsLast => UpdateOp::ins_last(target, content),
-                other => unreachable!("insertion-order conflicts only involve insertions ({other:?})"),
+                other => {
+                    unreachable!("insertion-order conflicts only involve insertions ({other:?})")
+                }
             };
             Ok(Solved { excluded: os.to_vec(), generated: vec![generated] })
         }
@@ -310,7 +313,11 @@ mod tests {
         // Producer 1: insertion order and inserted data must be preserved;
         // producer 2: no constraints; producer 3: inserted data only.
         let policies = vec![
-            Policy { preserve_insertion_order: true, preserve_inserted_data: true, preserve_removed_data: false },
+            Policy {
+                preserve_insertion_order: true,
+                preserve_inserted_data: true,
+                preserve_removed_data: false,
+            },
             Policy::relaxed(),
             Policy::inserted_data(),
         ];
@@ -331,7 +338,10 @@ mod tests {
 
         // Producer 1's email attribute wins (inserted data preserved), and its
         // repV('34') wins over producer 2's repV('35').
-        assert!(reconciled.ops().iter().any(|o| matches!(o, UpdateOp::InsAttributes { content, .. }
+        assert!(reconciled
+            .ops()
+            .iter()
+            .any(|o| matches!(o, UpdateOp::InsAttributes { content, .. }
             if content[0].value(content[0].root_id()).unwrap() == Some("catania@disi"))));
         assert!(reconciled
             .ops()
@@ -407,7 +417,8 @@ mod tests {
             &labels,
         );
         let p2 = Pul::from_ops(vec![UpdateOp::delete(title)], &labels);
-        let err = reconcile(&[p1, p2], &[Policy::inserted_data(), Policy::removed_data()]).unwrap_err();
+        let err =
+            reconcile(&[p1, p2], &[Policy::inserted_data(), Policy::removed_data()]).unwrap_err();
         assert!(err.to_string().contains("unsolvable conflict"));
     }
 
@@ -441,11 +452,9 @@ mod tests {
         let p1 = Pul::from_ops(vec![UpdateOp::delete(paper)], &labels);
         let p2 = Pul::from_ops(vec![UpdateOp::replace_value(text, "a")], &labels);
         let p3 = Pul::from_ops(vec![UpdateOp::replace_value(text, "b")], &labels);
-        let out = reconcile(
-            &[p1, p2, p3],
-            &[Policy::relaxed(), Policy::relaxed(), Policy::relaxed()],
-        )
-        .unwrap();
+        let out =
+            reconcile(&[p1, p2, p3], &[Policy::relaxed(), Policy::relaxed(), Policy::relaxed()])
+                .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.ops()[0].name(), OpName::Delete);
     }

@@ -122,7 +122,13 @@ fn try_rule(stage: u8, op1: &UpdateOp, op2: &UpdateOp, ctx: &Ctx<'_>) -> Option<
                 && matches!(n2, ReplaceNode | Delete)
                 && matches!(
                     n1,
-                    Rename | ReplaceValue | ReplaceContent | Delete | InsFirst | InsLast | InsInto
+                    Rename
+                        | ReplaceValue
+                        | ReplaceContent
+                        | Delete
+                        | InsFirst
+                        | InsLast
+                        | InsInto
                         | InsAttributes
                 )
             {
@@ -273,7 +279,7 @@ fn candidates(stage: u8, work: &Work, ctx: &Ctx<'_>) -> Vec<(usize, usize)> {
         out.push((b, a));
     };
     // Same-target pairs are candidates in every stage that has same-target rules.
-    if matches!(stage, 1 | 2 | 3 | 4) {
+    if matches!(stage, 1..=4) {
         for slots in by_target.values() {
             for (x, &a) in slots.iter().enumerate() {
                 for &b in &slots[x + 1..] {
@@ -287,10 +293,8 @@ fn candidates(stage: u8, work: &Work, ctx: &Ctx<'_>) -> Vec<(usize, usize)> {
     // the repN/del/repC operations whose containment interval is still open,
     // i.e. exactly the candidate ancestors — O(k log k) overall.
     if stage == 1 {
-        let mut labeled: Vec<(usize, &NodeLabel)> = work
-            .active()
-            .filter_map(|(i, op)| ctx.label(op.target()).map(|l| (i, l)))
-            .collect();
+        let mut labeled: Vec<(usize, &NodeLabel)> =
+            work.active().filter_map(|(i, op)| ctx.label(op.target()).map(|l| (i, l))).collect();
         labeled.sort_by(|(_, a), (_, b)| a.start.cmp(&b.start));
         let mut active_overriders: Vec<(usize, &NodeLabel)> = Vec::new();
         for &(i, label) in &labeled {
@@ -308,7 +312,7 @@ fn candidates(stage: u8, work: &Work, ctx: &Ctx<'_>) -> Vec<(usize, usize)> {
     }
     // Parent/child, attribute/owner, first/last-child and sibling pairs: use
     // the parent / left-sibling identifiers recorded in the labels.
-    if matches!(stage, 5 | 6 | 7 | 8 | 9) {
+    if matches!(stage, 5..=9) {
         for (i, op) in work.active() {
             let t = op.target();
             if let Some(label) = ctx.label(t) {
@@ -341,7 +345,11 @@ fn candidates(stage: u8, work: &Work, ctx: &Ctx<'_>) -> Vec<(usize, usize)> {
 fn op_order(ctx: &Ctx<'_>, a: &UpdateOp, b: &UpdateOp) -> std::cmp::Ordering {
     use std::cmp::Ordering;
     if a.target() != b.target() {
-        return if ctx.precedes(a.target(), b.target()) { Ordering::Less } else { Ordering::Greater };
+        return if ctx.precedes(a.target(), b.target()) {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        };
     }
     a.param_sort_key().cmp(&b.param_sort_key()).then_with(|| a.name().code().cmp(b.name().code()))
 }
@@ -405,12 +413,10 @@ pub fn reduce_with(pul: &Pul, kind: ReductionKind) -> Pul {
     }
     // Stage 10: make the semantics deterministic by rewriting ins↓ into ins↙.
     if matches!(kind, ReductionKind::Deterministic | ReductionKind::Canonical) {
-        for slot in &mut work.slots {
-            if let Some(op) = slot {
-                if op.name() == OpName::InsInto {
-                    let content = op.content().unwrap_or(&[]).to_vec();
-                    *op = UpdateOp::ins_first(op.target(), content);
-                }
+        for op in work.slots.iter_mut().flatten() {
+            if op.name() == OpName::InsInto {
+                let content = op.content().unwrap_or(&[]).to_vec();
+                *op = UpdateOp::ins_first(op.target(), content);
             }
         }
     }
@@ -420,7 +426,9 @@ pub fn reduce_with(pul: &Pul, kind: ReductionKind) -> Pul {
         // unordered list, so this only normalizes the presentation.
         ops.sort_by(|a, b| op_order(&ctx, a, b).then_with(|| a.name().code().cmp(b.name().code())));
         ops.dedup_by(|a, b| {
-            a.target() == b.target() && a.name() == b.name() && a.param_sort_key() == b.param_sort_key()
+            a.target() == b.target()
+                && a.name() == b.name()
+                && a.param_sort_key() == b.param_sort_key()
         });
     }
     let mut out = Pul::with_capacity(ops.len());
@@ -434,17 +442,29 @@ pub fn reduce_with(pul: &Pul, kind: ReductionKind) -> Pul {
 }
 
 /// PUL reduction `∆O` (Def. 7): stages 1–9.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by the session API: use `xmlpul::ReductionStrategy::Standard` (or `reduce_with(pul, ReductionKind::Plain)`)"
+)]
 pub fn reduce(pul: &Pul) -> Pul {
     reduce_with(pul, ReductionKind::Plain)
 }
 
 /// Deterministic PUL reduction `∆H` (Def. 8): stages 1–10.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by the session API: use `xmlpul::ReductionStrategy::Deterministic` (or `reduce_with(pul, ReductionKind::Deterministic)`)"
+)]
 pub fn deterministic_reduce(pul: &Pul) -> Pul {
     reduce_with(pul, ReductionKind::Deterministic)
 }
 
 /// Canonical form `∆H̄` (Def. 9): the unique deterministic reduction obtained
 /// by always applying a rule to the `<p`-least applicable pair.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by the session API: use `xmlpul::ReductionStrategy::Canonical` (or `reduce_with(pul, ReductionKind::Canonical)`)"
+)]
 pub fn canonical_form(pul: &Pul) -> Pul {
     reduce_with(pul, ReductionKind::Canonical)
 }
@@ -491,6 +511,20 @@ pub fn reduce_naive(pul: &Pul) -> Pul {
 mod tests {
     use super::*;
     use pul::obtainable::{obtainable_documents, substitutable, DEFAULT_OUTCOME_LIMIT};
+
+    // Local, non-deprecated shorthands: the unit tests exercise the reduction
+    // kinds, not the deprecated wrapper functions.
+    fn reduce(pul: &Pul) -> Pul {
+        reduce_with(pul, ReductionKind::Plain)
+    }
+
+    fn deterministic_reduce(pul: &Pul) -> Pul {
+        reduce_with(pul, ReductionKind::Deterministic)
+    }
+
+    fn canonical_form(pul: &Pul) -> Pul {
+        reduce_with(pul, ReductionKind::Canonical)
+    }
     use xdm::parser::parse_document;
     use xdm::Document;
     use xlabel::Labeling;
@@ -564,10 +598,7 @@ mod tests {
         let title = doc.find_elements("title")[0];
         let pul = pul_of(
             &labels,
-            vec![
-                UpdateOp::ins_before(title, vec![Tree::element("kept")]),
-                UpdateOp::delete(title),
-            ],
+            vec![UpdateOp::ins_before(title, vec![Tree::element("kept")]), UpdateOp::delete(title)],
         );
         let red = reduce(&pul);
         assert_eq!(red.len(), 2, "sibling insertion must not be dropped: {red}");
@@ -630,7 +661,10 @@ mod tests {
         let red = reduce(&pul);
         // the rename of the (removed) title is dropped, the attribute update survives
         assert_eq!(red.len(), 2, "{red}");
-        assert!(red.ops().iter().any(|o| o.name() == OpName::ReplaceValue && o.target() == init_page));
+        assert!(red
+            .ops()
+            .iter()
+            .any(|o| o.name() == OpName::ReplaceValue && o.target() == init_page));
         assert!(red.ops().iter().any(|o| o.name() == OpName::ReplaceContent));
         assert_reduction_substitutable(&doc, &pul, &red);
     }
@@ -668,12 +702,8 @@ mod tests {
         let red = reduce(&pul);
         assert_eq!(red.len(), 1);
         assert_eq!(red.ops()[0].name(), OpName::InsFirst);
-        let texts: Vec<String> = red.ops()[0]
-            .content()
-            .unwrap()
-            .iter()
-            .map(|t| t.text_content(t.root_id()))
-            .collect();
+        let texts: Vec<String> =
+            red.ops()[0].content().unwrap().iter().map(|t| t.text_content(t.root_id())).collect();
         assert_eq!(texts, vec!["First", "Into"]);
         assert_reduction_substitutable(&doc, &pul, &red);
 
@@ -688,12 +718,8 @@ mod tests {
         let red = reduce(&pul);
         assert_eq!(red.len(), 1);
         assert_eq!(red.ops()[0].name(), OpName::InsLast);
-        let texts: Vec<String> = red.ops()[0]
-            .content()
-            .unwrap()
-            .iter()
-            .map(|t| t.text_content(t.root_id()))
-            .collect();
+        let texts: Vec<String> =
+            red.ops()[0].content().unwrap().iter().map(|t| t.text_content(t.root_id())).collect();
         assert_eq!(texts, vec!["Into", "Last"]);
         assert_reduction_substitutable(&doc, &pul, &red);
     }
@@ -714,7 +740,8 @@ mod tests {
         assert_eq!(red.len(), 1, "{red}");
         let op = &red.ops()[0];
         assert_eq!(op.name(), OpName::ReplaceNode);
-        let names: Vec<String> = op.content().unwrap().iter().map(|t| t.root_name().unwrap()).collect();
+        let names: Vec<String> =
+            op.content().unwrap().iter().map(|t| t.root_name().unwrap()).collect();
         assert_eq!(names, vec!["b", "t", "a"]);
         assert_reduction_substitutable(&doc, &pul, &red);
     }
@@ -728,7 +755,10 @@ mod tests {
             &labels,
             vec![
                 UpdateOp::ins_into(authors, vec![Tree::element_with_text("author", "Into")]),
-                UpdateOp::ins_before(first_author, vec![Tree::element_with_text("author", "Before")]),
+                UpdateOp::ins_before(
+                    first_author,
+                    vec![Tree::element_with_text("author", "Before")],
+                ),
             ],
         );
         let red = reduce(&pul);

@@ -153,7 +153,17 @@ impl NodeLabel {
             "-" => (false, false),
             _ => return None,
         };
-        Some(NodeLabel { id, start, end, level, kind, parent, left_sibling, is_first_child, is_last_child })
+        Some(NodeLabel {
+            id,
+            start,
+            end,
+            level,
+            kind,
+            parent,
+            left_sibling,
+            is_first_child,
+            is_last_child,
+        })
     }
 }
 
@@ -167,6 +177,7 @@ impl fmt::Display for NodeLabel {
 mod tests {
     use super::*;
 
+    #[allow(clippy::too_many_arguments)]
     fn label(
         id: u64,
         start: Vec<u8>,

@@ -112,7 +112,8 @@ fn graft_tree(
     opts: &ApplyOptions,
     report: &mut ApplyReport,
 ) -> Result<NodeId> {
-    let (root, mapping) = doc.graft(tree.as_document(), tree.root_id(), opts.preserve_content_ids)?;
+    let (root, mapping) =
+        doc.graft(tree.as_document(), tree.root_id(), opts.preserve_content_ids)?;
     for (old, new) in mapping {
         report.id_map.insert(old, new);
     }
@@ -225,7 +226,8 @@ fn apply_one(
         UpdateOp::ReplaceNode { content, .. } => {
             let parent = doc.parent(target)?;
             if doc.kind(target)? == NodeKind::Attribute {
-                let owner = parent.ok_or(PulError::Dynamic(format!("attribute {target} has no owner")))?;
+                let owner =
+                    parent.ok_or(PulError::Dynamic(format!("attribute {target} has no owner")))?;
                 for tree in content {
                     let root = graft_tree(doc, tree, opts, report)?;
                     doc.add_attribute(owner, root)?;
@@ -278,10 +280,8 @@ mod tests {
 
     fn doc() -> Document {
         // ids: issue=1, volume=2, article=3, title=4, "T"=5, article=6
-        parse_document(
-            "<issue volume=\"30\"><article><title>T</title></article><article/></issue>",
-        )
-        .unwrap()
+        parse_document("<issue volume=\"30\"><article><title>T</title></article><article/></issue>")
+            .unwrap()
     }
 
     fn apply(doc: &mut Document, ops: Vec<UpdateOp>) -> ApplyReport {
@@ -383,10 +383,7 @@ mod tests {
     fn replace_node_with_nothing_deletes() {
         let mut d = doc();
         apply(&mut d, vec![UpdateOp::replace_node(4u64, vec![])]);
-        assert_eq!(
-            write_document(&d),
-            "<issue volume=\"30\"><article/><article/></issue>"
-        );
+        assert_eq!(write_document(&d), "<issue volume=\"30\"><article/><article/></issue>");
     }
 
     #[test]
@@ -432,10 +429,7 @@ mod tests {
         let mut d = doc();
         apply(
             &mut d,
-            vec![
-                UpdateOp::replace_node(3u64, vec![Tree::element("gone")]),
-                UpdateOp::delete(5u64),
-            ],
+            vec![UpdateOp::replace_node(3u64, vec![Tree::element("gone")]), UpdateOp::delete(5u64)],
         );
         assert_eq!(write_document(&d), "<issue volume=\"30\"><gone/><article/></issue>");
     }
@@ -466,18 +460,17 @@ mod tests {
         let pul: Pul = vec![UpdateOp::rename(99u64, "x")].into_iter().collect();
         assert!(apply_pul(&mut d, &pul, &ApplyOptions::default()).is_err());
         // but validation can be turned off, in which case the op is skipped
-        let report = apply_pul(&mut d, &pul, &ApplyOptions { validate: false, ..Default::default() });
+        let report =
+            apply_pul(&mut d, &pul, &ApplyOptions { validate: false, ..Default::default() });
         assert!(report.is_ok());
     }
 
     #[test]
     fn preserve_content_ids_keeps_tree_identifiers() {
         let mut d = doc();
-        let tree = xdm::parser::parse_fragment_with_first_id(
-            "<article><title>XML</title></article>",
-            24,
-        )
-        .unwrap();
+        let tree =
+            xdm::parser::parse_fragment_with_first_id("<article><title>XML</title></article>", 24)
+                .unwrap();
         let pul: Pul = vec![UpdateOp::ins_last(1u64, vec![tree])].into_iter().collect();
         let report = apply_pul(&mut d, &pul, &ApplyOptions::producer()).unwrap();
         assert!(d.contains(NodeId::new(24)));
@@ -487,11 +480,9 @@ mod tests {
 
         // fresh-id mode must not reuse 24..26 but map them
         let mut d2 = doc();
-        let tree2 = xdm::parser::parse_fragment_with_first_id(
-            "<article><title>XML</title></article>",
-            24,
-        )
-        .unwrap();
+        let tree2 =
+            xdm::parser::parse_fragment_with_first_id("<article><title>XML</title></article>", 24)
+                .unwrap();
         let pul2: Pul = vec![UpdateOp::ins_last(1u64, vec![tree2])].into_iter().collect();
         let report2 = apply_pul(&mut d2, &pul2, &ApplyOptions::default()).unwrap();
         assert_eq!(report2.id_map.len(), 3);
@@ -503,10 +494,7 @@ mod tests {
         let mut d = doc();
         let report = apply(
             &mut d,
-            vec![
-                UpdateOp::ins_last(3u64, vec![Tree::element("author")]),
-                UpdateOp::delete(6u64),
-            ],
+            vec![UpdateOp::ins_last(3u64, vec![Tree::element("author")]), UpdateOp::delete(6u64)],
         );
         assert_eq!(report.inserted_roots.len(), 1);
         assert_eq!(report.removed_roots, vec![NodeId::new(6)]);

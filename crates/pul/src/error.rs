@@ -77,7 +77,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = PulError::NotApplicable { target: NodeId::new(4), reason: "target is a text node".into() };
+        let e = PulError::NotApplicable {
+            target: NodeId::new(4),
+            reason: "target is a text node".into(),
+        };
         assert!(e.to_string().contains("node 4"));
         let e = PulError::Incompatible { target: NodeId::new(1), op: "ren".into() };
         assert!(e.to_string().contains("ren"));

@@ -174,13 +174,16 @@ pub fn obtainable_documents(doc: &Document, pul: &Pul, limit: usize) -> Result<O
     for (i, op) in ops.iter().enumerate() {
         if matches!(
             op.name(),
-            OpName::InsBefore | OpName::InsAfter | OpName::InsFirst | OpName::InsLast | OpName::InsInto
+            OpName::InsBefore
+                | OpName::InsAfter
+                | OpName::InsFirst
+                | OpName::InsLast
+                | OpName::InsInto
         ) {
             groups.entry((op.name(), op.target())).or_default().push(i);
         }
     }
-    let multi_groups: Vec<Vec<usize>> =
-        groups.into_values().filter(|g| g.len() > 1).collect();
+    let multi_groups: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() > 1).collect();
 
     // 2. Cartesian product of all choices.
     let mut choices: Vec<Choice> = vec![Choice::default()];
@@ -249,8 +252,20 @@ fn apply_with_choice(doc: &Document, pul: &Pul, choice: &Choice) -> Result<Docum
     indices.sort_by(|&a, &b| {
         let oa = &ops[a];
         let ob = &ops[b];
-        (oa.stage(), oa.target(), oa.name().code(), rank.get(&a).copied().unwrap_or(0), oa.param_sort_key())
-            .cmp(&(ob.stage(), ob.target(), ob.name().code(), rank.get(&b).copied().unwrap_or(0), ob.param_sort_key()))
+        (
+            oa.stage(),
+            oa.target(),
+            oa.name().code(),
+            rank.get(&a).copied().unwrap_or(0),
+            oa.param_sort_key(),
+        )
+            .cmp(&(
+                ob.stage(),
+                ob.target(),
+                ob.name().code(),
+                rank.get(&b).copied().unwrap_or(0),
+                ob.param_sort_key(),
+            ))
     });
 
     // Record, for every ins↓ target, the sibling node currently at the chosen
@@ -353,10 +368,12 @@ mod tests {
         let d = figure1();
         let authors = d.find_elements("authors")[1];
         assert_eq!(d.children(authors).unwrap().len(), 2);
-        let pul: Pul =
-            vec![UpdateOp::ins_into(authors, vec![Tree::element_with_text("author", "G.Guerrini")])]
-                .into_iter()
-                .collect();
+        let pul: Pul = vec![UpdateOp::ins_into(
+            authors,
+            vec![Tree::element_with_text("author", "G.Guerrini")],
+        )]
+        .into_iter()
+        .collect();
         let o = obtainable_documents(&d, &pul, DEFAULT_OUTCOME_LIMIT).unwrap();
         assert_eq!(o.len(), 3);
     }
@@ -462,7 +479,10 @@ mod tests {
         let authors = d.find_elements("authors")[1];
         let ops: Vec<UpdateOp> = (0..6)
             .map(|i| {
-                UpdateOp::ins_into(authors, vec![Tree::element_with_text("author", format!("A{i}"))])
+                UpdateOp::ins_into(
+                    authors,
+                    vec![Tree::element_with_text("author", format!("A{i}"))],
+                )
             })
             .collect();
         let pul: Pul = ops.into_iter().collect();

@@ -105,9 +105,10 @@ impl OpName {
             | OpName::InsInto
             | OpName::InsAttributes => OpClass::Insertion,
             OpName::Delete => OpClass::Deletion,
-            OpName::ReplaceNode | OpName::ReplaceValue | OpName::ReplaceContent | OpName::Rename => {
-                OpClass::Replacement
-            }
+            OpName::ReplaceNode
+            | OpName::ReplaceValue
+            | OpName::ReplaceContent
+            | OpName::Rename => OpClass::Replacement,
         }
     }
 
@@ -559,10 +560,8 @@ mod tests {
 
     fn doc() -> Document {
         // ids: issue=1, volume=2, article=3, title=4, "T"=5, article=6
-        parse_document(
-            "<issue volume=\"30\"><article><title>T</title></article><article/></issue>",
-        )
-        .unwrap()
+        parse_document("<issue volume=\"30\"><article><title>T</title></article><article/></issue>")
+            .unwrap()
     }
 
     #[test]
@@ -679,7 +678,9 @@ mod tests {
     fn table2_applicability_replace_and_rename() {
         let d = doc();
         // repN of an element with element trees
-        assert!(UpdateOp::replace_node(4u64, vec![Tree::element("x")]).check_applicable(&d).is_ok());
+        assert!(UpdateOp::replace_node(4u64, vec![Tree::element("x")])
+            .check_applicable(&d)
+            .is_ok());
         // repN of an element with an attribute tree is rejected
         assert!(UpdateOp::replace_node(4u64, vec![Tree::attribute("k", "v")])
             .check_applicable(&d)
@@ -691,7 +692,9 @@ mod tests {
         // repN with an empty list is allowed (it is equivalent to del)
         assert!(UpdateOp::replace_node(4u64, vec![]).check_applicable(&d).is_ok());
         // repN of the root is rejected (no parent)
-        assert!(UpdateOp::replace_node(1u64, vec![Tree::element("x")]).check_applicable(&d).is_err());
+        assert!(UpdateOp::replace_node(1u64, vec![Tree::element("x")])
+            .check_applicable(&d)
+            .is_err());
         // repV on text and attributes only
         assert!(UpdateOp::replace_value(5u64, "X").check_applicable(&d).is_ok());
         assert!(UpdateOp::replace_value(2u64, "31").check_applicable(&d).is_ok());

@@ -210,10 +210,8 @@ mod tests {
 
     fn doc() -> Document {
         // ids: issue=1, volume=2, article=3, title=4, "T"=5, article=6
-        parse_document(
-            "<issue volume=\"30\"><article><title>T</title></article><article/></issue>",
-        )
-        .unwrap()
+        parse_document("<issue volume=\"30\"><article><title>T</title></article><article/></issue>")
+            .unwrap()
     }
 
     #[test]

@@ -69,13 +69,13 @@ fn index_ops(pul: &Pul) -> Result<HashMap<NodeId, TargetOps>> {
                 // each group inserted right after the target: later groups end
                 // up closer to the target, i.e. groups in reverse order.
                 let mut group: Vec<Tree> = content.clone();
-                group.extend(entry.after.drain(..));
+                group.append(&mut entry.after);
                 entry.after = group;
             }
             UpdateOp::InsFirst { content, .. } | UpdateOp::InsInto { content, .. } => {
                 // inserted at the front: later groups push earlier ones right.
                 let mut group: Vec<Tree> = content.clone();
-                group.extend(entry.first.drain(..));
+                group.append(&mut entry.first);
                 entry.first = group;
             }
             UpdateOp::InsLast { content, .. } => {
@@ -464,31 +464,27 @@ mod tests {
     #[test]
     fn streaming_duplicate_attribute_is_an_error() {
         let (_, xml) = fixture();
-        let pul: Pul =
-            vec![UpdateOp::ins_attributes(1u64, vec![Tree::attribute("volume", "31")])]
-                .into_iter()
-                .collect();
+        let pul: Pul = vec![UpdateOp::ins_attributes(1u64, vec![Tree::attribute("volume", "31")])]
+            .into_iter()
+            .collect();
         assert!(matches!(apply_streaming(&xml, &pul, 1000), Err(PulError::Dynamic(_))));
     }
 
     #[test]
     fn streaming_rejects_incompatible_puls() {
         let (_, xml) = fixture();
-        let pul: Pul = vec![UpdateOp::rename(3u64, "a"), UpdateOp::rename(3u64, "b")]
-            .into_iter()
-            .collect();
+        let pul: Pul =
+            vec![UpdateOp::rename(3u64, "a"), UpdateOp::rename(3u64, "b")].into_iter().collect();
         assert!(matches!(apply_streaming(&xml, &pul, 1000), Err(PulError::Incompatible { .. })));
     }
 
     #[test]
     fn fresh_identifiers_do_not_clash_with_existing_ones() {
         let (doc, xml) = fixture();
-        let pul: Pul = vec![UpdateOp::ins_last(
-            6u64,
-            vec![Tree::element_with_text("author", "New")],
-        )]
-        .into_iter()
-        .collect();
+        let pul: Pul =
+            vec![UpdateOp::ins_last(6u64, vec![Tree::element_with_text("author", "New")])]
+                .into_iter()
+                .collect();
         let out = apply_streaming(&xml, &pul, doc.next_id()).unwrap();
         let out_doc = parse_document_identified(&out).unwrap();
         let mut ids: Vec<u64> = out_doc.preorder_from_root().iter().map(|n| n.as_u64()).collect();

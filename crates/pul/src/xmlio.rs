@@ -187,12 +187,17 @@ fn parse_op_element(doc: &Document, el: NodeId) -> Result<(UpdateOp, Option<Node
         OpName::InsAttributes => UpdateOp::ins_attributes(target, content()?),
         OpName::Delete => UpdateOp::delete(target),
         OpName::ReplaceNode => UpdateOp::replace_node(target, content()?),
-        OpName::ReplaceValue => UpdateOp::replace_value(target, attr(doc, el, "value").unwrap_or("")),
+        OpName::ReplaceValue => {
+            UpdateOp::replace_value(target, attr(doc, el, "value").unwrap_or(""))
+        }
         OpName::ReplaceContent => {
             if attr(doc, el, "empty") == Some("true") {
                 UpdateOp::replace_content(target, None)
             } else {
-                UpdateOp::replace_content(target, Some(attr(doc, el, "value").unwrap_or("").to_string()))
+                UpdateOp::replace_content(
+                    target,
+                    Some(attr(doc, el, "value").unwrap_or("").to_string()),
+                )
             }
         }
         OpName::Rename => UpdateOp::rename(target, attr(doc, el, "name").unwrap_or("")),
@@ -202,7 +207,8 @@ fn parse_op_element(doc: &Document, el: NodeId) -> Result<(UpdateOp, Option<Node
 
 /// Parses a PUL from the XML exchange format.
 pub fn pul_from_xml(xml: &str) -> Result<Pul> {
-    let doc = parse_document(xml).map_err(|e| PulError::Format(format!("invalid PUL document: {e}")))?;
+    let doc =
+        parse_document(xml).map_err(|e| PulError::Format(format!("invalid PUL document: {e}")))?;
     let root = doc.require_root()?;
     if doc.name(root).ok().flatten() != Some("pul") {
         return Err(PulError::Format("the root element of a PUL document must be <pul>".into()));
@@ -227,7 +233,8 @@ fn pul_from_element(doc: &Document, root: NodeId) -> Result<Pul> {
 
 /// Parses a list of PULs from a `<puls>` document.
 pub fn puls_from_xml(xml: &str) -> Result<Vec<Pul>> {
-    let doc = parse_document(xml).map_err(|e| PulError::Format(format!("invalid PULs document: {e}")))?;
+    let doc =
+        parse_document(xml).map_err(|e| PulError::Format(format!("invalid PULs document: {e}")))?;
     let root = doc.require_root()?;
     if doc.name(root).ok().flatten() != Some("puls") {
         return Err(PulError::Format("the root element must be <puls>".into()));
@@ -248,15 +255,19 @@ mod tests {
     use xlabel::Labeling;
 
     fn sample_pul() -> Pul {
-        let doc = parse_doc(
-            "<issue volume=\"30\"><article><title>T</title></article><article/></issue>",
-        )
-        .unwrap();
+        let doc =
+            parse_doc("<issue volume=\"30\"><article><title>T</title></article><article/></issue>")
+                .unwrap();
         let labeling = Labeling::assign(&doc);
-        let tree = parse_fragment_with_first_id("<author email=\"g@unige\">G.Guerrini</author>", 100).unwrap();
+        let tree =
+            parse_fragment_with_first_id("<author email=\"g@unige\">G.Guerrini</author>", 100)
+                .unwrap();
         let ops = vec![
             UpdateOp::ins_last(3u64, vec![tree]),
-            UpdateOp::ins_attributes(6u64, vec![Tree::attribute("id", "a2"), Tree::attribute("lang", "en")]),
+            UpdateOp::ins_attributes(
+                6u64,
+                vec![Tree::attribute("id", "a2"), Tree::attribute("lang", "en")],
+            ),
             UpdateOp::rename(3u64, "paper"),
             UpdateOp::replace_value(5u64, "Report on <XML> & \"updates\""),
             UpdateOp::replace_content(6u64, None),
@@ -272,9 +283,7 @@ mod tests {
     }
 
     fn ops_equal(a: &UpdateOp, b: &UpdateOp) -> bool {
-        a.target() == b.target()
-            && a.name() == b.name()
-            && a.param_sort_key() == b.param_sort_key()
+        a.target() == b.target() && a.name() == b.name() && a.param_sort_key() == b.param_sort_key()
     }
 
     #[test]
@@ -366,8 +375,10 @@ mod tests {
         assert!(pul_from_xml("<pul><op kind=\"bogus\" target=\"1\"/></pul>").is_err());
         assert!(pul_from_xml("<pul><op kind=\"delete\"/></pul>").is_err(), "missing target");
         assert!(
-            pul_from_xml("<pul><op kind=\"insLast\" target=\"1\"><content><wat/></content></op></pul>")
-                .is_err(),
+            pul_from_xml(
+                "<pul><op kind=\"insLast\" target=\"1\"><content><wat/></content></op></pul>"
+            )
+            .is_err(),
             "unknown content element"
         );
         assert!(puls_from_xml("<pul/>").is_err());

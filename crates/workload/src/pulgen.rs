@@ -69,7 +69,13 @@ pub struct ParallelConfig {
 
 impl Default for ParallelConfig {
     fn default() -> Self {
-        ParallelConfig { n_puls: 10, ops_per_pul: 1000, conflict_fraction: 0.5, ops_per_conflict: 5, seed: 42 }
+        ParallelConfig {
+            n_puls: 10,
+            ops_per_pul: 1000,
+            conflict_fraction: 0.5,
+            ops_per_conflict: 5,
+            seed: 42,
+        }
     }
 }
 
@@ -164,14 +170,22 @@ pub fn generate_pul(doc: &Document, labeling: &Labeling, cfg: &PulGenConfig) -> 
 
     let n_pairs = ((cfg.n_ops as f64) * cfg.reducible_ratio).round() as usize;
 
-    // 1. Reducible pairs: alternate among a few rule archetypes.
+    // 1. Reducible pairs: alternate among a few rule archetypes. Pair targets
+    // are drawn without replacement (re-using a target across archetypes could
+    // produce incompatible pairs, e.g. two renames with different names);
+    // generation stops early if the document has fewer elements than pairs.
+    let mut pair_pool: Vec<NodeId> = pools.elements.clone();
     for i in 0..n_pairs {
-        let target = pools.elements[rng.gen_range(0..pools.elements.len())];
+        if pair_pool.is_empty() {
+            break;
+        }
+        let target = pair_pool.swap_remove(rng.gen_range(0..pair_pool.len()));
         match i % 4 {
             // O1: ren overridden by del on the same node
             0 => {
                 ops.push(UpdateOp::rename(target, format!("renamed{i}")));
                 ops.push(UpdateOp::delete(target));
+                used_replacement.insert((target, pul::OpName::Rename));
             }
             // I5: two insertions of the same type on the same node
             1 => {
@@ -193,53 +207,75 @@ pub fn generate_pul(doc: &Document, labeling: &Labeling, cfg: &PulGenConfig) -> 
     }
 
     // 2. Fill with independent operations, cycling through the op types.
+    // Op kinds whose node pool is empty (or exhausted by the compatibility
+    // bookkeeping) are skipped; after a full barren sweep of every kind the
+    // generator gives up and returns what it has (small documents cannot
+    // carry arbitrarily large compatible PULs).
     let mut kind = 0usize;
-    while ops.len() < cfg.n_ops {
+    let mut barren = 0usize;
+    while ops.len() < cfg.n_ops && barren < 8 {
         kind += 1;
         let op = match kind % 8 {
             0 => {
+                if pools.texts.is_empty() {
+                    barren += 1;
+                    continue;
+                }
                 let t = pools.texts[rng.gen_range(0..pools.texts.len())];
                 if !used_replacement.insert((t, pul::OpName::ReplaceValue)) {
+                    barren += 1;
                     continue;
                 }
                 UpdateOp::replace_value(t, format!("value {kind}"))
             }
             1 => {
+                if pools.elements.is_empty() {
+                    barren += 1;
+                    continue;
+                }
                 let t = pools.elements[rng.gen_range(0..pools.elements.len())];
                 if !used_replacement.insert((t, pul::OpName::Rename)) {
+                    barren += 1;
                     continue;
                 }
                 UpdateOp::rename(t, format!("name{kind}"))
             }
-            2 => {
+            2..=5 => {
+                if pools.elements.is_empty() {
+                    barren += 1;
+                    continue;
+                }
                 let t = pools.elements[rng.gen_range(0..pools.elements.len())];
-                UpdateOp::ins_last(t, vec![content.element_tree()])
-            }
-            3 => {
-                let t = pools.elements[rng.gen_range(0..pools.elements.len())];
-                UpdateOp::ins_after(t, vec![content.element_tree()])
-            }
-            4 => {
-                let t = pools.elements[rng.gen_range(0..pools.elements.len())];
-                UpdateOp::ins_before(t, vec![content.element_tree()])
-            }
-            5 => {
-                let t = pools.elements[rng.gen_range(0..pools.elements.len())];
-                UpdateOp::ins_attributes(t, vec![content.attribute_tree()])
+                match kind % 8 {
+                    2 => UpdateOp::ins_last(t, vec![content.element_tree()]),
+                    3 => UpdateOp::ins_after(t, vec![content.element_tree()]),
+                    4 => UpdateOp::ins_before(t, vec![content.element_tree()]),
+                    _ => UpdateOp::ins_attributes(t, vec![content.attribute_tree()]),
+                }
             }
             6 => {
+                if pools.attributes.is_empty() {
+                    barren += 1;
+                    continue;
+                }
                 let t = pools.attributes[rng.gen_range(0..pools.attributes.len())];
                 if !used_replacement.insert((t, pul::OpName::ReplaceValue)) {
+                    barren += 1;
                     continue;
                 }
                 UpdateOp::replace_value(t, format!("attr {kind}"))
             }
             _ => {
+                if pools.texts.is_empty() {
+                    barren += 1;
+                    continue;
+                }
                 let t = pools.texts[rng.gen_range(0..pools.texts.len())];
                 UpdateOp::delete(t)
             }
         };
         ops.push(op);
+        barren = 0;
     }
     Pul::from_ops(ops, labeling)
 }
@@ -271,22 +307,22 @@ pub fn generate_sequential_puls(doc: &Document, cfg: &SequentialConfig) -> Vec<P
             kind += 1;
             // Choose the target among original or previously inserted nodes.
             let on_new = !inserted_nodes.is_empty() && rng.gen_bool(cfg.new_node_ratio);
-            let element = |rng: &mut StdRng, pools: &Pools, inserted: &[NodeId], working: &Document| {
-                if on_new {
-                    // pick an inserted element node still present
-                    for _ in 0..8 {
-                        let cand = inserted[rng.gen_range(0..inserted.len())];
-                        if working.contains(cand)
-                            && working.kind(cand) == Ok(NodeKind::Element)
-                        {
-                            return Some(cand);
+            let element =
+                |rng: &mut StdRng, pools: &Pools, inserted: &[NodeId], working: &Document| {
+                    if on_new {
+                        // pick an inserted element node still present
+                        for _ in 0..8 {
+                            let cand = inserted[rng.gen_range(0..inserted.len())];
+                            if working.contains(cand) && working.kind(cand) == Ok(NodeKind::Element)
+                            {
+                                return Some(cand);
+                            }
                         }
+                        None
+                    } else {
+                        Some(pools.elements[rng.gen_range(0..pools.elements.len())])
                     }
-                    None
-                } else {
-                    Some(pools.elements[rng.gen_range(0..pools.elements.len())])
-                }
-            };
+                };
             let Some(target) = element(&mut rng, &pools, &inserted_nodes, &working) else {
                 continue;
             };
@@ -327,8 +363,12 @@ pub fn generate_sequential_puls(doc: &Document, cfg: &SequentialConfig) -> Vec<P
         let pul = Pul::from_ops(ops, &labeling);
         // Apply on the working copy (producer mode) so that later PULs can be
         // generated against the updated document.
-        let report = apply_pul(&mut working, &pul, &ApplyOptions { validate: false, preserve_content_ids: true })
-            .expect("generated PUL must apply");
+        let report = apply_pul(
+            &mut working,
+            &pul,
+            &ApplyOptions { validate: false, preserve_content_ids: true },
+        )
+        .expect("generated PUL must apply");
         for root in report.inserted_roots {
             inserted_nodes.extend(working.preorder(root));
         }
@@ -341,7 +381,11 @@ pub fn generate_sequential_puls(doc: &Document, cfg: &SequentialConfig) -> Vec<P
 /// Fig. 6.e). Each PUL operates on a disjoint set of XMark "unit" subtrees for
 /// its non-conflicting operations; conflicts are injected on dedicated targets
 /// with the requested size and an even mix of the five conflict types.
-pub fn generate_parallel_puls(doc: &Document, labeling: &Labeling, cfg: &ParallelConfig) -> Vec<Pul> {
+pub fn generate_parallel_puls(
+    doc: &Document,
+    labeling: &Labeling,
+    cfg: &ParallelConfig,
+) -> Vec<Pul> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     // Unit subtrees: the repetitive XMark entities.
     let mut units: Vec<NodeId> = ["item", "person", "open_auction", "closed_auction", "category"]
@@ -349,7 +393,7 @@ pub fn generate_parallel_puls(doc: &Document, labeling: &Labeling, cfg: &Paralle
         .flat_map(|n| doc.find_elements(n))
         .collect();
     units.shuffle(&mut rng);
-    assert!(units.len() >= cfg.n_puls + 1, "document too small for the requested workload");
+    assert!(units.len() > cfg.n_puls, "document too small for the requested workload");
 
     let total_ops = cfg.n_puls * cfg.ops_per_pul;
     let conflicted_ops = ((total_ops as f64) * cfg.conflict_fraction) as usize;
@@ -375,11 +419,8 @@ pub fn generate_parallel_puls(doc: &Document, labeling: &Labeling, cfg: &Paralle
         let mut parts: Vec<usize> = (0..cfg.n_puls).collect();
         parts.shuffle(&mut rng);
         let parts = &parts[..involved];
-        let texts: Vec<NodeId> = doc
-            .preorder(unit)
-            .into_iter()
-            .filter(|&n| doc.kind(n) == Ok(NodeKind::Text))
-            .collect();
+        let texts: Vec<NodeId> =
+            doc.preorder(unit).into_iter().filter(|&n| doc.kind(n) == Ok(NodeKind::Text)).collect();
         let elements: Vec<NodeId> = doc
             .preorder(unit)
             .into_iter()
@@ -515,10 +556,18 @@ mod tests {
     fn reducible_ratio_controls_reduction_gain() {
         let d = doc();
         let labeling = Labeling::assign(&d);
-        let none = generate_pul(&d, &labeling, &PulGenConfig { n_ops: 400, reducible_ratio: 0.0, ..Default::default() });
-        let some = generate_pul(&d, &labeling, &PulGenConfig { n_ops: 400, reducible_ratio: 0.1, ..Default::default() });
-        let red_none = pul_core::reduce(&none);
-        let red_some = pul_core::reduce(&some);
+        let none = generate_pul(
+            &d,
+            &labeling,
+            &PulGenConfig { n_ops: 400, reducible_ratio: 0.0, ..Default::default() },
+        );
+        let some = generate_pul(
+            &d,
+            &labeling,
+            &PulGenConfig { n_ops: 400, reducible_ratio: 0.1, ..Default::default() },
+        );
+        let red_none = pul_core::reduce_with(&none, pul_core::ReductionKind::Plain);
+        let red_some = pul_core::reduce_with(&some, pul_core::ReductionKind::Plain);
         let gain_none = none.len() - red_none.len();
         let gain_some = some.len() - red_some.len();
         assert!(gain_some > gain_none, "gain with pairs {gain_some} vs without {gain_none}");

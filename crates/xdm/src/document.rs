@@ -105,7 +105,11 @@ impl Document {
     }
 
     /// Allocates a detached element node with an explicit identifier.
-    pub fn new_element_with_id(&mut self, id: impl Into<NodeId>, name: impl Into<String>) -> Result<NodeId> {
+    pub fn new_element_with_id(
+        &mut self,
+        id: impl Into<NodeId>,
+        name: impl Into<String>,
+    ) -> Result<NodeId> {
         self.insert_node(id.into(), NodeData::element(name))
     }
 
@@ -120,7 +124,11 @@ impl Document {
     }
 
     /// Allocates a detached text node with an explicit identifier.
-    pub fn new_text_with_id(&mut self, id: impl Into<NodeId>, value: impl Into<String>) -> Result<NodeId> {
+    pub fn new_text_with_id(
+        &mut self,
+        id: impl Into<NodeId>,
+        value: impl Into<String>,
+    ) -> Result<NodeId> {
         self.insert_node(id.into(), NodeData::text(value))
     }
 
@@ -406,8 +414,7 @@ impl Document {
         self.preorder_from_root()
             .into_iter()
             .filter(|&id| {
-                self.kind(id) == Ok(NodeKind::Element)
-                    && self.name(id).ok().flatten() == Some(name)
+                self.kind(id) == Ok(NodeKind::Element) && self.name(id).ok().flatten() == Some(name)
             })
             .collect()
     }
@@ -474,18 +481,18 @@ impl Document {
     /// Inserts `node` immediately before `anchor` (which must be attached).
     pub fn insert_before(&mut self, anchor: NodeId, node: NodeId) -> Result<()> {
         let parent = self.parent(anchor)?.ok_or(XdmError::Detached(anchor))?;
-        let idx = self
-            .index_in_parent(anchor)?
-            .ok_or_else(|| XdmError::InvalidStructure(format!("{anchor} not in parent's children")))?;
+        let idx = self.index_in_parent(anchor)?.ok_or_else(|| {
+            XdmError::InvalidStructure(format!("{anchor} not in parent's children"))
+        })?;
         self.insert_child_at(parent, idx, node)
     }
 
     /// Inserts `node` immediately after `anchor` (which must be attached).
     pub fn insert_after(&mut self, anchor: NodeId, node: NodeId) -> Result<()> {
         let parent = self.parent(anchor)?.ok_or(XdmError::Detached(anchor))?;
-        let idx = self
-            .index_in_parent(anchor)?
-            .ok_or_else(|| XdmError::InvalidStructure(format!("{anchor} not in parent's children")))?;
+        let idx = self.index_in_parent(anchor)?.ok_or_else(|| {
+            XdmError::InvalidStructure(format!("{anchor} not in parent's children"))
+        })?;
         self.insert_child_at(parent, idx + 1, node)
     }
 

@@ -67,7 +67,9 @@ impl Event {
     /// Returns the identifier of the node this event refers to.
     pub fn node_id(&self) -> NodeId {
         match self {
-            Event::StartElement { id, .. } | Event::Text { id, .. } | Event::EndElement { id, .. } => *id,
+            Event::StartElement { id, .. }
+            | Event::Text { id, .. }
+            | Event::EndElement { id, .. } => *id,
         }
     }
 
@@ -342,7 +344,9 @@ impl<'a> EventReader<'a> {
         let mut plain: Vec<(String, String)> = Vec::new();
         for (n, v) in raw_attrs {
             if n == XID_ATTR {
-                xid = Some(v.parse().map_err(|_| self.err(format!("invalid {XID_ATTR} value '{v}'")))?);
+                xid = Some(
+                    v.parse().map_err(|_| self.err(format!("invalid {XID_ATTR} value '{v}'")))?,
+                );
             } else if n == XAID_ATTR {
                 for pair in v.split_whitespace() {
                     let (an, aid) = pair
@@ -360,9 +364,9 @@ impl<'a> EventReader<'a> {
 
         let elem_id = match self.mode {
             IdMode::Sequential(_) => self.alloc_seq(),
-            IdMode::Identified => NodeId::new(
-                xid.ok_or_else(|| self.err(format!("element '{name}' lacks {XID_ATTR} in identified mode")))?,
-            ),
+            IdMode::Identified => NodeId::new(xid.ok_or_else(|| {
+                self.err(format!("element '{name}' lacks {XID_ATTR} in identified mode"))
+            })?),
         };
 
         let mut attributes = Vec::with_capacity(plain.len());
@@ -390,9 +394,15 @@ impl<'a> EventReader<'a> {
         let name = self.read_name()?;
         self.skip_ws();
         self.expect(b'>')?;
-        let open = self.stack.pop().ok_or_else(|| self.err(format!("unexpected closing tag </{name}>")))?;
+        let open = self
+            .stack
+            .pop()
+            .ok_or_else(|| self.err(format!("unexpected closing tag </{name}>")))?;
         if open.name != name {
-            return Err(self.err(format!("mismatched closing tag: expected </{}>, found </{name}>", open.name)));
+            return Err(self.err(format!(
+                "mismatched closing tag: expected </{}>, found </{name}>",
+                open.name
+            )));
         }
         Ok(Event::EndElement { id: open.id, name })
     }
@@ -400,10 +410,9 @@ impl<'a> EventReader<'a> {
     fn make_text_event(&mut self, value: String) -> Result<Event> {
         let id = match self.mode {
             IdMode::Sequential(_) => self.alloc_seq(),
-            IdMode::Identified => self
-                .pending_text_id
-                .take()
-                .ok_or_else(|| self.err("text node lacks a preceding <?xtid?> instruction in identified mode"))?,
+            IdMode::Identified => self.pending_text_id.take().ok_or_else(|| {
+                self.err("text node lacks a preceding <?xtid?> instruction in identified mode")
+            })?,
         };
         Ok(Event::Text { id, value })
     }
@@ -418,7 +427,10 @@ impl<'a> EventReader<'a> {
             }
             if self.pos >= self.input.len() {
                 if !self.stack.is_empty() {
-                    return Err(self.err(format!("unexpected end of input: <{}> not closed", self.stack.last().unwrap().name)));
+                    return Err(self.err(format!(
+                        "unexpected end of input: <{}> not closed",
+                        self.stack.last().unwrap().name
+                    )));
                 }
                 self.finished = true;
                 return Ok(None);
@@ -431,13 +443,11 @@ impl<'a> EventReader<'a> {
                     let start = self.pos;
                     self.skip_until("?>")?;
                     let content = self.input[start..self.pos - 2].trim();
-                    if target == XTID_PI {
-                        if self.mode == IdMode::Identified {
-                            let id: u64 = content
-                                .parse()
-                                .map_err(|_| self.err(format!("invalid xtid value '{content}'")))?;
-                            self.pending_text_id = Some(NodeId::new(id));
-                        }
+                    if target == XTID_PI && self.mode == IdMode::Identified {
+                        let id: u64 = content
+                            .parse()
+                            .map_err(|_| self.err(format!("invalid xtid value '{content}'")))?;
+                        self.pending_text_id = Some(NodeId::new(id));
                     }
                     continue;
                 }
@@ -555,8 +565,10 @@ impl EventWriter {
                     self.out.push_str(&id.as_u64().to_string());
                     self.out.push('"');
                     if !attributes.is_empty() {
-                        let pairs: Vec<String> =
-                            attributes.iter().map(|a| format!("{}:{}", a.name, a.id.as_u64())).collect();
+                        let pairs: Vec<String> = attributes
+                            .iter()
+                            .map(|a| format!("{}:{}", a.name, a.id.as_u64()))
+                            .collect();
                         self.out.push(' ');
                         self.out.push_str(XAID_ATTR);
                         self.out.push_str("=\"");
@@ -626,7 +638,9 @@ pub fn document_events(doc: &crate::Document, root: NodeId) -> Vec<Event> {
     fn rec(doc: &crate::Document, id: NodeId, out: &mut Vec<Event>) {
         let Ok(data) = doc.node(id) else { return };
         match data.kind {
-            NodeKind::Text => out.push(Event::Text { id, value: data.value.clone().unwrap_or_default() }),
+            NodeKind::Text => {
+                out.push(Event::Text { id, value: data.value.clone().unwrap_or_default() })
+            }
             NodeKind::Attribute => {
                 // standalone attribute: no event representation
             }
@@ -664,7 +678,10 @@ mod tests {
 
     #[test]
     fn decode_entities_handles_all_predefined() {
-        assert_eq!(decode_entities("a &lt; b &gt; c &amp; d &apos; e &quot; f").unwrap(), "a < b > c & d ' e \" f");
+        assert_eq!(
+            decode_entities("a &lt; b &gt; c &amp; d &apos; e &quot; f").unwrap(),
+            "a < b > c & d ' e \" f"
+        );
         assert_eq!(decode_entities("&#65;&#x42;").unwrap(), "AB");
         assert!(decode_entities("&bogus;").is_err());
         assert!(decode_entities("&#xZZ;").is_err());
@@ -694,7 +711,9 @@ mod tests {
             .collect();
         assert_eq!(ids, vec![1, 3, 4, 5, 6]);
         // last event closes the root
-        assert!(matches!(events.last().unwrap(), Event::EndElement { name, .. } if name == "issue"));
+        assert!(
+            matches!(events.last().unwrap(), Event::EndElement { name, .. } if name == "issue")
+        );
     }
 
     #[test]
@@ -779,7 +798,8 @@ mod tests {
         let mut w = EventWriter::identified();
         w.write_all(&events);
         let out = w.finish();
-        let events2: Vec<Event> = EventReader::identified(&out).collect::<Result<Vec<_>>>().unwrap();
+        let events2: Vec<Event> =
+            EventReader::identified(&out).collect::<Result<Vec<_>>>().unwrap();
         assert_eq!(events, events2);
     }
 

@@ -158,7 +158,8 @@ mod tests {
 
     #[test]
     fn roundtrip_plain() {
-        let xml = "<issue volume=\"30\"><article><title>R &amp; D</title></article><article/></issue>";
+        let xml =
+            "<issue volume=\"30\"><article><title>R &amp; D</title></article><article/></issue>";
         let doc = parse_document(xml).unwrap();
         assert_eq!(writer::write_document(&doc), xml);
     }

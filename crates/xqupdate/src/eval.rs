@@ -82,7 +82,10 @@ fn unquote(s: &str) -> String {
 /// keywords that is outside any `<…>` fragment and outside quotes. When two
 /// keywords match at the same position the longest one wins (so
 /// `as first into` is preferred over `into`).
-fn split_on_keyword<'a>(s: &'a str, keywords: &[&'static str]) -> Option<(&'a str, &'static str, &'a str)> {
+fn split_on_keyword<'a>(
+    s: &'a str,
+    keywords: &[&'static str],
+) -> Option<(&'a str, &'static str, &'a str)> {
     let bytes = s.as_bytes();
     let mut depth = 0i32;
     let mut in_quote: Option<u8> = None;
@@ -159,7 +162,8 @@ impl<'a> Ctx<'a> {
                     let tag = &rest[lt..=gt];
                     if tag.starts_with("</") {
                         depth -= 1;
-                    } else if tag.ends_with("/>") || tag.starts_with("<?") || tag.starts_with("<!") {
+                    } else if tag.ends_with("/>") || tag.starts_with("<?") || tag.starts_with("<!")
+                    {
                         // no depth change
                     } else {
                         depth += 1;
@@ -276,7 +280,8 @@ pub fn evaluate(doc: &Document, labeling: &Labeling, source: &str) -> Result<Pul
         ctx.eval_statement(&stmt, &mut pul)?;
     }
     pul.attach_labels(labeling);
-    pul.check_compatible().map_err(|e| err(format!("the expression produces an invalid PUL: {e}")))?;
+    pul.check_compatible()
+        .map_err(|e| err(format!("the expression produces an invalid PUL: {e}")))?;
     Ok(pul)
 }
 

@@ -114,7 +114,8 @@ impl Path {
                 } else if step.descendant {
                     doc.descendants(ctx)
                 } else {
-                    let mut v: Vec<NodeId> = doc.children(ctx).map(|c| c.to_vec()).unwrap_or_default();
+                    let mut v: Vec<NodeId> =
+                        doc.children(ctx).map(|c| c.to_vec()).unwrap_or_default();
                     if matches!(step.test, NodeTest::Attribute(_) | NodeTest::AnyAttribute) {
                         v = doc.attributes(ctx).map(|a| a.to_vec()).unwrap_or_default();
                     }

@@ -1,63 +1,67 @@
 //! Collaborative editing (§1): several producers check out the same document,
-//! send back their PULs, and the executor integrates them, reconciling the
-//! conflicts according to each producer's policy before generating the new
-//! authoritative version.
+//! send back their PULs, and the executor session integrates them,
+//! reconciling the conflicts according to each producer's policy before
+//! committing the new authoritative version.
 //!
 //! Run with `cargo run --example collaborative_editing`.
 
 use xmlpul::prelude::*;
 
 fn main() {
-    let doc = xdm::parser::parse_document(
+    let mut session = Executor::parse(
         "<report><section><title>Introduction</title><para>Old text</para></section>\
          <section><title>Evaluation</title><para>Numbers</para></section></report>",
     )
     .expect("well-formed document");
-    let labels = Labeling::assign(&doc);
+    let doc = session.document();
+    let root = doc.root().unwrap();
     let intro_para = doc.find_elements("para")[0];
     let intro_text = doc.children(intro_para).unwrap()[0];
     let eval_section = doc.find_elements("section")[1];
 
     // Alice rewrites the introduction paragraph and signs the report.
-    let alice = Pul::from_ops(
-        vec![
-            UpdateOp::replace_value(intro_text, "The introduction, rewritten by Alice."),
-            UpdateOp::ins_attributes(doc.root().unwrap(), vec![Tree::attribute("editor", "alice")]),
-        ],
-        &labels,
-    );
-    // Bob also rewrites that paragraph, adds a figure to the evaluation section
-    // and signs too.
-    let bob = Pul::from_ops(
-        vec![
-            UpdateOp::replace_value(intro_text, "Bob's own version of the introduction."),
-            UpdateOp::ins_last(eval_section, vec![Tree::element_with_text("figure", "throughput.png")]),
-            UpdateOp::ins_attributes(doc.root().unwrap(), vec![Tree::attribute("editor", "bob")]),
-        ],
-        &labels,
-    );
+    let alice = session.pul_from_ops(vec![
+        UpdateOp::replace_value(intro_text, "The introduction, rewritten by Alice."),
+        UpdateOp::ins_attributes(root, vec![Tree::attribute("editor", "alice")]),
+    ]);
+    // Bob also rewrites that paragraph, adds a figure to the evaluation
+    // section and signs too.
+    let bob = session.pul_from_ops(vec![
+        UpdateOp::replace_value(intro_text, "Bob's own version of the introduction."),
+        UpdateOp::ins_last(eval_section, vec![Tree::element_with_text("figure", "throughput.png")]),
+        UpdateOp::ins_attributes(root, vec![Tree::attribute("editor", "bob")]),
+    ]);
 
-    // The executor integrates the two parallel PULs and inspects the conflicts.
-    let puls = vec![alice, bob];
-    let integration = integrate(&puls);
-    println!("detected {} conflicts:", integration.conflicts.len());
-    for c in &integration.conflicts {
+    // Alice insists her text stays; Bob has no constraints. The session
+    // integrates the two parallel PULs and reconciles under those policies.
+    session.submit_with_policy(alice.clone(), Policy::inserted_data());
+    session.submit_with_policy(bob.clone(), Policy::relaxed());
+    let resolution = session.resolve().expect("solvable under these policies");
+    println!("detected {} conflicts:", resolution.conflicts().len());
+    for c in resolution.conflicts() {
         println!("  {c}");
     }
+    println!(
+        "\nreconciled PUL ({} operations):\n  {}",
+        resolution.resolved_ops(),
+        resolution.pul()
+    );
 
-    // Alice insists her text stays; Bob has no constraints.
-    let policies = vec![Policy::inserted_data(), Policy::relaxed()];
-    let reconciled = reconcile(&puls, &policies).expect("solvable under these policies");
-    println!("\nreconciled PUL ({} operations):\n  {reconciled}", reconciled.len());
+    let report = session.commit_resolution(resolution).expect("applicable PUL");
+    println!("\nnew authoritative version (v{}):\n  {}", report.version, session.serialize());
 
-    let mut new_version = doc.clone();
-    apply_pul(&mut new_version, &reconciled, &ApplyOptions::default()).expect("applicable PUL");
-    println!("\nnew authoritative version:\n  {}", xdm::writer::write_document(&new_version));
-
-    // If both insisted on their own text, the executor would have to refuse.
-    let both_strict = vec![Policy::inserted_data(), Policy::inserted_data()];
-    match reconcile(&puls, &both_strict) {
-        Err(e) => println!("\nwith both producers strict the reconciliation fails as expected:\n  {e}"),
+    // If both insisted on their own text, the executor would have to refuse:
+    // a transaction makes the attempt safe to probe and roll back.
+    let mut tx = session.transaction();
+    tx.submit_with_policy(alice, Policy::inserted_data());
+    tx.submit_with_policy(bob, Policy::inserted_data());
+    match tx.resolve() {
+        Err(e) => {
+            println!("\nwith both producers strict the reconciliation fails as expected:\n  {e}");
+            assert_eq!(e.code(), "XPUL-C01");
+        }
         Ok(_) => unreachable!("conflicting strict policies cannot be reconciled"),
     }
+    tx.rollback();
+    assert_eq!(session.pending(), 0, "the transaction rolled its submissions back");
 }

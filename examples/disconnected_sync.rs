@@ -1,7 +1,7 @@
 //! Disconnected operation (§1): a client works offline on its copy of the
 //! document, producing a *sequence* of PULs. On reconnection it ships the
-//! whole sequence; the server aggregates it into a single PUL and applies it
-//! in one streaming pass over the authoritative copy.
+//! whole sequence; the server session aggregates it into a single PUL and
+//! commits it in one streaming pass over the authoritative copy.
 //!
 //! Run with `cargo run --example disconnected_sync`.
 
@@ -9,20 +9,27 @@ use xmlpul::prelude::*;
 use xmlpul::workload::xmark::{generate, XmarkConfig};
 
 fn main() {
-    // The authoritative document lives on the server (an XMark auction site).
+    // The authoritative document lives in the server's executor session (an
+    // XMark auction site). Identifiers of client-inserted nodes must survive
+    // aggregation and streaming, hence the producer apply options.
     let server_doc = generate(&XmarkConfig { target_nodes: 5_000, seed: 7 });
-    let _labels = Labeling::assign(&server_doc);
+    let mut server = Executor::new(server_doc.clone())
+        .reduction(ReductionStrategy::None)
+        .apply_options(ApplyOptions::producer());
     println!(
         "server document: {} nodes, {} bytes serialized",
-        server_doc.node_count(),
-        xdm::writer::write_document(&server_doc).len()
+        server.document().node_count(),
+        server.serialize().len()
     );
 
-    // The client checks the document out and works offline: three editing
-    // sessions, each producing one PUL evaluated with the XQuery Update
-    // front-end against the *local* copy (identifiers of inserted nodes come
-    // from the client's identifier space and are preserved locally).
-    let mut local = server_doc.clone();
+    // The client checks the document out into its own local session and works
+    // offline: three editing sessions, each producing one PUL evaluated with
+    // the XQuery Update front-end against the *local* copy (identifiers of
+    // inserted nodes come from the client's identifier space and are
+    // preserved locally by the producer apply options).
+    let mut client = Executor::new(server_doc)
+        .reduction(ReductionStrategy::None)
+        .apply_options(ApplyOptions::producer());
     let mut sessions: Vec<Pul> = Vec::new();
     let scripts = [
         "insert nodes <item id=\"offline-1\"><name>restored gramophone</name></item> \
@@ -35,10 +42,9 @@ fn main() {
          insert nodes verified=\"yes\" into /site/people/person[1]",
     ];
     for (i, script) in scripts.iter().enumerate() {
-        let local_labels = Labeling::assign(&local);
-        let pul = xqupdate::evaluate(&local, &local_labels, script).expect("valid script");
-        // the client applies the PUL locally (keeping the identifiers it assigned)
-        apply_pul(&mut local, &pul, &ApplyOptions::producer()).expect("applicable PUL");
+        let pul = client.produce(script).expect("valid script");
+        client.submit(pul.clone());
+        client.commit().expect("applicable PUL");
         println!("session {}: produced {} operations", i + 1, pul.len());
         sessions.push(pul);
     }
@@ -47,33 +53,31 @@ fn main() {
     let wire = pul::xmlio::puls_to_xml(&sessions);
     println!("shipping {} PULs as {} bytes of XML", sessions.len(), wire.len());
 
-    // … and the server aggregates it into a single PUL (Def. 13) instead of
-    // applying each PUL in turn (and re-reading the document three times).
-    let received = pul::xmlio::puls_from_xml(&wire).expect("valid PUL list");
-    let aggregated = aggregate(&received).expect("aggregable sequence");
+    // … and the server admits it as ONE submission: the sequence is
+    // aggregated into a single PUL (Def. 13) instead of applying each PUL in
+    // turn (and re-reading the document three times).
+    server.submit_sequence_xml(&wire).expect("valid PUL list");
+    let resolution = server.resolve().expect("aggregable sequence");
     println!(
         "aggregated PUL: {} operations (instead of {} in {} PULs)",
-        aggregated.len(),
-        received.iter().map(|p| p.len()).sum::<usize>(),
-        received.len()
+        resolution.resolved_ops(),
+        sessions.iter().map(|p| p.len()).sum::<usize>(),
+        sessions.len()
     );
 
-    // One streaming pass over the authoritative copy makes it all effective.
-    let identified = xdm::writer::write_document_identified(&server_doc);
-    let updated_xml = pul::stream::apply_streaming_with(
-        &identified,
-        &aggregated,
-        server_doc.next_id() + 1_000_000,
-        true,
-    )
-    .expect("applicable PUL");
-    let updated = xdm::parser::parse_document_identified(&updated_xml).expect("well-formed output");
+    // One streaming commit over the authoritative serialization makes it all
+    // effective.
+    let identified = server.serialize_identified();
+    let mut updated = Vec::new();
+    server
+        .commit_resolution_streaming(resolution, &mut identified.as_bytes(), &mut updated)
+        .expect("applicable PUL");
 
     // The server's copy now matches the client's offline copy.
     assert_eq!(
-        pul::obtainable::canonical_string(&local),
-        pul::obtainable::canonical_string(&updated),
+        pul::obtainable::canonical_string(client.document()),
+        pul::obtainable::canonical_string(server.document()),
         "server and client converge"
     );
-    println!("server and client documents converge ✓");
+    println!("server and client documents converge ✓ (server now at v{})", server.version());
 }

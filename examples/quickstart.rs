@@ -1,59 +1,68 @@
-//! Quickstart: produce a PUL with the XQuery Update front-end, ship it as XML,
-//! reduce it and make it effective on the document — both in memory and in
-//! streaming.
+//! Quickstart: open an [`Executor`] session, produce a PUL with the XQuery
+//! Update front-end, ship it as XML, and drive the whole
+//! reduce → integrate → reconcile → aggregate → apply pipeline with
+//! `submit` / `resolve` / `commit` — both in memory and in streaming.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use xmlpul::prelude::*;
 
 fn main() {
-    // The executor holds the authoritative document; identifiers are assigned
-    // in document order (the algorithm agreed with all producers, §4.1).
-    let doc = xdm::parser::parse_document(
+    // The executor session holds the authoritative document; identifiers are
+    // assigned in document order (the algorithm agreed with all producers,
+    // §4.1).
+    let mut session = Executor::parse(
         "<issue volume=\"30\">\
            <paper><title>Database Replication</title><author>A.Chaudhri</author></paper>\
            <paper><title>XML Views</title><authors><author>B.Catania</author></authors></paper>\
          </issue>",
     )
-    .expect("well-formed document");
-    let labels = Labeling::assign(&doc);
+    .expect("well-formed document")
+    .reduction(ReductionStrategy::Deterministic);
 
     // A producer evaluates an XQuery Update expression; the result is a PUL.
-    let pul = xqupdate::evaluate(
-        &doc,
-        &labels,
-        "insert nodes <author>G.Guerrini</author> as last into /issue/paper[2]/authors, \
-         insert nodes initPage=\"132\" into /issue/paper[1], \
-         rename node /issue/paper[1]/title as \"heading\", \
-         rename node /issue/paper[2]/title as \"heading\", \
-         replace value of node /issue/paper[1]/title/text() with \"Database Replication, revisited\", \
-         delete nodes /issue/paper[1]/author",
-    )
-    .unwrap_or_else(|e| panic!("{e}"));
+    let pul = session
+        .produce(
+            "insert nodes <author>G.Guerrini</author> as last into /issue/paper[2]/authors, \
+             insert nodes initPage=\"132\" into /issue/paper[1], \
+             rename node /issue/paper[1]/title as \"heading\", \
+             rename node /issue/paper[2]/title as \"heading\", \
+             replace value of node /issue/paper[1]/title/text() with \"Database Replication, revisited\", \
+             delete nodes /issue/paper[1]/author",
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
     println!("produced PUL ({} operations):\n  {pul}\n", pul.len());
 
-    // The PUL travels as an XML document.
+    // The PUL travels as an XML document and enters the session on arrival.
     let wire = pul::xmlio::pul_to_xml(&pul);
     println!("exchange format ({} bytes):\n  {wire}\n", wire.len());
+    session.submit_xml(&wire).expect("valid PUL document");
 
-    // The executor deserializes, reduces and applies it.
-    let received = pul::xmlio::pul_from_xml(&wire).expect("valid PUL document");
-    let reduced = deterministic_reduce(&received);
-    println!("deterministic reduction ({} operations):\n  {reduced}\n", reduced.len());
+    // The executor reasons on the submissions without touching the document …
+    let resolution = session.resolve().expect("solvable session");
+    println!(
+        "deterministic reduction ({} of {} operations survive):\n  {}\n",
+        resolution.resolved_ops(),
+        resolution.submitted_ops(),
+        resolution.pul()
+    );
 
-    let mut updated = doc.clone();
-    apply_pul(&mut updated, &reduced, &ApplyOptions::default()).expect("applicable PUL");
-    println!("updated document:\n  {}\n", xdm::writer::write_document(&updated));
+    // … and a streaming commit makes them effective in one pass over the
+    // identified serialization, never materializing the document.
+    let mut streamed = Vec::new();
+    let identified = session.serialize_identified();
+    let mut in_memory = session.clone();
+    session.commit_streaming(&mut identified.as_bytes(), &mut streamed).expect("applicable PUL");
+    println!("updated document:\n  {}\n", session.serialize());
 
-    // The same PUL can be applied in streaming, without materializing the document.
-    let identified = xdm::writer::write_document_identified(&doc);
-    let streamed = pul::apply_streaming(&identified, &reduced, doc.next_id() + 1000)
-        .expect("applicable PUL");
-    let streamed_doc = xdm::parser::parse_document_identified(&streamed).expect("well-formed output");
+    // The in-memory commit of the same session state produces the same
+    // document.
+    in_memory.commit().expect("applicable PUL");
     assert_eq!(
-        pul::obtainable::canonical_string(&updated),
-        pul::obtainable::canonical_string(&streamed_doc),
+        pul::obtainable::canonical_string(in_memory.document()),
+        pul::obtainable::canonical_string(session.document()),
         "in-memory and streaming evaluation coincide"
     );
+    assert_eq!(session.version(), 1);
     println!("streaming evaluation produced the same document ✓");
 }

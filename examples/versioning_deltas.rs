@@ -1,6 +1,7 @@
 //! Document versioning (§1): versions are stored as deltas (PULs) over the
-//! original document. Dropping intermediate versions amounts to aggregating
-//! consecutive deltas; the reduction gives a compact, deterministic delta.
+//! original document. Dropping intermediate versions amounts to submitting
+//! the consecutive deltas as one *sequence* — the session aggregates them and
+//! the reduction gives a compact, deterministic combined delta.
 //!
 //! Run with `cargo run --example versioning_deltas`.
 
@@ -8,12 +9,14 @@ use xmlpul::prelude::*;
 use xmlpul::xdm::parser::parse_fragment_with_first_id;
 
 fn main() {
-    let v0 = xdm::parser::parse_document(
+    let mut archive = Executor::parse(
         "<article status=\"draft\"><title>PUL reasoning</title>\
          <abstract>TODO</abstract><body><sec>Intro</sec></body></article>",
     )
-    .expect("well-formed document");
-    let labels = Labeling::assign(&v0);
+    .expect("well-formed document")
+    .reduction(ReductionStrategy::Deterministic)
+    .apply_options(ApplyOptions::producer());
+    let v0 = archive.document().clone();
     let title = v0.find_element("title").unwrap();
     let abstract_el = v0.find_element("abstract").unwrap();
     let abstract_text = v0.children(abstract_el).unwrap()[0];
@@ -21,48 +24,59 @@ fn main() {
     let status = v0.attribute_by_name(v0.root().unwrap(), "status").unwrap().unwrap();
 
     // Each revision is a delta (a PUL) over the previous version.
-    let delta1 = Pul::from_ops(
-        vec![
-            UpdateOp::replace_value(abstract_text, "We study reduction, integration and aggregation."),
-            UpdateOp::ins_last(body, vec![parse_fragment_with_first_id("<sec>Reduction</sec>", 100).unwrap()]),
-        ],
-        &labels,
-    );
-    let delta2 = Pul::from_ops(
-        vec![
-            UpdateOp::ins_last(body, vec![parse_fragment_with_first_id("<sec>Integration</sec>", 110).unwrap()]),
-            UpdateOp::rename(title, "heading"),
-        ],
-        &labels,
-    );
-    let delta3 = Pul::from_ops(
-        vec![
-            UpdateOp::ins_last(body, vec![parse_fragment_with_first_id("<sec>Aggregation</sec>", 120).unwrap()]),
-            UpdateOp::replace_value(status, "camera-ready"),
-            UpdateOp::rename(title, "name"),
-        ],
-        &labels,
-    );
+    let delta1 = archive.pul_from_ops(vec![
+        UpdateOp::replace_value(abstract_text, "We study reduction, integration and aggregation."),
+        UpdateOp::ins_last(
+            body,
+            vec![parse_fragment_with_first_id("<sec>Reduction</sec>", 100).unwrap()],
+        ),
+    ]);
+    let delta2 = archive.pul_from_ops(vec![
+        UpdateOp::ins_last(
+            body,
+            vec![parse_fragment_with_first_id("<sec>Integration</sec>", 110).unwrap()],
+        ),
+        UpdateOp::rename(title, "heading"),
+    ]);
+    let delta3 = archive.pul_from_ops(vec![
+        UpdateOp::ins_last(
+            body,
+            vec![parse_fragment_with_first_id("<sec>Aggregation</sec>", 120).unwrap()],
+        ),
+        UpdateOp::replace_value(status, "camera-ready"),
+        UpdateOp::rename(title, "name"),
+    ]);
 
     // Keeping every version means keeping every delta. To drop the
-    // intermediate versions v1 and v2, the archive aggregates the deltas.
+    // intermediate versions v1 and v2, the archive submits the deltas as one
+    // sequence: the session aggregates them (Def. 13) and its deterministic
+    // reduction yields the compact combined delta v0→v3.
     let deltas = vec![delta1, delta2, delta3];
-    let combined = aggregate(&deltas).expect("aggregable deltas");
-    let compact = deterministic_reduce(&combined);
-    println!("three deltas with {} operations in total", deltas.iter().map(|d| d.len()).sum::<usize>());
-    println!("single combined delta v0→v3 ({} operations):\n  {compact}\n", compact.len());
+    archive.submit_sequence(&deltas).expect("aggregable deltas");
+    let resolution = archive.resolve().expect("solvable");
+    println!(
+        "three deltas with {} operations in total",
+        deltas.iter().map(|d| d.len()).sum::<usize>()
+    );
+    println!(
+        "single combined delta v0→v3 ({} operations):\n  {}\n",
+        resolution.resolved_ops(),
+        resolution.pul()
+    );
 
     // Applying the combined delta to v0 yields exactly v3.
-    let mut v3_direct = v0.clone();
+    let mut direct = Executor::new(v0)
+        .reduction(ReductionStrategy::None)
+        .apply_options(ApplyOptions::producer());
     for d in &deltas {
-        apply_pul(&mut v3_direct, d, &ApplyOptions::producer()).expect("applicable delta");
+        direct.submit(d.clone());
+        direct.commit().expect("applicable delta");
     }
-    let mut v3_from_combined = v0.clone();
-    apply_pul(&mut v3_from_combined, &compact, &ApplyOptions::producer()).expect("applicable delta");
+    archive.commit_resolution(resolution).expect("applicable delta");
     assert_eq!(
-        pul::obtainable::canonical_string(&v3_direct),
-        pul::obtainable::canonical_string(&v3_from_combined)
+        pul::obtainable::canonical_string(direct.document()),
+        pul::obtainable::canonical_string(archive.document())
     );
-    println!("v0 + combined delta == v3 ✓\n");
-    println!("v3:\n  {}", xdm::writer::write_document(&v3_from_combined));
+    println!("v0 + combined delta == v3 ✓ (archive at v{})", archive.version());
+    println!("v3:\n  {}", archive.serialize());
 }

@@ -1,0 +1,200 @@
+//! The unified error hierarchy of the façade.
+//!
+//! The workspace crates each have a focused error type (`xdm::XdmError`,
+//! `pul::PulError`, `pul_core::ReconcileError`, `xqupdate::XqError`). Callers
+//! of the [`Executor`](crate::Executor) session API never have to juggle them:
+//! every fallible operation of the façade returns [`Error`], which wraps the
+//! crate-level errors (with `From` impls, so `?` just works) and adds the
+//! executor-level failure modes.
+//!
+//! Every error maps to a **stable error code** ([`Error::code`]) of the form
+//! `XPUL-<layer><number>`, intended for logs, metrics and cross-service
+//! matching: the code of an existing variant never changes, new variants get
+//! new codes.
+
+use std::fmt;
+
+use pul::PulError;
+use pul_core::ReconcileError;
+use xdm::XdmError;
+use xqupdate::XqError;
+
+/// Convenience result alias for the façade API.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The unified error type of the `xmlpul` façade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Document-model or XML syntax error.
+    Xdm(XdmError),
+    /// PUL validation, evaluation or exchange-format error.
+    Pul(PulError),
+    /// Reconciliation failed: a conflict cannot be solved without violating a
+    /// producer policy.
+    Reconcile(ReconcileError),
+    /// The XQuery Update front-end rejected an expression.
+    Query(XqError),
+    /// A [`Resolution`](crate::Resolution) was computed against an earlier
+    /// version of the executor's document and can no longer be committed.
+    StaleResolution {
+        /// The version the resolution was computed against.
+        resolved_at: u64,
+        /// The executor's current version.
+        current: u64,
+    },
+    /// A submission identifier does not name a pending submission.
+    UnknownSubmission(crate::SubmissionId),
+    /// `commit_streaming` was asked to stream a serialization that does not
+    /// correspond to the executor's document.
+    StreamMismatch(String),
+    /// An I/O error while streaming a commit.
+    Io(String),
+}
+
+impl Error {
+    /// The stable error code: `XPUL-` followed by a layer prefix (`D` for the
+    /// document model, `P` for PULs, `C` for the reasoning core, `Q` for the
+    /// query front-end, `E` for the executor) and a two-digit number.
+    pub fn code(&self) -> &'static str {
+        fn xdm_code(e: &XdmError) -> &'static str {
+            match e {
+                XdmError::NodeNotFound(_) => "XPUL-D01",
+                XdmError::DuplicateNodeId(_) => "XPUL-D02",
+                XdmError::InvalidStructure(_) => "XPUL-D03",
+                XdmError::NoRoot => "XPUL-D04",
+                XdmError::Parse { .. } => "XPUL-D05",
+                XdmError::Detached(_) => "XPUL-D06",
+            }
+        }
+        match self {
+            Error::Xdm(e) => xdm_code(e),
+            Error::Pul(e) => match e {
+                PulError::NotApplicable { .. } => "XPUL-P01",
+                PulError::Incompatible { .. } => "XPUL-P02",
+                PulError::Dynamic(_) => "XPUL-P03",
+                // `From<PulError>` flattens this variant into `Error::Xdm`;
+                // a hand-built value still reports the document-model code.
+                PulError::Xdm(inner) => xdm_code(inner),
+                PulError::Format(_) => "XPUL-P05",
+                PulError::TooManyOutcomes { .. } => "XPUL-P06",
+            },
+            Error::Reconcile(_) => "XPUL-C01",
+            Error::Query(_) => "XPUL-Q01",
+            Error::StaleResolution { .. } => "XPUL-E01",
+            Error::UnknownSubmission(_) => "XPUL-E02",
+            Error::StreamMismatch(_) => "XPUL-E03",
+            Error::Io(_) => "XPUL-E04",
+        }
+    }
+
+    /// The conflict that made reconciliation fail, when there is one.
+    pub fn unsolvable_conflict(&self) -> Option<&pul_core::Conflict> {
+        match self {
+            Error::Reconcile(e) => Some(&e.conflict),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.code())?;
+        match self {
+            Error::Xdm(e) => write!(f, "{e}"),
+            Error::Pul(e) => write!(f, "{e}"),
+            Error::Reconcile(e) => write!(f, "{e}"),
+            Error::Query(e) => write!(f, "{e}"),
+            Error::StaleResolution { resolved_at, current } => write!(
+                f,
+                "stale resolution: computed against version {resolved_at}, executor is at version {current}"
+            ),
+            Error::UnknownSubmission(id) => write!(f, "no pending submission {id}"),
+            Error::StreamMismatch(msg) => write!(f, "streamed document mismatch: {msg}"),
+            Error::Io(msg) => write!(f, "I/O error while streaming: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Xdm(e) => Some(e),
+            Error::Pul(e) => Some(e),
+            Error::Reconcile(e) => Some(e),
+            Error::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XdmError> for Error {
+    fn from(e: XdmError) -> Self {
+        Error::Xdm(e)
+    }
+}
+
+impl From<PulError> for Error {
+    fn from(e: PulError) -> Self {
+        // Flatten the document-model errors that bubbled up through the PUL
+        // layer, so matching on `Error::Xdm` is reliable.
+        match e {
+            PulError::Xdm(inner) => Error::Xdm(inner),
+            other => Error::Pul(other),
+        }
+    }
+}
+
+impl From<ReconcileError> for Error {
+    fn from(e: ReconcileError) -> Self {
+        Error::Reconcile(e)
+    }
+}
+
+impl From<XqError> for Error {
+    fn from(e: XqError) -> Self {
+        Error::Query(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_prefixed() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::from(XdmError::NoRoot), "XPUL-D04"),
+            (Error::from(PulError::Dynamic("x".into())), "XPUL-P03"),
+            (Error::from(XqError("bad".into())), "XPUL-Q01"),
+            (Error::StaleResolution { resolved_at: 1, current: 2 }, "XPUL-E01"),
+        ];
+        for (e, code) in cases {
+            assert_eq!(e.code(), code);
+            assert!(e.to_string().starts_with(&format!("[{code}]")), "{e}");
+        }
+    }
+
+    #[test]
+    fn pul_wrapped_xdm_errors_are_flattened() {
+        let e = Error::from(PulError::Xdm(XdmError::NoRoot));
+        assert!(matches!(e, Error::Xdm(XdmError::NoRoot)));
+        assert_eq!(e.code(), "XPUL-D04");
+        // Even a hand-built (unflattened) value reports the inner D-code, so
+        // one failure mode never maps to two codes.
+        let e = Error::Pul(PulError::Xdm(XdmError::NoRoot));
+        assert_eq!(e.code(), "XPUL-D04");
+    }
+
+    #[test]
+    fn sources_are_linked() {
+        let e = Error::from(PulError::Dynamic("boom".into()));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,464 @@
+//! The executor session API: one façade for the whole PUL pipeline.
+//!
+//! The paper's architecture (§4) centres on an *executor* that owns the
+//! authoritative document, receives PULs from many producers, reasons on them
+//! — reducing, integrating, reconciling, aggregating — and only touches the
+//! document at commit time. [`Executor`] is that object:
+//!
+//! ```text
+//!  producers ──submit()──▶ ┌──────────────────────────────┐
+//!  (PULs, wire XML,        │  Executor session             │
+//!   sequences, queries)    │   reduce ─ integrate ─        │──commit()──▶ Document'
+//!                          │   reconcile ─ aggregate       │
+//!                          └───────────resolve()───────────┘
+//!                                        │
+//!                                        ▼
+//!                               Resolution (PUL + conflicts)
+//! ```
+//!
+//! See the crate-level quick start for a complete tour.
+
+use std::io::{Read, Write};
+
+use pul::apply::{apply_pul_with_labeling, ApplyOptions, ApplyReport};
+use pul::stream::apply_streaming_with;
+use pul::{Pul, UpdateOp};
+use pul_core::reduce::{reduce_naive, reduce_with, ReductionKind};
+use pul_core::{aggregate, integrate, reconcile_integration, Policy};
+use xdm::{parser, writer, Document};
+use xlabel::Labeling;
+
+use crate::error::{Error, Result};
+use crate::resolution::Resolution;
+use crate::transaction::Transaction;
+
+/// How the executor reduces PULs — the session-level replacement for the
+/// historical `reduce` / `deterministic_reduce` / `canonical_form` /
+/// `reduce_naive` free functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReductionStrategy {
+    /// No reduction at all: submissions are integrated as sent.
+    None,
+    /// Fig. 2 stages 1–9 (Def. 7); `ins↓` may survive, so the result can have
+    /// several obtainable documents.
+    Standard,
+    /// Stages 1–10 (Def. 8): `ins↓` is rewritten into `ins↙`, making the PUL
+    /// semantics deterministic. The executor default.
+    #[default]
+    Deterministic,
+    /// Def. 9: deterministic reduction with `<p`-least pair selection — the
+    /// unique canonical form, at the price of a per-stage search.
+    Canonical,
+    /// The O(k²) baseline examining every ordered pair (ablation only).
+    Naive,
+}
+
+impl ReductionStrategy {
+    /// Reduces one PUL according to the strategy.
+    pub fn reduce(self, pul: &Pul) -> Pul {
+        match self {
+            ReductionStrategy::None => pul.clone(),
+            ReductionStrategy::Standard => reduce_with(pul, ReductionKind::Plain),
+            ReductionStrategy::Deterministic => reduce_with(pul, ReductionKind::Deterministic),
+            ReductionStrategy::Canonical => reduce_with(pul, ReductionKind::Canonical),
+            ReductionStrategy::Naive => reduce_naive(pul),
+        }
+    }
+}
+
+/// Identifier of a pending submission within a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubmissionId(pub(crate) u64);
+
+impl std::fmt::Display for SubmissionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "submission#{}", self.0)
+    }
+}
+
+/// One producer PUL waiting in the session, with the policy its producer
+/// attached.
+#[derive(Debug, Clone)]
+struct Submission {
+    id: SubmissionId,
+    pul: Pul,
+    policy: Policy,
+}
+
+/// Summary of a successful commit.
+#[derive(Debug, Clone)]
+pub struct CommitReport {
+    /// The document version produced by the commit.
+    pub version: u64,
+    /// Number of operations applied to the document.
+    pub applied_ops: usize,
+    /// The conflicts that were detected (and solved) on the way.
+    pub conflicts: Vec<pul_core::Conflict>,
+    /// Structural effects of the application (inserted / removed roots, id
+    /// mapping). Empty for streaming commits, which never materialise the
+    /// document.
+    pub apply: ApplyReport,
+}
+
+/// A stateful executor session owning the authoritative document, its
+/// labeling and the session defaults, and exposing the
+/// reduce → integrate → reconcile → aggregate → apply pipeline behind four
+/// verbs: [`submit`](Executor::submit), [`resolve`](Executor::resolve),
+/// [`commit`](Executor::commit) and
+/// [`commit_streaming`](Executor::commit_streaming).
+#[derive(Debug, Clone)]
+pub struct Executor {
+    doc: Document,
+    labeling: Labeling,
+    default_policy: Policy,
+    strategy: ReductionStrategy,
+    apply_options: ApplyOptions,
+    submissions: Vec<Submission>,
+    next_submission: u64,
+    version: u64,
+}
+
+impl Executor {
+    // ------------------------------------------------------------ construction
+
+    /// Opens a session on a document. The labeling (§4.1) is assigned here,
+    /// once; commits maintain it incrementally.
+    pub fn new(doc: Document) -> Self {
+        let labeling = Labeling::assign(&doc);
+        Executor {
+            doc,
+            labeling,
+            default_policy: Policy::default(),
+            strategy: ReductionStrategy::default(),
+            apply_options: ApplyOptions::default(),
+            submissions: Vec::new(),
+            next_submission: 0,
+            version: 0,
+        }
+    }
+
+    /// Opens a session on the document serialized in `xml`.
+    pub fn parse(xml: &str) -> Result<Self> {
+        Ok(Executor::new(parser::parse_document(xml)?))
+    }
+
+    /// Sets the policy assumed for submissions that do not carry their own
+    /// (builder style).
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.default_policy = policy;
+        self
+    }
+
+    /// Sets the reduction strategy applied to every submission and to the
+    /// reconciled result (builder style).
+    pub fn reduction(mut self, strategy: ReductionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the options used when committing PULs to the document (builder
+    /// style).
+    pub fn apply_options(mut self, options: ApplyOptions) -> Self {
+        self.apply_options = options;
+        self
+    }
+
+    // -------------------------------------------------------------- inspection
+
+    /// The authoritative document.
+    pub fn document(&self) -> &Document {
+        &self.doc
+    }
+
+    /// The labeling of the authoritative document.
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// The current document version: 0 at session start, incremented by every
+    /// commit.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of submissions waiting to be resolved.
+    pub fn pending(&self) -> usize {
+        self.submissions.len()
+    }
+
+    /// Serializes the authoritative document.
+    pub fn serialize(&self) -> String {
+        writer::write_document(&self.doc)
+    }
+
+    /// Serializes the authoritative document with node identifiers — the
+    /// executor's on-disk form, consumed by [`commit_streaming`]
+    /// (Executor::commit_streaming) and shipped to producers at checkout.
+    pub fn serialize_identified(&self) -> String {
+        writer::write_document_identified(&self.doc)
+    }
+
+    // -------------------------------------------------------------- production
+
+    /// Evaluates an XQuery Update expression against the session document,
+    /// returning the PUL a producer would ship (the PUL is *not* submitted).
+    pub fn produce(&self, source: &str) -> Result<Pul> {
+        Ok(xqupdate::evaluate(&self.doc, &self.labeling, source)?)
+    }
+
+    // -------------------------------------------------------------- submission
+
+    /// Submits a producer PUL under the session's default policy.
+    pub fn submit(&mut self, pul: Pul) -> SubmissionId {
+        self.submit_with_policy(pul, self.default_policy)
+    }
+
+    /// Submits a producer PUL with an explicit producer policy.
+    pub fn submit_with_policy(&mut self, pul: Pul, policy: Policy) -> SubmissionId {
+        let id = SubmissionId(self.next_submission);
+        self.next_submission += 1;
+        self.submissions.push(Submission { id, pul, policy });
+        id
+    }
+
+    /// Submits a producer PUL received in the XML exchange format (§4).
+    pub fn submit_xml(&mut self, wire: &str) -> Result<SubmissionId> {
+        let pul = pul::xmlio::pul_from_xml(wire)?;
+        Ok(self.submit(pul))
+    }
+
+    /// Submits a *sequence* of PULs from one producer (e.g. the editing
+    /// sessions of a disconnected client): the sequence is aggregated into a
+    /// single PUL (Def. 13) before entering the session.
+    pub fn submit_sequence(&mut self, puls: &[Pul]) -> Result<SubmissionId> {
+        let aggregated = aggregate(puls)?;
+        Ok(self.submit(aggregated))
+    }
+
+    /// Submits a sequence of PULs received as one XML document.
+    pub fn submit_sequence_xml(&mut self, wire: &str) -> Result<SubmissionId> {
+        let puls = pul::xmlio::puls_from_xml(wire)?;
+        self.submit_sequence(&puls)
+    }
+
+    /// Withdraws a pending submission, returning its PUL.
+    pub fn withdraw(&mut self, id: SubmissionId) -> Result<Pul> {
+        match self.submissions.iter().position(|s| s.id == id) {
+            Some(i) => Ok(self.submissions.remove(i).pul),
+            None => Err(Error::UnknownSubmission(id)),
+        }
+    }
+
+    // -------------------------------------------------------------- resolution
+
+    /// Reasons on the pending submissions without touching the document:
+    /// each PUL is reduced with the session strategy, the reductions are
+    /// integrated (Alg. 1), the detected conflicts are reconciled under the
+    /// producer policies (Alg. 3), and the survivor is reduced once more.
+    /// Fails with [`Error::Reconcile`] when some conflict cannot be solved
+    /// without violating a policy.
+    pub fn resolve(&self) -> Result<Resolution> {
+        let submitted_ops = self.submissions.iter().map(|s| s.pul.len()).sum();
+        let reduced: Vec<Pul> =
+            self.submissions.iter().map(|s| self.strategy.reduce(&s.pul)).collect();
+        let policies: Vec<Policy> = self.submissions.iter().map(|s| s.policy).collect();
+        let integration = integrate(&reduced);
+        let reconciled = reconcile_integration(&reduced, &integration, &policies)?;
+        let pul = self.strategy.reduce(&reconciled);
+        Ok(Resolution {
+            version: self.version,
+            submission_ids: self.submissions.iter().map(|s| s.id).collect(),
+            pul,
+            conflicts: integration.conflicts,
+            submitted_puls: self.submissions.len(),
+            submitted_ops,
+        })
+    }
+
+    // ------------------------------------------------------------------ commit
+
+    /// Resolves the pending submissions and applies the resolution to the
+    /// authoritative document, maintaining the labeling. On success the
+    /// submissions are consumed and the version is incremented.
+    pub fn commit(&mut self) -> Result<CommitReport> {
+        let resolution = self.resolve()?;
+        self.commit_resolution(resolution)
+    }
+
+    /// Applies a previously computed [`Resolution`]. Fails with
+    /// [`Error::StaleResolution`] if the document has been committed to since
+    /// the resolution was computed, and with [`Error::UnknownSubmission`] if a
+    /// resolved submission has been withdrawn in the meantime. Submissions
+    /// that arrived *after* the resolution stay pending.
+    ///
+    /// The commit is atomic: on any failure the session (document, labeling,
+    /// version, submissions) is exactly as it was before the call.
+    pub fn commit_resolution(&mut self, resolution: Resolution) -> Result<CommitReport> {
+        self.check_fresh(&resolution)?;
+        // Apply onto working copies and swap in only on success: a mid-apply
+        // failure (e.g. one of several ops not applicable) must not leave a
+        // half-updated authoritative document behind.
+        let mut doc = self.doc.clone();
+        let mut labeling = self.labeling.clone();
+        let apply =
+            apply_pul_with_labeling(&mut doc, &mut labeling, &resolution.pul, &self.apply_options)?;
+        self.doc = doc;
+        self.labeling = labeling;
+        self.finish_commit(&resolution);
+        Ok(CommitReport {
+            version: self.version,
+            applied_ops: resolution.pul.len(),
+            conflicts: resolution.conflicts,
+            apply,
+        })
+    }
+
+    /// Resolves the pending submissions and applies the resolution in one
+    /// streaming pass over the serialization: the identified serialization of
+    /// the document is read from `reader`, the update is applied **without
+    /// building a tree for the streamed bytes** (§4.3, Fig. 6.a), and the
+    /// updated serialization is written to `writer`.
+    ///
+    /// Note that this session still holds its in-memory authoritative copy —
+    /// it is used for the input correspondence check and synchronised from
+    /// the streamed output — so the one-pass benefit is on the I/O path, not
+    /// on memory. A fully tree-free executor (fingerprint check, incremental
+    /// labeling from the apply report) is tracked in the ROADMAP.
+    pub fn commit_streaming<R: Read, W: Write>(
+        &mut self,
+        reader: &mut R,
+        writer: &mut W,
+    ) -> Result<CommitReport> {
+        let resolution = self.resolve()?;
+        self.commit_resolution_streaming(resolution, reader, writer)
+    }
+
+    /// Streaming counterpart of [`commit_resolution`]
+    /// (Executor::commit_resolution). The reader must supply the session's
+    /// own identified serialization ([`serialize_identified`]
+    /// (Executor::serialize_identified), possibly persisted at an earlier
+    /// point of the *same* version); anything else fails with
+    /// [`Error::StreamMismatch`] before a byte is written.
+    pub fn commit_resolution_streaming<R: Read, W: Write>(
+        &mut self,
+        resolution: Resolution,
+        reader: &mut R,
+        writer: &mut W,
+    ) -> Result<CommitReport> {
+        self.check_fresh(&resolution)?;
+        let mut input = String::new();
+        reader.read_to_string(&mut input)?;
+        // The resolution reasoned about *this* session's document: applying it
+        // to any other serialization would silently commit over the wrong
+        // base. The identified serialization is deterministic, so equality
+        // with the in-memory copy is the correspondence check.
+        if input != self.serialize_identified() {
+            return Err(Error::StreamMismatch(
+                "the reader's bytes are not this session's identified serialization".into(),
+            ));
+        }
+        // Fresh identifiers must clash neither with the document's nor with
+        // the identifiers carried by the resolution's parameter trees.
+        let mut first_new_id = self.doc.next_id() + 1;
+        for op in resolution.pul.ops() {
+            if let Some(trees) = op.content() {
+                for tree in trees {
+                    first_new_id = first_new_id.max(tree.as_document().next_id() + 1);
+                }
+            }
+        }
+        let output = apply_streaming_with(
+            &input,
+            &resolution.pul,
+            first_new_id,
+            self.apply_options.preserve_content_ids,
+        )?;
+        // Synchronise the in-memory authoritative copy *before* anything is
+        // written, so a failure leaves both the session and the writer
+        // untouched.
+        let updated = parser::parse_document_identified(&output)
+            .map_err(|e| Error::StreamMismatch(e.to_string()))?;
+        writer.write_all(output.as_bytes())?;
+        self.labeling = Labeling::assign(&updated);
+        self.doc = updated;
+        self.finish_commit(&resolution);
+        Ok(CommitReport {
+            version: self.version,
+            applied_ops: resolution.pul.len(),
+            conflicts: resolution.conflicts,
+            apply: ApplyReport::default(),
+        })
+    }
+
+    fn check_fresh(&self, resolution: &Resolution) -> Result<()> {
+        if resolution.version != self.version {
+            return Err(Error::StaleResolution {
+                resolved_at: resolution.version,
+                current: self.version,
+            });
+        }
+        // Every submission the resolution reasoned about must still be
+        // pending: committing over a withdrawn PUL would resurrect it.
+        for id in &resolution.submission_ids {
+            if !self.submissions.iter().any(|s| s.id == *id) {
+                return Err(Error::UnknownSubmission(*id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes exactly the submissions the resolution covered (later arrivals
+    /// stay pending) and advances the version.
+    fn finish_commit(&mut self, resolution: &Resolution) {
+        self.submissions.retain(|s| !resolution.submission_ids.contains(&s.id));
+        self.version += 1;
+    }
+
+    // ------------------------------------------------------------ transactions
+
+    /// Starts a build-apply-rollback transaction: the returned guard exposes
+    /// the whole session API (it derefs to the executor) and restores the
+    /// document, labeling, submissions and version on drop unless
+    /// [`Transaction::commit`] is called.
+    pub fn transaction(&mut self) -> Transaction<'_> {
+        Transaction::new(self)
+    }
+
+    pub(crate) fn snapshot(&self) -> ExecutorSnapshot {
+        ExecutorSnapshot {
+            doc: self.doc.clone(),
+            labeling: self.labeling.clone(),
+            submissions: self.submissions.clone(),
+            next_submission: self.next_submission,
+            version: self.version,
+        }
+    }
+
+    pub(crate) fn restore(&mut self, snapshot: ExecutorSnapshot) {
+        self.doc = snapshot.doc;
+        self.labeling = snapshot.labeling;
+        self.submissions = snapshot.submissions;
+        self.next_submission = snapshot.next_submission;
+        self.version = snapshot.version;
+    }
+}
+
+/// Saved session state used by [`Transaction`] for rollback.
+#[derive(Debug, Clone)]
+pub(crate) struct ExecutorSnapshot {
+    doc: Document,
+    labeling: Labeling,
+    submissions: Vec<Submission>,
+    next_submission: u64,
+    version: u64,
+}
+
+/// Convenience: build a PUL from loose operations against this session's
+/// labeling (the common test/example pattern).
+impl Executor {
+    /// Builds a PUL from operations, attaching the labels of the session
+    /// document — what a well-behaved producer does before shipping.
+    pub fn pul_from_ops(&self, ops: Vec<UpdateOp>) -> Pul {
+        Pul::from_ops(ops, &self.labeling)
+    }
+}

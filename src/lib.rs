@@ -5,7 +5,55 @@
 //! reasoning on and executing XQuery Update Facility **Pending Update Lists
 //! (PULs)** without accessing the documents they refer to.
 //!
-//! This crate is a façade re-exporting the workspace crates:
+//! The heart of the crate is the [`Executor`] session API — one façade for the
+//! whole pipeline:
+//!
+//! ```text
+//!  producers ──submit()──▶ ┌───────────────────────────────┐
+//!  (PULs, wire XML,        │  Executor session              │
+//!   sequences, queries)    │   reduce → integrate →         │──commit()──▶ Document'
+//!                          │   reconcile → aggregate        │   (in memory or streaming)
+//!                          └──────────resolve()─────────────┘
+//!                                       │
+//!                                       ▼
+//!                            Resolution (PUL + conflict report)
+//! ```
+//!
+//! ## Quick start
+//!
+//! ```
+//! use xmlpul::prelude::*;
+//!
+//! // The executor session owns the authoritative document and its labeling.
+//! let mut session = Executor::parse(
+//!     "<issue><paper><title>Old</title></paper></issue>").unwrap()
+//!     .policy(Policy::relaxed())
+//!     .reduction(ReductionStrategy::Deterministic);
+//!
+//! // Producers express updates as PULs — here through the XQuery Update
+//! // front-end — and ship them over the wire.
+//! let pul = session.produce(
+//!     "rename node /issue/paper/title as \"heading\", \
+//!      insert nodes <author>G.Guerrini</author> after /issue/paper/title").unwrap();
+//! let wire = pul::xmlio::pul_to_xml(&pul);
+//!
+//! // The executor admits submissions, reasons on them without touching the
+//! // document, and commits the resolution.
+//! session.submit_xml(&wire).unwrap();
+//! let resolution = session.resolve().unwrap();
+//! assert!(resolution.is_conflict_free());
+//! let report = session.commit_resolution(resolution).unwrap();
+//! assert_eq!(report.version, 1);
+//! assert!(session.serialize().contains("<heading>"));
+//! assert!(session.serialize().contains("G.Guerrini"));
+//! ```
+//!
+//! Everything fallible returns the unified [`Error`] with a stable
+//! [`code`](Error::code); [`Transaction`] adds build-apply-rollback on top;
+//! [`Executor::commit_streaming`] applies a resolution in one pass over the
+//! identified serialization without materialising the document.
+//!
+//! ## Workspace layout
 //!
 //! | crate | contents |
 //! |-------|----------|
@@ -16,31 +64,9 @@
 //! | [`xqupdate`] | a miniature XQuery Update front-end producing PULs |
 //! | [`workload`] | XMark-style documents and synthetic PUL generators |
 //!
-//! ## Quick start
-//!
-//! ```
-//! use xmlpul::prelude::*;
-//!
-//! // The executor holds the authoritative document and its labeling.
-//! let doc = xdm::parser::parse_document(
-//!     "<issue><paper><title>Old</title></paper></issue>").unwrap();
-//! let labels = Labeling::assign(&doc);
-//!
-//! // A producer expresses updates as a PUL (here, built directly).
-//! let title = doc.find_element("title").unwrap();
-//! let pul = Pul::from_ops(vec![
-//!     UpdateOp::rename(title, "heading"),
-//!     UpdateOp::ins_after(title, vec![Tree::element_with_text("author", "G.Guerrini")]),
-//! ], &labels);
-//!
-//! // PULs travel as XML, are reduced by the executor, and applied.
-//! let wire = pul::xmlio::pul_to_xml(&pul);
-//! let received = pul::xmlio::pul_from_xml(&wire).unwrap();
-//! let reduced = pul_core::reduce(&received);
-//! let mut updated = doc.clone();
-//! pul::apply_pul(&mut updated, &reduced, &Default::default()).unwrap();
-//! assert!(xdm::writer::write_document(&updated).contains("<heading>"));
-//! ```
+//! The free functions of `pul_core` remain available for operator-level work;
+//! the reduction function zoo (`reduce`, `deterministic_reduce`,
+//! `canonical_form`) is deprecated in favour of [`ReductionStrategy`].
 
 pub use pul;
 pub use pul_core;
@@ -49,15 +75,26 @@ pub use xdm;
 pub use xlabel;
 pub use xqupdate;
 
+mod error;
+mod executor;
+mod resolution;
+mod transaction;
+
 pub mod fixtures;
+
+pub use error::{Error, Result};
+pub use executor::{CommitReport, Executor, ReductionStrategy, SubmissionId};
+pub use resolution::Resolution;
+pub use transaction::Transaction;
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use pul::{apply_pul, ApplyOptions, OpClass, OpName, Pul, PulError, UpdateOp};
-    pub use pul_core::{
-        aggregate, canonical_form, deterministic_reduce, integrate, reconcile, reduce, Conflict,
-        ConflictType, Policy,
+    pub use crate::{
+        CommitReport, Error, Executor, ReductionStrategy, Resolution, Result, SubmissionId,
+        Transaction,
     };
+    pub use pul::{ApplyOptions, OpClass, OpName, Pul, UpdateOp};
+    pub use pul_core::{Conflict, ConflictType, Policy};
     pub use xdm::{Document, NodeId, NodeKind, Tree};
     pub use xlabel::{Labeling, NodeLabel, OrderKey};
 }
@@ -67,12 +104,26 @@ mod tests {
     use super::prelude::*;
 
     #[test]
-    fn facade_reexports_are_usable() {
-        let doc = xdm::parser::parse_document("<a><b>t</b></a>").unwrap();
-        let labels = Labeling::assign(&doc);
-        let b = doc.find_element("b").unwrap();
-        let pul = Pul::from_ops(vec![UpdateOp::rename(b, "c")], &labels);
-        let reduced = reduce(&pul);
-        assert_eq!(reduced.len(), 1);
+    fn facade_session_is_usable() {
+        let mut session = Executor::parse("<a><b>t</b></a>").unwrap();
+        let b = session.document().find_element("b").unwrap();
+        let pul = session.pul_from_ops(vec![UpdateOp::rename(b, "c")]);
+        session.submit(pul);
+        let resolution = session.resolve().unwrap();
+        assert_eq!(resolution.resolved_ops(), 1);
+        session.commit_resolution(resolution).unwrap();
+        assert!(session.serialize().contains("<c>"));
+        assert_eq!(session.version(), 1);
+    }
+
+    #[test]
+    fn stale_resolutions_are_rejected() {
+        let mut session = Executor::parse("<a><b>t</b></a>").unwrap();
+        let b = session.document().find_element("b").unwrap();
+        session.submit(Pul::from_ops(vec![UpdateOp::rename(b, "c")], session.labeling()));
+        let resolution = session.resolve().unwrap();
+        session.commit().unwrap();
+        let err = session.commit_resolution(resolution).unwrap_err();
+        assert_eq!(err.code(), "XPUL-E01");
     }
 }

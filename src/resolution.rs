@@ -1,0 +1,97 @@
+//! The typed outcome of [`Executor::resolve`](crate::Executor::resolve).
+//!
+//! A [`Resolution`] is the result of reasoning on everything submitted to a
+//! session — each producer PUL reduced, all of them integrated, the detected
+//! conflicts reconciled under the producer policies, and the survivor reduced
+//! once more — *without the document having been touched*. It carries the
+//! final PUL together with a full conflict report, and remembers the executor
+//! version it was computed against so a stale resolution can never be
+//! committed over a newer document.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pul::Pul;
+use pul_core::{Conflict, ConflictType};
+
+/// The outcome of the reduce → integrate → reconcile → aggregate reasoning
+/// pass over a session's submissions.
+#[derive(Debug, Clone)]
+pub struct Resolution {
+    pub(crate) version: u64,
+    pub(crate) submission_ids: Vec<crate::SubmissionId>,
+    pub(crate) pul: Pul,
+    pub(crate) conflicts: Vec<Conflict>,
+    pub(crate) submitted_puls: usize,
+    pub(crate) submitted_ops: usize,
+}
+
+impl Resolution {
+    /// The single PUL that, applied to the session document, realises every
+    /// non-excluded submitted operation.
+    pub fn pul(&self) -> &Pul {
+        &self.pul
+    }
+
+    /// Consumes the resolution, returning its PUL.
+    pub fn into_pul(self) -> Pul {
+        self.pul
+    }
+
+    /// The conflicts detected while integrating the submissions (all of them
+    /// were solved under the producer policies, or `resolve` would have
+    /// failed).
+    pub fn conflicts(&self) -> &[Conflict] {
+        &self.conflicts
+    }
+
+    /// Whether the submissions integrated without any conflict (in which case
+    /// the resolution coincides with the W3C merge, Prop. 2).
+    pub fn is_conflict_free(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+
+    /// Conflict counts per type, for reporting.
+    pub fn conflict_counts(&self) -> BTreeMap<ConflictType, usize> {
+        let mut out = BTreeMap::new();
+        for c in &self.conflicts {
+            *out.entry(c.ctype).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// The executor version this resolution was computed against.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// How many PULs went into the resolution.
+    pub fn submitted_puls(&self) -> usize {
+        self.submitted_puls
+    }
+
+    /// How many operations the submissions contained in total.
+    pub fn submitted_ops(&self) -> usize {
+        self.submitted_ops
+    }
+
+    /// How many operations survived reduction, reconciliation and the final
+    /// reduction.
+    pub fn resolved_ops(&self) -> usize {
+        self.pul.len()
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "resolution@v{}: {} PULs / {} ops -> {} ops, {} conflicts",
+            self.version,
+            self.submitted_puls,
+            self.submitted_ops,
+            self.pul.len(),
+            self.conflicts.len()
+        )
+    }
+}

@@ -1,0 +1,82 @@
+//! Build-apply-rollback transactions over an [`Executor`] session.
+//!
+//! A [`Transaction`] snapshots the session (document, labeling, pending
+//! submissions, version) when it is opened and exposes the full session API
+//! through `Deref`/`DerefMut`. Dropping the guard — explicitly with
+//! [`Transaction::rollback`], or implicitly on panic or early return —
+//! restores the snapshot; calling [`Transaction::commit`] resolves and
+//! applies the pending submissions and *keeps* the result.
+//!
+//! ```
+//! use xmlpul::prelude::*;
+//!
+//! let mut session = Executor::parse("<doc><a>1</a></doc>").unwrap();
+//! {
+//!     let mut tx = session.transaction();
+//!     let pul = tx.produce("rename node /doc/a as \"b\"").unwrap();
+//!     tx.submit(pul);
+//!     tx.apply().unwrap();                     // the document now has <b>
+//!     assert!(tx.serialize().contains("<b>"));
+//! }                                            // dropped: rolled back
+//! assert!(session.serialize().contains("<a>"));
+//! assert_eq!(session.version(), 0);
+//! ```
+
+use std::ops::{Deref, DerefMut};
+
+use crate::error::Result;
+use crate::executor::{CommitReport, Executor, ExecutorSnapshot};
+
+/// A guard over an executor session that rolls the session back on drop
+/// unless it is [committed](Transaction::commit).
+#[derive(Debug)]
+pub struct Transaction<'a> {
+    executor: &'a mut Executor,
+    snapshot: Option<ExecutorSnapshot>,
+}
+
+impl<'a> Transaction<'a> {
+    pub(crate) fn new(executor: &'a mut Executor) -> Self {
+        let snapshot = executor.snapshot();
+        Transaction { executor, snapshot: Some(snapshot) }
+    }
+
+    /// Resolves and applies the pending submissions *inside* the transaction:
+    /// the document advances, but the change is still undone by a rollback.
+    /// Equivalent to [`Executor::commit`] through the guard.
+    pub fn apply(&mut self) -> Result<CommitReport> {
+        self.executor.commit()
+    }
+
+    /// Makes everything done inside the transaction permanent and dissolves
+    /// the guard. Pending (unapplied) submissions stay pending in the session.
+    pub fn commit(mut self) {
+        self.snapshot = None;
+    }
+
+    /// Explicitly restores the session to its state at transaction start.
+    /// (Dropping the guard does the same; this just names the intent.)
+    pub fn rollback(self) {}
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        if let Some(snapshot) = self.snapshot.take() {
+            self.executor.restore(snapshot);
+        }
+    }
+}
+
+impl Deref for Transaction<'_> {
+    type Target = Executor;
+
+    fn deref(&self) -> &Executor {
+        self.executor
+    }
+}
+
+impl DerefMut for Transaction<'_> {
+    fn deref_mut(&mut self) -> &mut Executor {
+        self.executor
+    }
+}

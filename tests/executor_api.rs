@@ -1,0 +1,305 @@
+//! Executor session round trips: submissions arriving in the `pul::xmlio`
+//! wire format, resolution, commit (in memory and streaming), serialization —
+//! plus the session bookkeeping (versions, stale resolutions, withdrawal,
+//! transactions) and the unified error surface.
+
+use xmlpul::prelude::*;
+
+fn issue_session() -> Executor {
+    Executor::parse(
+        "<issue volume=\"30\">\
+           <paper><title>Database Replication</title><author>A.Chaudhri</author></paper>\
+           <paper><title>XML Views</title><authors><author>B.Catania</author></authors></paper>\
+         </issue>",
+    )
+    .unwrap()
+}
+
+/// The headline round trip: produce → wire → submit → resolve → commit →
+/// serialize.
+#[test]
+fn wire_round_trip_through_the_session() {
+    let mut session = issue_session();
+
+    // Two producers express updates against the checked-out document and ship
+    // them in the exchange format.
+    let wire1 = pul::xmlio::pul_to_xml(
+        &session
+            .produce(
+                "rename node /issue/paper[1]/title as \"heading\", \
+                 insert nodes initPage=\"132\" into /issue/paper[1]",
+            )
+            .unwrap(),
+    );
+    let wire2 = pul::xmlio::pul_to_xml(
+        &session
+            .produce(
+                "insert nodes <author>G.Guerrini</author> as last into /issue/paper[2]/authors",
+            )
+            .unwrap(),
+    );
+
+    let id1 = session.submit_xml(&wire1).unwrap();
+    let id2 = session.submit_xml(&wire2).unwrap();
+    assert_ne!(id1, id2);
+    assert_eq!(session.pending(), 2);
+
+    let resolution = session.resolve().unwrap();
+    assert!(resolution.is_conflict_free());
+    assert_eq!(resolution.submitted_puls(), 2);
+    assert_eq!(resolution.submitted_ops(), 3);
+    assert_eq!(resolution.version(), 0);
+
+    let report = session.commit_resolution(resolution).unwrap();
+    assert_eq!(report.version, 1);
+    assert_eq!(session.pending(), 0);
+    assert_eq!(session.version(), 1);
+
+    let xml = session.serialize();
+    assert!(xml.contains("<heading>"));
+    assert!(xml.contains("initPage=\"132\""));
+    assert!(xml.contains("G.Guerrini"));
+}
+
+/// The streaming commit writes the same document the in-memory commit builds,
+/// and keeps the in-memory copy synchronised.
+#[test]
+fn streaming_and_in_memory_commits_agree() {
+    let mut session = issue_session();
+    let wire = pul::xmlio::pul_to_xml(
+        &session
+            .produce(
+                "delete nodes /issue/paper[1]/author, \
+                 replace value of node /issue/paper[2]/title/text() with \"XML Views, 2nd ed.\"",
+            )
+            .unwrap(),
+    );
+    session.submit_xml(&wire).unwrap();
+
+    let mut in_memory = session.clone();
+    in_memory.commit().unwrap();
+
+    let identified = session.serialize_identified();
+    let mut streamed = Vec::new();
+    let report = session.commit_streaming(&mut identified.as_bytes(), &mut streamed).unwrap();
+    assert_eq!(report.version, 1);
+
+    // The bytes written to the writer are the identified serialization of the
+    // updated document, and the session parsed them back in.
+    let streamed_doc =
+        xmlpul::xdm::parser::parse_document_identified(std::str::from_utf8(&streamed).unwrap())
+            .unwrap();
+    assert_eq!(
+        pul::obtainable::canonical_string(&streamed_doc),
+        pul::obtainable::canonical_string(session.document())
+    );
+    assert_eq!(
+        pul::obtainable::canonical_string(in_memory.document()),
+        pul::obtainable::canonical_string(session.document())
+    );
+}
+
+/// A sequence submission aggregates on entry; the session resolves it like
+/// any other producer PUL.
+#[test]
+fn sequence_submissions_aggregate() {
+    let mut session = issue_session().apply_options(ApplyOptions::producer());
+    // A disconnected producer: two consecutive editing sessions on its copy.
+    let mut client = session.clone().reduction(ReductionStrategy::None);
+    let pul1 =
+        client.produce("insert nodes <year>2004</year> as first into /issue/paper[1]").unwrap();
+    client.submit(pul1.clone());
+    client.commit().unwrap();
+    let pul2 =
+        client.produce("replace value of node /issue/paper[1]/year/text() with \"2005\"").unwrap();
+    client.submit(pul2.clone());
+    client.commit().unwrap();
+
+    let wire = pul::xmlio::puls_to_xml(&[pul1, pul2]);
+    session.submit_sequence_xml(&wire).unwrap();
+    assert_eq!(session.pending(), 1, "the sequence entered as one aggregated submission");
+    session.commit().unwrap();
+    assert!(session.serialize().contains("<year>2005</year>"), "{}", session.serialize());
+}
+
+/// Versions fence commits: a resolution computed before a commit cannot be
+/// applied after it.
+#[test]
+fn stale_resolution_is_fenced() {
+    let mut session = issue_session();
+    let pul = session.produce("rename node /issue/paper[1]/title as \"t1\"").unwrap();
+    session.submit(pul);
+    let early = session.resolve().unwrap();
+    session.commit().unwrap();
+
+    let err = session.commit_resolution(early).unwrap_err();
+    assert_eq!(err.code(), "XPUL-E01");
+    assert!(matches!(err, Error::StaleResolution { resolved_at: 0, current: 1 }));
+}
+
+/// A resolution only consumes the submissions it reasoned about: later
+/// arrivals survive the commit and withdrawn ones invalidate it.
+#[test]
+fn resolution_covers_exactly_its_submissions() {
+    // A submission arriving after resolve() must not be silently dropped.
+    let mut session = issue_session();
+    let a = session.produce("rename node /issue/paper[1]/title as \"a\"").unwrap();
+    session.submit(a);
+    let resolution = session.resolve().unwrap();
+    let b = session.produce("rename node /issue/paper[2]/title as \"b\"").unwrap();
+    session.submit(b);
+    session.commit_resolution(resolution).unwrap();
+    assert_eq!(session.pending(), 1, "the late submission is still pending");
+    session.commit().unwrap();
+    assert!(session.serialize().contains("<b>"), "{}", session.serialize());
+
+    // A withdrawn submission invalidates resolutions that covered it.
+    let mut session = issue_session();
+    let a = session.produce("rename node /issue/paper[1]/title as \"a\"").unwrap();
+    let id = session.submit(a);
+    let resolution = session.resolve().unwrap();
+    session.withdraw(id).unwrap();
+    let err = session.commit_resolution(resolution).unwrap_err();
+    assert_eq!(err.code(), "XPUL-E02");
+}
+
+/// A commit that fails mid-apply leaves the session untouched: no
+/// half-applied document, version unchanged, submissions still pending.
+#[test]
+fn failed_commit_is_atomic() {
+    use xmlpul::xdm::parser::parse_fragment_with_first_id;
+
+    let mut session = Executor::parse("<a><b>t</b></a>")
+        .unwrap()
+        .reduction(ReductionStrategy::None)
+        .apply_options(ApplyOptions { validate: false, preserve_content_ids: true });
+    let before = session.serialize();
+    let root = session.document().root().unwrap();
+
+    // Two insertions; the second's content tree reuses an id the document
+    // already allocated, so it fails *after* the first has been applied.
+    let ok_tree = parse_fragment_with_first_id("<ok/>", 100).unwrap();
+    let clash_tree = parse_fragment_with_first_id("<clash/>", 2).unwrap();
+    let pul = session.pul_from_ops(vec![
+        UpdateOp::ins_first(root, vec![ok_tree]),
+        UpdateOp::ins_last(root, vec![clash_tree]),
+    ]);
+    session.submit(pul);
+
+    let err = session.commit().unwrap_err();
+    assert_eq!(err.code(), "XPUL-D02", "{err}");
+    assert_eq!(session.serialize(), before, "no half-applied document");
+    assert_eq!(session.version(), 0);
+    assert_eq!(session.pending(), 1, "the submission is still pending for a corrected retry");
+}
+
+/// The streaming commit refuses a reader that is not this session's own
+/// identified serialization, before writing anything.
+#[test]
+fn streaming_commit_rejects_foreign_serializations() {
+    let mut session = issue_session();
+    let pul = session.produce("rename node /issue/paper[1]/title as \"t\"").unwrap();
+    session.submit(pul);
+
+    let foreign = Executor::parse("<other/>").unwrap().serialize_identified().into_bytes();
+    let mut out = Vec::new();
+    let err = session.commit_streaming(&mut foreign.as_slice(), &mut out).unwrap_err();
+    assert_eq!(err.code(), "XPUL-E03");
+    assert!(out.is_empty(), "nothing may reach the writer on a rejected stream");
+    assert_eq!(session.version(), 0);
+    assert_eq!(session.pending(), 1, "the submission survives the failed commit");
+}
+
+/// Withdrawn submissions leave the session; unknown ids surface as typed
+/// errors.
+#[test]
+fn withdraw_and_unknown_submissions() {
+    let mut session = issue_session();
+    let pul = session.produce("delete nodes /issue/paper[2]").unwrap();
+    let id = session.submit(pul);
+    assert_eq!(session.pending(), 1);
+    let withdrawn = session.withdraw(id).unwrap();
+    assert_eq!(withdrawn.len(), 1);
+    assert_eq!(session.pending(), 0);
+
+    let err = session.withdraw(id).unwrap_err();
+    assert_eq!(err.code(), "XPUL-E02");
+    assert!(matches!(err, Error::UnknownSubmission(i) if i == id));
+}
+
+/// Transactions roll back document, version and submissions — unless
+/// committed.
+#[test]
+fn transactions_roll_back_and_commit() {
+    let mut session = issue_session();
+    let before = session.serialize();
+
+    // Rolled back: the commit inside the transaction is undone.
+    {
+        let mut tx = session.transaction();
+        let pul = tx.produce("delete nodes /issue/paper[1]").unwrap();
+        tx.submit(pul);
+        let report = tx.apply().unwrap();
+        assert_eq!(report.version, 1);
+        assert!(!tx.serialize().contains("Database Replication"));
+    }
+    assert_eq!(session.serialize(), before);
+    assert_eq!(session.version(), 0);
+
+    // Committed: the change sticks.
+    let mut tx = session.transaction();
+    let pul = tx.produce("delete nodes /issue/paper[1]").unwrap();
+    tx.submit(pul);
+    tx.apply().unwrap();
+    tx.commit();
+    assert!(!session.serialize().contains("Database Replication"));
+    assert_eq!(session.version(), 1);
+}
+
+/// Every public error path surfaces as the unified `xmlpul::Error` with its
+/// stable code.
+#[test]
+fn unified_error_surface() {
+    // Parse errors from the document model.
+    let err = Executor::parse("<unclosed>").unwrap_err();
+    assert_eq!(err.code(), "XPUL-D05");
+    assert!(matches!(err, Error::Xdm(_)));
+
+    // Query errors from the front-end.
+    let session = issue_session();
+    let err = session.produce("frobnicate /issue").unwrap_err();
+    assert_eq!(err.code(), "XPUL-Q01");
+    assert!(matches!(err, Error::Query(_)));
+
+    // Wire-format errors from the PUL layer.
+    let mut session = issue_session();
+    let err = session.submit_xml("<not-a-pul/>").unwrap_err();
+    assert_eq!(err.code(), "XPUL-P05");
+    assert!(matches!(err, Error::Pul(_)));
+
+    // Application errors: a PUL targeting a node the document lost.
+    let mut session = issue_session();
+    let paper2 = session.document().find_elements("paper")[1];
+    let stale_target = session.pul_from_ops(vec![UpdateOp::rename(paper2, "gone")]);
+    let delete_all = session.produce("delete nodes /issue/paper[2]").unwrap();
+    session.submit(delete_all);
+    session.commit().unwrap();
+    session.submit(stale_target);
+    let err = session.commit().unwrap_err();
+    assert_eq!(err.code(), "XPUL-P01", "{err}");
+
+    // Reconciliation errors carry the unsolvable conflict.
+    let mut session = issue_session();
+    let text =
+        session.document().children(session.document().find_elements("title")[0]).unwrap()[0];
+    let p1 = session.pul_from_ops(vec![UpdateOp::replace_value(text, "a")]);
+    let p2 = session.pul_from_ops(vec![UpdateOp::replace_value(text, "b")]);
+    session.submit_with_policy(p1, Policy::inserted_data());
+    session.submit_with_policy(p2, Policy::inserted_data());
+    let err = session.resolve().unwrap_err();
+    assert_eq!(err.code(), "XPUL-C01");
+    assert_eq!(
+        err.unsolvable_conflict().map(|c| c.ctype),
+        Some(ConflictType::RepeatedModification)
+    );
+}

@@ -1,0 +1,212 @@
+//! The conflict-policy matrix: every [`ConflictType`] crossed with every
+//! canonical [`Policy`] (both producers using the same policy), checking
+//! whether the session resolves or fails with the unified
+//! `XPUL-C01` reconciliation error — and, where it resolves, who wins.
+
+use xmlpul::prelude::*;
+
+/// A fresh fixture document (reduction is disabled so the conflicting
+/// operations reach integration untouched).
+fn session() -> Executor {
+    Executor::parse(
+        "<issue><volume>30</volume><paper><title>Old</title><author>Ada</author>\
+         <pages>33</pages></paper></issue>",
+    )
+    .unwrap()
+    .reduction(ReductionStrategy::None)
+}
+
+/// Builds the two-producer session exhibiting exactly one conflict of `ctype`,
+/// with both producers under `policy`, and returns the resolution attempt.
+fn resolve_conflict(ctype: ConflictType, policy: Policy) -> (Executor, Result<Resolution>) {
+    let mut s = session();
+    let doc = s.document();
+    let title = doc.find_element("title").unwrap();
+    let title_text = doc.children(title).unwrap()[0];
+    let paper = doc.find_element("paper").unwrap();
+
+    let (p1, p2) = match ctype {
+        ConflictType::RepeatedModification => (
+            s.pul_from_ops(vec![UpdateOp::replace_value(title_text, "first")]),
+            s.pul_from_ops(vec![UpdateOp::replace_value(title_text, "second")]),
+        ),
+        ConflictType::RepeatedAttributeInsertion => (
+            s.pul_from_ops(vec![UpdateOp::ins_attributes(
+                paper,
+                vec![Tree::attribute("email", "a@x")],
+            )]),
+            s.pul_from_ops(vec![UpdateOp::ins_attributes(
+                paper,
+                vec![Tree::attribute("email", "b@x")],
+            )]),
+        ),
+        ConflictType::InsertionOrder => (
+            s.pul_from_ops(vec![UpdateOp::ins_after(
+                title,
+                vec![Tree::element_with_text("author", "One")],
+            )]),
+            s.pul_from_ops(vec![UpdateOp::ins_after(
+                title,
+                vec![Tree::element_with_text("author", "Two")],
+            )]),
+        ),
+        ConflictType::LocalOverride => (
+            s.pul_from_ops(vec![UpdateOp::ins_last(
+                title,
+                vec![Tree::element_with_text("sub", "x")],
+            )]),
+            s.pul_from_ops(vec![UpdateOp::delete(title)]),
+        ),
+        ConflictType::NonLocalOverride => (
+            s.pul_from_ops(vec![UpdateOp::replace_value(title_text, "New")]),
+            s.pul_from_ops(vec![UpdateOp::delete(paper)]),
+        ),
+    };
+    s.submit_with_policy(p1, policy);
+    s.submit_with_policy(p2, policy);
+    let result = s.resolve();
+    (s, result)
+}
+
+const ALL_TYPES: [ConflictType; 5] = [
+    ConflictType::RepeatedModification,
+    ConflictType::RepeatedAttributeInsertion,
+    ConflictType::InsertionOrder,
+    ConflictType::LocalOverride,
+    ConflictType::NonLocalOverride,
+];
+
+/// Whether two producers with the given shared policy can reconcile a
+/// conflict of the given type (the expectation of §4.2 / Algorithm 3).
+fn expected_solvable(ctype: ConflictType, policy: Policy) -> bool {
+    match ctype {
+        // Both replacements insert *and* remove data: any data guarantee on
+        // both sides blocks the exclusion of either.
+        ConflictType::RepeatedModification => {
+            !policy.preserve_inserted_data && !policy.preserve_removed_data
+        }
+        // Attribute insertions only insert data.
+        ConflictType::RepeatedAttributeInsertion => !policy.preserve_inserted_data,
+        // Order conflicts merge the insertions into one generated operation —
+        // no data is lost — but at most one producer may demand its order.
+        ConflictType::InsertionOrder => !policy.preserve_insertion_order,
+        // ins↘ vs del on the same node: the insertion is droppable unless the
+        // inserted data is protected, the deletion unless removed data is.
+        ConflictType::LocalOverride => {
+            !(policy.preserve_inserted_data && policy.preserve_removed_data)
+        }
+        // repV (inserts + removes) vs del (removes) on an ancestor: without
+        // the removed-data guarantee either side is droppable; with it,
+        // neither the repV nor the del may be excluded.
+        ConflictType::NonLocalOverride => !policy.preserve_removed_data,
+    }
+}
+
+#[test]
+fn matrix_of_conflict_types_and_policies() {
+    let policies: [(&str, Policy); 5] = [
+        ("relaxed", Policy::relaxed()),
+        ("strict", Policy::strict()),
+        ("insertion_order", Policy::insertion_order()),
+        ("inserted_data", Policy::inserted_data()),
+        ("removed_data", Policy::removed_data()),
+    ];
+    for ctype in ALL_TYPES {
+        for (name, policy) in policies {
+            let (_, result) = resolve_conflict(ctype, policy);
+            match result {
+                Ok(resolution) => {
+                    assert!(
+                        expected_solvable(ctype, policy),
+                        "{ctype:?} × {name}: expected failure, got {resolution}"
+                    );
+                    assert_eq!(
+                        resolution.conflicts().len(),
+                        1,
+                        "{ctype:?} × {name}: exactly the injected conflict"
+                    );
+                    assert_eq!(resolution.conflicts()[0].ctype, ctype);
+                }
+                Err(e) => {
+                    assert!(
+                        !expected_solvable(ctype, policy),
+                        "{ctype:?} × {name}: expected resolution, got {e}"
+                    );
+                    assert_eq!(e.code(), "XPUL-C01", "{ctype:?} × {name}");
+                    assert_eq!(
+                        e.unsolvable_conflict().map(|c| c.ctype),
+                        Some(ctype),
+                        "{ctype:?} × {name}: the failing conflict is the injected one"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Every solvable cell of the matrix must also *commit*: the resolution is
+/// applicable to the session document.
+#[test]
+fn solvable_cells_commit() {
+    let policies = [
+        Policy::relaxed(),
+        Policy::strict(),
+        Policy::insertion_order(),
+        Policy::inserted_data(),
+        Policy::removed_data(),
+    ];
+    for ctype in ALL_TYPES {
+        for policy in policies {
+            let (mut s, result) = resolve_conflict(ctype, policy);
+            if let Ok(resolution) = result {
+                let report = s
+                    .commit_resolution(resolution)
+                    .unwrap_or_else(|e| panic!("{ctype:?} × {policy:?}: commit failed: {e}"));
+                assert_eq!(report.version, 1);
+                assert_eq!(report.conflicts.len(), 1);
+            }
+        }
+    }
+}
+
+/// Asymmetric policies: the protected producer's operation wins the conflict.
+#[test]
+fn protected_producer_wins() {
+    // Repeated modification: producer 2 insists its inserted data stays.
+    let mut s = session();
+    let text = s.document().children(s.document().find_element("title").unwrap()).unwrap()[0];
+    let p1 = s.pul_from_ops(vec![UpdateOp::replace_value(text, "first")]);
+    let p2 = s.pul_from_ops(vec![UpdateOp::replace_value(text, "second")]);
+    s.submit_with_policy(p1, Policy::relaxed());
+    s.submit_with_policy(p2, Policy::inserted_data());
+    s.commit().unwrap();
+    assert!(s.serialize().contains("second"));
+    assert!(!s.serialize().contains("first"));
+
+    // Local override: the protected insertion forces the deletion out.
+    let mut s = session();
+    let title = s.document().find_element("title").unwrap();
+    let p1 =
+        s.pul_from_ops(vec![UpdateOp::ins_last(title, vec![Tree::element_with_text("sub", "x")])]);
+    let p2 = s.pul_from_ops(vec![UpdateOp::delete(title)]);
+    s.submit_with_policy(p1, Policy::inserted_data());
+    s.submit_with_policy(p2, Policy::relaxed());
+    s.commit().unwrap();
+    assert!(s.serialize().contains("<sub>x</sub>"), "{}", s.serialize());
+
+    // Insertion order: the order-keeper's content comes first in the
+    // generated insertion.
+    let mut s = session();
+    let title = s.document().find_element("title").unwrap();
+    let p1 =
+        s.pul_from_ops(vec![UpdateOp::ins_after(title, vec![Tree::element_with_text("a", "1")])]);
+    let p2 =
+        s.pul_from_ops(vec![UpdateOp::ins_after(title, vec![Tree::element_with_text("b", "2")])]);
+    s.submit_with_policy(p1, Policy::relaxed());
+    s.submit_with_policy(p2, Policy::insertion_order());
+    s.commit().unwrap();
+    let xml = s.serialize();
+    let pos_a = xml.find("<a>").unwrap();
+    let pos_b = xml.find("<b>").unwrap();
+    assert!(pos_b < pos_a, "order-keeper (producer 2) goes first: {xml}");
+}
