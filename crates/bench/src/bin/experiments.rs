@@ -1,18 +1,44 @@
 //! Regenerates the evaluation of §4.3: one table per figure of the paper.
 //!
 //! ```text
-//! experiments [--fig 6a|6b|6c|6d|6e|all] [--full]
+//! experiments [--fig 6a|6b|6c|6d|6e|session|all] [--full|--quick]
+//!             [--json [PATH]]
 //! ```
 //!
 //! By default a scaled-down workload is used so that the whole run completes in
 //! a couple of minutes on a laptop; `--full` uses larger sizes (closer to the
-//! paper's operation counts — document sizes remain scaled, see DESIGN.md).
-//! The tables printed here are the ones recorded in `EXPERIMENTS.md`.
+//! paper's operation counts — document sizes remain scaled, see DESIGN.md) and
+//! `--quick` tiny ones (CI smoke). The tables printed here are the ones
+//! recorded in `EXPERIMENTS.md`.
+//!
+//! `--json` additionally writes machine-readable results (defaulting to
+//! `BENCH_fig6.json`): every suite that ran, plus — for fig 6.b — the
+//! before/after numbers of the worklist reduction engine against the sweep
+//! baseline it replaced, seeding the performance trajectory of the repo.
 
 use std::env;
+use std::fmt::Write as _;
 use std::time::Duration;
 
 use pul_bench::*;
+
+/// Workload scale selected on the command line.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Quick,
+    Default,
+    Full,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Quick => "quick",
+            Mode::Default => "default",
+            Mode::Full => "full",
+        }
+    }
+}
 
 fn avg<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
     let (mut out, mut total) = {
@@ -27,19 +53,51 @@ fn avg<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
     (out, total / reps as u32)
 }
 
-fn fig6a(full: bool) {
-    println!("\n=== Figure 6.a — streaming vs in-memory PUL evaluation (1000-op PUL) ===");
+fn ms_f(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Accumulates one JSON array of row objects per suite (hand-rolled: the
+/// workspace is offline and the shapes are flat).
+#[derive(Default)]
+struct JsonReport {
+    suites: Vec<(String, Vec<String>)>,
+}
+
+impl JsonReport {
+    fn render(&self, mode: Mode) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"mode\": \"{}\",", mode.name());
+        out.push_str("  \"suites\": {\n");
+        for (i, (name, rows)) in self.suites.iter().enumerate() {
+            let _ = writeln!(out, "    \"{name}\": [");
+            for (j, row) in rows.iter().enumerate() {
+                let comma = if j + 1 < rows.len() { "," } else { "" };
+                let _ = writeln!(out, "      {row}{comma}");
+            }
+            let comma = if i + 1 < self.suites.len() { "," } else { "" };
+            let _ = writeln!(out, "    ]{comma}");
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+fn fig6a(mode: Mode) -> Vec<String> {
+    println!("\n=== Figure 6.a — streaming vs in-memory PUL evaluation ===");
     println!(
         "{:>12} {:>12} {:>14} {:>14} {:>9}",
         "doc nodes", "doc bytes", "in-memory ms", "streaming ms", "speedup"
     );
-    let sizes: &[usize] = if full {
-        &[20_000, 50_000, 100_000, 200_000, 400_000]
-    } else {
-        &[10_000, 20_000, 50_000, 100_000]
+    let (sizes, n_ops): (&[usize], usize) = match mode {
+        Mode::Full => (&[20_000, 50_000, 100_000, 200_000, 400_000], 1_000),
+        Mode::Default => (&[10_000, 20_000, 50_000, 100_000], 1_000),
+        Mode::Quick => (&[5_000, 10_000], 100),
     };
+    let mut rows = Vec::new();
     for &nodes in sizes {
-        let w = setup_eval(nodes, 1_000, 42);
+        let w = setup_eval(nodes, n_ops, 42);
         let reps = if nodes >= 200_000 { 2 } else { 3 };
         let (_, mem) = avg(reps, || eval_in_memory(&w));
         let (_, streamed) = avg(reps, || eval_streaming(&w));
@@ -51,45 +109,87 @@ fn fig6a(full: bool) {
             ms(streamed),
             mem.as_secs_f64() / streamed.as_secs_f64()
         );
+        rows.push(format!(
+            "{{\"doc_nodes\": {}, \"pul_ops\": {}, \"in_memory_ms\": {:.3}, \"streaming_ms\": {:.3}}}",
+            w.doc.node_count(),
+            n_ops,
+            ms_f(mem),
+            ms_f(streamed)
+        ));
     }
+    rows
 }
 
-fn fig6b(full: bool) {
-    println!("\n=== Figure 6.b — PUL reduction (deserialize + reduce + serialize) ===");
+fn fig6b(mode: Mode) -> Vec<String> {
+    println!("\n=== Figure 6.b — PUL reduction (worklist engine vs baselines) ===");
     println!(
-        "{:>10} {:>14} {:>15} {:>12} {:>12}",
-        "ops", "end-to-end ms", "reduce-only ms", "reduced ops", "naive ms"
+        "{:>10} {:>14} {:>14} {:>12} {:>12} {:>9} {:>12}",
+        "ops", "end-to-end ms", "worklist ms", "sweep ms", "reduced ops", "speedup", "naive ms"
     );
-    let sizes: &[usize] = if full {
-        &[5_000, 10_000, 25_000, 50_000, 100_000]
-    } else {
-        &[5_000, 10_000, 20_000, 40_000]
+    let sizes: &[usize] = match mode {
+        Mode::Full => &[512, 5_000, 10_000, 25_000, 50_000, 100_000],
+        Mode::Default => &[128, 512, 2_048, 8_192, 20_000],
+        Mode::Quick => &[128, 512],
     };
+    let mut rows = Vec::new();
     for &n in sizes {
         let w = setup_reduction(n, 42);
-        let (reduced, end_to_end) = avg(2, || run_reduction_end_to_end(&w));
-        let (_, only) = avg(2, || run_reduction_only(&w));
+        let reps = if n <= 2_048 { 30 } else { 3 };
+        // warm-up: the sub-millisecond sizes are dominated by cache state
+        run_reduction_only(&w);
+        run_reduction_sweep_baseline(&w);
+        let (reduced, end_to_end) = avg(reps, || run_reduction_end_to_end(&w));
+        let (_, only) = avg(reps, || run_reduction_only(&w));
+        let (_, sweep) = avg(reps, || run_reduction_sweep_baseline(&w));
         // the naive baseline is quadratic: only run it on the small sizes
         let naive = if n <= 5_000 {
             let (_, d) = timed(|| run_reduction_naive(&w));
-            ms(d)
+            Some(d)
         } else {
-            "-".to_string()
+            None
         };
-        println!("{:>10} {:>14} {:>15} {:>12} {:>12}", n, ms(end_to_end), ms(only), reduced, naive);
+        let speedup = sweep.as_secs_f64() / only.as_secs_f64();
+        println!(
+            "{:>10} {:>14} {:>14} {:>12} {:>12} {:>8.2}x {:>12}",
+            n,
+            ms(end_to_end),
+            ms(only),
+            ms(sweep),
+            reduced,
+            speedup,
+            naive.map(ms).unwrap_or_else(|| "-".into())
+        );
+        rows.push(format!(
+            "{{\"ops\": {}, \"end_to_end_ms\": {:.3}, \"worklist_ms\": {:.3}, \
+             \"sweep_baseline_ms\": {:.3}, \"naive_ms\": {}, \"reduced_ops\": {}, \
+             \"speedup_worklist_vs_sweep\": {:.2}}}",
+            n,
+            ms_f(end_to_end),
+            ms_f(only),
+            ms_f(sweep),
+            naive.map(|d| format!("{:.3}", ms_f(d))).unwrap_or_else(|| "null".into()),
+            reduced,
+            speedup
+        ));
     }
+    rows
 }
 
-fn fig6c(full: bool) {
+fn fig6c(mode: Mode) -> Vec<String> {
     println!("\n=== Figure 6.c — PUL aggregation (50% of ops on new nodes) ===");
     println!(
         "{:>8} {:>10} {:>16} {:>18} {:>15}",
         "puls", "total ops", "end-to-end ms", "aggregate-only ms", "aggregated ops"
     );
-    let counts: &[usize] = &[1, 3, 5, 10, 15];
-    let ops_per_pul = if full { 1_000 } else { 500 };
+    let counts: &[usize] = if mode == Mode::Quick { &[1, 3] } else { &[1, 3, 5, 10, 15] };
+    let (doc_nodes, ops_per_pul) = match mode {
+        Mode::Full => (20_000, 1_000),
+        Mode::Default => (20_000, 500),
+        Mode::Quick => (5_000, 100),
+    };
+    let mut rows = Vec::new();
     for &n in counts {
-        let w = setup_aggregation(20_000, n, ops_per_pul, 42);
+        let w = setup_aggregation(doc_nodes, n, ops_per_pul, 42);
         let (agg_len, end_to_end) = avg(2, || run_aggregation_end_to_end(&w));
         let (_, only) = avg(2, || run_aggregation_only(&w));
         println!(
@@ -100,18 +200,32 @@ fn fig6c(full: bool) {
             ms(only),
             agg_len
         );
+        rows.push(format!(
+            "{{\"puls\": {}, \"total_ops\": {}, \"end_to_end_ms\": {:.3}, \
+             \"aggregate_only_ms\": {:.3}, \"aggregated_ops\": {}}}",
+            n,
+            n * ops_per_pul,
+            ms_f(end_to_end),
+            ms_f(only),
+            agg_len
+        ));
     }
+    rows
 }
 
-fn fig6d(full: bool) {
+fn fig6d(mode: Mode) -> Vec<String> {
     println!("\n=== Figure 6.d — aggregation + single evaluation vs sequential evaluation ===");
     println!(
         "{:>8} {:>20} {:>20} {:>9}",
         "puls", "aggregate+eval ms", "sequential eval ms", "speedup"
     );
-    let counts: &[usize] = &[2, 4, 6, 8, 10];
-    let ops_per_pul = if full { 1_000 } else { 300 };
-    let doc_nodes = if full { 60_000 } else { 30_000 };
+    let counts: &[usize] = if mode == Mode::Quick { &[2, 4] } else { &[2, 4, 6, 8, 10] };
+    let (doc_nodes, ops_per_pul) = match mode {
+        Mode::Full => (60_000, 1_000),
+        Mode::Default => (30_000, 300),
+        Mode::Quick => (8_000, 80),
+    };
+    let mut rows = Vec::new();
     for &n in counts {
         let w = setup_aggregation(doc_nodes, n, ops_per_pul, 42);
         let (_, agg) = avg(2, || run_aggregate_then_evaluate(&w));
@@ -123,10 +237,17 @@ fn fig6d(full: bool) {
             ms(seq),
             seq.as_secs_f64() / agg.as_secs_f64()
         );
+        rows.push(format!(
+            "{{\"puls\": {}, \"aggregate_eval_ms\": {:.3}, \"sequential_eval_ms\": {:.3}}}",
+            n,
+            ms_f(agg),
+            ms_f(seq)
+        ));
     }
+    rows
 }
 
-fn fig6e(full: bool) {
+fn fig6e(mode: Mode) -> Vec<String> {
     println!(
         "\n=== Figure 6.e — integration of 10 PULs (50% conflicting ops, ~5 ops/conflict) ==="
     );
@@ -134,8 +255,12 @@ fn fig6e(full: bool) {
         "{:>14} {:>12} {:>16} {:>20} {:>16}",
         "ops per PUL", "conflicts", "integration ms", "int.+resolution ms", "reconciled ops"
     );
-    let sizes: &[usize] =
-        if full { &[4_000, 8_000, 20_000, 40_000, 80_000] } else { &[400, 800, 2_000, 4_000] };
+    let sizes: &[usize] = match mode {
+        Mode::Full => &[4_000, 8_000, 20_000, 40_000, 80_000],
+        Mode::Default => &[400, 800, 2_000, 4_000],
+        Mode::Quick => &[100, 200],
+    };
+    let mut rows = Vec::new();
     for &n in sizes {
         let w = setup_integration(10, n, 42);
         let (integration, d_int) = timed(|| run_integration(&w));
@@ -148,12 +273,69 @@ fn fig6e(full: bool) {
             ms(d_rec),
             reconciled
         );
+        rows.push(format!(
+            "{{\"ops_per_pul\": {}, \"conflicts\": {}, \"integration_ms\": {:.3}, \
+             \"integration_resolution_ms\": {:.3}, \"reconciled_ops\": {}}}",
+            n,
+            integration.conflicts.len(),
+            ms_f(d_int),
+            ms_f(d_rec),
+            reconciled
+        ));
     }
+    rows
+}
+
+fn session_overhead(mode: Mode) -> Vec<String> {
+    println!("\n=== Session overhead — raw operator calls vs Executor::resolve ===");
+    println!(
+        "{:>8} {:>12} {:>16} {:>20} {:>10}",
+        "puls", "ops per PUL", "raw pipeline ms", "executor resolve ms", "overhead"
+    );
+    let shapes: &[(usize, usize)] = match mode {
+        Mode::Full => &[(4, 500), (8, 1_000), (10, 2_000)],
+        Mode::Default => &[(4, 200), (8, 500), (10, 1_000)],
+        Mode::Quick => &[(3, 60)],
+    };
+    let mut rows = Vec::new();
+    for &(n_puls, ops_per_pul) in shapes {
+        let w = setup_session(n_puls, ops_per_pul, 42);
+        let (raw_len, raw) = avg(3, || run_raw_pipeline(&w));
+        let (exe_len, exe) = avg(3, || run_executor_resolve(&w));
+        assert_eq!(raw_len, exe_len, "façade must resolve to the same PUL");
+        let ratio = exe.as_secs_f64() / raw.as_secs_f64();
+        println!(
+            "{:>8} {:>12} {:>16} {:>20} {:>9.2}x",
+            n_puls,
+            ops_per_pul,
+            ms(raw),
+            ms(exe),
+            ratio
+        );
+        rows.push(format!(
+            "{{\"puls\": {n_puls}, \"ops_per_pul\": {ops_per_pul}, \"raw_pipeline_ms\": {:.3}, \
+             \"executor_resolve_ms\": {:.3}, \"overhead_ratio\": {ratio:.3}}}",
+            ms_f(raw),
+            ms_f(exe)
+        ));
+    }
+    rows
 }
 
 fn main() {
     let args: Vec<String> = env::args().collect();
-    let full = args.iter().any(|a| a == "--full");
+    let mode = if args.iter().any(|a| a == "--full") {
+        Mode::Full
+    } else if args.iter().any(|a| a == "--quick") {
+        Mode::Quick
+    } else {
+        Mode::Default
+    };
+    let json_path: Option<String> =
+        args.iter().position(|a| a == "--json").map(|i| match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => p.clone(),
+            _ => "BENCH_fig6.json".to_string(),
+        });
     let fig = args
         .iter()
         .position(|a| a == "--fig")
@@ -161,23 +343,26 @@ fn main() {
         .map(|s| s.as_str())
         .unwrap_or("all");
 
-    println!(
-        "Dynamic Reasoning on XML Updates — experiment harness (mode: {})",
-        if full { "full" } else { "quick" }
-    );
-    if matches!(fig, "6a" | "all") {
-        fig6a(full);
+    println!("Dynamic Reasoning on XML Updates — experiment harness (mode: {})", mode.name());
+    let mut report = JsonReport::default();
+    macro_rules! run_suite {
+        ($name:literal, $sel:literal, $f:ident) => {
+            if matches!(fig, $sel | "all") {
+                let rows = $f(mode);
+                report.suites.push(($name.to_string(), rows));
+            }
+        };
     }
-    if matches!(fig, "6b" | "all") {
-        fig6b(full);
-    }
-    if matches!(fig, "6c" | "all") {
-        fig6c(full);
-    }
-    if matches!(fig, "6d" | "all") {
-        fig6d(full);
-    }
-    if matches!(fig, "6e" | "all") {
-        fig6e(full);
+    run_suite!("fig6a", "6a", fig6a);
+    run_suite!("fig6b", "6b", fig6b);
+    run_suite!("fig6c", "6c", fig6c);
+    run_suite!("fig6d", "6d", fig6d);
+    run_suite!("fig6e", "6e", fig6e);
+    run_suite!("session_overhead", "session", session_overhead);
+
+    if let Some(path) = json_path {
+        let body = report.render(mode);
+        std::fs::write(&path, body).expect("write JSON report");
+        println!("\nwrote {path}");
     }
 }

@@ -129,9 +129,16 @@ pub fn run_reduction_end_to_end(w: &ReductionWorkload) -> usize {
     reduced.len()
 }
 
-/// Reduction alone, on the already-deserialized PUL.
+/// Reduction alone, on the already-deserialized PUL (the incremental worklist
+/// engine).
 pub fn run_reduction_only(w: &ReductionWorkload) -> usize {
     pul_core::reduce_with(&w.pul, pul_core::ReductionKind::Plain).len()
+}
+
+/// Pre-worklist sweep engine (candidate set rebuilt after every pass) — the
+/// "before" of the worklist ablation.
+pub fn run_reduction_sweep_baseline(w: &ReductionWorkload) -> usize {
+    pul_core::reduce_sweep_baseline(&w.pul, pul_core::ReductionKind::Plain).len()
 }
 
 /// Naive O(k²) reduction baseline (ablation).
@@ -257,6 +264,62 @@ pub fn document_size_bytes(doc: &Document) -> usize {
     write_document(doc).len()
 }
 
+// ---------------------------------------------------------------------------
+// Session overhead — raw operator calls vs `Executor::resolve`
+// ---------------------------------------------------------------------------
+
+/// Workload for the session-overhead benchmark: the same parallel PULs fed
+/// once through the raw reduce + integrate + reconcile + reduce pipeline and
+/// once through an [`xmlpul::Executor`] session, to keep the façade zero-cost.
+pub struct SessionWorkload {
+    /// The parallel PULs.
+    pub puls: Vec<Pul>,
+    /// One (relaxed) policy per producer.
+    pub policies: Vec<Policy>,
+    /// A session with the PULs already submitted (resolution is `&self`, so
+    /// one setup serves any number of measured `resolve` calls).
+    pub executor: xmlpul::Executor,
+}
+
+/// Builds the session-overhead workload.
+pub fn setup_session(n_puls: usize, ops_per_pul: usize, seed: u64) -> SessionWorkload {
+    let doc_nodes = (n_puls * ops_per_pul * 4).max(20_000);
+    let doc = xmark(&XmarkConfig { target_nodes: doc_nodes, seed });
+    let labeling = Labeling::assign(&doc);
+    let puls = generate_parallel_puls(
+        &doc,
+        &labeling,
+        &ParallelConfig { n_puls, ops_per_pul, conflict_fraction: 0.2, ops_per_conflict: 4, seed },
+    );
+    let policies = vec![Policy::relaxed(); n_puls];
+    let mut executor = xmlpul::Executor::new(doc)
+        .policy(Policy::relaxed())
+        .reduction(xmlpul::ReductionStrategy::Deterministic);
+    for pul in &puls {
+        executor.submit(pul.clone());
+    }
+    SessionWorkload { puls, policies, executor }
+}
+
+/// The raw pipeline, exactly mirroring what `Executor::resolve` does: reduce
+/// every PUL, integrate, reconcile under the policies, reduce the survivor.
+/// Returns the size of the final PUL.
+pub fn run_raw_pipeline(w: &SessionWorkload) -> usize {
+    use pul_core::ReductionKind;
+    let reduced: Vec<Pul> =
+        w.puls.iter().map(|p| pul_core::reduce_with(p, ReductionKind::Deterministic)).collect();
+    let integration = integrate(&reduced);
+    let reconciled = reconcile_integration(&reduced, &integration, &w.policies)
+        .expect("relaxed policies always reconcile");
+    pul_core::reduce_with(&reconciled, ReductionKind::Deterministic).len()
+}
+
+/// The same work through the session façade. Returns the size of the resolved
+/// PUL.
+pub fn run_executor_resolve(w: &SessionWorkload) -> usize {
+    w.executor.resolve().expect("relaxed policies always reconcile").pul().len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,5 +364,19 @@ mod tests {
         assert!(!integration.conflicts.is_empty());
         let reconciled = run_integration_and_resolution(&w);
         assert!(reconciled > 0);
+    }
+
+    #[test]
+    fn reduction_engines_agree() {
+        let w = setup_reduction(400, 7);
+        let worklist = run_reduction_only(&w);
+        assert_eq!(worklist, run_reduction_sweep_baseline(&w));
+        assert_eq!(worklist, run_reduction_naive(&w));
+    }
+
+    #[test]
+    fn session_overhead_paths_agree() {
+        let w = setup_session(4, 60, 11);
+        assert_eq!(run_raw_pipeline(&w), run_executor_resolve(&w));
     }
 }

@@ -33,4 +33,4 @@ pub use policy::Policy;
 pub use reconcile::{reconcile, reconcile_integration, ReconcileError};
 #[allow(deprecated)]
 pub use reduce::{canonical_form, deterministic_reduce, reduce};
-pub use reduce::{reduce_naive, reduce_with, ReductionKind};
+pub use reduce::{reduce_naive, reduce_sweep_baseline, reduce_with, ReductionKind};

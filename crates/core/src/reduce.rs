@@ -20,6 +20,7 @@
 //! are evaluated on the labels carried by the PUL; pairs whose labels are
 //! missing simply never match, which keeps reduction sound (fewer rules fire).
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 use pul::{OpClass, OpName, Pul, UpdateOp};
@@ -37,56 +38,89 @@ pub enum ReductionKind {
     Canonical,
 }
 
+/// Multiplicative hasher for `NodeId` keys: identifiers are (near-)sequential
+/// integers, so the default SipHash is pure overhead on the reduction hot
+/// path.
+#[derive(Default)]
+struct NodeIdHasher(u64);
+
+impl std::hash::Hasher for NodeIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let mut h = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 29;
+        self.0 = h;
+    }
+}
+
+type NodeIdMap<V> = HashMap<NodeId, V, std::hash::BuildHasherDefault<NodeIdHasher>>;
+
 /// Label-based evaluation of the Table 1 predicates between operation targets.
 struct Ctx<'a> {
     labels: &'a HashMap<NodeId, NodeLabel>,
 }
 
 impl<'a> Ctx<'a> {
-    fn label(&self, id: NodeId) -> Option<&NodeLabel> {
+    fn label(&self, id: NodeId) -> Option<&'a NodeLabel> {
         self.labels.get(&id)
-    }
-
-    fn pair(&self, a: NodeId, b: NodeId) -> Option<(&NodeLabel, &NodeLabel)> {
-        Some((self.label(a)?, self.label(b)?))
-    }
-
-    fn is_child(&self, a: NodeId, b: NodeId) -> bool {
-        self.pair(a, b).map(|(x, y)| x.is_child_of(y)).unwrap_or(false)
-    }
-
-    fn is_attribute(&self, a: NodeId, b: NodeId) -> bool {
-        self.pair(a, b).map(|(x, y)| x.is_attribute_of(y)).unwrap_or(false)
-    }
-
-    fn is_first_child(&self, a: NodeId, b: NodeId) -> bool {
-        self.pair(a, b).map(|(x, y)| x.is_first_child_of(y)).unwrap_or(false)
-    }
-
-    fn is_last_child(&self, a: NodeId, b: NodeId) -> bool {
-        self.pair(a, b).map(|(x, y)| x.is_last_child_of(y)).unwrap_or(false)
-    }
-
-    fn is_left_sibling(&self, a: NodeId, b: NodeId) -> bool {
-        self.pair(a, b).map(|(x, y)| x.is_left_sibling_of(y)).unwrap_or(false)
-    }
-
-    fn is_descendant(&self, a: NodeId, b: NodeId) -> bool {
-        self.pair(a, b).map(|(x, y)| x.is_descendant_of(y)).unwrap_or(false)
-    }
-
-    fn is_descendant_not_attr(&self, a: NodeId, b: NodeId) -> bool {
-        self.pair(a, b).map(|(x, y)| x.is_descendant_not_attr_of(y)).unwrap_or(false)
     }
 
     /// Document order of two targets (`≺`), falling back to identifier order
     /// when labels are missing (only used for canonical tie-breaking).
     fn precedes(&self, a: NodeId, b: NodeId) -> bool {
-        match self.pair(a, b) {
-            Some((x, y)) => x.precedes(y),
-            None => a < b,
+        match (self.label(a), self.label(b)) {
+            (Some(x), Some(y)) => x.precedes(y),
+            _ => a < b,
         }
     }
+}
+
+// Table 1 predicates over the (optional) labels of the two operation targets:
+// a pair with a missing label never matches, which keeps reduction sound
+// (fewer rules fire).
+
+fn lpair<'a>(
+    a: Option<&'a NodeLabel>,
+    b: Option<&'a NodeLabel>,
+) -> Option<(&'a NodeLabel, &'a NodeLabel)> {
+    Some((a?, b?))
+}
+
+fn l_is_child(a: Option<&NodeLabel>, b: Option<&NodeLabel>) -> bool {
+    lpair(a, b).map(|(x, y)| x.is_child_of(y)).unwrap_or(false)
+}
+
+fn l_is_attribute(a: Option<&NodeLabel>, b: Option<&NodeLabel>) -> bool {
+    lpair(a, b).map(|(x, y)| x.is_attribute_of(y)).unwrap_or(false)
+}
+
+fn l_is_first_child(a: Option<&NodeLabel>, b: Option<&NodeLabel>) -> bool {
+    lpair(a, b).map(|(x, y)| x.is_first_child_of(y)).unwrap_or(false)
+}
+
+fn l_is_last_child(a: Option<&NodeLabel>, b: Option<&NodeLabel>) -> bool {
+    lpair(a, b).map(|(x, y)| x.is_last_child_of(y)).unwrap_or(false)
+}
+
+fn l_is_left_sibling(a: Option<&NodeLabel>, b: Option<&NodeLabel>) -> bool {
+    lpair(a, b).map(|(x, y)| x.is_left_sibling_of(y)).unwrap_or(false)
+}
+
+fn l_is_descendant(a: Option<&NodeLabel>, b: Option<&NodeLabel>) -> bool {
+    lpair(a, b).map(|(x, y)| x.is_descendant_of(y)).unwrap_or(false)
+}
+
+fn l_is_descendant_not_attr(a: Option<&NodeLabel>, b: Option<&NodeLabel>) -> bool {
+    lpair(a, b).map(|(x, y)| x.is_descendant_not_attr_of(y)).unwrap_or(false)
 }
 
 fn concat_content(first: &UpdateOp, second: &UpdateOp) -> Vec<Tree> {
@@ -110,7 +144,13 @@ fn rebuild(name: OpName, target: NodeId, content: Vec<Tree>) -> UpdateOp {
 
 /// Tries to apply a Fig. 2 rule of the given stage to the ordered pair
 /// `(op1, op2)`. Returns the reduced operation when a rule matches.
-fn try_rule(stage: u8, op1: &UpdateOp, op2: &UpdateOp, ctx: &Ctx<'_>) -> Option<UpdateOp> {
+fn try_rule(
+    stage: u8,
+    op1: &UpdateOp,
+    op2: &UpdateOp,
+    l1: Option<&NodeLabel>,
+    l2: Option<&NodeLabel>,
+) -> Option<UpdateOp> {
     use OpName::*;
     let (t1, t2) = (op1.target(), op2.target());
     let (n1, n2) = (op1.name(), op2.name());
@@ -139,11 +179,11 @@ fn try_rule(stage: u8, op1: &UpdateOp, op2: &UpdateOp, ctx: &Ctx<'_>) -> Option<
                 return Some(op2.clone());
             }
             // O3: any op on a descendant of a repN/del target is overridden.
-            if matches!(n2, ReplaceNode | Delete) && ctx.is_descendant(t1, t2) {
+            if matches!(n2, ReplaceNode | Delete) && l_is_descendant(l1, l2) {
                 return Some(op2.clone());
             }
             // O4: any op on a (non-attribute) descendant of a repC target is overridden.
-            if n2 == ReplaceContent && ctx.is_descendant_not_attr(t1, t2) {
+            if n2 == ReplaceContent && l_is_descendant_not_attr(l1, l2) {
                 return Some(op2.clone());
             }
             // I5: same-type insertions on the same target are concatenated.
@@ -179,59 +219,59 @@ fn try_rule(stage: u8, op1: &UpdateOp, op2: &UpdateOp, ctx: &Ctx<'_>) -> Option<
         }
         5 => {
             // I10: ins↓(v, L1), ins←(v', L2), v' /c v → ins←(v', [L1, L2])
-            if n1 == InsInto && n2 == InsBefore && ctx.is_child(t2, t1) {
+            if n1 == InsInto && n2 == InsBefore && l_is_child(l2, l1) {
                 return Some(rebuild(InsBefore, t2, concat_content(op1, op2)));
             }
             None
         }
         6 => {
             // I11: ins↓(v, L1), ins→(v', L2), v' /c v → ins→(v', [L2, L1])
-            if n1 == InsInto && n2 == InsAfter && ctx.is_child(t2, t1) {
+            if n1 == InsInto && n2 == InsAfter && l_is_child(l2, l1) {
                 return Some(rebuild(InsAfter, t2, concat_content(op2, op1)));
             }
             None
         }
         7 => {
             // IR12: repN(v, L1), ins↓(v', L2), v /c v' → repN(v, [L1, L2])
-            if n1 == ReplaceNode && n2 == InsInto && ctx.is_child(t1, t2) {
+            if n1 == ReplaceNode && n2 == InsInto && l_is_child(l1, l2) {
                 return Some(rebuild(ReplaceNode, t1, concat_content(op1, op2)));
             }
             None
         }
         8 => {
             // IR13: repN(v, L1), insA(v', L2), v /a v' → repN(v, [L1, L2])
-            if n1 == ReplaceNode && n2 == InsAttributes && ctx.is_attribute(t1, t2) {
+            if n1 == ReplaceNode && n2 == InsAttributes && l_is_attribute(l1, l2) {
                 return Some(rebuild(ReplaceNode, t1, concat_content(op1, op2)));
             }
             // I14: ins←(v, L1), ins↙(v', L2), v /←c v' → ins←(v, [L2, L1])
-            if n1 == InsBefore && n2 == InsFirst && ctx.is_first_child(t1, t2) {
+            if n1 == InsBefore && n2 == InsFirst && l_is_first_child(l1, l2) {
                 return Some(rebuild(InsBefore, t1, concat_content(op2, op1)));
             }
             // I15: ins→(v, L1), ins↘(v', L2), v /→c v' → ins→(v, [L1, L2])
-            if n1 == InsAfter && n2 == InsLast && ctx.is_last_child(t1, t2) {
+            if n1 == InsAfter && n2 == InsLast && l_is_last_child(l1, l2) {
                 return Some(rebuild(InsAfter, t1, concat_content(op1, op2)));
             }
             // IR16: repN(v, L1), ins↙(v', L2), v /←c v' → repN(v, [L2, L1])
-            if n1 == ReplaceNode && n2 == InsFirst && ctx.is_first_child(t1, t2) {
+            if n1 == ReplaceNode && n2 == InsFirst && l_is_first_child(l1, l2) {
                 return Some(rebuild(ReplaceNode, t1, concat_content(op2, op1)));
             }
             // IR17: repN(v, L1), ins↘(v', L2), v /→c v' → repN(v, [L1, L2])
-            if n1 == ReplaceNode && n2 == InsLast && ctx.is_last_child(t1, t2) {
+            if n1 == ReplaceNode && n2 == InsLast && l_is_last_child(l1, l2) {
                 return Some(rebuild(ReplaceNode, t1, concat_content(op1, op2)));
             }
             None
         }
         9 => {
             // I18: ins←(v, L1), ins→(v', L2), v' ≺s v → ins←(v, [L2, L1])
-            if n1 == InsBefore && n2 == InsAfter && ctx.is_left_sibling(t2, t1) {
+            if n1 == InsBefore && n2 == InsAfter && l_is_left_sibling(l2, l1) {
                 return Some(rebuild(InsBefore, t1, concat_content(op2, op1)));
             }
             // IR19: repN(v, L1), ins→(v', L2), v' ≺s v → repN(v, [L2, L1])
-            if n1 == ReplaceNode && n2 == InsAfter && ctx.is_left_sibling(t2, t1) {
+            if n1 == ReplaceNode && n2 == InsAfter && l_is_left_sibling(l2, l1) {
                 return Some(rebuild(ReplaceNode, t1, concat_content(op2, op1)));
             }
             // IR20: repN(v, L1), ins←(v', L2), v ≺s v' → repN(v, [L1, L2])
-            if n1 == ReplaceNode && n2 == InsBefore && ctx.is_left_sibling(t1, t2) {
+            if n1 == ReplaceNode && n2 == InsBefore && l_is_left_sibling(l1, l2) {
                 return Some(rebuild(ReplaceNode, t1, concat_content(op1, op2)));
             }
             None
@@ -241,34 +281,331 @@ fn try_rule(stage: u8, op1: &UpdateOp, op2: &UpdateOp, ctx: &Ctx<'_>) -> Option<
 }
 
 /// Slot-based working set of operations.
-struct Work {
-    slots: Vec<Option<UpdateOp>>,
+///
+/// A slot's target never changes over the lifetime of a reduction: every
+/// Fig. 2 rule produces an operation targeting one of the two input targets,
+/// and [`Work::apply`] places the result in the slot already holding that
+/// target. The per-target and per-relationship indexes of the worklist engine
+/// can therefore be built once and never rebuilt.
+struct Work<'a> {
+    /// Operations start as borrows of the input PUL (cloning an operation
+    /// deep-copies its parameter trees, so it is deferred until a rule
+    /// actually rewrites the operation or the survivor is materialised).
+    slots: Vec<Option<Cow<'a, UpdateOp>>>,
 }
 
-impl Work {
+impl<'a> Work<'a> {
+    fn of(pul: &'a Pul) -> Self {
+        Work { slots: pul.ops().iter().map(|op| Some(Cow::Borrowed(op))).collect() }
+    }
+
     fn active(&self) -> impl Iterator<Item = (usize, &UpdateOp)> {
-        self.slots.iter().enumerate().filter_map(|(i, o)| o.as_ref().map(|op| (i, op)))
+        self.slots.iter().enumerate().filter_map(|(i, o)| o.as_deref().map(|op| (i, op)))
     }
 
     /// Applies the result of a rule on slots `(i, j)`: the result replaces the
     /// slot whose operation target matches the result target, the other slot is
-    /// cleared.
-    fn apply(&mut self, i: usize, j: usize, result: UpdateOp) {
-        let tj = self.slots[j].as_ref().map(|o| o.target());
+    /// cleared. Returns the index of the surviving slot.
+    fn apply(&mut self, i: usize, j: usize, result: UpdateOp) -> usize {
+        let tj = self.slots[j].as_deref().map(|o| o.target());
         if tj == Some(result.target()) {
-            self.slots[j] = Some(result);
+            self.slots[j] = Some(Cow::Owned(result));
             self.slots[i] = None;
+            j
         } else {
-            self.slots[i] = Some(result);
+            self.slots[i] = Some(Cow::Owned(result));
             self.slots[j] = None;
+            i
         }
     }
 }
 
-/// Candidate ordered pairs for a stage, generated from hash indexes so that
-/// only pairs that can possibly satisfy a rule's side condition are examined
-/// (same target, parent/child, attribute/owner, sibling or ancestor).
-fn candidates(stage: u8, work: &Work, ctx: &Ctx<'_>) -> Vec<(usize, usize)> {
+/// Cheap per-stage name compatibility check mirroring the `try_rule` patterns
+/// (ignoring the structural side conditions): pairs that cannot possibly match
+/// are never enqueued.
+fn names_may_match(stage: u8, n1: OpName, n2: OpName) -> bool {
+    use OpName::*;
+    match stage {
+        // O1–O4 are keyed on the overriding op2; I5 on equal insertion names.
+        1 => {
+            matches!(n2, ReplaceNode | Delete | ReplaceContent)
+                || (n1 == n2
+                    && matches!(
+                        n1,
+                        InsBefore | InsAfter | InsFirst | InsLast | InsInto | InsAttributes
+                    ))
+        }
+        2 => n1 == InsInto && n2 == InsFirst,
+        3 => n1 == InsInto && n2 == InsLast,
+        4 => n1 == ReplaceNode && matches!(n2, InsBefore | InsAfter),
+        5 => n1 == InsInto && n2 == InsBefore,
+        6 => n1 == InsInto && n2 == InsAfter,
+        7 => n1 == ReplaceNode && n2 == InsInto,
+        8 => {
+            (n1 == ReplaceNode && matches!(n2, InsAttributes | InsFirst | InsLast))
+                || (n1 == InsBefore && n2 == InsFirst)
+                || (n1 == InsAfter && n2 == InsLast)
+        }
+        9 => {
+            (n1 == InsBefore && n2 == InsAfter)
+                || (n1 == ReplaceNode && matches!(n2, InsAfter | InsBefore))
+        }
+        _ => false,
+    }
+}
+
+/// Static relationship indexes over the slots, built once per reduction.
+/// Entries are never removed: inactive slots are filtered out lazily when a
+/// pair is popped (slot targets are immutable, see [`Work`]).
+struct PairIndex {
+    /// Slots by operation target.
+    by_target: NodeIdMap<Vec<usize>>,
+    /// Slots by the *parent* recorded in their target's label.
+    rev_parent: NodeIdMap<Vec<usize>>,
+    /// Slots by the *left sibling* recorded in their target's label.
+    rev_leftsib: NodeIdMap<Vec<usize>>,
+    /// Same-target slot groups of size ≥ 2 (candidate pairs of stages 1–4).
+    same_target_groups: Vec<Vec<usize>>,
+    /// Unordered slot adjacency through the parent / left-sibling relations
+    /// recorded in the labels (candidate pairs of stages 5–9).
+    rel_pairs: Vec<(usize, usize)>,
+}
+
+impl PairIndex {
+    fn build(work: &Work<'_>, slot_labels: &[Option<&NodeLabel>]) -> Self {
+        let mut by_target: NodeIdMap<Vec<usize>> = NodeIdMap::default();
+        let mut rev_parent: NodeIdMap<Vec<usize>> = NodeIdMap::default();
+        let mut rev_leftsib: NodeIdMap<Vec<usize>> = NodeIdMap::default();
+        for (i, op) in work.active() {
+            by_target.entry(op.target()).or_default().push(i);
+            if let Some(label) = slot_labels[i] {
+                if let Some(p) = label.parent {
+                    rev_parent.entry(p).or_default().push(i);
+                }
+                if let Some(l) = label.left_sibling {
+                    rev_leftsib.entry(l).or_default().push(i);
+                }
+            }
+        }
+        let same_target_groups: Vec<Vec<usize>> =
+            by_target.values().filter(|g| g.len() >= 2).cloned().collect();
+        let mut rel_pairs: Vec<(usize, usize)> = Vec::new();
+        for (i, _) in work.active() {
+            if let Some(label) = slot_labels[i] {
+                for rel in [label.parent, label.left_sibling].into_iter().flatten() {
+                    if let Some(group) = by_target.get(&rel) {
+                        for &j in group {
+                            if i != j {
+                                rel_pairs.push((i, j));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        PairIndex { by_target, rev_parent, rev_leftsib, same_target_groups, rel_pairs }
+    }
+}
+
+/// Pushes the ordered pairs `(a, b)` and `(b, a)` that pass the name filter.
+fn push_pair_both(stage: u8, work: &Work<'_>, a: usize, b: usize, queue: &mut Vec<(usize, usize)>) {
+    let (Some(oa), Some(ob)) = (work.slots[a].as_deref(), work.slots[b].as_deref()) else { return };
+    let (na, nb) = (oa.name(), ob.name());
+    if names_may_match(stage, na, nb) {
+        queue.push((a, b));
+    }
+    if names_may_match(stage, nb, na) {
+        queue.push((b, a));
+    }
+}
+
+/// Enqueues every pair involving slot `s` that could match a rule of `stage`
+/// — called after a rule application, so that only the neighbourhood of the
+/// surviving operation is re-examined instead of rebuilding the candidate set.
+fn enqueue_for_slot(
+    stage: u8,
+    s: usize,
+    work: &Work<'_>,
+    slot_labels: &[Option<&NodeLabel>],
+    idx: &PairIndex,
+    queue: &mut Vec<(usize, usize)>,
+) {
+    let Some(op) = &work.slots[s] else { return };
+    let t = op.target();
+    if matches!(stage, 1..=4) {
+        if let Some(group) = idx.by_target.get(&t) {
+            for &o in group {
+                if o != s {
+                    push_pair_both(stage, work, s, o, queue);
+                }
+            }
+        }
+    }
+    if matches!(stage, 5..=9) {
+        // forward: slots targeting this target's parent / left sibling
+        if let Some(label) = slot_labels[s] {
+            for rel in [label.parent, label.left_sibling].into_iter().flatten() {
+                if let Some(group) = idx.by_target.get(&rel) {
+                    for &o in group {
+                        if o != s {
+                            push_pair_both(stage, work, s, o, queue);
+                        }
+                    }
+                }
+            }
+        }
+        // reverse: slots whose target's label points at this target
+        for rev in [&idx.rev_parent, &idx.rev_leftsib] {
+            if let Some(group) = rev.get(&t) {
+                for &o in group {
+                    if o != s {
+                        push_pair_both(stage, work, s, o, queue);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Seeds the worklist of a stage with every candidate pair, using the static
+/// indexes (same target, parent/child, attribute/owner, sibling) plus — for
+/// stage 1 — a document-order interval sweep pairing every operation with the
+/// `repN`/`del`/`repC` operations on its ancestors.
+fn seed_stage(
+    stage: u8,
+    work: &Work<'_>,
+    slot_labels: &[Option<&NodeLabel>],
+    idx: &PairIndex,
+) -> Vec<(usize, usize)> {
+    let mut queue = Vec::new();
+    if matches!(stage, 1..=4) {
+        for group in &idx.same_target_groups {
+            for (x, &a) in group.iter().enumerate() {
+                if work.slots[a].is_none() {
+                    continue;
+                }
+                for &b in &group[x + 1..] {
+                    if work.slots[b].is_some() {
+                        push_pair_both(stage, work, a, b, &mut queue);
+                    }
+                }
+            }
+        }
+    }
+    if stage == 1 {
+        // Ancestor/descendant pairs (rules O3/O4): a single sweep over the
+        // targets in document order (start-key order) pairs every operation
+        // with the repN/del/repC operations whose containment interval is
+        // still open, i.e. exactly the candidate ancestors — O(k log k).
+        let mut labeled: Vec<(usize, &NodeLabel)> =
+            work.active().filter_map(|(i, _)| slot_labels[i].map(|l| (i, l))).collect();
+        labeled.sort_by(|(_, a), (_, b)| a.start.cmp(&b.start));
+        let mut active_overriders: Vec<(usize, &NodeLabel)> = Vec::new();
+        for &(i, label) in &labeled {
+            active_overriders.retain(|(_, l)| l.end > label.start);
+            for &(j, _) in &active_overriders {
+                if i != j {
+                    queue.push((i, j));
+                }
+            }
+            let op = work.slots[i].as_deref().expect("active");
+            if matches!(op.name(), OpName::ReplaceNode | OpName::Delete | OpName::ReplaceContent) {
+                active_overriders.push((i, label));
+            }
+        }
+    }
+    if matches!(stage, 5..=9) {
+        for &(i, j) in &idx.rel_pairs {
+            push_pair_both(stage, work, i, j, &mut queue);
+        }
+    }
+    queue
+}
+
+/// Whether any rule of `stage` can possibly fire given the names of the
+/// active operations — stages whose operation kinds are absent are skipped
+/// without building a worklist at all.
+fn stage_feasible(stage: u8, counts: &[usize; 11]) -> bool {
+    use OpName::*;
+    // counts are indexed by a dense op-name ordinal, see `name_ordinal`.
+    let c = |n: OpName| counts[name_ordinal(n)] > 0;
+    match stage {
+        1 => {
+            c(ReplaceNode)
+                || c(Delete)
+                || c(ReplaceContent)
+                || [InsBefore, InsAfter, InsFirst, InsLast, InsInto, InsAttributes]
+                    .into_iter()
+                    .any(|n| counts[name_ordinal(n)] >= 2)
+        }
+        2 => c(InsInto) && c(InsFirst),
+        3 => c(InsInto) && c(InsLast),
+        4 => c(ReplaceNode) && (c(InsBefore) || c(InsAfter)),
+        5 => c(InsInto) && c(InsBefore),
+        6 => c(InsInto) && c(InsAfter),
+        7 => c(ReplaceNode) && c(InsInto),
+        8 => {
+            (c(ReplaceNode) && (c(InsAttributes) || c(InsFirst) || c(InsLast)))
+                || (c(InsBefore) && c(InsFirst))
+                || (c(InsAfter) && c(InsLast))
+        }
+        9 => (c(InsBefore) && c(InsAfter)) || (c(ReplaceNode) && (c(InsAfter) || c(InsBefore))),
+        _ => false,
+    }
+}
+
+/// Dense ordinal of an operation name, used for the per-stage feasibility
+/// counts.
+fn name_ordinal(n: OpName) -> usize {
+    use OpName::*;
+    match n {
+        InsBefore => 0,
+        InsAfter => 1,
+        InsFirst => 2,
+        InsLast => 3,
+        InsInto => 4,
+        InsAttributes => 5,
+        Delete => 6,
+        ReplaceNode => 7,
+        ReplaceValue => 8,
+        ReplaceContent => 9,
+        Rename => 10,
+    }
+}
+
+/// Incremental worklist engine: the candidate pairs of a stage are seeded
+/// once from the static indexes; after each rule application only the pairs
+/// involving the surviving slot are re-enqueued. Combined with the per-stage
+/// feasibility check, a stage whose rules cannot fire costs a single O(k)
+/// name count, and the whole reduction scales with the number of rule
+/// applications rather than with sweeps over the full candidate set.
+fn run_stage_worklist(
+    stage: u8,
+    work: &mut Work<'_>,
+    slot_labels: &[Option<&NodeLabel>],
+    idx: &PairIndex,
+    counts: &mut [usize; 11],
+) {
+    let mut queue = seed_stage(stage, work, slot_labels, idx);
+    while let Some((i, j)) = queue.pop() {
+        let (Some(op1), Some(op2)) = (work.slots[i].as_deref(), work.slots[j].as_deref()) else {
+            continue;
+        };
+        if let Some(result) = try_rule(stage, op1, op2, slot_labels[i], slot_labels[j]) {
+            counts[name_ordinal(op1.name())] -= 1;
+            counts[name_ordinal(op2.name())] -= 1;
+            counts[name_ordinal(result.name())] += 1;
+            let survivor = work.apply(i, j, result);
+            enqueue_for_slot(stage, survivor, work, slot_labels, idx, &mut queue);
+        }
+    }
+}
+
+/// Candidate ordered pairs for a stage, rebuilt from scratch — the pre-worklist
+/// engine, kept verbatim for the canonical reduction (which must re-select the
+/// globally `<p`-least applicable pair after every application) and as the
+/// measured baseline of the fig-6b ablation (`reduce_sweep_baseline`).
+fn candidates(stage: u8, work: &Work<'_>, ctx: &Ctx<'_>) -> Vec<(usize, usize)> {
     let mut by_target: HashMap<NodeId, Vec<usize>> = HashMap::new();
     for (i, op) in work.active() {
         by_target.entry(op.target()).or_default().push(i);
@@ -304,7 +641,7 @@ fn candidates(stage: u8, work: &Work, ctx: &Ctx<'_>) -> Vec<(usize, usize)> {
                     out.push((i, j));
                 }
             }
-            let op = work.slots[i].as_ref().expect("active");
+            let op = work.slots[i].as_deref().expect("active");
             if matches!(op.name(), OpName::ReplaceNode | OpName::Delete | OpName::ReplaceContent) {
                 active_overriders.push((i, label));
             }
@@ -362,20 +699,26 @@ fn pair_order(
     op_order(ctx, a1, b1).then_with(|| op_order(ctx, a2, b2))
 }
 
-fn run_stage(stage: u8, work: &mut Work, ctx: &Ctx<'_>, canonical: bool) {
+/// Sweep engine: rebuilds the candidate pairs after every pass (and, in
+/// canonical mode, after every single application).
+fn run_stage_sweep(stage: u8, work: &mut Work<'_>, ctx: &Ctx<'_>, canonical: bool) {
     loop {
         let pairs = candidates(stage, work, ctx);
         if canonical {
             // Find the applicable pair that is least under <p (Def. 9).
             let mut best: Option<(usize, usize, UpdateOp)> = None;
             for (i, j) in pairs {
-                let (Some(op1), Some(op2)) = (&work.slots[i], &work.slots[j]) else { continue };
-                if let Some(result) = try_rule(stage, op1, op2, ctx) {
+                let (Some(op1), Some(op2)) = (work.slots[i].as_deref(), work.slots[j].as_deref())
+                else {
+                    continue;
+                };
+                let (l1, l2) = (ctx.label(op1.target()), ctx.label(op2.target()));
+                if let Some(result) = try_rule(stage, op1, op2, l1, l2) {
                     let better = match &best {
                         None => true,
                         Some((bi, bj, _)) => {
-                            let b1 = work.slots[*bi].as_ref().expect("active");
-                            let b2 = work.slots[*bj].as_ref().expect("active");
+                            let b1 = work.slots[*bi].as_deref().expect("active");
+                            let b2 = work.slots[*bj].as_deref().expect("active");
                             pair_order(ctx, (op1, op2), (b1, b2)) == std::cmp::Ordering::Less
                         }
                     };
@@ -385,14 +728,20 @@ fn run_stage(stage: u8, work: &mut Work, ctx: &Ctx<'_>, canonical: bool) {
                 }
             }
             match best {
-                Some((i, j, result)) => work.apply(i, j, result),
+                Some((i, j, result)) => {
+                    work.apply(i, j, result);
+                }
                 None => break,
             }
         } else {
             let mut applied = false;
             for (i, j) in pairs {
-                let (Some(op1), Some(op2)) = (&work.slots[i], &work.slots[j]) else { continue };
-                if let Some(result) = try_rule(stage, op1, op2, ctx) {
+                let (Some(op1), Some(op2)) = (work.slots[i].as_deref(), work.slots[j].as_deref())
+                else {
+                    continue;
+                };
+                let (l1, l2) = (ctx.label(op1.target()), ctx.label(op2.target()));
+                if let Some(result) = try_rule(stage, op1, op2, l1, l2) {
                     work.apply(i, j, result);
                     applied = true;
                 }
@@ -405,26 +754,63 @@ fn run_stage(stage: u8, work: &mut Work, ctx: &Ctx<'_>, canonical: bool) {
 }
 
 /// Reduces a PUL with the requested [`ReductionKind`].
+///
+/// Plain and deterministic reductions run on the incremental worklist engine;
+/// the canonical form keeps the exhaustive sweep, whose globally `<p`-least
+/// pair selection is what makes the result unique (Def. 9).
 pub fn reduce_with(pul: &Pul, kind: ReductionKind) -> Pul {
     let ctx = Ctx { labels: pul.labels() };
-    let mut work = Work { slots: pul.ops().iter().cloned().map(Some).collect() };
-    for stage in 1..=9 {
-        run_stage(stage, &mut work, &ctx, kind == ReductionKind::Canonical);
+    let mut work = Work::of(pul);
+    if kind == ReductionKind::Canonical {
+        for stage in 1..=9 {
+            run_stage_sweep(stage, &mut work, &ctx, true);
+        }
+    } else {
+        let slot_labels: Vec<Option<&NodeLabel>> =
+            work.slots.iter().map(|s| s.as_ref().and_then(|op| ctx.label(op.target()))).collect();
+        let idx = PairIndex::build(&work, &slot_labels);
+        let mut counts = [0usize; 11];
+        for (_, op) in work.active() {
+            counts[name_ordinal(op.name())] += 1;
+        }
+        for stage in 1..=9 {
+            if stage_feasible(stage, &counts) {
+                run_stage_worklist(stage, &mut work, &slot_labels, &idx, &mut counts);
+            }
+        }
     }
+    finish_reduction(work, &ctx, pul, kind)
+}
+
+/// The pre-worklist reduction engine (candidate set rebuilt after every
+/// sweep). Semantically equivalent to [`reduce_with`]; kept as the measured
+/// "before" of the fig-6b ablation benchmark.
+pub fn reduce_sweep_baseline(pul: &Pul, kind: ReductionKind) -> Pul {
+    let ctx = Ctx { labels: pul.labels() };
+    let mut work = Work::of(pul);
+    for stage in 1..=9 {
+        run_stage_sweep(stage, &mut work, &ctx, kind == ReductionKind::Canonical);
+    }
+    finish_reduction(work, &ctx, pul, kind)
+}
+
+/// Shared tail of every reduction: stage 10 (`ins↓` → `ins↙`) for the
+/// deterministic kinds, canonical presentation order, label carry-over.
+fn finish_reduction(mut work: Work<'_>, ctx: &Ctx<'_>, pul: &Pul, kind: ReductionKind) -> Pul {
     // Stage 10: make the semantics deterministic by rewriting ins↓ into ins↙.
     if matches!(kind, ReductionKind::Deterministic | ReductionKind::Canonical) {
         for op in work.slots.iter_mut().flatten() {
             if op.name() == OpName::InsInto {
                 let content = op.content().unwrap_or(&[]).to_vec();
-                *op = UpdateOp::ins_first(op.target(), content);
+                *op = Cow::Owned(UpdateOp::ins_first(op.target(), content));
             }
         }
     }
-    let mut ops: Vec<UpdateOp> = work.slots.into_iter().flatten().collect();
+    let mut ops: Vec<UpdateOp> = work.slots.into_iter().flatten().map(Cow::into_owned).collect();
     if kind == ReductionKind::Canonical {
         // Present the canonical form in a fixed order (<o) — the PUL is an
         // unordered list, so this only normalizes the presentation.
-        ops.sort_by(|a, b| op_order(&ctx, a, b).then_with(|| a.name().code().cmp(b.name().code())));
+        ops.sort_by(|a, b| op_order(ctx, a, b).then_with(|| a.name().code().cmp(b.name().code())));
         ops.dedup_by(|a, b| {
             a.target() == b.target()
                 && a.name() == b.name()
@@ -474,7 +860,7 @@ pub fn canonical_form(pul: &Pul) -> Pul {
 /// the same semantics as [`reduce`].
 pub fn reduce_naive(pul: &Pul) -> Pul {
     let ctx = Ctx { labels: pul.labels() };
-    let mut work = Work { slots: pul.ops().iter().cloned().map(Some).collect() };
+    let mut work = Work::of(pul);
     for stage in 1..=9 {
         loop {
             let active: Vec<usize> = work.active().map(|(i, _)| i).collect();
@@ -484,8 +870,13 @@ pub fn reduce_naive(pul: &Pul) -> Pul {
                     if i == j {
                         continue;
                     }
-                    let (Some(op1), Some(op2)) = (&work.slots[i], &work.slots[j]) else { continue };
-                    if let Some(result) = try_rule(stage, op1, op2, &ctx) {
+                    let (Some(op1), Some(op2)) =
+                        (work.slots[i].as_deref(), work.slots[j].as_deref())
+                    else {
+                        continue;
+                    };
+                    let (l1, l2) = (ctx.label(op1.target()), ctx.label(op2.target()));
+                    if let Some(result) = try_rule(stage, op1, op2, l1, l2) {
                         work.apply(i, j, result);
                         applied = true;
                         break 'outer;
@@ -499,7 +890,7 @@ pub fn reduce_naive(pul: &Pul) -> Pul {
     }
     let mut out = Pul::new();
     for op in work.slots.into_iter().flatten() {
-        out.push(op);
+        out.push(op.into_owned());
     }
     for label in pul.labels().values() {
         out.add_label(label.clone());

@@ -97,8 +97,16 @@ impl NodeLabel {
     // compact serialization (used by the PUL XML exchange format)
     // ------------------------------------------------------------------
 
-    fn key_to_string(k: &OrderKey) -> String {
-        k.digits().iter().map(|d| d.to_string()).collect::<Vec<_>>().join("-")
+    /// Appends the dash-separated digits of a key to `out` in a single pass
+    /// (one shared buffer, no per-digit `String` allocation).
+    fn write_key(out: &mut String, k: &OrderKey) {
+        use std::fmt::Write;
+        for (i, d) in k.digits().iter().enumerate() {
+            if i > 0 {
+                out.push('-');
+            }
+            let _ = write!(out, "{d}");
+        }
     }
 
     fn key_from_string(s: &str) -> Option<OrderKey> {
@@ -108,22 +116,34 @@ impl NodeLabel {
 
     /// Serializes the label into the compact form used inside PUL documents.
     pub fn to_compact_string(&self) -> String {
+        use std::fmt::Write;
         let flags = match (self.is_first_child, self.is_last_child) {
             (true, true) => "FL",
             (true, false) => "F",
             (false, true) => "L",
             (false, false) => "-",
         };
-        format!(
-            "{};{};{};{};{};{};{}",
-            Self::key_to_string(&self.start),
-            Self::key_to_string(&self.end),
-            self.level,
-            self.kind.code(),
-            self.parent.map(|p| p.as_u64().to_string()).unwrap_or_else(|| "-".into()),
-            self.left_sibling.map(|p| p.as_u64().to_string()).unwrap_or_else(|| "-".into()),
-            flags
-        )
+        let mut out = String::with_capacity(4 * (self.start.len() + self.end.len()) + 24);
+        Self::write_key(&mut out, &self.start);
+        out.push(';');
+        Self::write_key(&mut out, &self.end);
+        let _ = write!(out, ";{};{};", self.level, self.kind.code());
+        match self.parent {
+            Some(p) => {
+                let _ = write!(out, "{}", p.as_u64());
+            }
+            None => out.push('-'),
+        }
+        out.push(';');
+        match self.left_sibling {
+            Some(p) => {
+                let _ = write!(out, "{}", p.as_u64());
+            }
+            None => out.push('-'),
+        }
+        out.push(';');
+        out.push_str(flags);
+        out
     }
 
     /// Parses a label from its compact form. `id` is supplied by the caller
@@ -271,6 +291,38 @@ mod tests {
             let back = NodeLabel::parse_compact(l.id, &s).unwrap();
             assert_eq!(&back, l, "roundtrip of {s}");
         }
+    }
+
+    #[test]
+    fn compact_roundtrip_with_multi_byte_keys() {
+        // Keys of several digits (as produced by repeated `OrderKey::between`
+        // insertions) must serialize digit-by-digit and parse back exactly.
+        let l = label(
+            7,
+            vec![1, 255, 3, 77, 128],
+            vec![1, 255, 3, 77, 129, 42],
+            9,
+            NodeKind::Attribute,
+            Some(3),
+            Some(2),
+            false,
+            true,
+        );
+        let s = l.to_compact_string();
+        assert!(s.starts_with("1-255-3-77-128;1-255-3-77-129-42;9;a;3;2;L"), "{s}");
+        let back = NodeLabel::parse_compact(l.id, &s).unwrap();
+        assert_eq!(back, l);
+        // and a deep chain of between-keys survives the round trip
+        let mut lo = OrderKey::from_digits(vec![100]);
+        let hi = OrderKey::from_digits(vec![100, 1]);
+        for _ in 0..64 {
+            lo = OrderKey::between(&lo, &hi);
+        }
+        let deep = label(8, vec![1], vec![2], 0, NodeKind::Element, None, None, false, false);
+        let deep = NodeLabel { start: lo.clone(), end: hi.clone(), ..deep };
+        let back = NodeLabel::parse_compact(deep.id, &deep.to_compact_string()).unwrap();
+        assert_eq!(back.start, lo);
+        assert_eq!(back.end, hi);
     }
 
     #[test]

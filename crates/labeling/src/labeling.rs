@@ -1,8 +1,6 @@
 //! Label assignment over documents and incremental labeling of inserted nodes.
 
-use std::collections::HashMap;
-
-use xdm::{Document, NodeId, NodeKind};
+use xdm::{Document, IdSlab, NodeId, NodeKind};
 
 use crate::label::NodeLabel;
 use crate::orderkey::OrderKey;
@@ -13,16 +11,28 @@ use crate::orderkey::OrderKey;
 /// are then attached to the target nodes of the operations in a PUL), and is
 /// only modified by the executor when updates are made effective: new nodes
 /// receive labels generated *between* existing ones, so that no existing label
-/// ever changes (§4.1).
+/// ever changes (§4.1). The labels are stored in the same dense [`IdSlab`]
+/// layout as the document arena, so every Table-1 predicate lookup is an array
+/// index.
 #[derive(Debug, Clone, Default)]
 pub struct Labeling {
-    map: HashMap<NodeId, NodeLabel>,
+    map: IdSlab<NodeLabel>,
+}
+
+/// Summary of an incremental [`Labeling::patch`]: how many nodes gained a
+/// label and how many lost theirs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatchReport {
+    /// Nodes that received a fresh label.
+    pub labeled: usize,
+    /// Nodes whose label was dropped (removed from the document).
+    pub removed: usize,
 }
 
 impl Labeling {
     /// Creates an empty labeling.
     pub fn new() -> Self {
-        Labeling { map: HashMap::new() }
+        Labeling { map: IdSlab::new() }
     }
 
     /// Computes the labeling of a whole document.
@@ -105,13 +115,13 @@ impl Labeling {
 
     /// Returns the label of a node, if present.
     pub fn get(&self, id: NodeId) -> Option<&NodeLabel> {
-        self.map.get(&id)
+        self.map.get(id)
     }
 
     /// Returns the label of a node, panicking when absent (for internal use by
     /// generators and tests where presence is an invariant).
     pub fn require(&self, id: NodeId) -> &NodeLabel {
-        self.map.get(&id).unwrap_or_else(|| panic!("node {id} has no label"))
+        self.map.get(id).unwrap_or_else(|| panic!("node {id} has no label"))
     }
 
     /// Inserts or replaces the label of a node.
@@ -122,7 +132,7 @@ impl Labeling {
     /// Removes the label of a node (the identifier is never reused, so neither
     /// is the label).
     pub fn remove(&mut self, id: NodeId) -> Option<NodeLabel> {
-        self.map.remove(&id)
+        self.map.remove(id)
     }
 
     /// Number of labeled nodes.
@@ -145,7 +155,7 @@ impl Labeling {
     // ------------------------------------------------------------------
 
     fn pair(&self, a: NodeId, b: NodeId) -> Option<(&NodeLabel, &NodeLabel)> {
-        Some((self.map.get(&a)?, self.map.get(&b)?))
+        Some((self.map.get(a)?, self.map.get(b)?))
     }
 
     /// `a ≺ b` in document order.
@@ -199,7 +209,7 @@ impl Labeling {
     /// makes a PUL effective on the authoritative document.
     pub fn label_inserted_subtree(&mut self, doc: &Document, new_root: NodeId) {
         let Ok(Some(parent)) = doc.parent(new_root) else { return };
-        let Some(parent_label) = self.map.get(&parent).cloned() else { return };
+        let Some(parent_label) = self.map.get(parent).cloned() else { return };
         // Determine the order-key bounds from the closest labeled neighbours.
         let (lo, hi) = self.bounds_for(doc, new_root, &parent_label);
         let size = doc.preorder(new_root).len();
@@ -232,27 +242,45 @@ impl Labeling {
     ) -> (OrderKey, OrderKey) {
         let is_attr = doc.kind(new_node).map(|k| k == NodeKind::Attribute).unwrap_or(false);
         if is_attr {
-            // attributes: anywhere inside the parent's interval, before children
+            // attributes: inside the parent's interval, after the keys of the
+            // already-labeled attributes and before the first labeled child
+            let lo = doc
+                .attributes(parent_label.id)
+                .ok()
+                .and_then(|attrs| {
+                    attrs.iter().rev().filter(|&&a| a != new_node).find_map(|a| self.map.get(*a))
+                })
+                .map(|l| l.end.clone())
+                .unwrap_or_else(|| parent_label.start.clone());
             let hi = doc
                 .children(parent_label.id)
                 .ok()
-                .and_then(|cs| cs.iter().find_map(|c| self.map.get(c)))
+                .and_then(|cs| cs.iter().find_map(|c| self.map.get(*c)))
                 .map(|l| l.start.clone())
                 .unwrap_or_else(|| parent_label.end.clone());
-            return (parent_label.start.clone(), hi);
+            return (lo, hi);
         }
         let siblings: Vec<NodeId> = doc.children(parent_label.id).unwrap_or(&[]).to_vec();
         let pos = siblings.iter().position(|&s| s == new_node).unwrap_or(0);
-        // closest labeled left neighbour
+        // closest labeled left neighbour; with no labeled left sibling the
+        // lower bound is the last labeled *attribute* of the parent (attribute
+        // keys live between the parent's start and its first child), and only
+        // then the parent's own start key
         let lo = siblings[..pos]
             .iter()
             .rev()
-            .find_map(|s| self.map.get(s))
+            .find_map(|s| self.map.get(*s))
             .map(|l| l.end.clone())
+            .or_else(|| {
+                doc.attributes(parent_label.id)
+                    .ok()
+                    .and_then(|attrs| attrs.iter().rev().find_map(|a| self.map.get(*a)))
+                    .map(|l| l.end.clone())
+            })
             .unwrap_or_else(|| parent_label.start.clone());
         let hi = siblings[pos + 1..]
             .iter()
-            .find_map(|s| self.map.get(s))
+            .find_map(|s| self.map.get(*s))
             .map(|l| l.start.clone())
             .unwrap_or_else(|| parent_label.end.clone());
         (lo, hi)
@@ -264,7 +292,7 @@ impl Labeling {
         let Ok(children) = doc.children(parent) else { return };
         let children: Vec<NodeId> = children.to_vec();
         for (i, &c) in children.iter().enumerate() {
-            if let Some(label) = self.map.get_mut(&c) {
+            if let Some(label) = self.map.get_mut(c) {
                 label.parent = Some(parent);
                 label.left_sibling = if i > 0 { Some(children[i - 1]) } else { None };
                 label.is_first_child = i == 0;
@@ -272,10 +300,113 @@ impl Labeling {
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // incremental patching after a PUL application
+    // ------------------------------------------------------------------
+
+    /// Brings the labeling up to date with `doc` after a PUL application,
+    /// given the structural effects recorded by the evaluator: the roots of
+    /// the inserted subtrees and the identifiers of all removed nodes.
+    ///
+    /// Only the inserted nodes receive (fresh) labels and only the removed
+    /// nodes lose theirs; the interval keys of every untouched node are left
+    /// **bit-identical** — the §4.1 "no relabeling on update" guarantee. The
+    /// cost is proportional to the size of the change, not of the document.
+    ///
+    /// Inserted roots that are no longer part of the document (inserted by one
+    /// operation and removed by an overriding one in the same PUL) are skipped;
+    /// removing an identifier that was never labeled is a no-op.
+    pub fn patch(
+        &mut self,
+        doc: &Document,
+        inserted_roots: &[NodeId],
+        removed_nodes: &[NodeId],
+    ) -> PatchReport {
+        let mut report = PatchReport::default();
+        // 1. Drop the labels of removed nodes, remembering the surviving
+        //    parents whose child metadata is now stale (deduplicated below —
+        //    a per-removal membership scan would be quadratic in the change).
+        let mut stale_parents: Vec<NodeId> = Vec::new();
+        for &id in removed_nodes {
+            if let Some(old) = self.map.remove(id) {
+                report.removed += 1;
+                if let Some(p) = old.parent {
+                    if doc.contains(p) {
+                        stale_parents.push(p);
+                    }
+                }
+            }
+        }
+        stale_parents.sort_unstable();
+        stale_parents.dedup();
+        // 2. Label the inserted subtrees (in the order they were applied; the
+        //    interval bounds always come from the *currently labeled* live
+        //    neighbours, so any application order yields a consistent order).
+        for &root in inserted_roots {
+            if !doc.contains(root) || self.map.contains(root) {
+                continue;
+            }
+            let before = self.map.len();
+            self.label_inserted_subtree(doc, root);
+            report.labeled += self.map.len() - before;
+        }
+        // 3. Refresh the sibling flags around the removals (insertions already
+        //    refreshed their parents in `label_inserted_subtree`).
+        for p in stale_parents {
+            self.refresh_sibling_flags(doc, p);
+        }
+        report
+    }
+
+    /// Diff-driven variant of [`Labeling::patch`] for pipelines that do not
+    /// produce an apply report (e.g. the streaming commit, which re-parses the
+    /// updated serialization): inserted roots are discovered as unlabeled
+    /// nodes whose parent is labeled, removed nodes as labels whose identifier
+    /// no longer denotes a document node. Untouched labels are left
+    /// bit-identical, exactly as with `patch`.
+    ///
+    /// Falls back to a full [`Labeling::assign`] when the document root itself
+    /// is unlabeled (a wholly new document).
+    pub fn patch_from_document(&mut self, doc: &Document) -> PatchReport {
+        let Some(root) = doc.root() else {
+            let removed = self.map.len();
+            self.map = IdSlab::new();
+            return PatchReport { labeled: 0, removed };
+        };
+        if self.map.get(root).is_none() {
+            let removed = self.map.len();
+            *self = Labeling::assign(doc);
+            return PatchReport { labeled: self.map.len(), removed };
+        }
+        // Preorder walk that stops at unlabeled nodes: those are the roots of
+        // inserted subtrees (their descendants are necessarily new as well,
+        // since existing nodes are never moved under new ones).
+        let mut inserted_roots: Vec<NodeId> = Vec::new();
+        let mut stack: Vec<NodeId> = vec![root];
+        while let Some(id) = stack.pop() {
+            if self.map.get(id).is_none() {
+                inserted_roots.push(id);
+                continue;
+            }
+            if let Ok(data) = doc.node(id) {
+                for &c in data.children.iter().rev() {
+                    stack.push(c);
+                }
+                for &a in data.attributes.iter().rev() {
+                    stack.push(a);
+                }
+            }
+        }
+        let removed_nodes: Vec<NodeId> = self.map.keys().filter(|&id| !doc.contains(id)).collect();
+        self.patch(doc, &inserted_roots, &removed_nodes)
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashMap;
+
     use super::*;
     use xdm::parser::parse_document;
 
@@ -414,6 +545,115 @@ mod tests {
         labels.label_inserted_subtree(&doc, a);
         assert!(labels.is_attribute(a, e));
         assert!(labels.is_descendant(a, e));
+        check_against_document(&doc, &labels);
+    }
+
+    #[test]
+    fn inserted_attributes_get_distinct_ordered_keys() {
+        // Two attributes inserted one after the other used to receive the
+        // same midpoint key (the bounds ignored already-labeled attributes).
+        let (mut doc, mut labels) = doc_and_labels("<e old=\"0\"><c/></e>");
+        let e = doc.find_element("e").unwrap();
+        let a1 = doc.new_attribute("k1", "v1");
+        doc.add_attribute(e, a1).unwrap();
+        labels.label_inserted_subtree(&doc, a1);
+        let a2 = doc.new_attribute("k2", "v2");
+        doc.add_attribute(e, a2).unwrap();
+        labels.label_inserted_subtree(&doc, a2);
+        let (l1, l2) = (labels.require(a1).clone(), labels.require(a2).clone());
+        assert_ne!(l1.start, l2.start, "sibling attributes must not share keys");
+        assert!(labels.precedes(a1, a2) ^ labels.precedes(a2, a1), "total order on attributes");
+        check_against_document(&doc, &labels);
+    }
+
+    #[test]
+    fn inserted_first_child_stays_after_existing_attributes() {
+        // The first-child lower bound must clear the attribute keys, which
+        // live between the parent's start and its first child.
+        let (mut doc, mut labels) = doc_and_labels("<e k=\"v\" w=\"z\"><c/></e>");
+        let e = doc.find_element("e").unwrap();
+        let first = doc.new_element("first");
+        doc.insert_first_child(e, first).unwrap();
+        labels.label_inserted_subtree(&doc, first);
+        check_against_document(&doc, &labels);
+        let k = doc.attribute_by_name(e, "k").unwrap().unwrap();
+        let w = doc.attribute_by_name(e, "w").unwrap().unwrap();
+        assert!(labels.precedes(k, first), "attributes precede the inserted first child");
+        assert!(labels.precedes(w, first));
+        assert!(labels.is_first_child(first, e));
+    }
+
+    #[test]
+    fn patch_labels_only_the_change() {
+        let (mut doc, mut labels) = doc_and_labels(
+            "<issue><paper>one</paper><paper>two</paper><paper>three</paper></issue>",
+        );
+        let papers = doc.find_elements("paper");
+        let before: HashMap<NodeId, NodeLabel> = labels.iter().map(|l| (l.id, l.clone())).collect();
+
+        // Remove the middle paper and insert a replacement subtree after it.
+        let removed: Vec<NodeId> = doc.preorder(papers[1]);
+        doc.remove_subtree(papers[1]).unwrap();
+        let new_paper = doc.new_element("paper");
+        let new_text = doc.new_text("new");
+        doc.append_child(new_paper, new_text).unwrap();
+        doc.insert_after(papers[0], new_paper).unwrap();
+
+        let report = labels.patch(&doc, &[new_paper], &removed);
+        assert_eq!(report, PatchReport { labeled: 2, removed: removed.len() });
+        check_against_document(&doc, &labels);
+        // untouched interval keys are bit-identical
+        for id in doc.preorder_from_root() {
+            if let Some(old) = before.get(&id) {
+                let now = labels.require(id);
+                assert_eq!(now.start, old.start, "start key of {id} unchanged");
+                assert_eq!(now.end, old.end, "end key of {id} unchanged");
+            }
+        }
+        // patching an already-removed insertion root is a no-op
+        let report = labels.patch(&doc, &[papers[1]], &[]);
+        assert_eq!(report, PatchReport::default());
+    }
+
+    #[test]
+    fn patch_from_document_discovers_the_diff() {
+        let (mut doc, mut labels) = doc_and_labels("<list><a/><b/><c/></list>");
+        let list = doc.find_element("list").unwrap();
+        let b = doc.find_element("b").unwrap();
+        let before: HashMap<NodeId, NodeLabel> = labels.iter().map(|l| (l.id, l.clone())).collect();
+
+        doc.remove_subtree(b).unwrap();
+        let x = doc.new_element("x");
+        let y = doc.new_text("t");
+        doc.append_child(x, y).unwrap();
+        doc.insert_first_child(list, x).unwrap();
+        let attr = doc.new_attribute("k", "v");
+        doc.add_attribute(list, attr).unwrap();
+
+        let report = labels.patch_from_document(&doc);
+        assert_eq!(report, PatchReport { labeled: 3, removed: 1 });
+        check_against_document(&doc, &labels);
+        for id in doc.preorder_from_root() {
+            if let Some(old) = before.get(&id) {
+                assert_eq!(&labels.require(id).start, &old.start);
+                assert_eq!(&labels.require(id).end, &old.end);
+            }
+        }
+        // a second patch finds nothing to do
+        assert_eq!(labels.patch_from_document(&doc), PatchReport::default());
+    }
+
+    #[test]
+    fn patch_from_document_handles_empty_and_fresh_documents() {
+        let (doc, mut labels) = doc_and_labels("<a><b/><c/></a>");
+        // document emptied: all labels dropped
+        let empty = Document::new();
+        let report = labels.patch_from_document(&empty);
+        assert_eq!(report.removed, 3);
+        assert!(labels.is_empty());
+        // wholly new document: falls back to a full assignment
+        let report = labels.patch_from_document(&doc);
+        assert_eq!(report.labeled, 3);
         check_against_document(&doc, &labels);
     }
 }

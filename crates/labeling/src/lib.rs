@@ -21,5 +21,5 @@ pub mod labeling;
 pub mod orderkey;
 
 pub use label::NodeLabel;
-pub use labeling::Labeling;
+pub use labeling::{Labeling, PatchReport};
 pub use orderkey::OrderKey;

@@ -55,6 +55,10 @@ pub struct ApplyReport {
     pub inserted_roots: Vec<NodeId>,
     /// Nodes removed from the document (roots of removed subtrees).
     pub removed_roots: Vec<NodeId>,
+    /// *All* nodes removed from the document, including the descendants of the
+    /// removed roots and the children cleared by `repC` — exactly the
+    /// identifiers whose labels must be dropped by [`Labeling::patch`].
+    pub removed_nodes: Vec<NodeId>,
     /// Mapping from parameter-tree identifiers to the identifiers assigned in
     /// the document (the identity when identifiers are preserved).
     pub id_map: HashMap<NodeId, NodeId>,
@@ -62,27 +66,6 @@ pub struct ApplyReport {
 
 /// Applies a PUL to a document (deterministic semantics).
 pub fn apply_pul(doc: &mut Document, pul: &Pul, opts: &ApplyOptions) -> Result<ApplyReport> {
-    apply_pul_inner(doc, None, pul, opts)
-}
-
-/// Applies a PUL to a document, also maintaining the labeling: inserted nodes
-/// receive fresh labels (without relabeling existing nodes) and removed nodes
-/// lose theirs. This is what the executor does on the authoritative copy.
-pub fn apply_pul_with_labeling(
-    doc: &mut Document,
-    labeling: &mut Labeling,
-    pul: &Pul,
-    opts: &ApplyOptions,
-) -> Result<ApplyReport> {
-    apply_pul_inner(doc, Some(labeling), pul, opts)
-}
-
-fn apply_pul_inner(
-    doc: &mut Document,
-    mut labeling: Option<&mut Labeling>,
-    pul: &Pul,
-    opts: &ApplyOptions,
-) -> Result<ApplyReport> {
     if opts.validate {
         pul.check_applicable(doc)?;
     }
@@ -100,8 +83,24 @@ fn apply_pul_inner(
     });
 
     for op in ordered {
-        apply_one(doc, labeling.as_deref_mut(), op, opts, &mut report)?;
+        apply_one(doc, op, opts, &mut report)?;
     }
+    Ok(report)
+}
+
+/// Applies a PUL to a document, also maintaining the labeling: inserted nodes
+/// receive fresh labels (without relabeling existing nodes) and removed nodes
+/// lose theirs. This is what the executor does on the authoritative copy; the
+/// labeling update is an incremental [`Labeling::patch`] driven by the apply
+/// report, so its cost is proportional to the size of the change.
+pub fn apply_pul_with_labeling(
+    doc: &mut Document,
+    labeling: &mut Labeling,
+    pul: &Pul,
+    opts: &ApplyOptions,
+) -> Result<ApplyReport> {
+    let report = apply_pul(doc, pul, opts)?;
+    labeling.patch(doc, &report.inserted_roots, &report.removed_nodes);
     Ok(report)
 }
 
@@ -120,32 +119,13 @@ fn graft_tree(
     Ok(root)
 }
 
-fn note_insert(
-    doc: &Document,
-    labeling: &mut Option<&mut Labeling>,
-    report: &mut ApplyReport,
-    root: NodeId,
-) {
+fn note_insert(report: &mut ApplyReport, root: NodeId) {
     report.inserted_roots.push(root);
-    if let Some(l) = labeling {
-        l.label_inserted_subtree(doc, root);
-    }
 }
 
-fn note_removed(
-    doc: &Document,
-    labeling: &mut Option<&mut Labeling>,
-    report: &mut ApplyReport,
-    root: NodeId,
-    removed_ids: &[NodeId],
-) {
+fn note_removed(report: &mut ApplyReport, root: NodeId, removed_ids: &[NodeId]) {
     report.removed_roots.push(root);
-    if let Some(l) = labeling {
-        for &id in removed_ids {
-            l.remove(id);
-        }
-    }
-    let _ = doc;
+    report.removed_nodes.extend_from_slice(removed_ids);
 }
 
 /// Applies a single operation. Operations whose target has already been removed
@@ -153,7 +133,6 @@ fn note_removed(
 /// overriding semantics captured by reduction rules O1–O4.
 fn apply_one(
     doc: &mut Document,
-    mut labeling: Option<&mut Labeling>,
     op: &UpdateOp,
     opts: &ApplyOptions,
     report: &mut ApplyReport,
@@ -170,21 +149,21 @@ fn apply_one(
             for (i, tree) in content.iter().enumerate() {
                 let root = graft_tree(doc, tree, opts, report)?;
                 doc.insert_child_at(target, i, root)?;
-                note_insert(doc, &mut labeling, report, root);
+                note_insert(report, root);
             }
         }
         UpdateOp::InsLast { content, .. } => {
             for tree in content {
                 let root = graft_tree(doc, tree, opts, report)?;
                 doc.append_child(target, root)?;
-                note_insert(doc, &mut labeling, report, root);
+                note_insert(report, root);
             }
         }
         UpdateOp::InsBefore { content, .. } => {
             for tree in content {
                 let root = graft_tree(doc, tree, opts, report)?;
                 doc.insert_before(target, root)?;
-                note_insert(doc, &mut labeling, report, root);
+                note_insert(report, root);
             }
         }
         UpdateOp::InsAfter { content, .. } => {
@@ -192,7 +171,7 @@ fn apply_one(
             for tree in content {
                 let root = graft_tree(doc, tree, opts, report)?;
                 doc.insert_after(anchor, root)?;
-                note_insert(doc, &mut labeling, report, root);
+                note_insert(report, root);
                 anchor = root;
             }
         }
@@ -211,58 +190,48 @@ fn apply_one(
                 }
                 let root = graft_tree(doc, tree, opts, report)?;
                 doc.add_attribute(target, root)?;
-                note_insert(doc, &mut labeling, report, root);
+                note_insert(report, root);
             }
         }
         UpdateOp::Delete { .. } => {
             let removed = doc.preorder(target);
-            let parent = doc.parent(target)?;
             doc.remove_subtree(target)?;
-            note_removed(doc, &mut labeling, report, target, &removed);
-            if let (Some(l), Some(p)) = (labeling.as_deref_mut(), parent) {
-                l.refresh_sibling_flags(doc, p);
-            }
+            note_removed(report, target, &removed);
         }
         UpdateOp::ReplaceNode { content, .. } => {
-            let parent = doc.parent(target)?;
             if doc.kind(target)? == NodeKind::Attribute {
-                let owner =
-                    parent.ok_or(PulError::Dynamic(format!("attribute {target} has no owner")))?;
+                let owner = doc
+                    .parent(target)?
+                    .ok_or(PulError::Dynamic(format!("attribute {target} has no owner")))?;
                 for tree in content {
                     let root = graft_tree(doc, tree, opts, report)?;
                     doc.add_attribute(owner, root)?;
-                    note_insert(doc, &mut labeling, report, root);
+                    note_insert(report, root);
                 }
             } else {
                 for tree in content {
                     let root = graft_tree(doc, tree, opts, report)?;
                     doc.insert_before(target, root)?;
-                    note_insert(doc, &mut labeling, report, root);
+                    note_insert(report, root);
                 }
             }
             let removed = doc.preorder(target);
             doc.remove_subtree(target)?;
-            note_removed(doc, &mut labeling, report, target, &removed);
-            if let (Some(l), Some(p)) = (labeling.as_deref_mut(), parent) {
-                l.refresh_sibling_flags(doc, p);
-            }
+            note_removed(report, target, &removed);
         }
         UpdateOp::ReplaceValue { value, .. } => {
             doc.set_value(target, value.clone())?;
         }
         UpdateOp::ReplaceContent { text, .. } => {
-            let removed: Vec<NodeId> =
-                doc.children(target)?.to_vec().iter().flat_map(|&c| doc.preorder(c)).collect();
-            doc.clear_children(target)?;
-            if let Some(l) = labeling.as_deref_mut() {
-                for id in &removed {
-                    l.remove(*id);
-                }
+            for c in doc.children(target)?.to_vec() {
+                let removed = doc.preorder(c);
+                doc.remove_subtree(c)?;
+                note_removed(report, c, &removed);
             }
             if let Some(t) = text {
                 let text_node = doc.new_text(t.clone());
                 doc.append_child(target, text_node)?;
-                note_insert(doc, &mut labeling, report, text_node);
+                note_insert(report, text_node);
             }
         }
         UpdateOp::Rename { name, .. } => {
@@ -498,6 +467,26 @@ mod tests {
         );
         assert_eq!(report.inserted_roots.len(), 1);
         assert_eq!(report.removed_roots, vec![NodeId::new(6)]);
+        assert_eq!(report.removed_nodes, vec![NodeId::new(6)]);
+    }
+
+    #[test]
+    fn report_removed_nodes_cover_subtrees_and_cleared_content() {
+        // del(3) removes the whole <article> subtree (3, 4, 5); repC(6) clears
+        // nothing (empty element) but repC on 1 would clear everything.
+        let mut d = doc();
+        let report = apply(&mut d, vec![UpdateOp::delete(3u64)]);
+        let mut removed: Vec<u64> = report.removed_nodes.iter().map(|n| n.as_u64()).collect();
+        removed.sort_unstable();
+        assert_eq!(removed, vec![3, 4, 5]);
+        assert_eq!(report.removed_roots, vec![NodeId::new(3)]);
+
+        let mut d = doc();
+        let report = apply(&mut d, vec![UpdateOp::replace_content(3u64, Some("gone".into()))]);
+        let mut removed: Vec<u64> = report.removed_nodes.iter().map(|n| n.as_u64()).collect();
+        removed.sort_unstable();
+        assert_eq!(removed, vec![4, 5], "repC records the cleared children");
+        assert_eq!(report.inserted_roots.len(), 1, "the replacement text node");
     }
 
     #[test]

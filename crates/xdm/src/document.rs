@@ -5,11 +5,17 @@
 //! counter, and explicit identifiers (e.g. the numbering of Figure 1 in the
 //! paper, or identifiers read back from an *identified* serialization) bump the
 //! counter past themselves.
+//!
+//! The arena itself is an [`IdSlab`]: identifiers are assigned sequentially,
+//! so node lookup — the innermost operation of every traversal and of every
+//! Table-1 predicate evaluated against the document — is a dense array index
+//! rather than a hash probe.
 
 use std::collections::HashMap;
 
 use crate::error::XdmError;
 use crate::node::{NodeData, NodeId, NodeKind};
+use crate::slab::IdSlab;
 use crate::Result;
 
 /// Relative position of two nodes in document order (the `≺` relation of
@@ -32,7 +38,7 @@ pub enum OrderRel {
 /// operation parameters reuse the same machinery through [`crate::Tree`].
 #[derive(Debug, Clone, Default)]
 pub struct Document {
-    nodes: HashMap<NodeId, NodeData>,
+    nodes: IdSlab<NodeData>,
     root: Option<NodeId>,
     next_id: u64,
 }
@@ -40,12 +46,12 @@ pub struct Document {
 impl Document {
     /// Creates an empty document with no nodes.
     pub fn new() -> Self {
-        Document { nodes: HashMap::new(), root: None, next_id: 1 }
+        Document { nodes: IdSlab::new(), root: None, next_id: 1 }
     }
 
     /// Creates an empty document whose fresh identifiers start at `first_id`.
     pub fn with_first_id(first_id: u64) -> Self {
-        Document { nodes: HashMap::new(), root: None, next_id: first_id.max(1) }
+        Document { nodes: IdSlab::new(), root: None, next_id: first_id.max(1) }
     }
 
     // ------------------------------------------------------------------
@@ -75,7 +81,7 @@ impl Document {
     // ------------------------------------------------------------------
 
     fn insert_node(&mut self, id: NodeId, data: NodeData) -> Result<NodeId> {
-        if self.nodes.contains_key(&id) {
+        if self.nodes.contains(id) {
             return Err(XdmError::DuplicateNodeId(id));
         }
         self.note_explicit_id(id);
@@ -148,7 +154,7 @@ impl Document {
 
     /// Sets the root of the document to an existing (detached) node.
     pub fn set_root(&mut self, id: NodeId) -> Result<()> {
-        if !self.nodes.contains_key(&id) {
+        if !self.nodes.contains(id) {
             return Err(XdmError::NodeNotFound(id));
         }
         self.root = Some(id);
@@ -161,16 +167,16 @@ impl Document {
 
     /// Returns `true` if the identifier denotes a node of this document arena.
     pub fn contains(&self, id: NodeId) -> bool {
-        self.nodes.contains_key(&id)
+        self.nodes.contains(id)
     }
 
     /// Returns the node data for `id`.
     pub fn node(&self, id: NodeId) -> Result<&NodeData> {
-        self.nodes.get(&id).ok_or(XdmError::NodeNotFound(id))
+        self.nodes.get(id).ok_or(XdmError::NodeNotFound(id))
     }
 
     fn node_mut(&mut self, id: NodeId) -> Result<&mut NodeData> {
-        self.nodes.get_mut(&id).ok_or(XdmError::NodeNotFound(id))
+        self.nodes.get_mut(id).ok_or(XdmError::NodeNotFound(id))
     }
 
     /// Returns τ(v), the kind of the node.
@@ -220,7 +226,7 @@ impl Document {
 
     /// Iterates over all node identifiers in the arena (arbitrary order).
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.keys().copied()
+        self.nodes.keys()
     }
 
     /// Returns the index of `child` within its parent's child list.
@@ -532,7 +538,7 @@ impl Document {
     pub fn remove_subtree(&mut self, id: NodeId) -> Result<()> {
         self.detach(id)?;
         for n in self.preorder(id) {
-            self.nodes.remove(&n);
+            self.nodes.remove(n);
         }
         if self.root == Some(id) {
             self.root = None;
@@ -599,7 +605,7 @@ impl Document {
         for &sid in &order {
             let sdata = src.node(sid)?;
             let nid = if preserve_ids {
-                if self.nodes.contains_key(&sid) {
+                if self.nodes.contains(sid) {
                     return Err(XdmError::DuplicateNodeId(sid));
                 }
                 self.note_explicit_id(sid);
@@ -655,8 +661,8 @@ impl Document {
         for (i, &old) in order.iter().enumerate() {
             mapping.insert(old, NodeId::new(start + i as u64));
         }
-        let mut new_nodes = HashMap::with_capacity(self.nodes.len());
-        for (old, mut data) in std::mem::take(&mut self.nodes) {
+        let mut new_nodes = IdSlab::with_capacity(self.nodes.len());
+        for (old, mut data) in std::mem::take(&mut self.nodes).into_entries() {
             let new_id = *mapping.get(&old).unwrap_or(&old);
             data.parent = data.parent.map(|p| *mapping.get(&p).unwrap_or(&p));
             for c in &mut data.children {

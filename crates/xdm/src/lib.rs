@@ -30,6 +30,7 @@ pub mod error;
 pub mod events;
 pub mod node;
 pub mod parser;
+pub mod slab;
 pub mod tree;
 pub mod writer;
 
@@ -37,6 +38,7 @@ pub use document::{Document, OrderRel};
 pub use error::XdmError;
 pub use events::{Event, EventReader};
 pub use node::{NodeData, NodeId, NodeKind};
+pub use slab::IdSlab;
 pub use tree::Tree;
 
 /// Convenience result alias used across the crate.

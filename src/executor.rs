@@ -77,12 +77,91 @@ impl std::fmt::Display for SubmissionId {
 }
 
 /// One producer PUL waiting in the session, with the policy its producer
-/// attached.
+/// attached. Wire submissions that hit (or populate) the reduction cache
+/// carry their reduction along, so [`Executor::resolve`] skips reducing them.
 #[derive(Debug, Clone)]
 struct Submission {
     id: SubmissionId,
     pul: Pul,
     policy: Policy,
+    pre_reduced: Option<Pul>,
+}
+
+/// LRU memo of wire-submission reductions, keyed by a hash of the exchange
+/// XML: producers frequently re-send identical PULs (retries, fan-out, idle
+/// heartbeats with the same delta), and reduction is by far the most
+/// expensive step of `resolve`. Capacity is small and lookups are a linear
+/// scan — the map holds a handful of entries, and each holds a reduced PUL.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    hash: u64,
+    /// The full wire bytes, compared on every hash hit: a 64-bit hash alone
+    /// would let a (possibly crafted) collision substitute another
+    /// submission's reduction.
+    wire: String,
+    reduced: Pul,
+}
+
+#[derive(Debug, Clone)]
+struct ReductionCache {
+    capacity: usize,
+    /// Most recently used last.
+    entries: Vec<CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ReductionCache {
+    fn new(capacity: usize) -> Self {
+        ReductionCache { capacity, entries: Vec::new(), hits: 0, misses: 0 }
+    }
+
+    fn hash(wire: &str) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        wire.hash(&mut h);
+        h.finish()
+    }
+
+    fn get(&mut self, key: u64, wire: &str) -> Option<Pul> {
+        match self.entries.iter().position(|e| e.hash == key && e.wire == wire) {
+            Some(i) => {
+                let entry = self.entries.remove(i);
+                let pul = entry.reduced.clone();
+                self.entries.push(entry);
+                self.hits += 1;
+                Some(pul)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn put(&mut self, key: u64, wire: &str, reduced: Pul) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.entries.retain(|e| !(e.hash == key && e.wire == wire));
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(CacheEntry { hash: key, wire: wire.to_string(), reduced });
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Hit/miss counters of the executor's reduction cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Wire submissions whose reduction was served from the cache.
+    pub hits: u64,
+    /// Wire submissions that had to be reduced.
+    pub misses: u64,
 }
 
 /// Summary of a successful commit.
@@ -116,7 +195,11 @@ pub struct Executor {
     submissions: Vec<Submission>,
     next_submission: u64,
     version: u64,
+    reduction_cache: ReductionCache,
 }
+
+/// Default capacity of the wire-submission reduction cache.
+const DEFAULT_REDUCTION_CACHE_CAPACITY: usize = 32;
 
 impl Executor {
     // ------------------------------------------------------------ construction
@@ -134,6 +217,7 @@ impl Executor {
             submissions: Vec::new(),
             next_submission: 0,
             version: 0,
+            reduction_cache: ReductionCache::new(DEFAULT_REDUCTION_CACHE_CAPACITY),
         }
     }
 
@@ -150,8 +234,16 @@ impl Executor {
     }
 
     /// Sets the reduction strategy applied to every submission and to the
-    /// reconciled result (builder style).
+    /// reconciled result (builder style). Memoized reductions — the wire
+    /// cache and the pre-reductions of pending wire submissions — were
+    /// computed under the previous strategy, so they are discarded.
     pub fn reduction(mut self, strategy: ReductionStrategy) -> Self {
+        if strategy != self.strategy {
+            self.reduction_cache.clear();
+            for submission in &mut self.submissions {
+                submission.pre_reduced = None;
+            }
+        }
         self.strategy = strategy;
         self
     }
@@ -160,6 +252,13 @@ impl Executor {
     /// style).
     pub fn apply_options(mut self, options: ApplyOptions) -> Self {
         self.apply_options = options;
+        self
+    }
+
+    /// Sets the capacity of the wire-submission reduction cache (builder
+    /// style). `0` disables caching.
+    pub fn reduction_cache_capacity(mut self, capacity: usize) -> Self {
+        self.reduction_cache = ReductionCache::new(capacity);
         self
     }
 
@@ -184,6 +283,11 @@ impl Executor {
     /// Number of submissions waiting to be resolved.
     pub fn pending(&self) -> usize {
         self.submissions.len()
+    }
+
+    /// Hit/miss counters of the wire-submission reduction cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats { hits: self.reduction_cache.hits, misses: self.reduction_cache.misses }
     }
 
     /// Serializes the authoritative document.
@@ -215,16 +319,36 @@ impl Executor {
 
     /// Submits a producer PUL with an explicit producer policy.
     pub fn submit_with_policy(&mut self, pul: Pul, policy: Policy) -> SubmissionId {
+        self.submit_inner(pul, policy, None)
+    }
+
+    fn submit_inner(&mut self, pul: Pul, policy: Policy, pre_reduced: Option<Pul>) -> SubmissionId {
         let id = SubmissionId(self.next_submission);
         self.next_submission += 1;
-        self.submissions.push(Submission { id, pul, policy });
+        self.submissions.push(Submission { id, pul, policy, pre_reduced });
         id
     }
 
     /// Submits a producer PUL received in the XML exchange format (§4).
+    ///
+    /// Wire submissions are memoized: the reduction of the PUL is computed
+    /// here (or served from an LRU cache keyed by a hash of the wire bytes),
+    /// so a producer re-sending an identical exchange document skips the
+    /// reduction step of [`resolve`](Executor::resolve) entirely. A PUL is
+    /// self-contained — it carries the labels its reduction reasons on — so
+    /// the memo stays valid across commits.
     pub fn submit_xml(&mut self, wire: &str) -> Result<SubmissionId> {
         let pul = pul::xmlio::pul_from_xml(wire)?;
-        Ok(self.submit(pul))
+        let key = ReductionCache::hash(wire);
+        let reduced = match self.reduction_cache.get(key, wire) {
+            Some(cached) => cached,
+            None => {
+                let reduced = self.strategy.reduce(&pul);
+                self.reduction_cache.put(key, wire, reduced.clone());
+                reduced
+            }
+        };
+        Ok(self.submit_inner(pul, self.default_policy, Some(reduced)))
     }
 
     /// Submits a *sequence* of PULs from one producer (e.g. the editing
@@ -259,8 +383,14 @@ impl Executor {
     /// without violating a policy.
     pub fn resolve(&self) -> Result<Resolution> {
         let submitted_ops = self.submissions.iter().map(|s| s.pul.len()).sum();
-        let reduced: Vec<Pul> =
-            self.submissions.iter().map(|s| self.strategy.reduce(&s.pul)).collect();
+        let reduced: Vec<Pul> = self
+            .submissions
+            .iter()
+            .map(|s| match &s.pre_reduced {
+                Some(r) => r.clone(),
+                None => self.strategy.reduce(&s.pul),
+            })
+            .collect();
         let policies: Vec<Policy> = self.submissions.iter().map(|s| s.policy).collect();
         let integration = integrate(&reduced);
         let reconciled = reconcile_integration(&reduced, &integration, &policies)?;
@@ -379,7 +509,10 @@ impl Executor {
         let updated = parser::parse_document_identified(&output)
             .map_err(|e| Error::StreamMismatch(e.to_string()))?;
         writer.write_all(output.as_bytes())?;
-        self.labeling = Labeling::assign(&updated);
+        // Incremental labeling (§4.1): only the nodes the stream inserted gain
+        // labels and only the removed ones lose theirs — the labels of
+        // untouched nodes stay bit-identical, no full re-assignment.
+        self.labeling.patch_from_document(&updated);
         self.doc = updated;
         self.finish_commit(&resolution);
         Ok(CommitReport {

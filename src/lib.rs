@@ -83,15 +83,15 @@ mod transaction;
 pub mod fixtures;
 
 pub use error::{Error, Result};
-pub use executor::{CommitReport, Executor, ReductionStrategy, SubmissionId};
+pub use executor::{CacheStats, CommitReport, Executor, ReductionStrategy, SubmissionId};
 pub use resolution::Resolution;
 pub use transaction::Transaction;
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::{
-        CommitReport, Error, Executor, ReductionStrategy, Resolution, Result, SubmissionId,
-        Transaction,
+        CacheStats, CommitReport, Error, Executor, ReductionStrategy, Resolution, Result,
+        SubmissionId, Transaction,
     };
     pub use pul::{ApplyOptions, OpClass, OpName, Pul, UpdateOp};
     pub use pul_core::{Conflict, ConflictType, Policy};
