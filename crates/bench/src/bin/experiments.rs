@@ -1,7 +1,7 @@
 //! Regenerates the evaluation of §4.3: one table per figure of the paper.
 //!
 //! ```text
-//! experiments [--fig 6a|6b|6c|6d|6e|session|all] [--full|--quick]
+//! experiments [--fig 6a|6b|6c|6d|6e|session|memory|all] [--full|--quick]
 //!             [--json [PATH]]
 //! ```
 //!
@@ -21,6 +21,14 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use pul_bench::*;
+
+/// The commit-memory suite measures peak bytes allocated per commit, so the
+/// binary registers the counting allocator. Counting is enabled only inside
+/// `alloc_counter::measure_peak` windows; the timing suites pay one relaxed
+/// atomic load per allocation, keeping their numbers comparable with
+/// system-allocator runs.
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
 
 /// Workload scale selected on the command line.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -322,6 +330,57 @@ fn session_overhead(mode: Mode) -> Vec<String> {
     rows
 }
 
+fn commit_memory(mode: Mode) -> Vec<String> {
+    println!("\n=== Commit memory — bytes allocated per commit vs document size ===");
+    println!(
+        "{:>12} {:>15} {:>16} {:>18} {:>16}",
+        "doc nodes", "commit peak B", "commit gross B", "snapshot clone B", "journal entries"
+    );
+    let sizes: &[usize] = match mode {
+        Mode::Full => &[10_000, 100_000, 1_000_000],
+        Mode::Default => &[1_000, 10_000, 100_000],
+        Mode::Quick => &[1_000, 10_000],
+    };
+    let mut rows = Vec::new();
+    let mut gross = Vec::new();
+    for &nodes in sizes {
+        let mut w = setup_commit_memory(nodes, 42);
+        let clone_stats = run_snapshot_clone_baseline(&w);
+        let (stats, journal_entries) = run_commit_memory(&mut w);
+        println!(
+            "{:>12} {:>15} {:>16} {:>18} {:>16}",
+            w.executor.document().node_count(),
+            stats.peak_bytes,
+            stats.gross_bytes,
+            clone_stats.gross_bytes,
+            journal_entries
+        );
+        rows.push(format!(
+            "{{\"doc_nodes\": {}, \"commit_peak_bytes\": {}, \"commit_gross_bytes\": {}, \
+             \"snapshot_clone_bytes\": {}, \"journal_entries\": {journal_entries}}}",
+            w.executor.document().node_count(),
+            stats.peak_bytes,
+            stats.gross_bytes,
+            clone_stats.gross_bytes
+        ));
+        gross.push(stats.gross_bytes);
+    }
+    // The acceptance gate of the journaled-commit refactor: for a fixed-size
+    // PUL, per-commit allocation must stay flat (within noise) while the
+    // document grows 10× per row — the whole-session clone it replaced grew
+    // linearly. The gate asserts on *gross* in-window allocation, which is
+    // monotone and therefore immune to net-balance artifacts (credit-banking
+    // or clamp under-counts). Enforced here so the CI bench smoke job fails
+    // on regression.
+    let (min, max) = (gross.iter().min().copied().unwrap(), gross.iter().max().copied().unwrap());
+    assert!(
+        max <= min * 4 + 64 * 1024,
+        "commit allocation grows with document size: min {min} B, max {max} B (gross)"
+    );
+    println!("flatness check passed: min {min} B, max {max} B gross across {}x sizes", sizes.len());
+    rows
+}
+
 fn main() {
     let args: Vec<String> = env::args().collect();
     let mode = if args.iter().any(|a| a == "--full") {
@@ -359,6 +418,7 @@ fn main() {
     run_suite!("fig6d", "6d", fig6d);
     run_suite!("fig6e", "6e", fig6e);
     run_suite!("session_overhead", "session", session_overhead);
+    run_suite!("commit_memory", "memory", commit_memory);
 
     if let Some(path) = json_path {
         let body = report.render(mode);

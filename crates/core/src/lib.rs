@@ -4,7 +4,7 @@
 //! contribution of *Cavalieri, Guerrini, Mesiti — Dynamic Reasoning on XML
 //! Updates (EDBT 2011)*, §3–§4:
 //!
-//! * **Reduction** ([`reduce`]): collapse similar operations and remove
+//! * **Reduction** ([`reduce_with`]): collapse similar operations and remove
 //!   operations whose effects are overridden (Fig. 2 rules, Def. 7), the
 //!   **deterministic reduction** (Def. 8) and the unique **canonical form**
 //!   (Def. 9, Prop. 1);
@@ -31,6 +31,4 @@ pub use conflict::{Conflict, ConflictType, OpRef};
 pub use integrate::{integrate, Integration};
 pub use policy::Policy;
 pub use reconcile::{reconcile, reconcile_integration, ReconcileError};
-#[allow(deprecated)]
-pub use reduce::{canonical_form, deterministic_reduce, reduce};
 pub use reduce::{reduce_naive, reduce_sweep_baseline, reduce_with, ReductionKind};

@@ -827,37 +827,9 @@ fn finish_reduction(mut work: Work<'_>, ctx: &Ctx<'_>, pul: &Pul, kind: Reductio
     out
 }
 
-/// PUL reduction `∆O` (Def. 7): stages 1–9.
-#[deprecated(
-    since = "0.1.0",
-    note = "superseded by the session API: use `xmlpul::ReductionStrategy::Standard` (or `reduce_with(pul, ReductionKind::Plain)`)"
-)]
-pub fn reduce(pul: &Pul) -> Pul {
-    reduce_with(pul, ReductionKind::Plain)
-}
-
-/// Deterministic PUL reduction `∆H` (Def. 8): stages 1–10.
-#[deprecated(
-    since = "0.1.0",
-    note = "superseded by the session API: use `xmlpul::ReductionStrategy::Deterministic` (or `reduce_with(pul, ReductionKind::Deterministic)`)"
-)]
-pub fn deterministic_reduce(pul: &Pul) -> Pul {
-    reduce_with(pul, ReductionKind::Deterministic)
-}
-
-/// Canonical form `∆H̄` (Def. 9): the unique deterministic reduction obtained
-/// by always applying a rule to the `<p`-least applicable pair.
-#[deprecated(
-    since = "0.1.0",
-    note = "superseded by the session API: use `xmlpul::ReductionStrategy::Canonical` (or `reduce_with(pul, ReductionKind::Canonical)`)"
-)]
-pub fn canonical_form(pul: &Pul) -> Pul {
-    reduce_with(pul, ReductionKind::Canonical)
-}
-
 /// Naive O(k²) reduction that examines *every* ordered pair at each step, used
 /// as a baseline in the ablation benchmark for Fig. 6.b. Produces a PUL with
-/// the same semantics as [`reduce`].
+/// the same semantics as [`reduce_with`] under [`ReductionKind::Plain`].
 pub fn reduce_naive(pul: &Pul) -> Pul {
     let ctx = Ctx { labels: pul.labels() };
     let mut work = Work::of(pul);

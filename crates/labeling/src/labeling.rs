@@ -1,9 +1,28 @@
 //! Label assignment over documents and incremental labeling of inserted nodes.
 
-use xdm::{Document, IdSlab, NodeId, NodeKind};
+use xdm::{Document, IdSlab, JournalMark, NodeId, NodeKind};
 
 use crate::label::NodeLabel;
 use crate::orderkey::OrderKey;
+
+/// One inverse entry of the labeling journal (mirrors the document journal of
+/// [`xdm::journal`]: while a scope is active every label mutation records how
+/// to undo itself, so a rollback is O(change)).
+#[derive(Debug, Clone)]
+enum LabelEntry {
+    /// Remove a label the mutation inserted fresh.
+    Drop(NodeId),
+    /// Re-insert a label the mutation overwrote or removed.
+    Restore(Box<NodeLabel>),
+    /// Restore the whole label store (inverse of a wholesale replacement; the
+    /// previous store is moved, not cloned).
+    RestoreAll(IdSlab<NodeLabel>),
+}
+
+#[derive(Debug, Clone, Default)]
+struct LabelJournal {
+    entries: Vec<LabelEntry>,
+}
 
 /// The set of labels of a document's nodes.
 ///
@@ -17,6 +36,10 @@ use crate::orderkey::OrderKey;
 #[derive(Debug, Clone, Default)]
 pub struct Labeling {
     map: IdSlab<NodeLabel>,
+    /// Inverse-entry log, present while a journal scope is active. Kept in
+    /// lockstep with the document journal by the executor, so that a failed
+    /// commit or a transaction rollback rewinds labels and document together.
+    journal: Option<LabelJournal>,
 }
 
 /// Summary of an incremental [`Labeling::patch`]: how many nodes gained a
@@ -32,7 +55,60 @@ pub struct PatchReport {
 impl Labeling {
     /// Creates an empty labeling.
     pub fn new() -> Self {
-        Labeling { map: IdSlab::new() }
+        Labeling { map: IdSlab::new(), journal: None }
+    }
+
+    // ------------------------------------------------------------------
+    // journal scopes (mirroring `xdm::Document`)
+    // ------------------------------------------------------------------
+
+    /// Whether a journal scope is currently active.
+    pub fn journal_is_active(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Opens (or enters) a journal scope: activates inverse recording if it is
+    /// not already active and returns the current position.
+    pub fn journal_mark(&mut self) -> JournalMark {
+        let journal = self.journal.get_or_insert_with(LabelJournal::default);
+        JournalMark::new(journal.entries.len())
+    }
+
+    /// Number of inverse entries currently recorded (0 when inactive).
+    pub fn journal_len(&self) -> usize {
+        self.journal.as_ref().map(|j| j.entries.len()).unwrap_or(0)
+    }
+
+    /// Undoes every label mutation recorded after `mark` (reverse order). The
+    /// journal stays active; a no-op when no journal is active.
+    pub fn journal_rewind(&mut self, mark: JournalMark) {
+        let Some(mut journal) = self.journal.take() else { return };
+        while journal.entries.len() > mark.position() {
+            match journal.entries.pop().expect("non-empty journal") {
+                LabelEntry::Drop(id) => {
+                    self.map.remove(id);
+                }
+                LabelEntry::Restore(label) => {
+                    self.map.insert(label.id, *label);
+                }
+                LabelEntry::RestoreAll(map) => {
+                    self.map = map;
+                }
+            }
+        }
+        self.journal = Some(journal);
+    }
+
+    /// Closes the journal scope, dropping all recorded entries.
+    pub fn journal_discard(&mut self) {
+        self.journal = None;
+    }
+
+    #[inline]
+    fn record(&mut self, entry: LabelEntry) {
+        if let Some(journal) = &mut self.journal {
+            journal.entries.push(entry);
+        }
     }
 
     /// Computes the labeling of a whole document.
@@ -77,7 +153,7 @@ impl Labeling {
                 is_first_child: false,
                 is_last_child: false,
             };
-            self.map.insert(a, label);
+            self.insert(label);
         }
         for &c in &data.children {
             self.assign_subtree(doc, c, level + 1, take);
@@ -110,7 +186,7 @@ impl Labeling {
             is_first_child: is_first,
             is_last_child: is_last,
         };
-        self.map.insert(id, label);
+        self.insert(label);
     }
 
     /// Returns the label of a node, if present.
@@ -126,13 +202,21 @@ impl Labeling {
 
     /// Inserts or replaces the label of a node.
     pub fn insert(&mut self, label: NodeLabel) {
-        self.map.insert(label.id, label);
+        let id = label.id;
+        match self.map.insert(id, label) {
+            Some(old) => self.record(LabelEntry::Restore(Box::new(old))),
+            None => self.record(LabelEntry::Drop(id)),
+        }
     }
 
     /// Removes the label of a node (the identifier is never reused, so neither
     /// is the label).
     pub fn remove(&mut self, id: NodeId) -> Option<NodeLabel> {
-        self.map.remove(id)
+        let old = self.map.remove(id)?;
+        if self.journal.is_some() {
+            self.record(LabelEntry::Restore(Box::new(old.clone())));
+        }
+        Some(old)
     }
 
     /// Number of labeled nodes.
@@ -287,17 +371,32 @@ impl Labeling {
     }
 
     /// Recomputes parent/left-sibling/first/last metadata of the children of
-    /// `parent` (interval keys are left untouched).
+    /// `parent` (interval keys are left untouched). Labels whose metadata is
+    /// already current are not touched (and record nothing in the journal).
     pub fn refresh_sibling_flags(&mut self, doc: &Document, parent: NodeId) {
         let Ok(children) = doc.children(parent) else { return };
         let children: Vec<NodeId> = children.to_vec();
         for (i, &c) in children.iter().enumerate() {
-            if let Some(label) = self.map.get_mut(c) {
-                label.parent = Some(parent);
-                label.left_sibling = if i > 0 { Some(children[i - 1]) } else { None };
-                label.is_first_child = i == 0;
-                label.is_last_child = i + 1 == children.len();
+            let left_sibling = if i > 0 { Some(children[i - 1]) } else { None };
+            let is_first = i == 0;
+            let is_last = i + 1 == children.len();
+            let Some(label) = self.map.get(c) else { continue };
+            if label.parent == Some(parent)
+                && label.left_sibling == left_sibling
+                && label.is_first_child == is_first
+                && label.is_last_child == is_last
+            {
+                continue;
             }
+            if self.journal.is_some() {
+                let old = Box::new(label.clone());
+                self.record(LabelEntry::Restore(old));
+            }
+            let label = self.map.get_mut(c).expect("label present");
+            label.parent = Some(parent);
+            label.left_sibling = left_sibling;
+            label.is_first_child = is_first;
+            label.is_last_child = is_last;
         }
     }
 
@@ -329,7 +428,7 @@ impl Labeling {
         //    a per-removal membership scan would be quadratic in the change).
         let mut stale_parents: Vec<NodeId> = Vec::new();
         for &id in removed_nodes {
-            if let Some(old) = self.map.remove(id) {
+            if let Some(old) = self.remove(id) {
                 report.removed += 1;
                 if let Some(p) = old.parent {
                     if doc.contains(p) {
@@ -370,13 +469,19 @@ impl Labeling {
     /// is unlabeled (a wholly new document).
     pub fn patch_from_document(&mut self, doc: &Document) -> PatchReport {
         let Some(root) = doc.root() else {
-            let removed = self.map.len();
-            self.map = IdSlab::new();
+            let old = std::mem::take(&mut self.map);
+            let removed = old.len();
+            self.record(LabelEntry::RestoreAll(old));
             return PatchReport { labeled: 0, removed };
         };
         if self.map.get(root).is_none() {
-            let removed = self.map.len();
-            *self = Labeling::assign(doc);
+            // Wholly new document: fall back to a full assignment. The old
+            // store is moved into a single journal entry (no clone), so a
+            // rollback still restores it.
+            let fresh = Labeling::assign(doc);
+            let old = std::mem::replace(&mut self.map, fresh.map);
+            let removed = old.len();
+            self.record(LabelEntry::RestoreAll(old));
             return PatchReport { labeled: self.map.len(), removed };
         }
         // Preorder walk that stops at unlabeled nodes: those are the roots of
@@ -400,6 +505,109 @@ impl Labeling {
         }
         let removed_nodes: Vec<NodeId> = self.map.keys().filter(|&id| !doc.contains(id)).collect();
         self.patch(doc, &inserted_roots, &removed_nodes)
+    }
+
+    // ------------------------------------------------------------------
+    // invariants and oracles
+    // ------------------------------------------------------------------
+
+    /// Exact equality of two labelings: the same `(id, label)` entries with
+    /// bit-identical interval keys and metadata. The differential tests use
+    /// this to check a journaled rollback against the snapshot oracle.
+    pub fn deep_eq(&self, other: &Labeling) -> bool {
+        self.map.len() == other.map.len()
+            && self.map.iter().all(|(id, label)| other.map.get(id) == Some(label))
+    }
+
+    /// Debug invariant walker: panics (with a description) when the labeling
+    /// disagrees with the document — a node without a label or a stale label,
+    /// metadata (kind, parent, level, sibling flags) out of sync, or interval
+    /// keys that violate the containment ordering (children nested inside the
+    /// parent interval, siblings in increasing key order, attribute keys
+    /// between the owner's start and its first child). O(document · depth);
+    /// intended for tests and post-commit assertions.
+    pub fn assert_consistent(&self, doc: &Document) {
+        let attached = doc.preorder_from_root();
+        assert_eq!(
+            self.map.len(),
+            attached.len(),
+            "label count disagrees with the number of attached nodes (stale or missing labels)"
+        );
+        for &id in &attached {
+            let label = self.require(id);
+            assert_eq!(label.id, id, "label of {id} carries the wrong identifier");
+            assert!(label.start < label.end, "label of {id}: start key not before end key");
+            assert_eq!(Ok(label.kind), doc.kind(id), "label of {id}: kind disagrees");
+            assert_eq!(Ok(label.parent), doc.parent(id), "label of {id}: parent disagrees");
+            assert_eq!(
+                Some(label.level as usize),
+                doc.depth(id).expect("attached node"),
+                "label of {id}: level disagrees with depth"
+            );
+            if label.kind == NodeKind::Attribute {
+                assert!(label.left_sibling.is_none(), "attribute {id} has a left sibling");
+                assert!(
+                    !label.is_first_child && !label.is_last_child,
+                    "attribute {id} carries child flags"
+                );
+            } else {
+                assert_eq!(
+                    Ok(label.left_sibling),
+                    doc.left_sibling(id),
+                    "label of {id}: left sibling disagrees"
+                );
+                if let Some(p) = label.parent {
+                    let siblings = doc.children(p).expect("parent exists");
+                    assert_eq!(
+                        label.is_first_child,
+                        siblings.first() == Some(&id),
+                        "label of {id}: first-child flag disagrees"
+                    );
+                    assert_eq!(
+                        label.is_last_child,
+                        siblings.last() == Some(&id),
+                        "label of {id}: last-child flag disagrees"
+                    );
+                }
+            }
+            // containment: the node's interval nests strictly inside its parent's
+            if let Some(p) = label.parent {
+                let pl = self.require(p);
+                assert!(
+                    pl.start < label.start && label.end < pl.end,
+                    "interval of {id} not nested inside its parent {p}"
+                );
+            }
+        }
+        // label-key ordering between siblings and around attributes
+        for &id in &attached {
+            let Ok(children) = doc.children(id) else { continue };
+            for pair in children.windows(2) {
+                let (a, b) = (self.require(pair[0]), self.require(pair[1]));
+                assert!(
+                    a.end < b.start,
+                    "sibling keys out of order under {id}: {} !< {}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+            let Ok(attrs) = doc.attributes(id) else { continue };
+            for pair in attrs.windows(2) {
+                let (a, b) = (self.require(pair[0]), self.require(pair[1]));
+                assert!(
+                    a.end < b.start,
+                    "attribute keys out of order under {id}: {} !< {}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+            if let (Some(&last_attr), Some(&first_child)) = (attrs.last(), children.first()) {
+                assert!(
+                    self.require(last_attr).end < self.require(first_child).start,
+                    "attribute keys of {id} overlap its first child"
+                );
+            }
+        }
     }
 }
 
@@ -641,6 +849,65 @@ mod tests {
         }
         // a second patch finds nothing to do
         assert_eq!(labels.patch_from_document(&doc), PatchReport::default());
+    }
+
+    #[test]
+    fn journaled_patch_rewinds_bit_identical() {
+        let (mut doc, mut labels) = doc_and_labels(
+            "<issue><paper>one</paper><paper>two</paper><paper>three</paper></issue>",
+        );
+        let oracle = labels.clone();
+        let mark = labels.journal_mark();
+
+        let papers = doc.find_elements("paper");
+        let removed: Vec<NodeId> = doc.preorder(papers[1]);
+        doc.remove_subtree(papers[1]).unwrap();
+        let new_paper = doc.new_element("paper");
+        doc.insert_after(papers[0], new_paper).unwrap();
+        labels.patch(&doc, &[new_paper], &removed);
+        check_against_document(&doc, &labels);
+        assert!(labels.journal_len() > 0);
+        assert!(!labels.deep_eq(&oracle));
+
+        labels.journal_rewind(mark);
+        labels.journal_discard();
+        assert!(labels.deep_eq(&oracle), "rewound labeling must be bit-identical to the snapshot");
+    }
+
+    #[test]
+    fn journaled_full_reassignment_rewinds() {
+        let (doc, mut labels) = doc_and_labels("<a><b/><c/></a>");
+        let oracle = labels.clone();
+        let mark = labels.journal_mark();
+        // a wholly different document forces the full-assign fallback
+        let other = parse_document("<x><y/></x>").unwrap();
+        labels.patch_from_document(&other);
+        check_against_document(&other, &labels);
+        labels.journal_rewind(mark);
+        labels.journal_discard();
+        assert!(labels.deep_eq(&oracle));
+        check_against_document(&doc, &labels);
+    }
+
+    #[test]
+    fn assert_consistent_accepts_fresh_and_patched_labelings() {
+        let (mut doc, mut labels) = doc_and_labels("<list a=\"1\" b=\"2\"><x/><y>t</y></list>");
+        labels.assert_consistent(&doc);
+        let list = doc.find_element("list").unwrap();
+        let z = doc.new_element("z");
+        doc.append_child(list, z).unwrap();
+        labels.patch(&doc, &[z], &[]);
+        labels.assert_consistent(&doc);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale or missing labels")]
+    fn assert_consistent_detects_missing_labels() {
+        let (mut doc, labels) = doc_and_labels("<a><b/></a>");
+        let a = doc.find_element("a").unwrap();
+        let c = doc.new_element("c");
+        doc.append_child(a, c).unwrap();
+        labels.assert_consistent(&doc); // c was never labeled
     }
 
     #[test]

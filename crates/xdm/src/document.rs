@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 
 use crate::error::XdmError;
+use crate::journal::{ArenaState, DocEntry, Journal, JournalMark};
 use crate::node::{NodeData, NodeId, NodeKind};
 use crate::slab::IdSlab;
 use crate::Result;
@@ -41,17 +42,131 @@ pub struct Document {
     nodes: IdSlab<NodeData>,
     root: Option<NodeId>,
     next_id: u64,
+    /// Inverse-entry log, present while a journal scope is active (see
+    /// [`crate::journal`]). Every mutator records the inverse of its effect
+    /// here so that `journal_rewind` can undo a partial application in
+    /// O(change) — the replacement for whole-document snapshot clones.
+    journal: Option<Journal>,
 }
 
 impl Document {
     /// Creates an empty document with no nodes.
     pub fn new() -> Self {
-        Document { nodes: IdSlab::new(), root: None, next_id: 1 }
+        Document { nodes: IdSlab::new(), root: None, next_id: 1, journal: None }
     }
 
     /// Creates an empty document whose fresh identifiers start at `first_id`.
     pub fn with_first_id(first_id: u64) -> Self {
-        Document { nodes: IdSlab::new(), root: None, next_id: first_id.max(1) }
+        Document { nodes: IdSlab::new(), root: None, next_id: first_id.max(1), journal: None }
+    }
+
+    // ------------------------------------------------------------------
+    // journal scopes
+    // ------------------------------------------------------------------
+
+    /// Whether a journal scope is currently active.
+    pub fn journal_is_active(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Opens (or enters) a journal scope: activates inverse recording if it is
+    /// not already active and returns the current position. Passing the mark
+    /// to [`journal_rewind`](Document::journal_rewind) undoes everything
+    /// recorded after this call; nested scopes simply take later marks.
+    pub fn journal_mark(&mut self) -> JournalMark {
+        let journal = self.journal.get_or_insert_with(Journal::default);
+        JournalMark(journal.entries.len())
+    }
+
+    /// Number of inverse entries currently recorded (0 when inactive).
+    pub fn journal_len(&self) -> usize {
+        self.journal.as_ref().map(|j| j.entries.len()).unwrap_or(0)
+    }
+
+    /// Undoes every mutation recorded after `mark` by replaying the inverse
+    /// entries in reverse order. The journal stays active (the entries before
+    /// the mark are untouched); a no-op when no journal is active.
+    pub fn journal_rewind(&mut self, mark: JournalMark) {
+        let Some(mut journal) = self.journal.take() else { return };
+        while journal.entries.len() > mark.0 {
+            let entry = journal.entries.pop().expect("non-empty journal");
+            self.undo(entry);
+        }
+        self.journal = Some(journal);
+    }
+
+    /// Closes the journal scope: recording stops and all inverse entries are
+    /// dropped. Called by whoever *activated* the journal once the outcome is
+    /// settled (changes kept, or already rewound).
+    pub fn journal_discard(&mut self) {
+        self.journal = None;
+    }
+
+    #[inline]
+    fn record(&mut self, entry: DocEntry) {
+        if let Some(journal) = &mut self.journal {
+            journal.entries.push(entry);
+        }
+    }
+
+    fn undo(&mut self, entry: DocEntry) {
+        match entry {
+            DocEntry::Forget(id) => {
+                self.nodes.remove(id);
+            }
+            DocEntry::Restore(id, data) => {
+                self.nodes.insert(id, *data);
+            }
+            DocEntry::ChildRemove { parent, index } => {
+                let data = self.nodes.get_mut(parent).expect("journal: parent exists");
+                data.children.remove(index);
+            }
+            DocEntry::ChildInsert { parent, index, child } => {
+                let data = self.nodes.get_mut(parent).expect("journal: parent exists");
+                data.children.insert(index, child);
+            }
+            DocEntry::AttrRemove { element, index } => {
+                let data = self.nodes.get_mut(element).expect("journal: element exists");
+                data.attributes.remove(index);
+            }
+            DocEntry::AttrInsert { element, index, attr } => {
+                let data = self.nodes.get_mut(element).expect("journal: element exists");
+                data.attributes.insert(index, attr);
+            }
+            DocEntry::Parent { node, old } => {
+                self.nodes.get_mut(node).expect("journal: node exists").parent = old;
+            }
+            DocEntry::Name { node, old } => {
+                self.nodes.get_mut(node).expect("journal: node exists").name = old;
+            }
+            DocEntry::Value { node, old } => {
+                self.nodes.get_mut(node).expect("journal: node exists").value = old;
+            }
+            DocEntry::Root(old) => self.root = old,
+            DocEntry::NextId(old) => self.next_id = old,
+            DocEntry::RestoreAll(state) => {
+                self.nodes = state.nodes;
+                self.root = state.root;
+                self.next_id = state.next_id;
+            }
+        }
+    }
+
+    /// Replaces the whole document (arena, root, identifier counter) with
+    /// `new`, keeping the journal scope: inside a scope the previous state is
+    /// *moved* into a single journal entry — O(1), no clone — so a rewind
+    /// restores it. Used by the streaming commit, which materialises the
+    /// updated document by re-parsing its own output stream.
+    pub fn replace_with(&mut self, new: Document) {
+        let old = ArenaState {
+            nodes: std::mem::take(&mut self.nodes),
+            root: self.root.take(),
+            next_id: self.next_id,
+        };
+        self.nodes = new.nodes;
+        self.root = new.root;
+        self.next_id = new.next_id;
+        self.record(DocEntry::RestoreAll(Box::new(old)));
     }
 
     // ------------------------------------------------------------------
@@ -66,12 +181,14 @@ impl Document {
     /// Reserves and returns a fresh identifier.
     pub fn fresh_id(&mut self) -> NodeId {
         let id = NodeId::new(self.next_id);
+        self.record(DocEntry::NextId(self.next_id));
         self.next_id += 1;
         id
     }
 
     fn note_explicit_id(&mut self, id: NodeId) {
         if id.as_u64() >= self.next_id {
+            self.record(DocEntry::NextId(self.next_id));
             self.next_id = id.as_u64() + 1;
         }
     }
@@ -80,33 +197,52 @@ impl Document {
     // allocation
     // ------------------------------------------------------------------
 
+    /// Stores a node in the arena, recording the inverse. Every arena insert
+    /// goes through here so that journal scopes see it.
+    fn arena_insert(&mut self, id: NodeId, data: NodeData) {
+        self.nodes.insert(id, data);
+        self.record(DocEntry::Forget(id));
+    }
+
+    /// Removes a node from the arena, recording the inverse (the node data is
+    /// moved into the journal, not cloned).
+    fn arena_remove(&mut self, id: NodeId) {
+        if self.journal.is_some() {
+            if let Some(data) = self.nodes.remove(id) {
+                self.record(DocEntry::Restore(id, Box::new(data)));
+            }
+        } else {
+            self.nodes.remove(id);
+        }
+    }
+
     fn insert_node(&mut self, id: NodeId, data: NodeData) -> Result<NodeId> {
         if self.nodes.contains(id) {
             return Err(XdmError::DuplicateNodeId(id));
         }
         self.note_explicit_id(id);
-        self.nodes.insert(id, data);
+        self.arena_insert(id, data);
         Ok(id)
     }
 
     /// Allocates a detached element node with a fresh identifier.
     pub fn new_element(&mut self, name: impl Into<String>) -> NodeId {
         let id = self.fresh_id();
-        self.nodes.insert(id, NodeData::element(name));
+        self.arena_insert(id, NodeData::element(name));
         id
     }
 
     /// Allocates a detached attribute node with a fresh identifier.
     pub fn new_attribute(&mut self, name: impl Into<String>, value: impl Into<String>) -> NodeId {
         let id = self.fresh_id();
-        self.nodes.insert(id, NodeData::attribute(name, value));
+        self.arena_insert(id, NodeData::attribute(name, value));
         id
     }
 
     /// Allocates a detached text node with a fresh identifier.
     pub fn new_text(&mut self, value: impl Into<String>) -> NodeId {
         let id = self.fresh_id();
-        self.nodes.insert(id, NodeData::text(value));
+        self.arena_insert(id, NodeData::text(value));
         id
     }
 
@@ -157,6 +293,7 @@ impl Document {
         if !self.nodes.contains(id) {
             return Err(XdmError::NodeNotFound(id));
         }
+        self.record(DocEntry::Root(self.root));
         self.root = Some(id);
         Ok(())
     }
@@ -464,8 +601,12 @@ impl Document {
     /// Appends `child` as the last child of `parent`.
     pub fn append_child(&mut self, parent: NodeId, child: NodeId) -> Result<()> {
         self.check_child_insertable(parent, child)?;
-        self.node_mut(parent)?.children.push(child);
+        let data = self.node_mut(parent)?;
+        let index = data.children.len();
+        data.children.push(child);
+        self.record(DocEntry::ChildRemove { parent, index });
         self.node_mut(child)?.parent = Some(parent);
+        self.record(DocEntry::Parent { node: child, old: None });
         Ok(())
     }
 
@@ -480,7 +621,9 @@ impl Document {
         let data = self.node_mut(parent)?;
         let index = index.min(data.children.len());
         data.children.insert(index, child);
+        self.record(DocEntry::ChildRemove { parent, index });
         self.node_mut(child)?.parent = Some(parent);
+        self.record(DocEntry::Parent { node: child, old: None });
         Ok(())
     }
 
@@ -513,8 +656,12 @@ impl Document {
         if self.node(attr)?.parent.is_some() {
             return Err(XdmError::InvalidStructure(format!("attribute {attr} already attached")));
         }
-        self.node_mut(element)?.attributes.push(attr);
+        let data = self.node_mut(element)?;
+        let index = data.attributes.len();
+        data.attributes.push(attr);
+        self.record(DocEntry::AttrRemove { element, index });
         self.node_mut(attr)?.parent = Some(element);
+        self.record(DocEntry::Parent { node: attr, old: None });
         Ok(())
     }
 
@@ -522,14 +669,26 @@ impl Document {
     pub fn detach(&mut self, id: NodeId) -> Result<()> {
         let Some(p) = self.parent(id)? else {
             if self.root == Some(id) {
+                self.record(DocEntry::Root(Some(id)));
                 self.root = None;
             }
             return Ok(());
         };
         let parent = self.node_mut(p)?;
-        parent.children.retain(|&c| c != id);
-        parent.attributes.retain(|&c| c != id);
+        let entry = if let Some(i) = parent.children.iter().position(|&c| c == id) {
+            parent.children.remove(i);
+            Some(DocEntry::ChildInsert { parent: p, index: i, child: id })
+        } else if let Some(i) = parent.attributes.iter().position(|&c| c == id) {
+            parent.attributes.remove(i);
+            Some(DocEntry::AttrInsert { element: p, index: i, attr: id })
+        } else {
+            None
+        };
+        if let Some(entry) = entry {
+            self.record(entry);
+        }
         self.node_mut(id)?.parent = None;
+        self.record(DocEntry::Parent { node: id, old: Some(p) });
         Ok(())
     }
 
@@ -538,9 +697,10 @@ impl Document {
     pub fn remove_subtree(&mut self, id: NodeId) -> Result<()> {
         self.detach(id)?;
         for n in self.preorder(id) {
-            self.nodes.remove(n);
+            self.arena_remove(n);
         }
         if self.root == Some(id) {
+            self.record(DocEntry::Root(Some(id)));
             self.root = None;
         }
         Ok(())
@@ -551,7 +711,8 @@ impl Document {
         let data = self.node_mut(id)?;
         match data.kind {
             NodeKind::Element | NodeKind::Attribute => {
-                data.name = Some(name.into());
+                let old = data.name.replace(name.into());
+                self.record(DocEntry::Name { node: id, old });
                 Ok(())
             }
             NodeKind::Text => {
@@ -565,7 +726,8 @@ impl Document {
         let data = self.node_mut(id)?;
         match data.kind {
             NodeKind::Text | NodeKind::Attribute => {
-                data.value = Some(value.into());
+                let old = data.value.replace(value.into());
+                self.record(DocEntry::Value { node: id, old });
                 Ok(())
             }
             NodeKind::Element => {
@@ -617,7 +779,7 @@ impl Document {
             data.parent = None;
             data.children.clear();
             data.attributes.clear();
-            self.nodes.insert(nid, data);
+            self.arena_insert(nid, data);
             mapping.insert(sid, nid);
         }
         // Then wire structure.
@@ -656,6 +818,10 @@ impl Document {
     /// all PUL producers can deterministically identify the nodes of the
     /// authoritative document. Returns the mapping old → new.
     pub fn assign_preorder_ids(&mut self, start: u64) -> HashMap<NodeId, NodeId> {
+        assert!(
+            self.journal.is_none(),
+            "assign_preorder_ids rewrites every identifier and cannot run inside a journal scope"
+        );
         let order = self.preorder_from_root();
         let mut mapping = HashMap::with_capacity(order.len());
         for (i, &old) in order.iter().enumerate() {
@@ -705,6 +871,96 @@ impl Document {
             .iter()
             .zip(db.children.iter())
             .all(|(&ca, &cb)| self.subtree_equal(ca, other, cb))
+    }
+
+    // ------------------------------------------------------------------
+    // invariants and oracles
+    // ------------------------------------------------------------------
+
+    /// Exact equality of two documents: same root, same fresh-identifier
+    /// counter, and the same `(id, data)` arena entries. This is the
+    /// "bit-identical" comparison the differential tests use to verify that a
+    /// journaled rollback restores exactly the state a snapshot clone would
+    /// have restored.
+    pub fn deep_eq(&self, other: &Document) -> bool {
+        self.root == other.root
+            && self.next_id == other.next_id
+            && self.nodes.len() == other.nodes.len()
+            && self.nodes.iter().all(|(id, data)| other.nodes.get(id) == Some(data))
+    }
+
+    /// Debug invariant walker: panics (with a description) on any violation of
+    /// the arena's structural invariants — parent/child symmetry, attribute
+    /// kinds, per-kind field shapes, identifier-counter monotonicity, slab
+    /// dense/spill agreement, and (when a root is set) full attachment of the
+    /// arena. O(document); intended for tests and post-commit assertions, not
+    /// for hot paths.
+    pub fn assert_consistent(&self) {
+        self.nodes.assert_consistent();
+        if let Some(root) = self.root {
+            let rd = self.nodes.get(root).unwrap_or_else(|| panic!("root {root} not in arena"));
+            assert!(rd.parent.is_none(), "root {root} has a parent");
+        }
+        let mut max_id = 0u64;
+        for (id, data) in self.nodes.iter() {
+            max_id = max_id.max(id.as_u64());
+            for &c in &data.children {
+                let cd =
+                    self.nodes.get(c).unwrap_or_else(|| panic!("child {c} of {id} not in arena"));
+                assert_eq!(cd.parent, Some(id), "child {c} of {id}: parent pointer disagrees");
+                assert_ne!(cd.kind, NodeKind::Attribute, "attribute {c} listed as child of {id}");
+            }
+            for &a in &data.attributes {
+                let ad = self
+                    .nodes
+                    .get(a)
+                    .unwrap_or_else(|| panic!("attribute {a} of {id} not in arena"));
+                assert_eq!(ad.parent, Some(id), "attribute {a} of {id}: parent pointer disagrees");
+                assert_eq!(ad.kind, NodeKind::Attribute, "non-attribute {a} in attribute list");
+            }
+            if let Some(p) = data.parent {
+                let pd =
+                    self.nodes.get(p).unwrap_or_else(|| panic!("parent {p} of {id} not in arena"));
+                assert!(
+                    pd.children.contains(&id) || pd.attributes.contains(&id),
+                    "{id} points at parent {p} but {p} does not list it"
+                );
+            }
+            match data.kind {
+                NodeKind::Element => {
+                    assert!(data.name.is_some(), "element {id} has no name");
+                }
+                NodeKind::Attribute => {
+                    assert!(data.name.is_some(), "attribute {id} has no name");
+                    assert!(data.value.is_some(), "attribute {id} has no value");
+                    assert!(
+                        data.children.is_empty() && data.attributes.is_empty(),
+                        "attribute {id} has children"
+                    );
+                }
+                NodeKind::Text => {
+                    assert!(data.value.is_some(), "text node {id} has no value");
+                    assert!(
+                        data.children.is_empty() && data.attributes.is_empty(),
+                        "text node {id} has children"
+                    );
+                }
+            }
+        }
+        assert!(
+            self.nodes.is_empty() || self.next_id > max_id,
+            "next_id {} not past the highest stored id {max_id}",
+            self.next_id
+        );
+        if let Some(root) = self.root {
+            // Every arena node is reachable from the root: a committed
+            // document holds no detached leftovers.
+            assert_eq!(
+                self.preorder(root).len(),
+                self.nodes.len(),
+                "arena contains nodes not reachable from the root"
+            );
+        }
     }
 }
 
@@ -908,6 +1164,117 @@ mod tests {
         let root = d.root().unwrap();
         assert_eq!(d.name(root).unwrap(), Some("issue"));
         assert_eq!(d.children(root).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn journal_rewind_restores_every_mutation_kind() {
+        let (mut d, issue, a1, _t, txt, a2) = sample();
+        let before = d.clone();
+        let mark = d.journal_mark();
+        // One of each mutation family: alloc, child insert (all positions),
+        // attribute attach, rename, set_value, subtree removal, detach.
+        let x = d.new_element("x");
+        d.insert_before(a2, x).unwrap();
+        let y = d.new_element("y");
+        d.insert_after(x, y).unwrap();
+        let z = d.new_element("z");
+        d.append_child(issue, z).unwrap();
+        let at = d.new_attribute("k", "v");
+        d.add_attribute(x, at).unwrap();
+        d.rename(issue, "renamed").unwrap();
+        d.set_value(txt, "changed").unwrap();
+        d.remove_subtree(a1).unwrap();
+        d.detach(a2).unwrap();
+        assert!(!d.deep_eq(&before));
+        assert!(d.journal_len() > 0);
+        d.journal_rewind(mark);
+        d.journal_discard();
+        assert!(d.deep_eq(&before), "rewind must restore the exact pre-mark state");
+        d.assert_consistent();
+    }
+
+    #[test]
+    fn journal_scopes_nest() {
+        let (mut d, issue, ..) = sample();
+        let outer = d.journal_mark();
+        d.rename(issue, "outer").unwrap();
+        let after_outer = d.clone();
+        let inner = d.journal_mark();
+        let x = d.new_element("x");
+        d.append_child(issue, x).unwrap();
+        d.journal_rewind(inner);
+        assert!(d.deep_eq(&after_outer), "inner rewind keeps the outer change");
+        assert!(d.journal_is_active(), "rewind leaves the journal active");
+        d.journal_rewind(outer);
+        d.journal_discard();
+        assert_eq!(d.name(issue).unwrap(), Some("issue"));
+        assert!(!d.journal_is_active());
+    }
+
+    #[test]
+    fn journal_discard_keeps_changes() {
+        let (mut d, issue, ..) = sample();
+        let _mark = d.journal_mark();
+        d.rename(issue, "kept").unwrap();
+        d.journal_discard();
+        assert_eq!(d.name(issue).unwrap(), Some("kept"));
+        assert_eq!(d.journal_len(), 0);
+    }
+
+    #[test]
+    fn replace_with_is_journaled() {
+        let (mut d, ..) = sample();
+        let before = d.clone();
+        let mark = d.journal_mark();
+        let mut new_doc = Document::new();
+        let r = new_doc.new_element("fresh");
+        new_doc.set_root(r).unwrap();
+        d.replace_with(new_doc);
+        assert_eq!(d.name(d.root().unwrap()).unwrap(), Some("fresh"));
+        d.journal_rewind(mark);
+        d.journal_discard();
+        assert!(d.deep_eq(&before));
+    }
+
+    #[test]
+    fn graft_failure_rolls_back_partial_allocations() {
+        let (src, _issue, a1, ..) = sample();
+        let mut dst = Document::with_first_id(1000);
+        let (copied, _) = dst.graft(&src, a1, true).unwrap();
+        dst.set_root(copied).unwrap();
+        let before = dst.clone();
+        let mark = dst.journal_mark();
+        // Preserving the same ids again clashes partway through allocation.
+        assert!(dst.graft(&src, a1, true).is_err());
+        dst.journal_rewind(mark);
+        dst.journal_discard();
+        assert!(dst.deep_eq(&before), "partial graft fully undone");
+        dst.assert_consistent();
+    }
+
+    #[test]
+    fn mutations_without_a_journal_record_nothing() {
+        let (mut d, issue, ..) = sample();
+        d.rename(issue, "x").unwrap();
+        assert_eq!(d.journal_len(), 0);
+        assert!(!d.journal_is_active());
+        // rewinding with no active journal is a no-op
+        d.journal_rewind(JournalMark::default());
+        assert_eq!(d.name(issue).unwrap(), Some("x"));
+    }
+
+    #[test]
+    fn assert_consistent_accepts_committed_documents() {
+        let (d, ..) = sample();
+        d.assert_consistent();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run inside a journal scope")]
+    fn preorder_reassignment_rejects_active_journal() {
+        let (mut d, ..) = sample();
+        let _ = d.journal_mark();
+        d.assign_preorder_ids(1);
     }
 
     #[test]

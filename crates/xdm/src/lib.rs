@@ -23,11 +23,15 @@
 //!   dependencies), including an *identified* serialization that embeds node
 //!   identifiers inside the document, mirroring the paper's prototype which
 //!   stores identifiers and labels within the document;
-//! * a SAX-style [`events`] module used by the streaming PUL evaluator.
+//! * a SAX-style [`events`] module used by the streaming PUL evaluator;
+//! * an apply [`journal`]: inside a journal scope every mutator records the
+//!   inverse of its effect, so a failed or abandoned update is rolled back in
+//!   O(change) instead of restoring an O(document) snapshot clone.
 
 pub mod document;
 pub mod error;
 pub mod events;
+pub mod journal;
 pub mod node;
 pub mod parser;
 pub mod slab;
@@ -37,6 +41,7 @@ pub mod writer;
 pub use document::{Document, OrderRel};
 pub use error::XdmError;
 pub use events::{Event, EventReader};
+pub use journal::{Journal, JournalMark};
 pub use node::{NodeData, NodeId, NodeKind};
 pub use slab::IdSlab;
 pub use tree::Tree;

@@ -175,6 +175,31 @@ impl<T> IdSlab<T> {
         self.iter().map(|(_, v)| v)
     }
 
+    /// Debug invariant walker: panics if the stored length disagrees with the
+    /// dense and spill populations, or if an identifier is stored in both the
+    /// dense range and the spill map (a shadowing bug: `get` would see only
+    /// the dense copy). O(entries); intended for tests.
+    pub fn assert_consistent(&self) {
+        let dense_count = self.dense.iter().filter(|v| v.is_some()).count();
+        assert_eq!(
+            self.len,
+            dense_count + self.spill.len(),
+            "IdSlab: len {} disagrees with dense {} + spill {}",
+            self.len,
+            dense_count,
+            self.spill.len()
+        );
+        for (i, v) in self.dense.iter().enumerate() {
+            if v.is_some() {
+                let id = NodeId::new(self.base + i as u64);
+                assert!(
+                    !self.spill.contains_key(&id),
+                    "IdSlab: {id} stored in both the dense range and the spill map"
+                );
+            }
+        }
+    }
+
     /// Consumes the slab, yielding all `(id, value)` pairs.
     pub fn into_entries(self) -> impl Iterator<Item = (NodeId, T)> {
         let base = self.base;

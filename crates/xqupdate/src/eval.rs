@@ -355,6 +355,28 @@ mod tests {
     }
 
     #[test]
+    fn last_predicate_in_updating_expressions() {
+        let (doc, labels) = setup();
+        // append after the last author of the second paper's authors element
+        let pul = evaluate(
+            &doc,
+            &labels,
+            "insert nodes <author>New</author> after \
+             /issue/paper[last()]/authors/author[last()], \
+             delete node /issue/paper[1]/author[last()], \
+             rename node /issue/paper[last()]/title as \"heading\"",
+        )
+        .unwrap();
+        assert_eq!(pul.len(), 3);
+        let mut d = doc.clone();
+        apply_pul(&mut d, &pul, &ApplyOptions::default()).unwrap();
+        let xml = write_document(&d);
+        assert!(xml.contains("<author>Y</author><author>New</author>"));
+        assert!(!xml.contains("<author>X</author>"), "last author of paper 1 deleted");
+        assert!(xml.contains("<heading>B</heading>"));
+    }
+
+    #[test]
     fn multiple_targets_expand_to_multiple_ops() {
         let (doc, labels) = setup();
         let pul = evaluate(&doc, &labels, "rename node //title as \"heading\"").unwrap();

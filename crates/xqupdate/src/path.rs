@@ -17,6 +17,15 @@ pub enum NodeTest {
     Text,
 }
 
+/// A positional predicate within a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Position {
+    /// 1-based index: `[n]`.
+    Index(usize),
+    /// The last matching node: `[last()]`.
+    Last,
+}
+
 /// One step of a path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Step {
@@ -24,8 +33,8 @@ pub struct Step {
     pub descendant: bool,
     /// The node test.
     pub test: NodeTest,
-    /// Optional 1-based positional predicate.
-    pub position: Option<usize>,
+    /// Optional positional predicate (`[n]` or `[last()]`).
+    pub position: Option<Position>,
 }
 
 /// A parsed absolute path.
@@ -65,10 +74,20 @@ impl Path {
                     let close = step_str
                         .find(']')
                         .ok_or_else(|| format!("missing ']' in step '{step_str}'"))?;
-                    let pos: usize = step_str[i + 1..close]
-                        .trim()
-                        .parse()
-                        .map_err(|_| format!("invalid position predicate in '{step_str}'"))?;
+                    let predicate = step_str[i + 1..close].trim();
+                    let pos = if predicate == "last()" {
+                        Position::Last
+                    } else {
+                        let n: usize = predicate
+                            .parse()
+                            .map_err(|_| format!("invalid position predicate in '{step_str}'"))?;
+                        if n == 0 {
+                            return Err(format!(
+                                "position predicates are 1-based, got 0 in '{step_str}'"
+                            ));
+                        }
+                        Position::Index(n)
+                    };
                     (&step_str[..i], Some(pos))
                 }
                 None => (step_str, None),
@@ -137,8 +156,14 @@ impl Path {
                         NodeTest::Text => doc.kind(c) == Ok(NodeKind::Text),
                     })
                     .collect();
-                if let Some(pos) = step.position {
-                    matched = matched.into_iter().skip(pos - 1).take(1).collect();
+                match step.position {
+                    Some(Position::Index(n)) => {
+                        matched = matched.into_iter().skip(n - 1).take(1).collect();
+                    }
+                    Some(Position::Last) => {
+                        matched = matched.last().copied().into_iter().collect();
+                    }
+                    None => {}
                 }
                 next.extend(matched);
             }
@@ -193,11 +218,42 @@ mod tests {
     }
 
     #[test]
+    fn last_selects_the_final_match() {
+        let d = doc();
+        // the last paper of the issue
+        let hits = Path::parse("/issue/paper[last()]/title").unwrap().select(&d);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(d.text_content(hits[0]), "B");
+        // last() is per context node: the last author of *each* authors element
+        let hits = Path::parse("/issue/paper[2]/authors/author[last()]").unwrap().select(&d);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(d.text_content(hits[0]), "Z");
+        // on a descendant axis, last() picks the final match per context
+        let hits = Path::parse("//author[last()]").unwrap().select(&d);
+        assert_eq!(hits.iter().map(|&h| d.text_content(h)).collect::<Vec<_>>(), vec!["Z"]);
+        // single match: [last()] equals [1]
+        assert_eq!(
+            Path::parse("/issue/paper[last()]").unwrap().select(&d),
+            Path::parse("/issue/paper[2]").unwrap().select(&d)
+        );
+    }
+
+    #[test]
+    fn last_parses_into_the_position_enum() {
+        let p = Path::parse("/a/b[last()]").unwrap();
+        assert_eq!(p.steps[1].position, Some(Position::Last));
+        let p = Path::parse("/a/b[3]").unwrap();
+        assert_eq!(p.steps[1].position, Some(Position::Index(3)));
+    }
+
+    #[test]
     fn parse_errors() {
         assert!(Path::parse("relative/path").is_err());
         assert!(Path::parse("/a[").is_err());
         assert!(Path::parse("/a[x]").is_err());
         assert!(Path::parse("/a/").is_err());
+        assert!(Path::parse("/a[0]").is_err(), "positions are 1-based");
+        assert!(Path::parse("/a[last]").is_err(), "bare 'last' is not a function call");
     }
 
     #[test]

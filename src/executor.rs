@@ -20,7 +20,7 @@
 
 use std::io::{Read, Write};
 
-use pul::apply::{apply_pul_with_labeling, ApplyOptions, ApplyReport};
+use pul::apply::{apply_pul_journaled, ApplyOptions, ApplyReport, JournalScope};
 use pul::stream::apply_streaming_with;
 use pul::{Pul, UpdateOp};
 use pul_core::reduce::{reduce_naive, reduce_with, ReductionKind};
@@ -174,8 +174,9 @@ pub struct CommitReport {
     /// The conflicts that were detected (and solved) on the way.
     pub conflicts: Vec<pul_core::Conflict>,
     /// Structural effects of the application (inserted / removed roots, id
-    /// mapping). Empty for streaming commits, which never materialise the
-    /// document.
+    /// mapping) plus the journal entry counts. For streaming commits — which
+    /// never materialise per-op effects — the structural fields are empty but
+    /// the journal stats are still populated (non-zero inside a transaction).
     pub apply: ApplyReport,
 }
 
@@ -421,19 +422,21 @@ impl Executor {
     /// resolved submission has been withdrawn in the meantime. Submissions
     /// that arrived *after* the resolution stay pending.
     ///
-    /// The commit is atomic: on any failure the session (document, labeling,
-    /// version, submissions) is exactly as it was before the call.
+    /// The commit is atomic *without any whole-session clone*: the
+    /// application runs inside a journal scope, every mutation recording its
+    /// inverse, so a mid-apply failure replays the inverses and leaves the
+    /// session (document, labeling, version, submissions) exactly as it was —
+    /// at a cost proportional to the partial change, not to the document. On
+    /// success the journal is discarded (or, inside a [`Transaction`], kept
+    /// for the transaction's own rollback).
     pub fn commit_resolution(&mut self, resolution: Resolution) -> Result<CommitReport> {
         self.check_fresh(&resolution)?;
-        // Apply onto working copies and swap in only on success: a mid-apply
-        // failure (e.g. one of several ops not applicable) must not leave a
-        // half-updated authoritative document behind.
-        let mut doc = self.doc.clone();
-        let mut labeling = self.labeling.clone();
-        let apply =
-            apply_pul_with_labeling(&mut doc, &mut labeling, &resolution.pul, &self.apply_options)?;
-        self.doc = doc;
-        self.labeling = labeling;
+        let apply = apply_pul_journaled(
+            &mut self.doc,
+            &mut self.labeling,
+            &resolution.pul,
+            &self.apply_options,
+        )?;
         self.finish_commit(&resolution);
         Ok(CommitReport {
             version: self.version,
@@ -509,17 +512,33 @@ impl Executor {
         let updated = parser::parse_document_identified(&output)
             .map_err(|e| Error::StreamMismatch(e.to_string()))?;
         writer.write_all(output.as_bytes())?;
+        let doc_entries_before = self.doc.journal_len();
+        let label_entries_before = self.labeling.journal_len();
         // Incremental labeling (§4.1): only the nodes the stream inserted gain
         // labels and only the removed ones lose theirs — the labels of
-        // untouched nodes stay bit-identical, no full re-assignment.
+        // untouched nodes stay bit-identical, no full re-assignment. Inside a
+        // transaction the patch records its inverses in the labeling journal.
         self.labeling.patch_from_document(&updated);
-        self.doc = updated;
+        // Swap in the re-parsed document. Inside a transaction the previous
+        // arena is *moved* into a single journal entry (O(1), no clone), so a
+        // rollback restores it.
+        self.doc.replace_with(updated);
         self.finish_commit(&resolution);
+        // The structural report stays empty (the stream never materialises
+        // per-op effects), but the journal stats are real: entries recorded
+        // while an enclosing transaction scope was active (zero otherwise).
+        let apply = ApplyReport {
+            journal: pul::apply::JournalStats {
+                doc_entries: self.doc.journal_len() - doc_entries_before,
+                label_entries: self.labeling.journal_len() - label_entries_before,
+            },
+            ..Default::default()
+        };
         Ok(CommitReport {
             version: self.version,
             applied_ops: resolution.pul.len(),
             conflicts: resolution.conflicts,
-            apply: ApplyReport::default(),
+            apply,
         })
     }
 
@@ -552,11 +571,83 @@ impl Executor {
     /// Starts a build-apply-rollback transaction: the returned guard exposes
     /// the whole session API (it derefs to the executor) and restores the
     /// document, labeling, submissions and version on drop unless
-    /// [`Transaction::commit`] is called.
+    /// [`Transaction::commit`] is called. Rollback replays the apply journal —
+    /// O(everything changed inside the transaction), never O(document); no
+    /// session snapshot is taken.
     pub fn transaction(&mut self) -> Transaction<'_> {
         Transaction::new(self)
     }
 
+    /// Opens a transaction scope: enters (or activates) the document and
+    /// labeling journals and saves the small session fields. The cost is
+    /// O(pending submissions) — the document and labeling are *not* copied.
+    pub(crate) fn tx_begin(&mut self) -> TxScope {
+        TxScope {
+            // The scope protocol (per-store ownership, marks, rewind order,
+            // close-only-what-you-opened) lives once, in `pul::apply`.
+            journal: JournalScope::open(&mut self.doc, &mut self.labeling),
+            submissions: self.submissions.clone(),
+            next_submission: self.next_submission,
+            version: self.version,
+        }
+    }
+
+    /// Rolls the session back to the state captured by [`tx_begin`]
+    /// (Executor::tx_begin): the journals replay their inverses down to the
+    /// scope's marks and the session fields are restored.
+    pub(crate) fn tx_rollback(&mut self, scope: TxScope) {
+        scope.journal.rewind(&mut self.doc, &mut self.labeling);
+        scope.journal.close(&mut self.doc, &mut self.labeling);
+        self.submissions = scope.submissions;
+        self.next_submission = scope.next_submission;
+        self.version = scope.version;
+    }
+
+    /// Makes the scope's changes permanent: the recorded inverses are dropped
+    /// (when this scope activated the journals) or left to the enclosing
+    /// scope (nested transactions).
+    pub(crate) fn tx_commit(&mut self, scope: TxScope) {
+        scope.journal.close(&mut self.doc, &mut self.labeling);
+    }
+
+    /// Debug invariant walker over the whole session: document structure
+    /// (parent/child symmetry, slab dense/spill agreement, full attachment)
+    /// and labeling agreement (no stale or missing labels, metadata in sync,
+    /// label-key ordering). Panics with a description on any violation.
+    /// O(document) — meant to be called after commits in tests.
+    pub fn assert_consistent(&self) {
+        self.doc.assert_consistent();
+        self.labeling.assert_consistent(&self.doc);
+    }
+}
+
+/// Open transaction scope: journal marks plus the copied *small* session
+/// fields (the pending-submission list and two counters — never the document
+/// or the labeling).
+#[derive(Debug)]
+pub(crate) struct TxScope {
+    /// The document/labeling journal scope (ownership, marks, rewind/close).
+    journal: JournalScope,
+    submissions: Vec<Submission>,
+    next_submission: u64,
+    version: u64,
+}
+
+/// The historical clone-based snapshot, kept **only** as a differential
+/// oracle: tests capture one before a journal-scoped operation and assert
+/// that a journaled rollback restores a state `deep_eq`-identical to it. The
+/// production paths never clone the document or the labeling.
+#[cfg(test)]
+pub(crate) struct ExecutorSnapshot {
+    doc: Document,
+    labeling: Labeling,
+    submissions: Vec<Submission>,
+    next_submission: u64,
+    version: u64,
+}
+
+#[cfg(test)]
+impl Executor {
     pub(crate) fn snapshot(&self) -> ExecutorSnapshot {
         ExecutorSnapshot {
             doc: self.doc.clone(),
@@ -567,23 +658,22 @@ impl Executor {
         }
     }
 
-    pub(crate) fn restore(&mut self, snapshot: ExecutorSnapshot) {
-        self.doc = snapshot.doc;
-        self.labeling = snapshot.labeling;
-        self.submissions = snapshot.submissions;
-        self.next_submission = snapshot.next_submission;
-        self.version = snapshot.version;
+    /// Asserts that the current session state is bit-identical to the oracle
+    /// snapshot: documents and labelings `deep_eq`, same pending submissions,
+    /// same counters.
+    pub(crate) fn assert_matches_snapshot(&self, oracle: &ExecutorSnapshot) {
+        assert!(self.doc.deep_eq(&oracle.doc), "document differs from the snapshot oracle");
+        assert!(
+            self.labeling.deep_eq(&oracle.labeling),
+            "labeling differs from the snapshot oracle"
+        );
+        assert_eq!(self.submissions.len(), oracle.submissions.len());
+        for (a, b) in self.submissions.iter().zip(oracle.submissions.iter()) {
+            assert_eq!(a.id, b.id, "pending submissions differ from the snapshot oracle");
+        }
+        assert_eq!(self.next_submission, oracle.next_submission);
+        assert_eq!(self.version, oracle.version);
     }
-}
-
-/// Saved session state used by [`Transaction`] for rollback.
-#[derive(Debug, Clone)]
-pub(crate) struct ExecutorSnapshot {
-    doc: Document,
-    labeling: Labeling,
-    submissions: Vec<Submission>,
-    next_submission: u64,
-    version: u64,
 }
 
 /// Convenience: build a PUL from loose operations against this session's
@@ -593,5 +683,181 @@ impl Executor {
     /// document — what a well-behaved producer does before shipping.
     pub fn pul_from_ops(&self, ops: Vec<UpdateOp>) -> Pul {
         Pul::from_ops(ops, &self.labeling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Differential verification of the journaled rollback against the
+    //! historical clone-based snapshot (the `#[cfg(test)]` oracle): after any
+    //! failure or transaction rollback the session must be *bit-identical* —
+    //! same arena entries, same label keys — to what restoring the snapshot
+    //! would have produced.
+
+    use super::*;
+    use xdm::Tree;
+
+    /// ids: issue=1, volume=2, article=3, title=4, "T"=5, article=6
+    fn session() -> Executor {
+        Executor::parse(
+            "<issue volume=\"30\"><article><title>T</title></article><article/></issue>",
+        )
+        .unwrap()
+    }
+
+    /// A PUL that fails *partway through* application: rename(3) and repV(5)
+    /// apply first (stage 1, smaller targets), then the duplicate attribute
+    /// insertion on 6 fails after its first attribute has been attached. The
+    /// stage-2 insertion is never reached.
+    fn mid_failing_pul(session: &Executor) -> Pul {
+        session.pul_from_ops(vec![
+            UpdateOp::rename(3u64, "paper"),
+            UpdateOp::replace_value(5u64, "changed"),
+            UpdateOp::ins_attributes(
+                6u64,
+                vec![Tree::attribute("id", "1"), Tree::attribute("id", "2")],
+            ),
+            UpdateOp::ins_last(6u64, vec![Tree::element("never-inserted")]),
+        ])
+    }
+
+    #[test]
+    fn mid_apply_failure_rewinds_to_the_snapshot_oracle() {
+        let mut session = session();
+        let pul = mid_failing_pul(&session);
+        session.submit(pul);
+        let oracle = session.snapshot();
+        let err = session.commit();
+        assert!(err.is_err(), "duplicate attribute must fail the commit");
+        session.assert_matches_snapshot(&oracle);
+        session.assert_consistent();
+        assert!(!session.doc.journal_is_active(), "failed commit closes its own journal scope");
+        assert_eq!(session.version(), 0);
+        assert_eq!(session.pending(), 1, "the failed submission stays pending");
+        // the session is fully usable afterwards: withdraw the bad PUL, commit a good one
+        let id = session.submissions[0].id;
+        session.withdraw(id).unwrap();
+        let good = session.produce("rename node /issue/article[1] as \"paper\"").unwrap();
+        session.submit(good);
+        session.commit().unwrap();
+        session.assert_consistent();
+        assert!(session.serialize().contains("<paper>"));
+    }
+
+    #[test]
+    fn successful_commit_leaves_no_journal_behind() {
+        let mut session = session();
+        let pul = session.produce("delete node /issue/article[2]").unwrap();
+        session.submit(pul);
+        let report = session.commit().unwrap();
+        assert!(report.apply.journal.total() > 0, "the commit went through the journal");
+        assert!(!session.doc.journal_is_active(), "success = discard");
+        assert!(!session.labeling.journal_is_active());
+        session.assert_consistent();
+    }
+
+    #[test]
+    fn transaction_rollback_matches_the_snapshot_oracle() {
+        let mut session = session();
+        let oracle = session.snapshot();
+        {
+            let mut tx = session.transaction();
+            let pul = tx.produce("rename node /issue/article[1] as \"paper\"").unwrap();
+            tx.submit(pul);
+            tx.apply().unwrap();
+            let pul =
+                tx.produce("insert nodes <note>draft</note> as last into /issue/paper").unwrap();
+            tx.submit(pul);
+            tx.apply().unwrap();
+            assert_eq!(tx.version(), 2);
+            assert!(tx.serialize().contains("<note>draft</note>"));
+        } // dropped: rolled back by replaying the journal
+        session.assert_matches_snapshot(&oracle);
+        session.assert_consistent();
+        assert!(!session.doc.journal_is_active());
+    }
+
+    #[test]
+    fn transaction_commit_keeps_changes_and_discards_the_journal() {
+        let mut session = session();
+        {
+            let mut tx = session.transaction();
+            let pul = tx.produce("delete node /issue/article[2]").unwrap();
+            tx.submit(pul);
+            tx.apply().unwrap();
+            tx.commit();
+        }
+        assert_eq!(session.version(), 1);
+        assert!(!session.doc.journal_is_active());
+        session.assert_consistent();
+    }
+
+    #[test]
+    fn nested_transactions_rewind_to_their_own_marks() {
+        let mut session = session();
+        let oracle = session.snapshot();
+        {
+            let mut outer = session.transaction();
+            let pul = outer.produce("rename node /issue/article[1] as \"paper\"").unwrap();
+            outer.submit(pul);
+            outer.apply().unwrap();
+            let after_outer = outer.snapshot();
+            {
+                let mut inner = outer.transaction();
+                let pul = inner.produce("delete node /issue/article[1]").unwrap();
+                inner.submit(pul);
+                inner.apply().unwrap();
+            } // inner rollback: only the delete is undone
+            outer.assert_matches_snapshot(&after_outer);
+            assert!(outer.serialize().contains("<paper>"));
+        } // outer rollback: everything undone
+        session.assert_matches_snapshot(&oracle);
+        session.assert_consistent();
+    }
+
+    #[test]
+    fn streaming_commit_inside_a_transaction_rolls_back() {
+        let mut session = session();
+        let oracle = session.snapshot();
+        {
+            let mut tx = session.transaction();
+            let pul = tx.produce("rename node /issue/article[1] as \"paper\"").unwrap();
+            tx.submit(pul);
+            let input = tx.serialize_identified();
+            let mut output = Vec::new();
+            let report = tx.commit_streaming(&mut input.as_bytes(), &mut output).unwrap();
+            assert!(String::from_utf8(output).unwrap().contains("<paper"));
+            assert_eq!(tx.version(), 1);
+            assert!(
+                report.apply.journal.total() > 0,
+                "streaming commits report their journal entries too"
+            );
+        } // rollback: the whole-document swap entry restores the old arena
+        session.assert_matches_snapshot(&oracle);
+        session.assert_consistent();
+    }
+
+    #[test]
+    fn mid_apply_failure_inside_a_transaction_keeps_earlier_commits() {
+        let mut session = session();
+        let mut tx = session.transaction();
+        let pul = tx.produce("replace value of node /issue/@volume with \"31\"").unwrap();
+        tx.submit(pul);
+        tx.apply().unwrap();
+        let after_first = tx.snapshot();
+        let bad = mid_failing_pul(&tx);
+        let bad_id = tx.submit(bad);
+        assert!(tx.apply().is_err());
+        // the failed commit rewound to its own mark: the first commit survives
+        // (the failed submission stays pending — drop it before comparing; the
+        // submission-id counter is monotonic by design, so compare the state
+        // fields rather than the whole snapshot)
+        tx.withdraw(bad_id).unwrap();
+        assert!(tx.document().deep_eq(&after_first.doc));
+        assert!(tx.labeling().deep_eq(&after_first.labeling));
+        assert_eq!(tx.version(), after_first.version);
+        tx.commit();
+        assert!(session.serialize().contains("volume=\"31\""));
+        session.assert_consistent();
     }
 }

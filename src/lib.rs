@@ -64,9 +64,10 @@
 //! | [`xqupdate`] | a miniature XQuery Update front-end producing PULs |
 //! | [`workload`] | XMark-style documents and synthetic PUL generators |
 //!
-//! The free functions of `pul_core` remain available for operator-level work;
-//! the reduction function zoo (`reduce`, `deterministic_reduce`,
-//! `canonical_form`) is deprecated in favour of [`ReductionStrategy`].
+//! The free functions of `pul_core` remain available for operator-level work.
+//! The historical reduction function zoo (`reduce`, `deterministic_reduce`,
+//! `canonical_form`) has been removed: use [`ReductionStrategy`] (or
+//! `pul_core::reduce_with` directly).
 
 pub use pul;
 pub use pul_core;

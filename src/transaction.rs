@@ -1,11 +1,18 @@
 //! Build-apply-rollback transactions over an [`Executor`] session.
 //!
-//! A [`Transaction`] snapshots the session (document, labeling, pending
-//! submissions, version) when it is opened and exposes the full session API
-//! through `Deref`/`DerefMut`. Dropping the guard — explicitly with
-//! [`Transaction::rollback`], or implicitly on panic or early return —
-//! restores the snapshot; calling [`Transaction::commit`] resolves and
-//! applies the pending submissions and *keeps* the result.
+//! A [`Transaction`] opens a *journal scope* on the session when it is created
+//! and exposes the full session API through `Deref`/`DerefMut`. While the
+//! scope is open, every document and labeling mutation records its inverse in
+//! the apply journal; dropping the guard — explicitly with
+//! [`Transaction::rollback`], or implicitly on panic or early return — replays
+//! the inverses, restoring the session at a cost proportional to what the
+//! transaction changed (never to the size of the document; no snapshot clone
+//! is ever taken). Calling [`Transaction::commit`] discards the journal and
+//! *keeps* the result.
+//!
+//! Transactions nest: an inner transaction marks the same journal and rewinds
+//! only to its own mark, while the outer transaction can still undo
+//! everything.
 //!
 //! ```
 //! use xmlpul::prelude::*;
@@ -25,20 +32,21 @@
 use std::ops::{Deref, DerefMut};
 
 use crate::error::Result;
-use crate::executor::{CommitReport, Executor, ExecutorSnapshot};
+use crate::executor::{CommitReport, Executor, TxScope};
 
 /// A guard over an executor session that rolls the session back on drop
-/// unless it is [committed](Transaction::commit).
+/// unless it is [committed](Transaction::commit). Rollback replays the apply
+/// journal in reverse — O(change), no whole-session snapshot.
 #[derive(Debug)]
 pub struct Transaction<'a> {
     executor: &'a mut Executor,
-    snapshot: Option<ExecutorSnapshot>,
+    scope: Option<TxScope>,
 }
 
 impl<'a> Transaction<'a> {
     pub(crate) fn new(executor: &'a mut Executor) -> Self {
-        let snapshot = executor.snapshot();
-        Transaction { executor, snapshot: Some(snapshot) }
+        let scope = executor.tx_begin();
+        Transaction { executor, scope: Some(scope) }
     }
 
     /// Resolves and applies the pending submissions *inside* the transaction:
@@ -49,20 +57,24 @@ impl<'a> Transaction<'a> {
     }
 
     /// Makes everything done inside the transaction permanent and dissolves
-    /// the guard. Pending (unapplied) submissions stay pending in the session.
+    /// the guard: the recorded journal is discarded (success = discard).
+    /// Pending (unapplied) submissions stay pending in the session.
     pub fn commit(mut self) {
-        self.snapshot = None;
+        if let Some(scope) = self.scope.take() {
+            self.executor.tx_commit(scope);
+        }
     }
 
-    /// Explicitly restores the session to its state at transaction start.
-    /// (Dropping the guard does the same; this just names the intent.)
+    /// Explicitly restores the session to its state at transaction start by
+    /// replaying the journal. (Dropping the guard does the same; this just
+    /// names the intent.)
     pub fn rollback(self) {}
 }
 
 impl Drop for Transaction<'_> {
     fn drop(&mut self) {
-        if let Some(snapshot) = self.snapshot.take() {
-            self.executor.restore(snapshot);
+        if let Some(scope) = self.scope.take() {
+            self.executor.tx_rollback(scope);
         }
     }
 }

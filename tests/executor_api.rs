@@ -54,6 +54,7 @@ fn wire_round_trip_through_the_session() {
     assert_eq!(report.version, 1);
     assert_eq!(session.pending(), 0);
     assert_eq!(session.version(), 1);
+    session.assert_consistent();
 
     let xml = session.serialize();
     assert!(xml.contains("<heading>"));
@@ -78,11 +79,13 @@ fn streaming_and_in_memory_commits_agree() {
 
     let mut in_memory = session.clone();
     in_memory.commit().unwrap();
+    in_memory.assert_consistent();
 
     let identified = session.serialize_identified();
     let mut streamed = Vec::new();
     let report = session.commit_streaming(&mut identified.as_bytes(), &mut streamed).unwrap();
     assert_eq!(report.version, 1);
+    session.assert_consistent();
 
     // The bytes written to the writer are the identified serialization of the
     // updated document, and the session parsed them back in.
@@ -119,6 +122,7 @@ fn sequence_submissions_aggregate() {
     session.submit_sequence_xml(&wire).unwrap();
     assert_eq!(session.pending(), 1, "the sequence entered as one aggregated submission");
     session.commit().unwrap();
+    session.assert_consistent();
     assert!(session.serialize().contains("<year>2005</year>"), "{}", session.serialize());
 }
 
@@ -191,6 +195,7 @@ fn failed_commit_is_atomic() {
     assert_eq!(session.serialize(), before, "no half-applied document");
     assert_eq!(session.version(), 0);
     assert_eq!(session.pending(), 1, "the submission is still pending for a corrected retry");
+    session.assert_consistent();
 }
 
 /// The streaming commit refuses a reader that is not this session's own
@@ -245,6 +250,7 @@ fn transactions_roll_back_and_commit() {
     }
     assert_eq!(session.serialize(), before);
     assert_eq!(session.version(), 0);
+    session.assert_consistent();
 
     // Committed: the change sticks.
     let mut tx = session.transaction();
@@ -254,6 +260,7 @@ fn transactions_roll_back_and_commit() {
     tx.commit();
     assert!(!session.serialize().contains("Database Replication"));
     assert_eq!(session.version(), 1);
+    session.assert_consistent();
 }
 
 /// Every public error path surfaces as the unified `xmlpul::Error` with its

@@ -134,6 +134,7 @@ fn in_memory_commit_preserves_untouched_labels() {
     ]);
     session.submit(pul);
     session.commit().unwrap();
+    session.assert_consistent();
 
     // The deleted author lost its label; everything else is bit-identical.
     assert!(session.labeling().get(author).is_none());
@@ -160,6 +161,7 @@ fn streaming_commit_preserves_untouched_labels() {
     let mut input = std::io::Cursor::new(session.serialize_identified().into_bytes());
     let mut output = Vec::new();
     session.commit_streaming(&mut input, &mut output).unwrap();
+    session.assert_consistent();
 
     assert_untouched_labels_identical(&session, &before, &[]);
     // The inserted author is labeled and correctly related to its siblings.

@@ -1,0 +1,196 @@
+//! Differential verification of the journaled O(change) rollback against a
+//! snapshot oracle, through the public session API.
+//!
+//! PR 3 removed every whole-session clone from the commit and transaction
+//! paths: atomicity now comes from the apply journal (mutations record their
+//! inverses; failure or rollback replays them in reverse). These tests clone
+//! the session *in test code* — the oracle the journal replaced — and assert
+//! that after an injected mid-apply failure or a transaction rollback the
+//! session is bit-identical to the oracle: `deep_eq` on document and
+//! labeling, and every Table-1 predicate answering identically on every node
+//! pair.
+
+use pul::UpdateOp;
+use xdm::Tree;
+use xmlpul::prelude::*;
+
+fn issue_session() -> Executor {
+    Executor::parse(
+        "<issue volume=\"30\" number=\"3\">\
+           <paper><title>Database Replication</title><author>A.Chaudhri</author></paper>\
+           <paper id=\"x\"><title>XML Views</title><authors><author>B.Catania</author>\
+           <author>G.Guerrini</author></authors></paper>\
+         </issue>",
+    )
+    .unwrap()
+}
+
+/// Asserts that every Table-1 predicate of `session` answers exactly as in
+/// `oracle`, over every ordered pair of the oracle's nodes.
+fn assert_table1_identical(session: &Executor, oracle: &Executor) {
+    let nodes = oracle.document().preorder_from_root();
+    assert_eq!(session.document().preorder_from_root(), nodes, "different node sets");
+    let (l, ol) = (session.labeling(), oracle.labeling());
+    for &a in &nodes {
+        for &b in &nodes {
+            assert_eq!(l.precedes(a, b), ol.precedes(a, b), "precedes({a},{b})");
+            assert_eq!(l.is_left_sibling(a, b), ol.is_left_sibling(a, b), "leftsib({a},{b})");
+            assert_eq!(l.is_child(a, b), ol.is_child(a, b), "child({a},{b})");
+            assert_eq!(l.is_attribute(a, b), ol.is_attribute(a, b), "attr({a},{b})");
+            assert_eq!(l.is_first_child(a, b), ol.is_first_child(a, b), "first({a},{b})");
+            assert_eq!(l.is_last_child(a, b), ol.is_last_child(a, b), "last({a},{b})");
+            assert_eq!(l.is_descendant(a, b), ol.is_descendant(a, b), "desc({a},{b})");
+            assert_eq!(
+                l.is_descendant_not_attr(a, b),
+                ol.is_descendant_not_attr(a, b),
+                "nda({a},{b})"
+            );
+        }
+    }
+}
+
+/// Full bit-identical comparison: documents, labelings, Table-1 predicates.
+fn assert_sessions_identical(session: &Executor, oracle: &Executor) {
+    assert!(session.document().deep_eq(oracle.document()), "documents differ");
+    assert!(session.labeling().deep_eq(oracle.labeling()), "labelings differ");
+    assert_eq!(session.version(), oracle.version());
+    assert_table1_identical(session, oracle);
+    session.assert_consistent();
+}
+
+/// A PUL that fails partway through a multi-op application: the stage-1 ops
+/// (rename, replace-value) and the first attribute of the duplicate `insA`
+/// apply before the dynamic error fires; the stage-2 insertion never runs.
+fn mid_failing_pul(session: &Executor) -> pul::Pul {
+    let doc = session.document();
+    let paper1 = doc.find_elements("paper")[0];
+    let paper2 = doc.find_elements("paper")[1];
+    let title1 = doc.find_elements("title")[0];
+    let text1 = *doc.children(title1).unwrap().first().unwrap();
+    session.pul_from_ops(vec![
+        UpdateOp::rename(title1, "heading"),
+        UpdateOp::replace_value(text1, "changed"),
+        UpdateOp::ins_attributes(
+            paper2,
+            vec![Tree::attribute("year", "2004"), Tree::attribute("year", "2005")],
+        ),
+        UpdateOp::ins_last(paper1, vec![Tree::element_with_text("note", "never")]),
+    ])
+}
+
+#[test]
+fn mid_apply_failure_rewinds_document_and_labeling() {
+    let mut session = issue_session();
+    let pul = mid_failing_pul(&session);
+    session.submit(pul);
+    let oracle = session.clone(); // the snapshot the journal replaced, test-side only
+
+    let err = session.commit().unwrap_err();
+    assert!(err.to_string().contains("year"), "the duplicate attribute caused the failure: {err}");
+    assert_eq!(session.pending(), 1, "the failed submission stays pending");
+    assert_sessions_identical(&session, &oracle);
+}
+
+#[test]
+fn mid_apply_failure_after_withdrawal_commits_cleanly() {
+    let mut session = issue_session();
+    let bad = mid_failing_pul(&session);
+    let bad_id = session.submit(bad);
+    assert!(session.commit().is_err());
+    session.withdraw(bad_id).unwrap();
+
+    let pul = session.produce("rename node /issue/paper[last()]/title as \"heading\"").unwrap();
+    session.submit(pul);
+    session.commit().unwrap();
+    session.assert_consistent();
+    assert!(session.serialize().contains("<heading>XML Views</heading>"));
+}
+
+#[test]
+fn transaction_rollback_is_bit_identical_to_the_oracle() {
+    let mut session = issue_session();
+    let oracle = session.clone();
+    {
+        let mut tx = session.transaction();
+        let pul = tx
+            .produce(
+                "insert nodes <paper><title>New</title></paper> as last into /issue, \
+                 replace value of node /issue/@volume with \"31\"",
+            )
+            .unwrap();
+        tx.submit(pul);
+        tx.apply().unwrap();
+        tx.assert_consistent();
+        let pul = tx.produce("delete node /issue/paper[1]").unwrap();
+        tx.submit(pul);
+        tx.apply().unwrap();
+        tx.assert_consistent();
+        assert_eq!(tx.version(), 2);
+    } // dropped: rolled back by replaying the journal
+    assert_sessions_identical(&session, &oracle);
+}
+
+#[test]
+fn transaction_rollback_after_streaming_commit() {
+    let mut session = issue_session();
+    let oracle = session.clone();
+    {
+        let mut tx = session.transaction();
+        let pul = tx.produce("rename node //author[last()] as \"writer\"").unwrap();
+        tx.submit(pul);
+        let input = tx.serialize_identified();
+        let mut output = Vec::new();
+        tx.commit_streaming(&mut input.as_bytes(), &mut output).unwrap();
+        tx.assert_consistent();
+        assert!(String::from_utf8(output).unwrap().contains("writer"));
+    }
+    assert_sessions_identical(&session, &oracle);
+}
+
+#[test]
+fn committed_transaction_survives_with_no_journal_overhead_left() {
+    let mut session = issue_session();
+    {
+        let mut tx = session.transaction();
+        let pul = tx.produce("delete node /issue/paper[1]").unwrap();
+        tx.submit(pul);
+        tx.apply().unwrap();
+        tx.commit();
+    }
+    assert_eq!(session.version(), 1);
+    assert!(!session.document().journal_is_active(), "success = discard");
+    assert!(!session.labeling().journal_is_active());
+    session.assert_consistent();
+}
+
+#[test]
+fn rollback_scales_with_the_change_not_the_document() {
+    // A large document, a tiny transaction: the recorded journal must be
+    // proportional to the few ops applied, not to the thousands of nodes.
+    let doc =
+        workload::xmark::generate(&workload::xmark::XmarkConfig { target_nodes: 20_000, seed: 7 });
+    let node_count = doc.node_count();
+    let mut session = Executor::new(doc);
+    let oracle = session.clone();
+    {
+        let mut tx = session.transaction();
+        let target = tx.document().find_elements("item").pop();
+        if let Some(target) = target {
+            let pul = tx.pul_from_ops(vec![UpdateOp::ins_last(
+                target,
+                vec![Tree::element_with_text("note", "tiny")],
+            )]);
+            tx.submit(pul);
+            let report = tx.apply().unwrap();
+            let entries = report.apply.journal.total();
+            assert!(entries > 0);
+            assert!(
+                entries < node_count / 100,
+                "journal entries ({entries}) must not scale with the document ({node_count} nodes)"
+            );
+        }
+    }
+    assert!(session.document().deep_eq(oracle.document()));
+    assert!(session.labeling().deep_eq(oracle.labeling()));
+    session.assert_consistent();
+}

@@ -307,9 +307,11 @@ fn example_8_aggregation() {
     for p in [&p1, &p2, &p3] {
         sequential.submit(p.clone());
         sequential.commit().unwrap();
+        sequential.assert_consistent();
     }
     assert_eq!(sequential.version(), 3);
     session.commit_resolution(resolution).unwrap();
+    session.assert_consistent();
     assert_eq!(
         pul::obtainable::canonical_string(sequential.document()),
         pul::obtainable::canonical_string(session.document())
