@@ -1,7 +1,7 @@
 //! Regenerates the evaluation of §4.3: one table per figure of the paper.
 //!
 //! ```text
-//! experiments [--fig 6a|6b|6c|6d|6e|session|memory|all] [--full|--quick]
+//! experiments [--fig 6a|6b|6c|6d|6e|session|shards|memory|all] [--full|--quick]
 //!             [--json [PATH]]
 //! ```
 //!
@@ -330,6 +330,60 @@ fn session_overhead(mode: Mode) -> Vec<String> {
     rows
 }
 
+fn shard_scaling(mode: Mode) -> Vec<String> {
+    println!("\n=== Shard scaling — resolve/commit throughput vs shard count ===");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>12} {:>10}",
+        "shards", "resolve ms", "commit ms", "resolved ops", "conflicts", "speedup"
+    );
+    let (doc_nodes, n_puls, ops_per_pul) = match mode {
+        Mode::Full => (60_000, 8, 1_000),
+        Mode::Default => (20_000, 8, 400),
+        Mode::Quick => (6_000, 4, 60),
+    };
+    let w = setup_shard_scaling(doc_nodes, n_puls, ops_per_pul, 42);
+    let mut rows = Vec::new();
+    let mut base_resolve: Option<f64> = None;
+    for n in [1usize, 2, 4, 8] {
+        let session = setup_sharded_session(&w, n);
+        let conflicts = session.resolve().expect("relaxed policies reconcile").conflicts().len();
+        let (resolved, d_resolve) = avg(3, || run_sharded_resolve(&session));
+        // commits consume the submissions: measure on fresh clones, clone
+        // outside the timed window
+        let mut commit_total = Duration::ZERO;
+        let commit_reps = 2;
+        let mut applied = 0;
+        for _ in 0..commit_reps {
+            let mut committing = session.clone();
+            let (a, d) = timed(|| run_sharded_commit(&mut committing));
+            applied = a;
+            commit_total += d;
+        }
+        let d_commit = commit_total / commit_reps;
+        let resolve_ms = ms_f(d_resolve);
+        let speedup = base_resolve.map(|b| b / resolve_ms).unwrap_or(1.0);
+        if base_resolve.is_none() {
+            base_resolve = Some(resolve_ms);
+        }
+        println!(
+            "{:>8} {:>12} {:>12} {:>14} {:>12} {:>9.2}x",
+            n,
+            ms(d_resolve),
+            ms(d_commit),
+            resolved,
+            conflicts,
+            speedup
+        );
+        rows.push(format!(
+            "{{\"shards\": {n}, \"resolve_ms\": {:.3}, \"commit_ms\": {:.3}, \
+             \"resolved_ops\": {resolved}, \"applied_ops\": {applied}, \"conflicts\": {conflicts}}}",
+            resolve_ms,
+            ms_f(d_commit)
+        ));
+    }
+    rows
+}
+
 fn commit_memory(mode: Mode) -> Vec<String> {
     println!("\n=== Commit memory — bytes allocated per commit vs document size ===");
     println!(
@@ -418,6 +472,7 @@ fn main() {
     run_suite!("fig6d", "6d", fig6d);
     run_suite!("fig6e", "6e", fig6e);
     run_suite!("session_overhead", "session", session_overhead);
+    run_suite!("shard_scaling", "shards", shard_scaling);
     run_suite!("commit_memory", "memory", commit_memory);
 
     if let Some(path) = json_path {

@@ -1,0 +1,164 @@
+//! Label intervals: contiguous ranges of the order-key space.
+//!
+//! The containment labeling of §4.1 gives every node an interval `[start,
+//! end]` in a totally ordered key space, with descendants nested strictly
+//! inside their ancestors. A consequence the paper's reasoning algorithms
+//! never need — but a sharded executor does — is that any *contiguous run of
+//! top-level subtrees* occupies one contiguous slice of the key space,
+//! disjoint from every other run. [`LabelInterval`] names such a slice and
+//! answers the routing questions: does this label (and therefore the whole
+//! subtree below it) fall inside the slice?
+//!
+//! Intervals are half-open `[lo, hi)`: a key routes into the slice when
+//! `lo <= key < hi`, so a list of intervals chained end-to-start partitions
+//! the key space with no gaps and no overlaps.
+
+use std::fmt;
+
+use crate::label::NodeLabel;
+use crate::orderkey::OrderKey;
+
+/// A half-open slice `[lo, hi)` of the order-key space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelInterval {
+    lo: OrderKey,
+    hi: OrderKey,
+}
+
+impl LabelInterval {
+    /// Creates the interval `[lo, hi)`. Panics when `lo >= hi` (an empty or
+    /// inverted interval can never contain a label and would silently
+    /// blackhole routing).
+    pub fn new(lo: OrderKey, hi: OrderKey) -> Self {
+        assert!(lo < hi, "label interval bounds out of order: {lo} >= {hi}");
+        LabelInterval { lo, hi }
+    }
+
+    /// The inclusive lower bound.
+    pub fn lo(&self) -> &OrderKey {
+        &self.lo
+    }
+
+    /// The exclusive upper bound.
+    pub fn hi(&self) -> &OrderKey {
+        &self.hi
+    }
+
+    /// Whether `key` falls inside `[lo, hi)`.
+    pub fn contains_key(&self, key: &OrderKey) -> bool {
+        &self.lo <= key && key < &self.hi
+    }
+
+    /// Whether the whole containment interval of `label` falls inside this
+    /// slice. Because descendants nest strictly inside their ancestors, a
+    /// contained label implies a contained subtree.
+    pub fn contains_label(&self, label: &NodeLabel) -> bool {
+        self.lo <= label.start && label.end < self.hi
+    }
+
+    /// Whether `other` nests entirely inside this interval.
+    pub fn contains(&self, other: &LabelInterval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Whether the two intervals share no key.
+    pub fn is_disjoint_from(&self, other: &LabelInterval) -> bool {
+        self.hi <= other.lo || other.hi <= self.lo
+    }
+
+    /// The convex hull `[min start, max end)` of a set of labels — the
+    /// smallest interval containing all of them. `None` for an empty set.
+    /// Note the hull treats the last label's `end` as *exclusive*; callers
+    /// slicing a document widen the hull with boundary keys generated between
+    /// neighbouring runs, so the hull itself is only an intermediate value.
+    pub fn hull<'a>(labels: impl IntoIterator<Item = &'a NodeLabel>) -> Option<LabelInterval> {
+        let mut lo: Option<OrderKey> = None;
+        let mut hi: Option<OrderKey> = None;
+        for l in labels {
+            if lo.as_ref().map(|k| &l.start < k).unwrap_or(true) {
+                lo = Some(l.start.clone());
+            }
+            if hi.as_ref().map(|k| &l.end > k).unwrap_or(true) {
+                hi = Some(l.end.clone());
+            }
+        }
+        Some(LabelInterval { lo: lo?, hi: hi? })
+    }
+}
+
+impl NodeLabel {
+    /// The containment interval of this label as a [`LabelInterval`]
+    /// (`[start, end)` — the node itself plus everything below it).
+    pub fn interval(&self) -> LabelInterval {
+        LabelInterval::new(self.start.clone(), self.end.clone())
+    }
+}
+
+impl fmt::Display for LabelInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labeling::Labeling;
+    use xdm::parser::parse_document;
+
+    fn key(digits: &[u8]) -> OrderKey {
+        OrderKey::from_digits(digits.to_vec())
+    }
+
+    #[test]
+    fn containment_is_half_open() {
+        let i = LabelInterval::new(key(&[10]), key(&[20]));
+        assert!(i.contains_key(&key(&[10])), "lower bound is inclusive");
+        assert!(i.contains_key(&key(&[15])));
+        assert!(!i.contains_key(&key(&[20])), "upper bound is exclusive");
+        assert!(!i.contains_key(&key(&[9])));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn inverted_bounds_are_rejected() {
+        LabelInterval::new(key(&[20]), key(&[10]));
+    }
+
+    #[test]
+    fn nesting_and_disjointness() {
+        let outer = LabelInterval::new(key(&[10]), key(&[40]));
+        let inner = LabelInterval::new(key(&[15]), key(&[25]));
+        let right = LabelInterval::new(key(&[40]), key(&[50]));
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.is_disjoint_from(&right), "touching half-open intervals are disjoint");
+        assert!(!outer.is_disjoint_from(&inner));
+    }
+
+    #[test]
+    fn label_containment_follows_the_document_structure() {
+        let doc = parse_document("<r><a><b/></a><c/></r>").unwrap();
+        let labels = Labeling::assign(&doc);
+        let a = labels.require(doc.find_element("a").unwrap());
+        let b = labels.require(doc.find_element("b").unwrap());
+        let c = labels.require(doc.find_element("c").unwrap());
+        let slice = a.interval();
+        assert!(slice.contains_label(b), "descendants fall inside the subtree interval");
+        assert!(!slice.contains_label(c), "siblings fall outside");
+        assert!(slice.is_disjoint_from(&c.interval()));
+    }
+
+    #[test]
+    fn hull_spans_a_run_of_subtrees() {
+        let doc = parse_document("<r><a/><b/><c/></r>").unwrap();
+        let labels = Labeling::assign(&doc);
+        let ids = ["a", "b"].map(|n| doc.find_element(n).unwrap());
+        let hull = LabelInterval::hull(ids.iter().map(|&id| labels.require(id))).unwrap();
+        assert!(hull.contains_key(&labels.require(ids[0]).start));
+        assert!(hull.contains_key(&labels.require(ids[1]).start));
+        let c = labels.require(doc.find_element("c").unwrap());
+        assert!(!hull.contains_key(&c.start), "hull stops before the next run");
+        assert!(LabelInterval::hull(std::iter::empty()).is_none());
+    }
+}

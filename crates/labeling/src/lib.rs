@@ -14,12 +14,17 @@
 //!   parent identifier and the identifier of the left sibling, so that **all**
 //!   the relationships of Table 1 can be evaluated in constant time;
 //! * [`Labeling`] — assignment of labels to every node of a document, plus
-//!   incremental label generation for nodes inserted by PUL application.
+//!   incremental label generation for nodes inserted by PUL application;
+//! * [`LabelInterval`] — half-open slices of the key space, used by the
+//!   sharded executor to route operations to the shard whose label interval
+//!   contains their target.
 
+pub mod interval;
 pub mod label;
 pub mod labeling;
 pub mod orderkey;
 
+pub use interval::LabelInterval;
 pub use label::NodeLabel;
 pub use labeling::{Labeling, PatchReport};
 pub use orderkey::OrderKey;

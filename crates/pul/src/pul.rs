@@ -165,6 +165,32 @@ impl Pul {
         self.check_compatible()
     }
 
+    /// Splits the PUL into `groups` sub-PULs, assigning every operation to the
+    /// group chosen by `route` (its return value is clamped to the last
+    /// group). Operation order is preserved within each group, and every
+    /// sub-PUL carries the labels of its own operation targets — each half
+    /// stays a self-contained PUL the reasoning operators can work on.
+    ///
+    /// This is the decomposition step of the sharded executor: a PUL whose
+    /// targets span several label intervals is split here, and each sub-PUL is
+    /// reduced/integrated/reconciled by its shard independently.
+    pub fn split_by_target(
+        &self,
+        groups: usize,
+        mut route: impl FnMut(&UpdateOp) -> usize,
+    ) -> Vec<Pul> {
+        assert!(groups > 0, "cannot split a PUL into zero groups");
+        let mut out: Vec<Pul> = (0..groups).map(|_| Pul::new()).collect();
+        for op in &self.ops {
+            let g = route(op).min(groups - 1);
+            if let Some(label) = self.labels.get(&op.target()) {
+                out[g].labels.insert(label.id, label.clone());
+            }
+            out[g].ops.push(op.clone());
+        }
+        out
+    }
+
     /// The W3C `mergeUpdates` operation (Def. 5): the union of the two PULs,
     /// provided the union contains no incompatible operations. When a document
     /// is supplied the full applicability check (Def. 4) is performed.
@@ -275,6 +301,37 @@ mod tests {
         p3.push(UpdateOp::rename(3u64, "other"));
         assert!(p1.merge(&p3, Some(&d)).is_err());
         assert!(p1.merge(&p3, None).is_err());
+    }
+
+    #[test]
+    fn split_by_target_preserves_order_and_labels() {
+        let d = doc();
+        let labeling = Labeling::assign(&d);
+        let pul = Pul::from_ops(
+            vec![
+                UpdateOp::rename(3u64, "paper"),
+                UpdateOp::replace_value(5u64, "X"),
+                UpdateOp::delete(6u64),
+                UpdateOp::ins_last(3u64, vec![Tree::element("author")]),
+            ],
+            &labeling,
+        );
+        // even targets to group 0, odd to group 1
+        let parts = pul.split_by_target(2, |op| (op.target().as_u64() % 2) as usize);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].targets(), vec![NodeId::new(6)]);
+        assert_eq!(parts[1].targets(), vec![NodeId::new(3), NodeId::new(5)]);
+        // within-group operation order is the original order
+        assert_eq!(parts[1].ops()[0].name(), crate::op::OpName::Rename);
+        assert_eq!(parts[1].ops()[2].name(), crate::op::OpName::InsLast);
+        // each half carries exactly its own target labels
+        assert!(parts[1].label(NodeId::new(3)).is_some());
+        assert!(parts[1].label(NodeId::new(6)).is_none());
+        assert!(parts[0].label(NodeId::new(6)).is_some());
+        // out-of-range routes clamp to the last group
+        let clamped = pul.split_by_target(2, |_| 99);
+        assert_eq!(clamped[1].len(), 4);
+        assert!(clamped[0].is_empty());
     }
 
     #[test]

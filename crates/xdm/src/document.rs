@@ -193,6 +193,19 @@ impl Document {
         }
     }
 
+    /// Raises the fresh-identifier counter to at least `min_next` (a no-op when
+    /// it is already there). A sharded executor uses this as an *identifier
+    /// fence*: before a shard applies its slice of a commit, its counter is
+    /// lifted past every identifier minted by the shards that applied before
+    /// it, so fresh identifiers stay globally unique across shard documents.
+    /// Journaled like any other mutation, so a rollback restores the counter.
+    pub fn reserve_ids(&mut self, min_next: u64) {
+        if min_next > self.next_id {
+            self.record(DocEntry::NextId(self.next_id));
+            self.next_id = min_next;
+        }
+    }
+
     // ------------------------------------------------------------------
     // allocation
     // ------------------------------------------------------------------

@@ -377,6 +377,32 @@ mod tests {
     }
 
     #[test]
+    fn attribute_value_predicates_in_updating_expressions() {
+        let doc = parse_document(
+            "<issue volume=\"30\"><paper id=\"p1\"><title>A</title></paper>\
+             <paper id=\"p2\"><title>B</title></paper></issue>",
+        )
+        .unwrap();
+        let labels = Labeling::assign(&doc);
+        let pul = evaluate(
+            &doc,
+            &labels,
+            "rename node /issue/paper[@id=\"p2\"]/title as \"heading\", \
+             insert nodes <note>chosen</note> as last into //paper[@id='p1'], \
+             delete node /issue/paper[@id=\"p2\"]",
+        )
+        .unwrap();
+        assert_eq!(pul.len(), 3);
+        let mut d = doc.clone();
+        apply_pul(&mut d, &pul, &ApplyOptions::default()).unwrap();
+        let xml = write_document(&d);
+        assert!(xml.contains("<note>chosen</note>"), "{xml}");
+        assert!(!xml.contains("p2"), "the second paper is gone: {xml}");
+        // an unmatched attribute predicate selects nothing — an eval error
+        assert!(evaluate(&doc, &labels, "delete node /issue/paper[@id=\"p9\"]").is_err());
+    }
+
+    #[test]
     fn multiple_targets_expand_to_multiple_ops() {
         let (doc, labels) = setup();
         let pul = evaluate(&doc, &labels, "rename node //title as \"heading\"").unwrap();

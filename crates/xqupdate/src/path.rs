@@ -17,13 +17,16 @@ pub enum NodeTest {
     Text,
 }
 
-/// A positional predicate within a step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Position {
+/// A predicate within a step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
     /// 1-based index: `[n]`.
     Index(usize),
     /// The last matching node: `[last()]`.
     Last,
+    /// An attribute value test: `[@name="value"]` — keeps the elements
+    /// carrying an attribute `name` whose value is exactly `value`.
+    AttrEquals(String, String),
 }
 
 /// One step of a path.
@@ -33,8 +36,8 @@ pub struct Step {
     pub descendant: bool,
     /// The node test.
     pub test: NodeTest,
-    /// Optional positional predicate (`[n]` or `[last()]`).
-    pub position: Option<Position>,
+    /// Optional predicate (`[n]`, `[last()]` or `[@name="value"]`).
+    pub predicate: Option<Predicate>,
 }
 
 /// A parsed absolute path.
@@ -66,29 +69,21 @@ impl Path {
             if rest.is_empty() {
                 return Err("path ends with a dangling '/'".into());
             }
-            let end = rest.find('/').unwrap_or(rest.len());
+            // The step ends at the next '/' *outside* any predicate: slashes
+            // (and brackets) inside quoted predicate values — URLs, paths —
+            // belong to the step.
+            let end = Self::step_end(rest);
             let (step_str, tail) = rest.split_at(end);
             rest = tail;
-            let (name_part, position) = match step_str.find('[') {
+            let (name_part, predicate) = match step_str.find('[') {
                 Some(i) => {
                     let close = step_str
-                        .find(']')
+                        .rfind(']')
+                        .filter(|&c| c > i)
                         .ok_or_else(|| format!("missing ']' in step '{step_str}'"))?;
-                    let predicate = step_str[i + 1..close].trim();
-                    let pos = if predicate == "last()" {
-                        Position::Last
-                    } else {
-                        let n: usize = predicate
-                            .parse()
-                            .map_err(|_| format!("invalid position predicate in '{step_str}'"))?;
-                        if n == 0 {
-                            return Err(format!(
-                                "position predicates are 1-based, got 0 in '{step_str}'"
-                            ));
-                        }
-                        Position::Index(n)
-                    };
-                    (&step_str[..i], Some(pos))
+                    let predicate = Self::parse_predicate(step_str[i + 1..close].trim())
+                        .map_err(|e| format!("{e} in step '{step_str}'"))?;
+                    (&step_str[..i], Some(predicate))
                 }
                 None => (step_str, None),
             };
@@ -105,9 +100,65 @@ impl Path {
             } else {
                 return Err(format!("empty step in path '{s}'"));
             };
-            steps.push(Step { descendant, test, position });
+            steps.push(Step { descendant, test, predicate });
         }
         Ok(Path { steps })
+    }
+
+    /// Index of the first '/' of `s` that lies outside a `[...]` predicate
+    /// and outside quotes (or `s.len()` when the whole remainder is one
+    /// step).
+    fn step_end(s: &str) -> usize {
+        let mut depth = 0i32;
+        let mut quote: Option<char> = None;
+        for (i, c) in s.char_indices() {
+            match quote {
+                Some(q) => {
+                    if c == q {
+                        quote = None;
+                    }
+                }
+                None => match c {
+                    '"' | '\'' if depth > 0 => quote = Some(c),
+                    '[' => depth += 1,
+                    ']' => depth -= 1,
+                    '/' if depth <= 0 => return i,
+                    _ => {}
+                },
+            }
+        }
+        s.len()
+    }
+
+    /// Parses the inside of a `[...]` predicate: a 1-based position, `last()`
+    /// or an attribute value test `@name="value"` (single or double quotes).
+    fn parse_predicate(src: &str) -> Result<Predicate, String> {
+        if src == "last()" {
+            return Ok(Predicate::Last);
+        }
+        if let Some(rest) = src.strip_prefix('@') {
+            let (name, value) = rest
+                .split_once('=')
+                .ok_or_else(|| "attribute predicates take the form @name=\"value\"".to_string())?;
+            let name = name.trim();
+            let value = value.trim();
+            if name.is_empty() {
+                return Err("empty attribute name in predicate".into());
+            }
+            let unquoted = if (value.starts_with('"') && value.ends_with('"') && value.len() >= 2)
+                || (value.starts_with('\'') && value.ends_with('\'') && value.len() >= 2)
+            {
+                &value[1..value.len() - 1]
+            } else {
+                return Err("attribute predicate values must be quoted".into());
+            };
+            return Ok(Predicate::AttrEquals(name.to_string(), unquoted.to_string()));
+        }
+        let n: usize = src.parse().map_err(|_| "invalid position predicate".to_string())?;
+        if n == 0 {
+            return Err("position predicates are 1-based, got 0".into());
+        }
+        Ok(Predicate::Index(n))
     }
 
     /// Evaluates the path against a document, returning the matched nodes in
@@ -156,12 +207,21 @@ impl Path {
                         NodeTest::Text => doc.kind(c) == Ok(NodeKind::Text),
                     })
                     .collect();
-                match step.position {
-                    Some(Position::Index(n)) => {
+                match &step.predicate {
+                    Some(Predicate::Index(n)) => {
                         matched = matched.into_iter().skip(n - 1).take(1).collect();
                     }
-                    Some(Position::Last) => {
+                    Some(Predicate::Last) => {
                         matched = matched.last().copied().into_iter().collect();
+                    }
+                    Some(Predicate::AttrEquals(name, value)) => {
+                        matched.retain(|&c| {
+                            doc.attribute_by_name(c, name)
+                                .ok()
+                                .flatten()
+                                .and_then(|a| doc.value(a).ok().flatten())
+                                == Some(value.as_str())
+                        });
                     }
                     None => {}
                 }
@@ -239,11 +299,47 @@ mod tests {
     }
 
     #[test]
-    fn last_parses_into_the_position_enum() {
+    fn predicates_parse_into_the_enum() {
         let p = Path::parse("/a/b[last()]").unwrap();
-        assert_eq!(p.steps[1].position, Some(Position::Last));
+        assert_eq!(p.steps[1].predicate, Some(Predicate::Last));
         let p = Path::parse("/a/b[3]").unwrap();
-        assert_eq!(p.steps[1].position, Some(Position::Index(3)));
+        assert_eq!(p.steps[1].predicate, Some(Predicate::Index(3)));
+        let p = Path::parse("/a/b[@id=\"x\"]").unwrap();
+        assert_eq!(p.steps[1].predicate, Some(Predicate::AttrEquals("id".into(), "x".into())));
+        let p = Path::parse("/a/b[@class='wide']").unwrap();
+        assert_eq!(
+            p.steps[1].predicate,
+            Some(Predicate::AttrEquals("class".into(), "wide".into()))
+        );
+    }
+
+    #[test]
+    fn attribute_value_predicates_select_matching_elements() {
+        let d = doc();
+        let hits = Path::parse("/issue/paper[@id=\"p2\"]").unwrap().select(&d);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits, Path::parse("/issue/paper[2]").unwrap().select(&d));
+        // also on the descendant axis and deeper in the path
+        let hits = Path::parse("//paper[@id=\"p1\"]/title").unwrap().select(&d);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(d.text_content(hits[0]), "A");
+        // value must match exactly; missing attributes never match
+        assert!(Path::parse("/issue/paper[@id=\"p3\"]").unwrap().select(&d).is_empty());
+        assert!(Path::parse("/issue/paper[@missing=\"x\"]").unwrap().select(&d).is_empty());
+        // single quotes are accepted
+        assert_eq!(Path::parse("/issue/paper[@id='p1']").unwrap().select(&d).len(), 1);
+        // values may contain '/' and ']' — the step splitter is predicate-aware
+        let p = Path::parse("/a/b[@href=\"http://x/y\"]/c").unwrap();
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(
+            p.steps[1].predicate,
+            Some(Predicate::AttrEquals("href".into(), "http://x/y".into()))
+        );
+        let p = Path::parse("/a/b[@id=\"a]b\"]").unwrap();
+        assert_eq!(p.steps[1].predicate, Some(Predicate::AttrEquals("id".into(), "a]b".into())));
+        // the root step takes predicates too
+        assert_eq!(Path::parse("/issue[@volume=\"30\"]/paper").unwrap().select(&d).len(), 2);
+        assert!(Path::parse("/issue[@volume=\"31\"]/paper").unwrap().select(&d).is_empty());
     }
 
     #[test]
@@ -254,6 +350,9 @@ mod tests {
         assert!(Path::parse("/a/").is_err());
         assert!(Path::parse("/a[0]").is_err(), "positions are 1-based");
         assert!(Path::parse("/a[last]").is_err(), "bare 'last' is not a function call");
+        assert!(Path::parse("/a[@id]").is_err(), "attribute predicates need a comparison");
+        assert!(Path::parse("/a[@id=x]").is_err(), "attribute values must be quoted");
+        assert!(Path::parse("/a[@=\"x\"]").is_err(), "attribute name must be non-empty");
     }
 
     #[test]

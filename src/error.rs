@@ -50,6 +50,10 @@ pub enum Error {
     StreamMismatch(String),
     /// An I/O error while streaming a commit.
     Io(String),
+    /// A sharded-executor routing or partitioning failure: an operation that
+    /// cannot be assigned to any shard (e.g. a whole-root replacement, or a
+    /// target unknown to every shard).
+    Shard(String),
 }
 
 impl Error {
@@ -85,6 +89,7 @@ impl Error {
             Error::UnknownSubmission(_) => "XPUL-E02",
             Error::StreamMismatch(_) => "XPUL-E03",
             Error::Io(_) => "XPUL-E04",
+            Error::Shard(_) => "XPUL-E05",
         }
     }
 
@@ -112,6 +117,7 @@ impl fmt::Display for Error {
             Error::UnknownSubmission(id) => write!(f, "no pending submission {id}"),
             Error::StreamMismatch(msg) => write!(f, "streamed document mismatch: {msg}"),
             Error::Io(msg) => write!(f, "I/O error while streaming: {msg}"),
+            Error::Shard(msg) => write!(f, "sharding error: {msg}"),
         }
     }
 }

@@ -180,6 +180,145 @@ pub struct CommitReport {
     pub apply: ApplyReport,
 }
 
+/// The shard-agnostic heart of an executor: the authoritative [`Document`],
+/// its [`Labeling`], the apply options and the version counter — everything
+/// needed to *hold and atomically mutate* one slice of authoritative state,
+/// and nothing of the session machinery (submissions, reduction strategy,
+/// caches) that reasons about what to apply.
+///
+/// [`Executor`] owns exactly one core; [`ShardedExecutor`](crate::ShardedExecutor)
+/// owns one per shard and drives their journals in lockstep for its two-phase
+/// commit. Every mutation goes through the apply journal, so a failure — in
+/// this core or, under a sharded commit, in a sibling core — rewinds at
+/// O(change) cost.
+#[derive(Debug, Clone)]
+pub struct ExecutorCore {
+    pub(crate) doc: Document,
+    pub(crate) labeling: Labeling,
+    pub(crate) apply_options: ApplyOptions,
+    pub(crate) version: u64,
+}
+
+impl ExecutorCore {
+    /// Creates a core over a document, assigning its labeling (§4.1) once.
+    pub fn new(doc: Document) -> Self {
+        let labeling = Labeling::assign(&doc);
+        ExecutorCore::from_parts(doc, labeling)
+    }
+
+    /// Creates a core over a document and an externally built labeling. The
+    /// caller guarantees the labeling covers exactly the document's nodes —
+    /// this is how the sharded executor slices one global labeling into
+    /// per-shard cores without re-keying any label.
+    pub fn from_parts(doc: Document, labeling: Labeling) -> Self {
+        ExecutorCore { doc, labeling, apply_options: ApplyOptions::default(), version: 0 }
+    }
+
+    /// The authoritative document of this core.
+    pub fn document(&self) -> &Document {
+        &self.doc
+    }
+
+    /// The labeling of this core's document.
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// The version counter: 0 at creation, +1 per successful commit.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The options used when applying PULs to the document.
+    pub fn apply_options(&self) -> &ApplyOptions {
+        &self.apply_options
+    }
+
+    /// Replaces the apply options.
+    pub fn set_apply_options(&mut self, options: ApplyOptions) {
+        self.apply_options = options;
+    }
+
+    /// Atomically applies a resolved PUL: the application runs inside a
+    /// journal scope (every mutation recording its inverse), the labeling is
+    /// patched incrementally, and the version advances. A mid-apply failure
+    /// rewinds document and labeling to the exact pre-call state and leaves
+    /// the version untouched.
+    pub fn commit_pul(&mut self, pul: &Pul) -> Result<ApplyReport> {
+        let report =
+            apply_pul_journaled(&mut self.doc, &mut self.labeling, pul, &self.apply_options)?;
+        self.version += 1;
+        Ok(report)
+    }
+
+    /// Serializes the core's document.
+    pub fn serialize(&self) -> String {
+        writer::write_document(&self.doc)
+    }
+
+    /// Serializes the core's document with node identifiers.
+    pub fn serialize_identified(&self) -> String {
+        writer::write_document_identified(&self.doc)
+    }
+
+    /// Debug invariant walker over document and labeling (see
+    /// [`Executor::assert_consistent`]).
+    pub fn assert_consistent(&self) {
+        self.doc.assert_consistent();
+        self.labeling.assert_consistent(&self.doc);
+    }
+
+    /// Opens a journal scope over this core, capturing the version. Used by
+    /// the sharded two-phase commit to keep a shard's changes revocable while
+    /// its sibling shards apply theirs.
+    pub(crate) fn scope_open(&mut self) -> CoreScope {
+        CoreScope {
+            journal: JournalScope::open(&mut self.doc, &mut self.labeling),
+            version: self.version,
+        }
+    }
+
+    /// Replays the scope's journal entries and restores the captured version.
+    pub(crate) fn scope_rewind(&mut self, scope: &CoreScope) {
+        scope.journal.rewind(&mut self.doc, &mut self.labeling);
+        self.version = scope.version;
+    }
+
+    /// Closes the scope: journals this scope activated are discarded.
+    pub(crate) fn scope_close(&mut self, scope: &CoreScope) {
+        scope.journal.close(&mut self.doc, &mut self.labeling);
+    }
+}
+
+/// An open journal scope over one [`ExecutorCore`] (journal marks plus the
+/// version to restore on rollback).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CoreScope {
+    journal: JournalScope,
+    version: u64,
+}
+
+/// Shared freshness check for committing a resolution — single-executor and
+/// sharded alike: the resolution must have been computed against the current
+/// version, and every submission it reasoned about must still be pending
+/// (committing over a withdrawn PUL would resurrect it).
+pub(crate) fn check_resolution_fresh(
+    resolved_at: u64,
+    current: u64,
+    ids: &[SubmissionId],
+    still_pending: impl Fn(SubmissionId) -> bool,
+) -> Result<()> {
+    if resolved_at != current {
+        return Err(Error::StaleResolution { resolved_at, current });
+    }
+    for &id in ids {
+        if !still_pending(id) {
+            return Err(Error::UnknownSubmission(id));
+        }
+    }
+    Ok(())
+}
+
 /// A stateful executor session owning the authoritative document, its
 /// labeling and the session defaults, and exposing the
 /// reduce → integrate → reconcile → aggregate → apply pipeline behind four
@@ -188,14 +327,11 @@ pub struct CommitReport {
 /// [`commit_streaming`](Executor::commit_streaming).
 #[derive(Debug, Clone)]
 pub struct Executor {
-    doc: Document,
-    labeling: Labeling,
+    core: ExecutorCore,
     default_policy: Policy,
     strategy: ReductionStrategy,
-    apply_options: ApplyOptions,
     submissions: Vec<Submission>,
     next_submission: u64,
-    version: u64,
     reduction_cache: ReductionCache,
 }
 
@@ -208,16 +344,18 @@ impl Executor {
     /// Opens a session on a document. The labeling (§4.1) is assigned here,
     /// once; commits maintain it incrementally.
     pub fn new(doc: Document) -> Self {
-        let labeling = Labeling::assign(&doc);
+        Executor::from_core(ExecutorCore::new(doc))
+    }
+
+    /// Opens a session over an already built [`ExecutorCore`] (the sharded
+    /// executor uses this to wrap pre-sliced cores).
+    pub fn from_core(core: ExecutorCore) -> Self {
         Executor {
-            doc,
-            labeling,
+            core,
             default_policy: Policy::default(),
             strategy: ReductionStrategy::default(),
-            apply_options: ApplyOptions::default(),
             submissions: Vec::new(),
             next_submission: 0,
-            version: 0,
             reduction_cache: ReductionCache::new(DEFAULT_REDUCTION_CACHE_CAPACITY),
         }
     }
@@ -252,7 +390,7 @@ impl Executor {
     /// Sets the options used when committing PULs to the document (builder
     /// style).
     pub fn apply_options(mut self, options: ApplyOptions) -> Self {
-        self.apply_options = options;
+        self.core.apply_options = options;
         self
     }
 
@@ -267,18 +405,23 @@ impl Executor {
 
     /// The authoritative document.
     pub fn document(&self) -> &Document {
-        &self.doc
+        &self.core.doc
     }
 
     /// The labeling of the authoritative document.
     pub fn labeling(&self) -> &Labeling {
-        &self.labeling
+        &self.core.labeling
+    }
+
+    /// The shard-agnostic core of the session (document + labeling + version).
+    pub fn core(&self) -> &ExecutorCore {
+        &self.core
     }
 
     /// The current document version: 0 at session start, incremented by every
     /// commit.
     pub fn version(&self) -> u64 {
-        self.version
+        self.core.version
     }
 
     /// Number of submissions waiting to be resolved.
@@ -293,14 +436,14 @@ impl Executor {
 
     /// Serializes the authoritative document.
     pub fn serialize(&self) -> String {
-        writer::write_document(&self.doc)
+        self.core.serialize()
     }
 
     /// Serializes the authoritative document with node identifiers — the
     /// executor's on-disk form, consumed by [`commit_streaming`]
     /// (Executor::commit_streaming) and shipped to producers at checkout.
     pub fn serialize_identified(&self) -> String {
-        writer::write_document_identified(&self.doc)
+        self.core.serialize_identified()
     }
 
     // -------------------------------------------------------------- production
@@ -308,7 +451,7 @@ impl Executor {
     /// Evaluates an XQuery Update expression against the session document,
     /// returning the PUL a producer would ship (the PUL is *not* submitted).
     pub fn produce(&self, source: &str) -> Result<Pul> {
-        Ok(xqupdate::evaluate(&self.doc, &self.labeling, source)?)
+        Ok(xqupdate::evaluate(&self.core.doc, &self.core.labeling, source)?)
     }
 
     // -------------------------------------------------------------- submission
@@ -397,7 +540,7 @@ impl Executor {
         let reconciled = reconcile_integration(&reduced, &integration, &policies)?;
         let pul = self.strategy.reduce(&reconciled);
         Ok(Resolution {
-            version: self.version,
+            version: self.core.version,
             submission_ids: self.submissions.iter().map(|s| s.id).collect(),
             pul,
             conflicts: integration.conflicts,
@@ -431,15 +574,10 @@ impl Executor {
     /// for the transaction's own rollback).
     pub fn commit_resolution(&mut self, resolution: Resolution) -> Result<CommitReport> {
         self.check_fresh(&resolution)?;
-        let apply = apply_pul_journaled(
-            &mut self.doc,
-            &mut self.labeling,
-            &resolution.pul,
-            &self.apply_options,
-        )?;
-        self.finish_commit(&resolution);
+        let apply = self.core.commit_pul(&resolution.pul)?;
+        self.consume_submissions(&resolution);
         Ok(CommitReport {
-            version: self.version,
+            version: self.core.version,
             applied_ops: resolution.pul.len(),
             conflicts: resolution.conflicts,
             apply,
@@ -492,7 +630,7 @@ impl Executor {
         }
         // Fresh identifiers must clash neither with the document's nor with
         // the identifiers carried by the resolution's parameter trees.
-        let mut first_new_id = self.doc.next_id() + 1;
+        let mut first_new_id = self.core.doc.next_id() + 1;
         for op in resolution.pul.ops() {
             if let Some(trees) = op.content() {
                 for tree in trees {
@@ -504,7 +642,7 @@ impl Executor {
             &input,
             &resolution.pul,
             first_new_id,
-            self.apply_options.preserve_content_ids,
+            self.core.apply_options.preserve_content_ids,
         )?;
         // Synchronise the in-memory authoritative copy *before* anything is
         // written, so a failure leaves both the session and the writer
@@ -512,30 +650,31 @@ impl Executor {
         let updated = parser::parse_document_identified(&output)
             .map_err(|e| Error::StreamMismatch(e.to_string()))?;
         writer.write_all(output.as_bytes())?;
-        let doc_entries_before = self.doc.journal_len();
-        let label_entries_before = self.labeling.journal_len();
+        let doc_entries_before = self.core.doc.journal_len();
+        let label_entries_before = self.core.labeling.journal_len();
         // Incremental labeling (§4.1): only the nodes the stream inserted gain
         // labels and only the removed ones lose theirs — the labels of
         // untouched nodes stay bit-identical, no full re-assignment. Inside a
         // transaction the patch records its inverses in the labeling journal.
-        self.labeling.patch_from_document(&updated);
+        self.core.labeling.patch_from_document(&updated);
         // Swap in the re-parsed document. Inside a transaction the previous
         // arena is *moved* into a single journal entry (O(1), no clone), so a
         // rollback restores it.
-        self.doc.replace_with(updated);
-        self.finish_commit(&resolution);
+        self.core.doc.replace_with(updated);
+        self.core.version += 1;
+        self.consume_submissions(&resolution);
         // The structural report stays empty (the stream never materialises
         // per-op effects), but the journal stats are real: entries recorded
         // while an enclosing transaction scope was active (zero otherwise).
         let apply = ApplyReport {
             journal: pul::apply::JournalStats {
-                doc_entries: self.doc.journal_len() - doc_entries_before,
-                label_entries: self.labeling.journal_len() - label_entries_before,
+                doc_entries: self.core.doc.journal_len() - doc_entries_before,
+                label_entries: self.core.labeling.journal_len() - label_entries_before,
             },
             ..Default::default()
         };
         Ok(CommitReport {
-            version: self.version,
+            version: self.core.version,
             applied_ops: resolution.pul.len(),
             conflicts: resolution.conflicts,
             apply,
@@ -543,27 +682,18 @@ impl Executor {
     }
 
     fn check_fresh(&self, resolution: &Resolution) -> Result<()> {
-        if resolution.version != self.version {
-            return Err(Error::StaleResolution {
-                resolved_at: resolution.version,
-                current: self.version,
-            });
-        }
-        // Every submission the resolution reasoned about must still be
-        // pending: committing over a withdrawn PUL would resurrect it.
-        for id in &resolution.submission_ids {
-            if !self.submissions.iter().any(|s| s.id == *id) {
-                return Err(Error::UnknownSubmission(*id));
-            }
-        }
-        Ok(())
+        check_resolution_fresh(
+            resolution.version,
+            self.core.version,
+            &resolution.submission_ids,
+            |id| self.submissions.iter().any(|s| s.id == id),
+        )
     }
 
     /// Consumes exactly the submissions the resolution covered (later arrivals
-    /// stay pending) and advances the version.
-    fn finish_commit(&mut self, resolution: &Resolution) {
+    /// stay pending). The version advance lives with the core's apply.
+    fn consume_submissions(&mut self, resolution: &Resolution) {
         self.submissions.retain(|s| !resolution.submission_ids.contains(&s.id));
-        self.version += 1;
     }
 
     // ------------------------------------------------------------ transactions
@@ -584,11 +714,11 @@ impl Executor {
     pub(crate) fn tx_begin(&mut self) -> TxScope {
         TxScope {
             // The scope protocol (per-store ownership, marks, rewind order,
-            // close-only-what-you-opened) lives once, in `pul::apply`.
-            journal: JournalScope::open(&mut self.doc, &mut self.labeling),
+            // close-only-what-you-opened) lives once, in `pul::apply`; the
+            // version capture lives with the core scope.
+            core: self.core.scope_open(),
             submissions: self.submissions.clone(),
             next_submission: self.next_submission,
-            version: self.version,
         }
     }
 
@@ -596,18 +726,17 @@ impl Executor {
     /// (Executor::tx_begin): the journals replay their inverses down to the
     /// scope's marks and the session fields are restored.
     pub(crate) fn tx_rollback(&mut self, scope: TxScope) {
-        scope.journal.rewind(&mut self.doc, &mut self.labeling);
-        scope.journal.close(&mut self.doc, &mut self.labeling);
+        self.core.scope_rewind(&scope.core);
+        self.core.scope_close(&scope.core);
         self.submissions = scope.submissions;
         self.next_submission = scope.next_submission;
-        self.version = scope.version;
     }
 
     /// Makes the scope's changes permanent: the recorded inverses are dropped
     /// (when this scope activated the journals) or left to the enclosing
     /// scope (nested transactions).
     pub(crate) fn tx_commit(&mut self, scope: TxScope) {
-        scope.journal.close(&mut self.doc, &mut self.labeling);
+        self.core.scope_close(&scope.core);
     }
 
     /// Debug invariant walker over the whole session: document structure
@@ -616,21 +745,19 @@ impl Executor {
     /// label-key ordering). Panics with a description on any violation.
     /// O(document) — meant to be called after commits in tests.
     pub fn assert_consistent(&self) {
-        self.doc.assert_consistent();
-        self.labeling.assert_consistent(&self.doc);
+        self.core.assert_consistent();
     }
 }
 
-/// Open transaction scope: journal marks plus the copied *small* session
-/// fields (the pending-submission list and two counters — never the document
-/// or the labeling).
+/// Open transaction scope: the core's journal scope plus the copied *small*
+/// session fields (the pending-submission list and one counter — never the
+/// document or the labeling).
 #[derive(Debug)]
 pub(crate) struct TxScope {
-    /// The document/labeling journal scope (ownership, marks, rewind/close).
-    journal: JournalScope,
+    /// The core journal scope (ownership, marks, version, rewind/close).
+    core: CoreScope,
     submissions: Vec<Submission>,
     next_submission: u64,
-    version: u64,
 }
 
 /// The historical clone-based snapshot, kept **only** as a differential
@@ -650,11 +777,11 @@ pub(crate) struct ExecutorSnapshot {
 impl Executor {
     pub(crate) fn snapshot(&self) -> ExecutorSnapshot {
         ExecutorSnapshot {
-            doc: self.doc.clone(),
-            labeling: self.labeling.clone(),
+            doc: self.core.doc.clone(),
+            labeling: self.core.labeling.clone(),
             submissions: self.submissions.clone(),
             next_submission: self.next_submission,
-            version: self.version,
+            version: self.core.version,
         }
     }
 
@@ -662,9 +789,9 @@ impl Executor {
     /// snapshot: documents and labelings `deep_eq`, same pending submissions,
     /// same counters.
     pub(crate) fn assert_matches_snapshot(&self, oracle: &ExecutorSnapshot) {
-        assert!(self.doc.deep_eq(&oracle.doc), "document differs from the snapshot oracle");
+        assert!(self.core.doc.deep_eq(&oracle.doc), "document differs from the snapshot oracle");
         assert!(
-            self.labeling.deep_eq(&oracle.labeling),
+            self.core.labeling.deep_eq(&oracle.labeling),
             "labeling differs from the snapshot oracle"
         );
         assert_eq!(self.submissions.len(), oracle.submissions.len());
@@ -672,7 +799,7 @@ impl Executor {
             assert_eq!(a.id, b.id, "pending submissions differ from the snapshot oracle");
         }
         assert_eq!(self.next_submission, oracle.next_submission);
-        assert_eq!(self.version, oracle.version);
+        assert_eq!(self.core.version, oracle.version);
     }
 }
 
@@ -682,7 +809,7 @@ impl Executor {
     /// Builds a PUL from operations, attaching the labels of the session
     /// document — what a well-behaved producer does before shipping.
     pub fn pul_from_ops(&self, ops: Vec<UpdateOp>) -> Pul {
-        Pul::from_ops(ops, &self.labeling)
+        Pul::from_ops(ops, &self.core.labeling)
     }
 }
 
@@ -731,7 +858,10 @@ mod tests {
         assert!(err.is_err(), "duplicate attribute must fail the commit");
         session.assert_matches_snapshot(&oracle);
         session.assert_consistent();
-        assert!(!session.doc.journal_is_active(), "failed commit closes its own journal scope");
+        assert!(
+            !session.core.doc.journal_is_active(),
+            "failed commit closes its own journal scope"
+        );
         assert_eq!(session.version(), 0);
         assert_eq!(session.pending(), 1, "the failed submission stays pending");
         // the session is fully usable afterwards: withdraw the bad PUL, commit a good one
@@ -751,8 +881,8 @@ mod tests {
         session.submit(pul);
         let report = session.commit().unwrap();
         assert!(report.apply.journal.total() > 0, "the commit went through the journal");
-        assert!(!session.doc.journal_is_active(), "success = discard");
-        assert!(!session.labeling.journal_is_active());
+        assert!(!session.core.doc.journal_is_active(), "success = discard");
+        assert!(!session.core.labeling.journal_is_active());
         session.assert_consistent();
     }
 
@@ -774,7 +904,7 @@ mod tests {
         } // dropped: rolled back by replaying the journal
         session.assert_matches_snapshot(&oracle);
         session.assert_consistent();
-        assert!(!session.doc.journal_is_active());
+        assert!(!session.core.doc.journal_is_active());
     }
 
     #[test]
@@ -788,7 +918,7 @@ mod tests {
             tx.commit();
         }
         assert_eq!(session.version(), 1);
-        assert!(!session.doc.journal_is_active());
+        assert!(!session.core.doc.journal_is_active());
         session.assert_consistent();
     }
 

@@ -79,25 +79,29 @@ pub use xqupdate;
 mod error;
 mod executor;
 mod resolution;
+mod shard;
 mod transaction;
 
 pub mod fixtures;
 
 pub use error::{Error, Result};
-pub use executor::{CacheStats, CommitReport, Executor, ReductionStrategy, SubmissionId};
+pub use executor::{
+    CacheStats, CommitReport, Executor, ExecutorCore, ReductionStrategy, SubmissionId,
+};
 pub use resolution::Resolution;
+pub use shard::{ShardedCommitReport, ShardedExecutor, ShardedResolution};
 pub use transaction::Transaction;
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::{
-        CacheStats, CommitReport, Error, Executor, ReductionStrategy, Resolution, Result,
-        SubmissionId, Transaction,
+        CacheStats, CommitReport, Error, Executor, ExecutorCore, ReductionStrategy, Resolution,
+        Result, ShardedCommitReport, ShardedExecutor, ShardedResolution, SubmissionId, Transaction,
     };
     pub use pul::{ApplyOptions, OpClass, OpName, Pul, UpdateOp};
     pub use pul_core::{Conflict, ConflictType, Policy};
     pub use xdm::{Document, NodeId, NodeKind, Tree};
-    pub use xlabel::{Labeling, NodeLabel, OrderKey};
+    pub use xlabel::{LabelInterval, Labeling, NodeLabel, OrderKey};
 }
 
 #[cfg(test)]
