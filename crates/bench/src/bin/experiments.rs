@@ -384,6 +384,106 @@ fn shard_scaling(mode: Mode) -> Vec<String> {
     rows
 }
 
+fn ingest_throughput(mode: Mode) -> Vec<String> {
+    println!("\n=== Ingest throughput — committed submissions/sec vs batch size × backend ===");
+    println!(
+        "{:>9} {:>7} {:>9} {:>13} {:>13} {:>15} {:>14}",
+        "backend", "batch", "commits", "wall ms", "subs/sec", "us/submission", "resolve us/sub"
+    );
+    let (doc_nodes, n_submissions) = match mode {
+        Mode::Full => (120_000, 4_096),
+        Mode::Default => (40_000, 2_048),
+        Mode::Quick => (6_000, 64),
+    };
+    let w = setup_ingest(doc_nodes, n_submissions, 42);
+    let mut rows = Vec::new();
+
+    // Queue-less baseline: one resolve+commit round trip per submission.
+    let base = run_ingest_sequential_baseline(&w.doc, &w.puls);
+    assert_eq!(base.committed, w.puls.len(), "independent workload commits fully");
+    let base_us = base.elapsed.as_secs_f64() * 1e6 / base.committed as f64;
+    println!(
+        "{:>9} {:>7} {:>9} {:>13.2} {:>13.0} {:>15.1} {:>14}",
+        "none",
+        "-",
+        base.commits,
+        ms_f(base.elapsed),
+        base.committed as f64 / base.elapsed.as_secs_f64(),
+        base_us,
+        "-"
+    );
+    rows.push(format!(
+        "{{\"backend\": \"sequential_baseline\", \"batch\": null, \"commits\": {}, \
+         \"wall_ms\": {:.3}, \"submissions_per_sec\": {:.1}, \"us_per_submission\": {:.2}, \
+         \"resolve_us_per_submission\": null}}",
+        base.commits,
+        ms_f(base.elapsed),
+        base.committed as f64 / base.elapsed.as_secs_f64(),
+        base_us
+    ));
+
+    // Per-submission resolve cost of a coalesced round per backend × batch
+    // size, measured directly on a bare backend — the acceptance-gate metric.
+    let batches = [1usize, 4, 16, 64];
+
+    for backend_name in ["executor", "sharded4"] {
+        let resolve_us_by_batch: Vec<f64> = batches
+            .iter()
+            .map(|&b| match backend_name {
+                "executor" => {
+                    let mut s = xmlpul::Executor::new(w.doc.clone());
+                    measure_resolve_per_submission(&mut s, &w.puls, b).as_secs_f64() * 1e6
+                }
+                _ => {
+                    let mut s = xmlpul::ShardedExecutor::new(w.doc.clone(), 4).expect("rooted doc");
+                    measure_resolve_per_submission(&mut s, &w.puls, b).as_secs_f64() * 1e6
+                }
+            })
+            .collect();
+        for (bi, &batch) in batches.iter().enumerate() {
+            // best-of-3: whole-run wall time is scheduling-sensitive on a
+            // loaded single-core box
+            let report = (0..3)
+                .map(|_| match backend_name {
+                    "executor" => {
+                        run_ingest_queue(xmlpul::Executor::new(w.doc.clone()), &w.puls, batch)
+                    }
+                    _ => run_ingest_queue(
+                        xmlpul::ShardedExecutor::new(w.doc.clone(), 4).expect("rooted doc"),
+                        &w.puls,
+                        batch,
+                    ),
+                })
+                .min_by_key(|r| r.elapsed)
+                .expect("three runs");
+            assert_eq!(report.committed, w.puls.len(), "independent workload commits fully");
+            let resolve_us = resolve_us_by_batch[bi];
+            let us_per_sub = report.elapsed.as_secs_f64() * 1e6 / report.committed as f64;
+            println!(
+                "{:>9} {:>7} {:>9} {:>13.2} {:>13.0} {:>15.1} {:>14.1}",
+                backend_name,
+                batch,
+                report.commits,
+                ms_f(report.elapsed),
+                report.committed as f64 / report.elapsed.as_secs_f64(),
+                us_per_sub,
+                resolve_us
+            );
+            rows.push(format!(
+                "{{\"backend\": \"{backend_name}\", \"batch\": {batch}, \"commits\": {}, \
+                 \"wall_ms\": {:.3}, \"submissions_per_sec\": {:.1}, \
+                 \"us_per_submission\": {:.2}, \"resolve_us_per_submission\": {:.2}}}",
+                report.commits,
+                ms_f(report.elapsed),
+                report.committed as f64 / report.elapsed.as_secs_f64(),
+                us_per_sub,
+                resolve_us
+            ));
+        }
+    }
+    rows
+}
+
 fn commit_memory(mode: Mode) -> Vec<String> {
     println!("\n=== Commit memory — bytes allocated per commit vs document size ===");
     println!(
@@ -473,6 +573,7 @@ fn main() {
     run_suite!("fig6e", "6e", fig6e);
     run_suite!("session_overhead", "session", session_overhead);
     run_suite!("shard_scaling", "shards", shard_scaling);
+    run_suite!("ingest_throughput", "ingest", ingest_throughput);
     run_suite!("commit_memory", "memory", commit_memory);
 
     if let Some(path) = json_path {

@@ -156,13 +156,18 @@ pub fn integrate(puls: &[Pul]) -> Integration {
     for &r in &all {
         groups.entry(r.resolve(puls).target()).or_default().push(r);
     }
-    let mut targets: Vec<NodeId> = groups.keys().copied().collect();
-    targets.sort_by(|&a, &b| match (label_of(puls, a), label_of(puls, b)) {
+    // Resolve each target's label once before sorting: `label_of` probes
+    // every PUL's label map, and paying that inside the comparator makes the
+    // sort the dominant cost of integrating many-target batches.
+    let mut keyed: Vec<(NodeId, Option<&NodeLabel>)> =
+        groups.keys().map(|&t| (t, label_of(puls, t))).collect();
+    keyed.sort_by(|(a, la), (b, lb)| match (la, lb) {
         (Some(la), Some(lb)) => la.start.cmp(&lb.start),
         (Some(_), None) => std::cmp::Ordering::Less,
         (None, Some(_)) => std::cmp::Ordering::Greater,
-        (None, None) => a.cmp(&b),
+        (None, None) => a.cmp(b),
     });
+    let targets: Vec<NodeId> = keyed.into_iter().map(|(t, _)| t).collect();
 
     // 2. Local conflicts (types 1–4) per target group.
     let mut conflicts: Vec<Conflict> = Vec::new();

@@ -224,6 +224,13 @@ impl Labeling {
         self.map.len()
     }
 
+    /// Slot-occupancy statistics of the label store (live/dead dense slots,
+    /// spilled entries) — the labeling twin of `Document::slab_stats`, since
+    /// the two stores churn in lockstep.
+    pub fn slab_stats(&self) -> xdm::SlabStats {
+        self.map.stats()
+    }
+
     /// Whether the labeling is empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()

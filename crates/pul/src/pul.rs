@@ -206,6 +206,24 @@ impl Pul {
         }
         Ok(merged)
     }
+
+    /// N-way `mergeUpdates` (Def. 5 folded over a batch): the union of every
+    /// PUL in the slice, with ops in slice order and one compatibility check
+    /// over the final union — a single pass instead of the quadratic clone
+    /// chain that folding [`merge`](Pul::merge) pairwise would cost. Used by
+    /// the ingestion pipeline to validate that a coalesced batch of
+    /// independent PULs really is one well-formed PUL.
+    pub fn merge_all<'a>(puls: impl IntoIterator<Item = &'a Pul>) -> Result<Pul> {
+        let mut merged = Pul::new();
+        for pul in puls {
+            merged.ops.extend(pul.ops.iter().cloned());
+            for l in pul.labels.values() {
+                merged.labels.insert(l.id, l.clone());
+            }
+        }
+        merged.check_compatible()?;
+        Ok(merged)
+    }
 }
 
 impl fmt::Display for Pul {
@@ -301,6 +319,27 @@ mod tests {
         p3.push(UpdateOp::rename(3u64, "other"));
         assert!(p1.merge(&p3, Some(&d)).is_err());
         assert!(p1.merge(&p3, None).is_err());
+    }
+
+    #[test]
+    fn merge_all_unions_a_batch_in_one_pass() {
+        let d = doc();
+        let labeling = Labeling::assign(&d);
+        let p1 = Pul::from_ops(vec![UpdateOp::rename(3u64, "paper")], &labeling);
+        let p2 = Pul::from_ops(vec![UpdateOp::replace_value(5u64, "X")], &labeling);
+        let p3 = Pul::from_ops(vec![UpdateOp::delete(6u64)], &labeling);
+        let merged = Pul::merge_all(&[p1.clone(), p2.clone(), p3]).unwrap();
+        assert_eq!(merged.len(), 3);
+        // ops keep slice order, labels are unioned
+        assert_eq!(merged.ops()[0].name(), crate::op::OpName::Rename);
+        assert_eq!(merged.ops()[2].name(), crate::op::OpName::Delete);
+        assert!(merged.label(NodeId::new(3)).is_some());
+        assert!(merged.label(NodeId::new(6)).is_some());
+        // an incompatible union is rejected (two renames of the same node)
+        let p4 = Pul::from_ops(vec![UpdateOp::rename(3u64, "other")], &labeling);
+        assert!(Pul::merge_all(&[p1, p2, p4]).is_err());
+        // the empty batch merges into the empty PUL
+        assert!(Pul::merge_all(std::iter::empty()).unwrap().is_empty());
     }
 
     #[test]

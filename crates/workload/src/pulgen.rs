@@ -539,10 +539,18 @@ pub struct DifferentialCase {
 /// disjoint content-identifier ranges, so their parameter trees can be
 /// grafted with identifiers preserved without clashing.
 pub fn differential_case(seed: u64) -> DifferentialCase {
+    differential_case_with(seed, 1 + (seed as usize) % 3)
+}
+
+/// [`differential_case`] with an explicit producer count: the same seeded
+/// document and the same per-producer generator, extended to as many
+/// producers as the caller needs (the batched-ingestion differential suite
+/// enqueues a dozen producers per case so batch sizes above 3 mean
+/// something).
+pub fn differential_case_with(seed: u64, n_producers: usize) -> DifferentialCase {
     let target_nodes = 120 + (seed as usize).wrapping_mul(37) % 400;
     let doc = crate::xmark::generate(&crate::xmark::XmarkConfig { target_nodes, seed });
     let labeling = Labeling::assign(&doc);
-    let n_producers = 1 + (seed as usize) % 3;
     let puls = (0..n_producers)
         .map(|i| {
             generate_pul(

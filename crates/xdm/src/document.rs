@@ -374,6 +374,13 @@ impl Document {
         self.nodes.len()
     }
 
+    /// Slot-occupancy statistics of the node arena (live/dead dense slots,
+    /// spilled entries): the churn observable for long-lived sessions, since
+    /// removed identifiers are never reused and their slots stay dead.
+    pub fn slab_stats(&self) -> crate::slab::SlabStats {
+        self.nodes.stats()
+    }
+
     /// Iterates over all node identifiers in the arena (arbitrary order).
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.nodes.keys()

@@ -43,7 +43,7 @@ pub use error::XdmError;
 pub use events::{Event, EventReader};
 pub use journal::{Journal, JournalMark};
 pub use node::{NodeData, NodeId, NodeKind};
-pub use slab::IdSlab;
+pub use slab::{IdSlab, SlabStats};
 pub use tree::Tree;
 
 /// Convenience result alias used across the crate.

@@ -26,6 +26,45 @@ use crate::node::NodeId;
 /// lands past its current end; anything farther goes to the spill map.
 const MAX_DENSE_GAP: u64 = 1024;
 
+/// Slot-occupancy statistics of an [`IdSlab`], as reported by
+/// [`IdSlab::stats`]: the live/dead split of the dense range plus the spilled
+/// sparse entries. Because identifiers (and therefore slots) are never
+/// reused, `dead` is monotone under insert/delete churn — it is the
+/// observable that tells a long-lived session when a compaction checkpoint
+/// (renumbering via `assign_preorder_ids`) would pay off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlabStats {
+    /// Occupied slots of the dense range.
+    pub live: usize,
+    /// Empty slots of the dense range: identifiers that were removed (or
+    /// skipped) and will never be stored again.
+    pub dead: usize,
+    /// Entries living in the sparse spill map.
+    pub spill: usize,
+}
+
+impl SlabStats {
+    /// Component-wise sum (aggregating several slabs).
+    pub fn merged(self, other: SlabStats) -> SlabStats {
+        SlabStats {
+            live: self.live + other.live,
+            dead: self.dead + other.dead,
+            spill: self.spill + other.spill,
+        }
+    }
+
+    /// Fraction of the dense range that is dead weight (0.0 for an empty
+    /// slab).
+    pub fn dead_ratio(&self) -> f64 {
+        let dense = self.live + self.dead;
+        if dense == 0 {
+            0.0
+        } else {
+            self.dead as f64 / dense as f64
+        }
+    }
+}
+
 /// A map from [`NodeId`] to `T` optimised for sequentially assigned ids.
 #[derive(Debug, Clone)]
 pub struct IdSlab<T> {
@@ -175,6 +214,14 @@ impl<T> IdSlab<T> {
         self.iter().map(|(_, v)| v)
     }
 
+    /// Slot-occupancy statistics: live/dead dense slots and spilled entries.
+    /// O(dense range) — meant for observability endpoints and tests, not for
+    /// hot paths.
+    pub fn stats(&self) -> SlabStats {
+        let live = self.dense.iter().filter(|v| v.is_some()).count();
+        SlabStats { live, dead: self.dense.len() - live, spill: self.spill.len() }
+    }
+
     /// Debug invariant walker: panics if the stored length disagrees with the
     /// dense and spill populations, or if an identifier is stored in both the
     /// dense range and the spill map (a shadowing bug: `get` would see only
@@ -320,6 +367,28 @@ mod tests {
         assert_eq!(s.iter().filter(|(k, _)| k.as_u64() == far).count(), 1, "no double entry");
         assert_eq!(s.remove(NodeId::new(far)), Some(7));
         assert_eq!(s.get(NodeId::new(far)), None);
+    }
+
+    #[test]
+    fn stats_track_live_dead_and_spill() {
+        let mut s: IdSlab<u8> = IdSlab::new();
+        assert_eq!(s.stats(), SlabStats::default());
+        for i in 1..=10u64 {
+            s.insert(NodeId::new(i), i as u8);
+        }
+        assert_eq!(s.stats(), SlabStats { live: 10, dead: 0, spill: 0 });
+        // removals leave dead slots behind: ids are never reused
+        s.remove(NodeId::new(3));
+        s.remove(NodeId::new(7));
+        let stats = s.stats();
+        assert_eq!(stats, SlabStats { live: 8, dead: 2, spill: 0 });
+        assert!((stats.dead_ratio() - 0.2).abs() < 1e-9);
+        // far ids spill instead of growing the dense range
+        s.insert(NodeId::new(1 << 40), 42);
+        assert_eq!(s.stats(), SlabStats { live: 8, dead: 2, spill: 1 });
+        // merging aggregates component-wise
+        let merged = s.stats().merged(SlabStats { live: 1, dead: 2, spill: 3 });
+        assert_eq!(merged, SlabStats { live: 9, dead: 4, spill: 4 });
     }
 
     #[test]

@@ -403,6 +403,48 @@ mod tests {
     }
 
     #[test]
+    fn multiple_predicates_in_updating_expressions() {
+        let doc = parse_document(
+            "<log><entry id=\"x\">one</entry><entry id=\"y\">two</entry>\
+             <entry id=\"x\">three</entry></log>",
+        )
+        .unwrap();
+        let labels = Labeling::assign(&doc);
+        let pul = evaluate(
+            &doc,
+            &labels,
+            "rename node /log/entry[@id=\"x\"][last()] as \"latest\", \
+             insert nodes <mark/> as last into /log/entry[@id=\"x\"][1]",
+        )
+        .unwrap();
+        assert_eq!(pul.len(), 2, "each predicate chain selects exactly one entry");
+        let mut d = doc.clone();
+        apply_pul(&mut d, &pul, &ApplyOptions::default()).unwrap();
+        let xml = write_document(&d);
+        assert!(xml.contains("<latest id=\"x\">three</latest>"), "{xml}");
+        assert!(xml.contains("<entry id=\"x\">one<mark/></entry>"), "{xml}");
+    }
+
+    #[test]
+    fn wildcard_steps_with_predicates_in_updating_expressions() {
+        let (doc, labels) = setup();
+        // `*` composes with positional and attribute predicates
+        let pul = evaluate(
+            &doc,
+            &labels,
+            "rename node /issue/*[2]/title as \"heading\", \
+             delete node /issue/*[1][last()]/author",
+        )
+        .unwrap();
+        assert_eq!(pul.len(), 2);
+        let mut d = doc.clone();
+        apply_pul(&mut d, &pul, &ApplyOptions::default()).unwrap();
+        let xml = write_document(&d);
+        assert!(xml.contains("<heading>B</heading>"), "{xml}");
+        assert!(!xml.contains("<author>X</author>"), "{xml}");
+    }
+
+    #[test]
     fn multiple_targets_expand_to_multiple_ops() {
         let (doc, labels) = setup();
         let pul = evaluate(&doc, &labels, "rename node //title as \"heading\"").unwrap();

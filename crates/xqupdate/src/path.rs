@@ -36,8 +36,12 @@ pub struct Step {
     pub descendant: bool,
     /// The node test.
     pub test: NodeTest,
-    /// Optional predicate (`[n]`, `[last()]` or `[@name="value"]`).
-    pub predicate: Option<Predicate>,
+    /// The predicates of the step (`[n]`, `[last()]`, `[@name="value"]`), in
+    /// source order. Predicates filter left to right: each one applies to the
+    /// node list the previous predicates left, per context node — so
+    /// `entry[@id="x"][last()]` keeps the last of the `@id="x"` entries, not
+    /// the last entry if it happens to carry `@id="x"`.
+    pub predicates: Vec<Predicate>,
 }
 
 /// A parsed absolute path.
@@ -75,17 +79,13 @@ impl Path {
             let end = Self::step_end(rest);
             let (step_str, tail) = rest.split_at(end);
             rest = tail;
-            let (name_part, predicate) = match step_str.find('[') {
+            let (name_part, predicates) = match step_str.find('[') {
                 Some(i) => {
-                    let close = step_str
-                        .rfind(']')
-                        .filter(|&c| c > i)
-                        .ok_or_else(|| format!("missing ']' in step '{step_str}'"))?;
-                    let predicate = Self::parse_predicate(step_str[i + 1..close].trim())
+                    let predicates = Self::parse_predicates(&step_str[i..])
                         .map_err(|e| format!("{e} in step '{step_str}'"))?;
-                    (&step_str[..i], Some(predicate))
+                    (&step_str[..i], predicates)
                 }
-                None => (step_str, None),
+                None => (step_str, Vec::new()),
             };
             let test = if name_part == "text()" {
                 NodeTest::Text
@@ -100,9 +100,50 @@ impl Path {
             } else {
                 return Err(format!("empty step in path '{s}'"));
             };
-            steps.push(Step { descendant, test, predicate });
+            steps.push(Step { descendant, test, predicates });
         }
         Ok(Path { steps })
+    }
+
+    /// Parses a run of predicate groups `[p1][p2]…` (starting at the first
+    /// `[` of a step). Brackets and slashes inside quoted values belong to
+    /// the predicate, mirroring [`step_end`](Path::step_end).
+    fn parse_predicates(src: &str) -> Result<Vec<Predicate>, String> {
+        let mut predicates = Vec::new();
+        let mut rest = src;
+        while !rest.is_empty() {
+            let Some(tail) = rest.strip_prefix('[') else {
+                return Err(format!("unexpected '{rest}' after a predicate"));
+            };
+            let mut depth = 1i32;
+            let mut quote: Option<char> = None;
+            let mut close = None;
+            for (i, c) in tail.char_indices() {
+                match quote {
+                    Some(q) => {
+                        if c == q {
+                            quote = None;
+                        }
+                    }
+                    None => match c {
+                        '"' | '\'' => quote = Some(c),
+                        '[' => depth += 1,
+                        ']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                close = Some(i);
+                                break;
+                            }
+                        }
+                        _ => {}
+                    },
+                }
+            }
+            let close = close.ok_or_else(|| "missing ']'".to_string())?;
+            predicates.push(Self::parse_predicate(tail[..close].trim())?);
+            rest = &tail[close + 1..];
+        }
+        Ok(predicates)
     }
 
     /// Index of the first '/' of `s` that lies outside a `[...]` predicate
@@ -207,23 +248,27 @@ impl Path {
                         NodeTest::Text => doc.kind(c) == Ok(NodeKind::Text),
                     })
                     .collect();
-                match &step.predicate {
-                    Some(Predicate::Index(n)) => {
-                        matched = matched.into_iter().skip(n - 1).take(1).collect();
+                // Predicates filter left to right, each against the node list
+                // the previous ones left (per context node): [@id="x"][last()]
+                // keeps the last of the @id="x" matches.
+                for predicate in &step.predicates {
+                    match predicate {
+                        Predicate::Index(n) => {
+                            matched = matched.into_iter().skip(n - 1).take(1).collect();
+                        }
+                        Predicate::Last => {
+                            matched = matched.last().copied().into_iter().collect();
+                        }
+                        Predicate::AttrEquals(name, value) => {
+                            matched.retain(|&c| {
+                                doc.attribute_by_name(c, name)
+                                    .ok()
+                                    .flatten()
+                                    .and_then(|a| doc.value(a).ok().flatten())
+                                    == Some(value.as_str())
+                            });
+                        }
                     }
-                    Some(Predicate::Last) => {
-                        matched = matched.last().copied().into_iter().collect();
-                    }
-                    Some(Predicate::AttrEquals(name, value)) => {
-                        matched.retain(|&c| {
-                            doc.attribute_by_name(c, name)
-                                .ok()
-                                .flatten()
-                                .and_then(|a| doc.value(a).ok().flatten())
-                                == Some(value.as_str())
-                        });
-                    }
-                    None => {}
                 }
                 next.extend(matched);
             }
@@ -301,16 +346,90 @@ mod tests {
     #[test]
     fn predicates_parse_into_the_enum() {
         let p = Path::parse("/a/b[last()]").unwrap();
-        assert_eq!(p.steps[1].predicate, Some(Predicate::Last));
+        assert_eq!(p.steps[1].predicates, vec![Predicate::Last]);
         let p = Path::parse("/a/b[3]").unwrap();
-        assert_eq!(p.steps[1].predicate, Some(Predicate::Index(3)));
+        assert_eq!(p.steps[1].predicates, vec![Predicate::Index(3)]);
         let p = Path::parse("/a/b[@id=\"x\"]").unwrap();
-        assert_eq!(p.steps[1].predicate, Some(Predicate::AttrEquals("id".into(), "x".into())));
+        assert_eq!(p.steps[1].predicates, vec![Predicate::AttrEquals("id".into(), "x".into())]);
         let p = Path::parse("/a/b[@class='wide']").unwrap();
         assert_eq!(
-            p.steps[1].predicate,
-            Some(Predicate::AttrEquals("class".into(), "wide".into()))
+            p.steps[1].predicates,
+            vec![Predicate::AttrEquals("class".into(), "wide".into())]
         );
+    }
+
+    #[test]
+    fn multiple_predicates_parse_in_source_order() {
+        let p = Path::parse("/log/entry[@id=\"x\"][last()]").unwrap();
+        assert_eq!(
+            p.steps[1].predicates,
+            vec![Predicate::AttrEquals("id".into(), "x".into()), Predicate::Last]
+        );
+        let p = Path::parse("/a/b[2][@k='v'][last()]").unwrap();
+        assert_eq!(
+            p.steps[1].predicates,
+            vec![
+                Predicate::Index(2),
+                Predicate::AttrEquals("k".into(), "v".into()),
+                Predicate::Last
+            ]
+        );
+        // quoted brackets and slashes stay inside their predicate
+        let p = Path::parse("/a/b[@href=\"x[1]/y\"][1]/c").unwrap();
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(
+            p.steps[1].predicates,
+            vec![Predicate::AttrEquals("href".into(), "x[1]/y".into()), Predicate::Index(1)]
+        );
+        // wildcard steps take predicates too
+        let p = Path::parse("/issue/*[2]").unwrap();
+        assert_eq!(p.steps[1].test, NodeTest::AnyElement);
+        assert_eq!(p.steps[1].predicates, vec![Predicate::Index(2)]);
+        // malformed runs are rejected
+        assert!(Path::parse("/a/b[1]x[2]").is_err(), "junk between predicates");
+        assert!(Path::parse("/a/b[1][").is_err(), "unclosed trailing predicate");
+    }
+
+    #[test]
+    fn multiple_predicates_filter_left_to_right() {
+        let d = parse_document(
+            "<log><entry id=\"x\">one</entry><entry id=\"y\">two</entry>\
+             <entry id=\"x\">three</entry><entry id=\"x\">four</entry></log>",
+        )
+        .unwrap();
+        // the last of the @id="x" entries — not the last entry filtered by @id
+        let hits = Path::parse("/log/entry[@id=\"x\"][last()]").unwrap().select(&d);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(d.text_content(hits[0]), "four");
+        // the second @id="x" entry
+        let hits = Path::parse("/log/entry[@id=\"x\"][2]").unwrap().select(&d);
+        assert_eq!(hits.iter().map(|&h| d.text_content(h)).collect::<Vec<_>>(), vec!["three"]);
+        // order matters: [2][@id="x"] tests the second entry's attribute
+        let hits = Path::parse("/log/entry[2][@id=\"x\"]").unwrap().select(&d);
+        assert!(hits.is_empty(), "entry[2] has id=y");
+        let hits = Path::parse("/log/entry[3][@id=\"x\"]").unwrap().select(&d);
+        assert_eq!(d.text_content(hits[0]), "three");
+        // composition collapses to a single node per chain
+        let hits = Path::parse("/log/entry[@id=\"x\"][last()][1]").unwrap().select(&d);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(d.text_content(hits[0]), "four");
+    }
+
+    #[test]
+    fn wildcard_steps_compose_with_predicates() {
+        let d = doc();
+        // second child element of the issue, whatever its name
+        let hits = Path::parse("/issue/*[2]").unwrap().select(&d);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits, Path::parse("/issue/paper[2]").unwrap().select(&d));
+        // wildcard + attribute predicate + position
+        let hits = Path::parse("/issue/*[@id=\"p2\"][last()]/title").unwrap().select(&d);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(d.text_content(hits[0]), "B");
+        // wildcard on the descendant axis with a predicate chain
+        let hits = Path::parse("//*[@id=\"p1\"][1]").unwrap().select(&d);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits, Path::parse("/issue/paper[1]").unwrap().select(&d));
     }
 
     #[test]
@@ -332,11 +451,11 @@ mod tests {
         let p = Path::parse("/a/b[@href=\"http://x/y\"]/c").unwrap();
         assert_eq!(p.steps.len(), 3);
         assert_eq!(
-            p.steps[1].predicate,
-            Some(Predicate::AttrEquals("href".into(), "http://x/y".into()))
+            p.steps[1].predicates,
+            vec![Predicate::AttrEquals("href".into(), "http://x/y".into())]
         );
         let p = Path::parse("/a/b[@id=\"a]b\"]").unwrap();
-        assert_eq!(p.steps[1].predicate, Some(Predicate::AttrEquals("id".into(), "a]b".into())));
+        assert_eq!(p.steps[1].predicates, vec![Predicate::AttrEquals("id".into(), "a]b".into())]);
         // the root step takes predicates too
         assert_eq!(Path::parse("/issue[@volume=\"30\"]/paper").unwrap().select(&d).len(), 2);
         assert!(Path::parse("/issue[@volume=\"31\"]/paper").unwrap().select(&d).is_empty());

@@ -1,67 +1,109 @@
-//! Collaborative editing (§1): several producers check out the same document,
-//! send back their PULs, and the executor session integrates them,
-//! reconciling the conflicts according to each producer's policy before
-//! committing the new authoritative version.
+//! Collaborative editing (§1): several producers check out the same document
+//! and send their PULs back concurrently. The [`IngestQueue`] fronts the
+//! executor session: every writer thread enqueues its update and gets a
+//! ticket, the queue coalesces independent updates into one commit and
+//! serializes contended ones behind each other, and each ticket reports the
+//! version its submission landed in.
 //!
 //! Run with `cargo run --example collaborative_editing`.
+
+use std::thread;
 
 use xmlpul::prelude::*;
 
 fn main() {
-    let mut session = Executor::parse(
-        "<report><section><title>Introduction</title><para>Old text</para></section>\
-         <section><title>Evaluation</title><para>Numbers</para></section></report>",
+    let session = Executor::parse(
+        "<report><intro><para>Old intro</para></intro>\
+         <methods><para>Old methods</para></methods>\
+         <eval><para>Old numbers</para></eval>\
+         <summary><para>Contended text</para></summary></report>",
     )
     .expect("well-formed document");
     let doc = session.document();
-    let root = doc.root().unwrap();
-    let intro_para = doc.find_elements("para")[0];
-    let intro_text = doc.children(intro_para).unwrap()[0];
-    let eval_section = doc.find_elements("section")[1];
+    let section_text = |name: &str| {
+        let section = doc.find_element(name).unwrap();
+        let para = doc.children(section).unwrap()[0];
+        doc.children(para).unwrap()[0]
+    };
 
-    // Alice rewrites the introduction paragraph and signs the report.
-    let alice = session.pul_from_ops(vec![
-        UpdateOp::replace_value(intro_text, "The introduction, rewritten by Alice."),
-        UpdateOp::ins_attributes(root, vec![Tree::attribute("editor", "alice")]),
-    ]);
-    // Bob also rewrites that paragraph, adds a figure to the evaluation
-    // section and signs too.
-    let bob = session.pul_from_ops(vec![
-        UpdateOp::replace_value(intro_text, "Bob's own version of the introduction."),
-        UpdateOp::ins_last(eval_section, vec![Tree::element_with_text("figure", "throughput.png")]),
-        UpdateOp::ins_attributes(root, vec![Tree::attribute("editor", "bob")]),
-    ]);
+    // Three writers edit disjoint sections — independent by label interval —
+    // and two more rewrite the same summary paragraph — contended.
+    let edits: Vec<(&str, Pul)> = vec![
+        ("alice", {
+            session.pul_from_ops(vec![UpdateOp::replace_value(
+                section_text("intro"),
+                "Alice rewrote the introduction.",
+            )])
+        }),
+        ("bob", {
+            session.pul_from_ops(vec![UpdateOp::replace_value(
+                section_text("methods"),
+                "Bob refreshed the methods.",
+            )])
+        }),
+        ("carol", {
+            let eval = doc.find_element("eval").unwrap();
+            session.pul_from_ops(vec![UpdateOp::ins_last(
+                eval,
+                vec![Tree::element_with_text("figure", "throughput.png")],
+            )])
+        }),
+        ("dave", {
+            session.pul_from_ops(vec![UpdateOp::replace_value(
+                section_text("summary"),
+                "Dave's summary.",
+            )])
+        }),
+        ("erin", {
+            session.pul_from_ops(vec![UpdateOp::replace_value(
+                section_text("summary"),
+                "Erin's summary, sent last.",
+            )])
+        }),
+    ];
 
-    // Alice insists her text stays; Bob has no constraints. The session
-    // integrates the two parallel PULs and reconciles under those policies.
-    session.submit_with_policy(alice.clone(), Policy::inserted_data());
-    session.submit_with_policy(bob.clone(), Policy::relaxed());
-    let resolution = session.resolve().expect("solvable under these policies");
-    println!("detected {} conflicts:", resolution.conflicts().len());
-    for c in resolution.conflicts() {
-        println!("  {c}");
-    }
-    println!(
-        "\nreconciled PUL ({} operations):\n  {}",
-        resolution.resolved_ops(),
-        resolution.pul()
-    );
+    // One queue, many writer threads: `enqueue` is `&self`, so scoped threads
+    // share the queue by reference. Each writer gets its ticket back
+    // immediately and waits for the commit on its own.
+    let queue = IngestQueue::new(session);
+    let outcomes: Vec<(String, Result<TicketOutcome>)> = thread::scope(|scope| {
+        let queue = &queue;
+        let handles: Vec<_> = edits
+            .into_iter()
+            .map(|(writer, pul)| {
+                scope.spawn(move || {
+                    let ticket = queue.enqueue(pul).expect("queue open");
+                    (writer.to_string(), ticket.wait())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("writer thread")).collect()
+    });
+    let session = queue.close();
 
-    let report = session.commit_resolution(resolution).expect("applicable PUL");
-    println!("\nnew authoritative version (v{}):\n  {}", report.version, session.serialize());
-
-    // If both insisted on their own text, the executor would have to refuse:
-    // a transaction makes the attempt safe to probe and roll back.
-    let mut tx = session.transaction();
-    tx.submit_with_policy(alice, Policy::inserted_data());
-    tx.submit_with_policy(bob, Policy::inserted_data());
-    match tx.resolve() {
-        Err(e) => {
-            println!("\nwith both producers strict the reconciliation fails as expected:\n  {e}");
-            assert_eq!(e.code(), "XPUL-C01");
+    println!("final document (v{}):\n  {}\n", session.version(), session.serialize());
+    for (writer, outcome) in &outcomes {
+        match outcome {
+            Ok(o) => println!("{writer:>6}: committed in version {}", o.version),
+            Err(e) => println!("{writer:>6}: failed — {e}"),
         }
-        Ok(_) => unreachable!("conflicting strict policies cannot be reconciled"),
     }
-    tx.rollback();
-    assert_eq!(session.pending(), 0, "the transaction rolled its submissions back");
+
+    // Every submission committed; the disjoint edits coalesced into shared
+    // versions while the two summary rewrites were serialized — whichever
+    // the queue ordered last wins, exactly as with sequential commits.
+    assert!(outcomes.iter().all(|(_, o)| o.is_ok()));
+    let versions: Vec<u64> = outcomes.iter().map(|(_, o)| o.as_ref().unwrap().version).collect();
+    let (dave_v, erin_v) = (versions[3], versions[4]);
+    assert_ne!(dave_v, erin_v, "contended edits land in different versions");
+    let xml = session.serialize();
+    assert!(xml.contains("Alice rewrote"));
+    assert!(xml.contains("Bob refreshed"));
+    assert!(xml.contains("throughput.png"));
+    let winner = if erin_v > dave_v { "Erin" } else { "Dave" };
+    assert!(xml.contains(&format!("{winner}'s summary")), "the later version wins");
+    println!(
+        "\ncontended summary: Dave landed in v{dave_v}, Erin in v{erin_v} — v{} wins.",
+        dave_v.max(erin_v)
+    );
 }

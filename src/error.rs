@@ -54,6 +54,10 @@ pub enum Error {
     /// cannot be assigned to any shard (e.g. a whole-root replacement, or a
     /// target unknown to every shard).
     Shard(String),
+    /// An ingestion-pipeline failure: the queue was closed when a submission
+    /// arrived, or a ticket was poisoned by the pipeline shutting down before
+    /// its submission could be committed.
+    Ingest(String),
 }
 
 impl Error {
@@ -90,6 +94,7 @@ impl Error {
             Error::StreamMismatch(_) => "XPUL-E03",
             Error::Io(_) => "XPUL-E04",
             Error::Shard(_) => "XPUL-E05",
+            Error::Ingest(_) => "XPUL-E06",
         }
     }
 
@@ -118,6 +123,7 @@ impl fmt::Display for Error {
             Error::StreamMismatch(msg) => write!(f, "streamed document mismatch: {msg}"),
             Error::Io(msg) => write!(f, "I/O error while streaming: {msg}"),
             Error::Shard(msg) => write!(f, "sharding error: {msg}"),
+            Error::Ingest(msg) => write!(f, "ingestion error: {msg}"),
         }
     }
 }
@@ -180,6 +186,7 @@ mod tests {
             (Error::from(PulError::Dynamic("x".into())), "XPUL-P03"),
             (Error::from(XqError("bad".into())), "XPUL-Q01"),
             (Error::StaleResolution { resolved_at: 1, current: 2 }, "XPUL-E01"),
+            (Error::Ingest("queue closed".into()), "XPUL-E06"),
         ];
         for (e, code) in cases {
             assert_eq!(e.code(), code);

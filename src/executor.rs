@@ -29,6 +29,7 @@ use xdm::{parser, writer, Document};
 use xlabel::Labeling;
 
 use crate::error::{Error, Result};
+use crate::ingest::{BatchCommit, IngestBackend};
 use crate::resolution::Resolution;
 use crate::transaction::Transaction;
 
@@ -434,6 +435,19 @@ impl Executor {
         CacheStats { hits: self.reduction_cache.hits, misses: self.reduction_cache.misses }
     }
 
+    /// Slot-occupancy statistics of the session's dense id-indexed stores
+    /// (node arena and labeling): live and dead (never-reused) dense slots
+    /// plus spilled sparse entries. Identifiers are never reused (§4.1), so a
+    /// long-lived session with heavy insert/delete churn accumulates dead
+    /// slots — this is the observable that motivates a slab-compaction
+    /// checkpoint (see the ROADMAP).
+    pub fn slab_stats(&self) -> SessionSlabStats {
+        SessionSlabStats {
+            nodes: self.core.doc.slab_stats(),
+            labels: self.core.labeling.slab_stats(),
+        }
+    }
+
     /// Serializes the authoritative document.
     pub fn serialize(&self) -> String {
         self.core.serialize()
@@ -800,6 +814,65 @@ impl Executor {
         }
         assert_eq!(self.next_submission, oracle.next_submission);
         assert_eq!(self.core.version, oracle.version);
+    }
+}
+
+/// Slot-occupancy statistics of one session's dense stores, as reported by
+/// [`Executor::slab_stats`] and
+/// [`ShardedExecutor::slab_stats`](crate::ShardedExecutor::slab_stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionSlabStats {
+    /// The document's node arena.
+    pub nodes: xdm::SlabStats,
+    /// The labeling's label store.
+    pub labels: xdm::SlabStats,
+}
+
+impl SessionSlabStats {
+    /// Component-wise sum (used by the sharded façade to aggregate shards).
+    pub fn merged(self, other: SessionSlabStats) -> SessionSlabStats {
+        SessionSlabStats {
+            nodes: self.nodes.merged(other.nodes),
+            labels: self.labels.merged(other.labels),
+        }
+    }
+}
+
+/// The ingestion pipeline drives a single executor exactly like a producer
+/// session would: admitted PULs become pending submissions (pre-reduced by
+/// the pipeline's drainer, so `resolve` skips their reduction), and the
+/// batch commit is [`commit_resolution`](Executor::commit_resolution).
+impl IngestBackend for Executor {
+    type Resolution = Resolution;
+
+    fn admit(&mut self, pul: Pul, policy: Policy, reduced: Option<Pul>) -> SubmissionId {
+        self.submit_inner(pul, policy, reduced)
+    }
+
+    fn resolve_pending(&self) -> Result<Resolution> {
+        self.resolve()
+    }
+
+    fn commit_pending(&mut self, resolution: Resolution) -> Result<BatchCommit> {
+        let applied_ops = resolution.pul.len();
+        let report = self.commit_resolution(resolution)?;
+        Ok(BatchCommit { version: report.version, applied_ops, conflicts: report.conflicts })
+    }
+
+    fn discard(&mut self, id: SubmissionId) {
+        let _ = self.withdraw(id);
+    }
+
+    fn current_version(&self) -> u64 {
+        self.core.version
+    }
+
+    fn reduction_strategy(&self) -> ReductionStrategy {
+        self.strategy
+    }
+
+    fn default_policy(&self) -> Policy {
+        self.default_policy
     }
 }
 

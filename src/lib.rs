@@ -51,7 +51,10 @@
 //! Everything fallible returns the unified [`Error`] with a stable
 //! [`code`](Error::code); [`Transaction`] adds build-apply-rollback on top;
 //! [`Executor::commit_streaming`] applies a resolution in one pass over the
-//! identified serialization without materialising the document.
+//! identified serialization without materialising the document;
+//! [`IngestQueue`] fronts an executor (single or
+//! [sharded](ShardedExecutor)) with a batched, coalescing, pipelined
+//! submission queue for multi-writer ingestion.
 //!
 //! ## Workspace layout
 //!
@@ -78,6 +81,7 @@ pub use xqupdate;
 
 mod error;
 mod executor;
+mod ingest;
 mod resolution;
 mod shard;
 mod transaction;
@@ -86,8 +90,10 @@ pub mod fixtures;
 
 pub use error::{Error, Result};
 pub use executor::{
-    CacheStats, CommitReport, Executor, ExecutorCore, ReductionStrategy, SubmissionId,
+    CacheStats, CommitReport, Executor, ExecutorCore, ReductionStrategy, SessionSlabStats,
+    SubmissionId,
 };
+pub use ingest::{BatchCommit, IngestBackend, IngestConfig, IngestQueue, Ticket, TicketOutcome};
 pub use resolution::Resolution;
 pub use shard::{ShardedCommitReport, ShardedExecutor, ShardedResolution};
 pub use transaction::Transaction;
@@ -95,8 +101,10 @@ pub use transaction::Transaction;
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::{
-        CacheStats, CommitReport, Error, Executor, ExecutorCore, ReductionStrategy, Resolution,
-        Result, ShardedCommitReport, ShardedExecutor, ShardedResolution, SubmissionId, Transaction,
+        BatchCommit, CacheStats, CommitReport, Error, Executor, ExecutorCore, IngestBackend,
+        IngestConfig, IngestQueue, ReductionStrategy, Resolution, Result, SessionSlabStats,
+        ShardedCommitReport, ShardedExecutor, ShardedResolution, SubmissionId, Ticket,
+        TicketOutcome, Transaction,
     };
     pub use pul::{ApplyOptions, OpClass, OpName, Pul, UpdateOp};
     pub use pul_core::{Conflict, ConflictType, Policy};
@@ -119,6 +127,39 @@ mod tests {
         session.commit_resolution(resolution).unwrap();
         assert!(session.serialize().contains("<c>"));
         assert_eq!(session.version(), 1);
+    }
+
+    #[test]
+    fn slab_stats_expose_churn() {
+        let mut session = Executor::parse("<r><a/><b/><c/><d/></r>").unwrap();
+        let before = session.slab_stats();
+        assert_eq!(before.nodes.dead, 0);
+        assert_eq!(
+            before.nodes.live + before.nodes.spill,
+            before.labels.live + before.labels.spill,
+            "arena and labeling store the same population"
+        );
+        // churn: delete two subtrees, insert one — dead slots accumulate
+        // because identifiers are never reused
+        let a = session.document().find_element("a").unwrap();
+        let b = session.document().find_element("b").unwrap();
+        let c = session.document().find_element("c").unwrap();
+        let pul = session.pul_from_ops(vec![
+            UpdateOp::delete(a),
+            UpdateOp::delete(b),
+            UpdateOp::ins_last(c, vec![Tree::element("fresh")]),
+        ]);
+        session.submit(pul);
+        session.commit().unwrap();
+        let after = session.slab_stats();
+        assert!(after.nodes.dead >= 2, "removed slots stay dead: {after:?}");
+        assert!(after.labels.dead >= 2);
+        assert!(after.nodes.dead_ratio() > 0.0);
+        // the sharded façade aggregates across shards
+        let sharded = ShardedExecutor::parse("<r><a/><b/><c/><d/></r>", 2).unwrap();
+        let stats = sharded.slab_stats();
+        assert!(stats.nodes.live >= 5, "root copies + subtrees: {stats:?}");
+        assert_eq!(stats.nodes.spill, 0);
     }
 
     #[test]

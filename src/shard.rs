@@ -61,8 +61,10 @@ use xlabel::{LabelInterval, Labeling, NodeLabel, OrderKey};
 
 use crate::error::{Error, Result};
 use crate::executor::{
-    check_resolution_fresh, CoreScope, ExecutorCore, ReductionStrategy, SubmissionId,
+    check_resolution_fresh, CoreScope, ExecutorCore, ReductionStrategy, SessionSlabStats,
+    SubmissionId,
 };
+use crate::ingest::{BatchCommit, IngestBackend};
 
 /// One shard: an executor core over a slice of the document, plus the label
 /// interval it owns for routing.
@@ -73,12 +75,15 @@ struct Shard {
 }
 
 /// A pending producer submission (the full, unsplit PUL: splitting happens at
-/// resolve time, against the reduced form).
+/// resolve time, against the reduced form). Submissions admitted through the
+/// ingestion pipeline carry their reduction along, so `resolve` skips
+/// reducing them.
 #[derive(Debug, Clone)]
 struct ShardedSubmission {
     id: SubmissionId,
     pul: Pul,
     policy: Policy,
+    pre_reduced: Option<Pul>,
 }
 
 /// The outcome of a sharded resolve: one resolved PUL per shard, ready for
@@ -417,9 +422,13 @@ impl ShardedExecutor {
 
     /// Submits a producer PUL with an explicit producer policy.
     pub fn submit_with_policy(&mut self, pul: Pul, policy: Policy) -> SubmissionId {
+        self.submit_inner(pul, policy, None)
+    }
+
+    fn submit_inner(&mut self, pul: Pul, policy: Policy, pre_reduced: Option<Pul>) -> SubmissionId {
         let id = SubmissionId(self.next_submission);
         self.next_submission += 1;
-        self.submissions.push(ShardedSubmission { id, pul, policy });
+        self.submissions.push(ShardedSubmission { id, pul, policy, pre_reduced });
         id
     }
 
@@ -526,18 +535,36 @@ impl ShardedExecutor {
         let n = self.shards.len();
         let policies: Vec<Policy> = self.submissions.iter().map(|s| s.policy).collect();
         // Per-submission reduction is independent work too: one scoped thread
-        // per producer PUL (reduction dominates resolve, §4.3).
+        // per producer PUL (reduction dominates resolve, §4.3). Submissions
+        // admitted through the ingestion pipeline already carry their
+        // reduction, so they spawn no thread at all.
         let strategy = self.strategy;
-        let reduced: Vec<Pul> = if self.submissions.len() <= 1 {
-            self.submissions.iter().map(|s| strategy.reduce(&s.pul)).collect()
+        let to_reduce = self.submissions.iter().filter(|s| s.pre_reduced.is_none()).count();
+        let reduced: Vec<Pul> = if to_reduce <= 1 {
+            self.submissions
+                .iter()
+                .map(|s| match &s.pre_reduced {
+                    Some(r) => r.clone(),
+                    None => strategy.reduce(&s.pul),
+                })
+                .collect()
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .submissions
                     .iter()
-                    .map(|s| scope.spawn(move || strategy.reduce(&s.pul)))
+                    .map(|s| match &s.pre_reduced {
+                        Some(r) => Ok(r.clone()),
+                        None => Err(scope.spawn(move || strategy.reduce(&s.pul))),
+                    })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("reduction thread panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| match h {
+                        Ok(r) => r,
+                        Err(h) => h.join().expect("reduction thread panicked"),
+                    })
+                    .collect()
             })
         };
 
@@ -563,9 +590,15 @@ impl ShardedExecutor {
         // reason on their sub-PULs *in parallel* (one scoped thread each);
         // outcomes are collected in shard order, so errors and conflict
         // reports stay deterministic whatever the thread interleaving.
+        // Spawning costs tens of microseconds per shard, so small resolutions
+        // (a few hundred ops — the batched-ingestion common case) run inline.
+        const PARALLEL_RESOLVE_MIN_OPS: usize = 512;
         let strategy = self.strategy;
+        let total_ops: usize = per_shard_subs.iter().flat_map(|s| s.iter()).map(|p| p.len()).sum();
         let busy = per_shard_subs.iter().filter(|s| s.iter().any(|p| !p.is_empty())).count();
-        let outcomes: Vec<Result<(Pul, Vec<Conflict>)>> = if busy <= 1 {
+        let outcomes: Vec<Result<(Pul, Vec<Conflict>)>> = if busy <= 1
+            || total_ops < PARALLEL_RESOLVE_MIN_OPS
+        {
             per_shard_subs.iter().map(|s| Self::resolve_shard(s, &policies, strategy)).collect()
         } else {
             let policies = &policies;
@@ -702,6 +735,60 @@ impl ShardedExecutor {
         check_resolution_fresh(resolution.version, self.version, &resolution.submission_ids, |id| {
             self.submissions.iter().any(|s| s.id == id)
         })
+    }
+
+    /// Slot-occupancy statistics of the dense id-indexed stores, aggregated
+    /// across every shard (see [`Executor::slab_stats`]
+    /// (crate::Executor::slab_stats)). Dead slots accumulate per shard —
+    /// identifiers are never reused — so this is the churn observable for
+    /// long-lived sharded sessions too.
+    pub fn slab_stats(&self) -> SessionSlabStats {
+        self.shards.iter().fold(SessionSlabStats::default(), |acc, shard| {
+            acc.merged(SessionSlabStats {
+                nodes: shard.core.document().slab_stats(),
+                labels: shard.core.labeling().slab_stats(),
+            })
+        })
+    }
+}
+
+/// The ingestion pipeline drives a sharded session through the same
+/// submit → resolve → commit verbs as a single executor; the label-interval
+/// routing and the two-phase journal commit stay internal to the backend.
+impl IngestBackend for ShardedExecutor {
+    type Resolution = ShardedResolution;
+
+    fn admit(&mut self, pul: Pul, policy: Policy, reduced: Option<Pul>) -> SubmissionId {
+        self.submit_inner(pul, policy, reduced)
+    }
+
+    fn resolve_pending(&self) -> Result<ShardedResolution> {
+        self.resolve()
+    }
+
+    fn commit_pending(&mut self, resolution: ShardedResolution) -> Result<BatchCommit> {
+        let report = self.commit_resolution(resolution)?;
+        Ok(BatchCommit {
+            version: report.version,
+            applied_ops: report.applied_ops,
+            conflicts: report.conflicts,
+        })
+    }
+
+    fn discard(&mut self, id: SubmissionId) {
+        let _ = self.withdraw(id);
+    }
+
+    fn current_version(&self) -> u64 {
+        self.version
+    }
+
+    fn reduction_strategy(&self) -> ReductionStrategy {
+        self.strategy
+    }
+
+    fn default_policy(&self) -> Policy {
+        self.default_policy
     }
 }
 
