@@ -1,8 +1,8 @@
 //! Regenerates the evaluation of §4.3: one table per figure of the paper.
 //!
 //! ```text
-//! experiments [--fig 6a|6b|6c|6d|6e|session|shards|memory|all] [--full|--quick]
-//!             [--json [PATH]]
+//! experiments [--fig 6a|6b|6c|6d|6e|session|shards|ingest|memory|wal|recovery|all]
+//!             [--full|--quick] [--json [PATH]]
 //! ```
 //!
 //! By default a scaled-down workload is used so that the whole run completes in
@@ -535,6 +535,130 @@ fn commit_memory(mode: Mode) -> Vec<String> {
     rows
 }
 
+fn wal_overhead(mode: Mode) -> Vec<String> {
+    println!("\n=== WAL overhead — durable vs plain commit cost by sync policy ===");
+    println!(
+        "{:>12} {:>9} {:>12} {:>12} {:>10} {:>12} {:>9}",
+        "sync", "commits", "wall ms", "us/commit", "overhead", "wal bytes", "B/commit"
+    );
+    let (doc_nodes, n_commits, ops_per_commit) = match mode {
+        Mode::Full => (60_000, 512, 4),
+        Mode::Default => (20_000, 200, 4),
+        Mode::Quick => (6_000, 32, 2),
+    };
+    let w = setup_durability(doc_nodes, n_commits, ops_per_commit, 42);
+    let dir = std::env::temp_dir().join(format!("xmlpul_bench_wal_{}", std::process::id()));
+    let mut rows = Vec::new();
+
+    // best-of-3: the loops are short and scheduling-sensitive
+    let plain = (0..3).map(|_| run_commit_plain(&w)).min().expect("three runs");
+    let plain_us = plain.as_secs_f64() * 1e6 / n_commits as f64;
+    println!(
+        "{:>12} {:>9} {:>12.2} {:>12.1} {:>10} {:>12} {:>9}",
+        "plain",
+        n_commits,
+        ms_f(plain),
+        plain_us,
+        "-",
+        "-",
+        "-"
+    );
+    rows.push(format!(
+        "{{\"sync\": \"plain\", \"commits\": {n_commits}, \"ops_per_commit\": {ops_per_commit}, \
+         \"wall_ms\": {:.3}, \"us_per_commit\": {:.2}, \"overhead_ratio\": null, \
+         \"wal_bytes\": null, \"wal_bytes_per_commit\": null}}",
+        ms_f(plain),
+        plain_us
+    ));
+
+    let policies: &[(&str, xmlpul::SyncPolicy)] = &[
+        ("off", xmlpul::SyncPolicy::Off),
+        ("interval16", xmlpul::SyncPolicy::Interval(16)),
+        ("per-commit", xmlpul::SyncPolicy::PerCommit),
+    ];
+    for &(name, sync) in policies {
+        let report = (0..3)
+            .map(|_| run_commit_durable(&w, sync, &dir))
+            .min_by_key(|r| r.elapsed)
+            .expect("three runs");
+        let us = report.elapsed.as_secs_f64() * 1e6 / n_commits as f64;
+        let overhead = report.elapsed.as_secs_f64() / plain.as_secs_f64();
+        let per_commit = report.wal_bytes / n_commits as u64;
+        println!(
+            "{:>12} {:>9} {:>12.2} {:>12.1} {:>9.2}x {:>12} {:>9}",
+            name,
+            n_commits,
+            ms_f(report.elapsed),
+            us,
+            overhead,
+            report.wal_bytes,
+            per_commit
+        );
+        rows.push(format!(
+            "{{\"sync\": \"{name}\", \"commits\": {n_commits}, \
+             \"ops_per_commit\": {ops_per_commit}, \"wall_ms\": {:.3}, \
+             \"us_per_commit\": {:.2}, \"overhead_ratio\": {overhead:.3}, \
+             \"wal_bytes\": {}, \"wal_bytes_per_commit\": {per_commit}}}",
+            ms_f(report.elapsed),
+            us,
+            report.wal_bytes
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    rows
+}
+
+fn recovery_time(mode: Mode) -> Vec<String> {
+    println!("\n=== Recovery time — Durable::open vs WAL tail length ===");
+    println!(
+        "{:>13} {:>12} {:>12} {:>12} {:>14}",
+        "tail commits", "wal bytes", "open ms", "us/record", "recovered ver"
+    );
+    let (doc_nodes, ops_per_commit, tails): (usize, usize, &[usize]) = match mode {
+        Mode::Full => (60_000, 4, &[0, 64, 256, 512]),
+        Mode::Default => (20_000, 4, &[0, 32, 128, 200]),
+        Mode::Quick => (6_000, 2, &[0, 16]),
+    };
+    let max_tail = *tails.last().expect("at least one tail length");
+    let w = setup_durability(doc_nodes, max_tail.max(1), ops_per_commit, 42);
+    let dir = std::env::temp_dir().join(format!("xmlpul_bench_recovery_{}", std::process::id()));
+    let mut rows = Vec::new();
+    for &tail in tails {
+        // a tail of 0 recovers from the checkpoint image alone — the floor
+        // every longer tail's replay cost sits on top of
+        let (expect, wal_bytes) = setup_recovery_store(&w, &dir, tail);
+        let reps = if mode == Mode::Quick { 2 } else { 3 };
+        let ((version, _), open) = avg(reps, || run_recovery(&dir));
+        assert_eq!(version, expect, "recovery must land on the last durable version");
+        let us_per_record = if tail > 0 {
+            format!("{:.1}", open.as_secs_f64() * 1e6 / tail as f64)
+        } else {
+            "-".into()
+        };
+        println!(
+            "{:>13} {:>12} {:>12} {:>12} {:>14}",
+            tail,
+            wal_bytes,
+            ms(open),
+            us_per_record,
+            version
+        );
+        rows.push(format!(
+            "{{\"tail_commits\": {tail}, \"ops_per_commit\": {ops_per_commit}, \
+             \"wal_bytes\": {wal_bytes}, \"open_ms\": {:.3}, \"us_per_record\": {}, \
+             \"recovered_version\": {version}}}",
+            ms_f(open),
+            if tail > 0 {
+                format!("{:.2}", open.as_secs_f64() * 1e6 / tail as f64)
+            } else {
+                "null".into()
+            }
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    rows
+}
+
 fn main() {
     let args: Vec<String> = env::args().collect();
     let mode = if args.iter().any(|a| a == "--full") {
@@ -575,6 +699,8 @@ fn main() {
     run_suite!("shard_scaling", "shards", shard_scaling);
     run_suite!("ingest_throughput", "ingest", ingest_throughput);
     run_suite!("commit_memory", "memory", commit_memory);
+    run_suite!("wal_overhead", "wal", wal_overhead);
+    run_suite!("recovery_time", "recovery", recovery_time);
 
     if let Some(path) = json_path {
         let body = report.render(mode);

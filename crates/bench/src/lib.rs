@@ -709,6 +709,152 @@ pub fn run_snapshot_clone_baseline(w: &CommitMemoryWorkload) -> alloc_counter::A
     stats
 }
 
+// ---------------------------------------------------------------------------
+// Durability — WAL overhead and recovery time
+// ---------------------------------------------------------------------------
+
+/// Workload for the durability suites: an XMark document and `n_commits`
+/// pairwise-independent PULs, one per commit round, each renaming
+/// `ops_per_commit` distinct unit subtrees. Independence keeps every round
+/// committable in isolation, so the same workload drives a plain session, a
+/// durable session under any sync policy, and a recovery replay identically.
+pub struct DurabilityWorkload {
+    /// The document the sessions open on.
+    pub doc: Document,
+    /// One PUL per commit round.
+    pub puls: Vec<Pul>,
+}
+
+/// Builds the durability workload.
+pub fn setup_durability(
+    doc_nodes: usize,
+    n_commits: usize,
+    ops_per_commit: usize,
+    seed: u64,
+) -> DurabilityWorkload {
+    let doc = xmark(&XmarkConfig { target_nodes: doc_nodes, seed });
+    let labeling = Labeling::assign(&doc);
+    let mut units: Vec<NodeId> = ["item", "person", "open_auction", "closed_auction", "category"]
+        .iter()
+        .flat_map(|n| doc.find_elements(n))
+        .collect();
+    let needed = n_commits * ops_per_commit;
+    assert!(
+        units.len() >= needed,
+        "document too small: {} units for {n_commits}x{ops_per_commit} ops",
+        units.len()
+    );
+    units.truncate(needed);
+    let puls = units
+        .chunks(ops_per_commit)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let ops = chunk
+                .iter()
+                .enumerate()
+                .map(|(j, &unit)| UpdateOp::rename(unit, format!("u{i}_{j}")))
+                .collect();
+            Pul::from_ops(ops, &labeling)
+        })
+        .collect();
+    DurabilityWorkload { doc, puls }
+}
+
+/// Durable options that never checkpoint on their own, so the WAL-overhead
+/// numbers measure append + sync cost only and the recovery workload controls
+/// its own tail length.
+fn no_checkpoint_opts(sync: xmlpul::SyncPolicy) -> xmlpul::DurableOptions {
+    xmlpul::DurableOptions {
+        sync,
+        checkpoint_wal_bytes: u64::MAX,
+        checkpoint_dead_ratio: f64::INFINITY,
+        ..xmlpul::DurableOptions::default()
+    }
+}
+
+/// Baseline: the same commit loop on a bare executor — what the WAL overhead
+/// is measured against.
+pub fn run_commit_plain(w: &DurabilityWorkload) -> Duration {
+    let mut session = xmlpul::Executor::new(w.doc.clone());
+    let start = Instant::now();
+    for pul in &w.puls {
+        session.submit(pul.clone());
+        session.commit().expect("independent workload commits");
+    }
+    start.elapsed()
+}
+
+/// Outcome of one durable commit run.
+pub struct WalOverheadReport {
+    /// Wall-clock of the commit loop (store setup excluded).
+    pub elapsed: Duration,
+    /// Bytes appended to the live WAL segment by the run.
+    pub wal_bytes: u64,
+}
+
+/// The same commit loop through a [`xmlpul::Durable`] session under the given
+/// sync policy: every commit appends one framed PUL record to the WAL before
+/// its version fence advances. The store lives in `dir` (recreated per run;
+/// checkpoint triggers disabled so appends alone are measured).
+pub fn run_commit_durable(
+    w: &DurabilityWorkload,
+    sync: xmlpul::SyncPolicy,
+    dir: &std::path::Path,
+) -> WalOverheadReport {
+    let _ = std::fs::remove_dir_all(dir);
+    let mut session = xmlpul::Durable::create(
+        dir,
+        xmlpul::Executor::new(w.doc.clone()),
+        no_checkpoint_opts(sync),
+    )
+    .expect("fresh bench store");
+    let start = Instant::now();
+    for pul in &w.puls {
+        session.submit(pul.clone());
+        session.commit().expect("independent workload commits");
+    }
+    let elapsed = start.elapsed();
+    WalOverheadReport { elapsed, wal_bytes: session.wal_bytes() }
+}
+
+/// Prepares a store for the recovery suite: a base checkpoint of the workload
+/// document plus a WAL tail of the first `tail_commits` workload rounds
+/// (synced, so the tail is fully durable). Returns the final version and the
+/// bytes of the live WAL segment.
+pub fn setup_recovery_store(
+    w: &DurabilityWorkload,
+    dir: &std::path::Path,
+    tail_commits: usize,
+) -> (u64, u64) {
+    let _ = std::fs::remove_dir_all(dir);
+    let mut session = xmlpul::Durable::create(
+        dir,
+        xmlpul::Executor::new(w.doc.clone()),
+        no_checkpoint_opts(xmlpul::SyncPolicy::PerCommit),
+    )
+    .expect("fresh bench store");
+    let mut version = 0;
+    for pul in w.puls.iter().take(tail_commits) {
+        session.submit(pul.clone());
+        version = session.commit().expect("independent workload commits").version;
+    }
+    (version, session.wal_bytes())
+}
+
+/// One measured recovery: open the store, restoring the last checkpoint and
+/// replaying the WAL tail through the journaled apply path. Returns the
+/// recovered version and the wall-clock of `open`.
+pub fn run_recovery(dir: &std::path::Path) -> (u64, Duration) {
+    let (session, d) = timed(|| {
+        xmlpul::Durable::<xmlpul::Executor>::open(
+            dir,
+            no_checkpoint_opts(xmlpul::SyncPolicy::PerCommit),
+        )
+        .expect("store recovers")
+    });
+    (session.version(), d)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -789,6 +935,23 @@ mod tests {
             }
             previous = Some(xml);
         }
+    }
+
+    #[test]
+    fn durability_workload_commits_logs_and_recovers() {
+        let w = setup_durability(4_000, 6, 2, 13);
+        assert_eq!(w.puls.len(), 6);
+        run_commit_plain(&w);
+        let dir = std::env::temp_dir()
+            .join(format!("xmlpul_bench_test_durability_{}", std::process::id()));
+        let report = run_commit_durable(&w, xmlpul::SyncPolicy::Off, &dir);
+        assert!(report.wal_bytes > 0, "commits must reach the WAL");
+        let (version, wal_bytes) = setup_recovery_store(&w, &dir, 4);
+        assert_eq!(version, 4);
+        assert!(wal_bytes > 0, "the tail must live in the WAL");
+        let (recovered, _) = run_recovery(&dir);
+        assert_eq!(recovered, 4, "recovery lands on the last durable version");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

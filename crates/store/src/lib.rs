@@ -1,0 +1,508 @@
+//! Durable versioned store for PUL sessions.
+//!
+//! The store owns one directory and two kinds of files:
+//!
+//! - **WAL segments** `wal-NNNNNN.log` — append-only logs of framed commit
+//!   records (see [`wal`]). Each committed PUL round is exactly one record,
+//!   appended *before* the in-memory version fence advances, so a record's
+//!   presence is the commit's durability point.
+//! - **Checkpoints** `ckpt-VVVVVVVVVVVV.snap` — one contiguous, checksummed
+//!   image of the whole session at version `V` (see [`checkpoint`]), written
+//!   to a temporary file and renamed into place.
+//!
+//! Writing a checkpoint rotates the WAL to a fresh segment, so the live tail
+//! that recovery must replay is always `records with version > checkpoint
+//! version`. With `retain_history` enabled (the default) older segments and
+//! checkpoints are kept, which is what makes `read_at(version)` time travel
+//! possible; without it they are pruned after each durable checkpoint.
+//!
+//! Recovery ([`Store::open`]) scans segments oldest-first, physically
+//! truncates the torn or corrupt tail of the *current* segment (earlier
+//! segments are sealed by the checkpoint that rotated them), and leaves the
+//! store ready to append.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+pub mod checkpoint;
+mod crc;
+pub mod wal;
+
+pub use checkpoint::{CheckpointState, ShardSnapshot};
+pub use crc::{crc32, crc32_parts};
+pub use wal::{ScanOutcome, WalRecord};
+
+/// When appends reach the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fsync` after every appended record — a reported commit is durable.
+    PerCommit,
+    /// `fsync` every `n` records; a crash can lose up to `n - 1` recent
+    /// commits but never corrupts the prefix.
+    Interval(u32),
+    /// Never `fsync` explicitly; the OS flushes when it pleases.
+    Off,
+}
+
+/// Store construction options.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// Append sync policy.
+    pub sync: SyncPolicy,
+    /// Keep sealed segments and old checkpoints (enables `read_at` over the
+    /// full history). When off, a durable checkpoint prunes everything older.
+    pub retain_history: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions { sync: SyncPolicy::PerCommit, retain_history: true }
+    }
+}
+
+fn segment_name(seg: u64) -> String {
+    format!("wal-{seg:06}.log")
+}
+
+fn checkpoint_name(version: u64) -> String {
+    format!("ckpt-{version:012}.snap")
+}
+
+fn parse_numbered(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let digits = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// The on-disk store: WAL segments plus checkpoint images in one directory.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    opts: StoreOptions,
+    /// Index of the segment currently receiving appends.
+    segment: u64,
+    wal_file: File,
+    /// Byte length of the current segment.
+    wal_len: u64,
+    /// `(version, frame start offset)` of every record in the current
+    /// segment, in append order — lets a rollback truncate precisely.
+    appended: Vec<(u64, u64)>,
+    /// Appends since the last explicit sync (for `SyncPolicy::Interval`).
+    unsynced: u32,
+    /// Versions of every checkpoint on disk, ascending.
+    checkpoints: Vec<u64>,
+    /// Indices of every segment on disk, ascending (last = current).
+    segments: Vec<u64>,
+}
+
+impl Store {
+    /// Creates a fresh store in `dir` (created if missing). Fails if the
+    /// directory already holds store files.
+    pub fn create(dir: impl AsRef<Path>, opts: StoreOptions) -> io::Result<Store> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        for entry in fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("wal-") || name.starts_with("ckpt-") {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    format!("{} already holds store files", dir.display()),
+                ));
+            }
+        }
+        let wal_file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .read(true)
+            .open(dir.join(segment_name(0)))?;
+        Ok(Store {
+            dir,
+            opts,
+            segment: 0,
+            wal_file,
+            wal_len: 0,
+            appended: Vec::new(),
+            unsynced: 0,
+            checkpoints: Vec::new(),
+            segments: vec![0],
+        })
+    }
+
+    /// Opens an existing store, truncating any torn or corrupt tail of the
+    /// current (highest-numbered) segment.
+    pub fn open(dir: impl AsRef<Path>, opts: StoreOptions) -> io::Result<Store> {
+        let dir = dir.as_ref().to_path_buf();
+        let mut segments = Vec::new();
+        let mut checkpoints = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy().into_owned();
+            if let Some(seg) = parse_numbered(&name, "wal-", ".log") {
+                segments.push(seg);
+            } else if let Some(v) = parse_numbered(&name, "ckpt-", ".snap") {
+                checkpoints.push(v);
+            }
+        }
+        segments.sort_unstable();
+        checkpoints.sort_unstable();
+        let &segment = segments.last().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{} holds no WAL segment", dir.display()),
+            )
+        })?;
+
+        let path = dir.join(segment_name(segment));
+        let bytes = fs::read(&path)?;
+        let scan = wal::scan(&bytes);
+        if scan.valid_len < bytes.len() as u64 {
+            // Torn or corrupt tail from a crash mid-append: cut it off so the
+            // next append starts on a clean frame boundary.
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(scan.valid_len)?;
+            f.sync_all()?;
+        }
+        let mut appended = Vec::with_capacity(scan.records.len());
+        let mut at = 0u64;
+        for rec in &scan.records {
+            appended.push((rec.version, at));
+            at += (wal::RECORD_HEADER_LEN + rec.payload.len()) as u64;
+        }
+        let wal_file = OpenOptions::new().append(true).read(true).open(&path)?;
+        Ok(Store {
+            dir,
+            opts,
+            segment,
+            wal_file,
+            wal_len: scan.valid_len,
+            appended,
+            unsynced: 0,
+            checkpoints,
+            segments,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Bytes in the current (appendable) segment.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_len
+    }
+
+    /// Version of the most recent checkpoint, if any.
+    pub fn last_checkpoint(&self) -> Option<u64> {
+        self.checkpoints.last().copied()
+    }
+
+    /// Versions of all retained checkpoints, ascending.
+    pub fn checkpoints(&self) -> &[u64] {
+        &self.checkpoints
+    }
+
+    /// The highest version the store holds durably: the greater of the last
+    /// checkpoint and the last WAL record in the current segment.
+    pub fn last_version(&self) -> Option<u64> {
+        let from_wal = self.appended.last().map(|&(v, _)| v);
+        match (self.last_checkpoint(), from_wal) {
+            (Some(c), Some(w)) => Some(c.max(w)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Appends one commit record and applies the sync policy.
+    pub fn append(&mut self, version: u64, payload: &[u8]) -> io::Result<()> {
+        let frame = wal::encode_record(version, payload);
+        self.wal_file.write_all(&frame)?;
+        self.appended.push((version, self.wal_len));
+        self.wal_len += frame.len() as u64;
+        match self.opts.sync {
+            SyncPolicy::PerCommit => self.wal_file.sync_data()?,
+            SyncPolicy::Interval(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n.max(1) {
+                    self.wal_file.sync_data()?;
+                    self.unsynced = 0;
+                }
+            }
+            SyncPolicy::Off => {}
+        }
+        Ok(())
+    }
+
+    /// Drops every record of the current segment with a version above `v` —
+    /// the durable half of a rollback. The frames are physically truncated so
+    /// a crash cannot resurrect them.
+    pub fn truncate_to_version(&mut self, v: u64) -> io::Result<()> {
+        let keep = self.appended.iter().position(|&(rv, _)| rv > v);
+        let Some(idx) = keep else { return Ok(()) };
+        let new_len = self.appended[idx].1;
+        self.wal_file.set_len(new_len)?;
+        self.wal_file.sync_all()?;
+        self.appended.truncate(idx);
+        self.wal_len = new_len;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Writes a checkpoint image durably (tmp + fsync + rename + dir fsync),
+    /// rotates the WAL to a fresh segment, and — without `retain_history` —
+    /// prunes everything the new checkpoint supersedes.
+    pub fn write_checkpoint(&mut self, state: &CheckpointState) -> io::Result<()> {
+        let image = checkpoint::encode(state);
+        let tmp = self.dir.join("ckpt.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&image)?;
+            f.sync_all()?;
+        }
+        let final_path = self.dir.join(checkpoint_name(state.version));
+        fs::rename(&tmp, &final_path)?;
+        // Make the rename itself durable before truncating any WAL data that
+        // the checkpoint supersedes.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.checkpoints.push(state.version);
+        self.checkpoints.sort_unstable();
+        self.checkpoints.dedup();
+
+        // Seal the current segment and rotate to a fresh one.
+        self.wal_file.sync_data()?;
+        let next = self.segment + 1;
+        self.wal_file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .read(true)
+            .open(self.dir.join(segment_name(next)))?;
+        self.segment = next;
+        self.segments.push(next);
+        self.wal_len = 0;
+        self.appended.clear();
+        self.unsynced = 0;
+
+        if !self.opts.retain_history {
+            // Everything at or below the checkpoint is reachable from the
+            // image alone; drop sealed segments and older checkpoints.
+            let sealed: Vec<u64> =
+                self.segments.iter().copied().filter(|&s| s < self.segment).collect();
+            for seg in sealed {
+                fs::remove_file(self.dir.join(segment_name(seg)))?;
+                self.segments.retain(|&s| s != seg);
+            }
+            let old: Vec<u64> =
+                self.checkpoints.iter().copied().filter(|&v| v < state.version).collect();
+            for v in old {
+                fs::remove_file(self.dir.join(checkpoint_name(v)))?;
+                self.checkpoints.retain(|&c| c != v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads and integrity-checks the checkpoint image for `version`.
+    pub fn load_checkpoint(&self, version: u64) -> io::Result<CheckpointState> {
+        let mut bytes = Vec::new();
+        File::open(self.dir.join(checkpoint_name(version)))?.read_to_end(&mut bytes)?;
+        let state = checkpoint::decode(&bytes)?;
+        if state.version != version {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checkpoint file for v{version} holds v{}", state.version),
+            ));
+        }
+        Ok(state)
+    }
+
+    /// The greatest retained checkpoint version that is ≤ `version`.
+    pub fn checkpoint_at_or_before(&self, version: u64) -> Option<u64> {
+        self.checkpoints.iter().copied().filter(|&v| v <= version).max()
+    }
+
+    /// Collects every valid record with `after < version ≤ up_to` across all
+    /// retained segments, oldest segment first. Per segment the scan stops at
+    /// the first torn or corrupt frame, matching what recovery would keep.
+    pub fn replay_records(&self, after: u64, up_to: u64) -> io::Result<Vec<WalRecord>> {
+        let mut out = Vec::new();
+        for &seg in &self.segments {
+            let bytes = fs::read(self.dir.join(segment_name(seg)))?;
+            for rec in wal::scan(&bytes).records {
+                if rec.version > after && rec.version <= up_to {
+                    out.push(rec);
+                }
+            }
+        }
+        out.sort_by_key(|r| r.version);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pul_store_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn shardless(version: u64) -> CheckpointState {
+        CheckpointState {
+            version,
+            sharded: false,
+            root_id: 0,
+            root_label: String::new(),
+            shards: vec![ShardSnapshot {
+                doc: format!("<d xml:id=\"1\" v=\"{version}\"/>"),
+                labels: vec!["1 0-1;0-9;0;E;-;-;FL".into()],
+                next_id: 2,
+                version,
+                interval_lo: Vec::new(),
+                interval_hi: Vec::new(),
+            }],
+        }
+    }
+
+    #[test]
+    fn create_append_reopen() {
+        let dir = tmp_dir("basic");
+        let mut store = Store::create(&dir, StoreOptions::default()).unwrap();
+        store.append(1, b"first").unwrap();
+        store.append(2, b"second").unwrap();
+        assert_eq!(store.last_version(), Some(2));
+        drop(store);
+
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(store.last_version(), Some(2));
+        let recs = store.replay_records(0, u64::MAX).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].payload, b"second");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_existing_store() {
+        let dir = tmp_dir("refuse");
+        let _store = Store::create(&dir, StoreOptions::default()).unwrap();
+        assert!(Store::create(&dir, StoreOptions::default()).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_truncates_torn_tail() {
+        let dir = tmp_dir("torn");
+        let mut store = Store::create(&dir, StoreOptions::default()).unwrap();
+        store.append(1, b"keep-me").unwrap();
+        store.append(2, b"torn-away").unwrap();
+        drop(store);
+
+        // Chop the file mid-way through the second record.
+        let path = dir.join(segment_name(0));
+        let full = fs::read(&path).unwrap();
+        let first_len = (wal::RECORD_HEADER_LEN + b"keep-me".len()) as u64;
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(first_len + 5).unwrap();
+        drop(f);
+        assert!(fs::read(&path).unwrap().len() < full.len());
+
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(store.last_version(), Some(1));
+        assert_eq!(fs::read(&path).unwrap().len() as u64, first_len);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_to_version_discards_precisely() {
+        let dir = tmp_dir("rollback");
+        let mut store = Store::create(&dir, StoreOptions::default()).unwrap();
+        for v in 1..=4 {
+            store.append(v, format!("payload-{v}").as_bytes()).unwrap();
+        }
+        store.truncate_to_version(2).unwrap();
+        assert_eq!(store.last_version(), Some(2));
+        drop(store);
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        let recs = store.replay_records(0, u64::MAX).unwrap();
+        assert_eq!(recs.iter().map(|r| r.version).collect::<Vec<_>>(), vec![1, 2]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_rotates_and_replay_spans_segments() {
+        let dir = tmp_dir("rotate");
+        let mut store = Store::create(&dir, StoreOptions::default()).unwrap();
+        store.append(1, b"one").unwrap();
+        store.append(2, b"two").unwrap();
+        store.write_checkpoint(&shardless(2)).unwrap();
+        assert_eq!(store.wal_bytes(), 0);
+        store.append(3, b"three").unwrap();
+        drop(store);
+
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(store.last_checkpoint(), Some(2));
+        assert_eq!(store.last_version(), Some(3));
+        // Tail replay after the checkpoint sees only v3.
+        let tail = store.replay_records(2, u64::MAX).unwrap();
+        assert_eq!(tail.iter().map(|r| r.version).collect::<Vec<_>>(), vec![3]);
+        // Historic replay still reaches the sealed segment.
+        let all = store.replay_records(0, u64::MAX).unwrap();
+        assert_eq!(all.iter().map(|r| r.version).collect::<Vec<_>>(), vec![1, 2, 3]);
+        let ckpt = store.load_checkpoint(2).unwrap();
+        assert_eq!(ckpt, shardless(2));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn without_retain_history_checkpoint_prunes() {
+        let dir = tmp_dir("prune");
+        let opts = StoreOptions { retain_history: false, ..StoreOptions::default() };
+        let mut store = Store::create(&dir, opts).unwrap();
+        store.append(1, b"one").unwrap();
+        store.write_checkpoint(&shardless(1)).unwrap();
+        store.append(2, b"two").unwrap();
+        store.write_checkpoint(&shardless(2)).unwrap();
+        assert_eq!(store.checkpoints(), &[2]);
+        assert!(!dir.join(segment_name(0)).exists());
+        assert!(!dir.join(checkpoint_name(1)).exists());
+        assert!(dir.join(checkpoint_name(2)).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_at_or_before_picks_nearest() {
+        let dir = tmp_dir("nearest");
+        let mut store = Store::create(&dir, StoreOptions::default()).unwrap();
+        store.append(1, b"a").unwrap();
+        store.write_checkpoint(&shardless(1)).unwrap();
+        store.append(2, b"b").unwrap();
+        store.append(3, b"c").unwrap();
+        store.write_checkpoint(&shardless(3)).unwrap();
+        assert_eq!(store.checkpoint_at_or_before(0), None);
+        assert_eq!(store.checkpoint_at_or_before(1), Some(1));
+        assert_eq!(store.checkpoint_at_or_before(2), Some(1));
+        assert_eq!(store.checkpoint_at_or_before(3), Some(3));
+        assert_eq!(store.checkpoint_at_or_before(99), Some(3));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interval_sync_policy_counts_appends() {
+        let dir = tmp_dir("interval");
+        let opts = StoreOptions { sync: SyncPolicy::Interval(3), ..StoreOptions::default() };
+        let mut store = Store::create(&dir, opts).unwrap();
+        for v in 1..=7 {
+            store.append(v, b"x").unwrap();
+        }
+        // No assertion beyond "it works" — the policy only changes fsync
+        // cadence, which the filesystem hides from us here.
+        assert_eq!(store.last_version(), Some(7));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

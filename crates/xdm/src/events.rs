@@ -448,6 +448,15 @@ impl<'a> EventReader<'a> {
                             .parse()
                             .map_err(|_| self.err(format!("invalid xtid value '{content}'")))?;
                         self.pending_text_id = Some(NodeId::new(id));
+                        // An xtid carrier directly followed by markup (or the
+                        // end of input) identifies an *empty* text node: emit
+                        // it now, or the carrier would be silently dropped
+                        // and the node lost on the round trip.
+                        if self.pos >= self.input.len()
+                            || (self.starts_with("<") && !self.starts_with("<![CDATA["))
+                        {
+                            return self.make_text_event(String::new()).map(Some);
+                        }
                     }
                     continue;
                 }
@@ -714,6 +723,26 @@ mod tests {
         assert!(
             matches!(events.last().unwrap(), Event::EndElement { name, .. } if name == "issue")
         );
+    }
+
+    #[test]
+    fn empty_identified_text_nodes_survive() {
+        // an xtid carrier with no following character data marks an *empty*
+        // text node; it must produce a Text event, not vanish
+        let xml = "<a _xid=\"1\"><?xtid 2?></a>";
+        let events: Vec<Event> = EventReader::identified(xml).collect::<Result<Vec<_>>>().unwrap();
+        assert!(
+            events.iter().any(|e| matches!(e, Event::Text { id, value } if id.as_u64() == 2
+                    && value.is_empty())),
+            "empty text node lost: {events:?}"
+        );
+        // ... and only for the empty case: a carrier before CDATA still
+        // feeds the CDATA text
+        let xml = "<a _xid=\"1\"><?xtid 2?><![CDATA[x]]></a>";
+        let events: Vec<Event> = EventReader::identified(xml).collect::<Result<Vec<_>>>().unwrap();
+        let texts: Vec<_> = events.iter().filter(|e| matches!(e, Event::Text { .. })).collect();
+        assert_eq!(texts.len(), 1);
+        assert!(matches!(texts[0], Event::Text { id, value } if id.as_u64() == 2 && value == "x"));
     }
 
     #[test]

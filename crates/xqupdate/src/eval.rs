@@ -30,6 +30,7 @@ fn err(msg: impl Into<String>) -> XqError {
 fn split_statements(src: &str) -> Vec<String> {
     let mut out = Vec::new();
     let mut depth = 0i32;
+    let mut bracket = 0i32;
     let mut in_quote: Option<char> = None;
     let mut current = String::new();
     for c in src.chars() {
@@ -45,15 +46,25 @@ fn split_statements(src: &str) -> Vec<String> {
                     in_quote = Some(c);
                     current.push(c);
                 }
-                '<' => {
+                '[' => {
+                    bracket += 1;
+                    current.push(c);
+                }
+                ']' => {
+                    bracket -= 1;
+                    current.push(c);
+                }
+                // '<'/'>' inside a [...] predicate are comparison operators,
+                // not fragment markup — they must not skew the depth
+                '<' if bracket == 0 => {
                     depth += 1;
                     current.push(c);
                 }
-                '>' => {
+                '>' if bracket == 0 => {
                     depth -= 1;
                     current.push(c);
                 }
-                ',' if depth <= 0 => {
+                ',' if depth <= 0 && bracket <= 0 => {
                     out.push(current.trim().to_string());
                     current.clear();
                 }
@@ -88,6 +99,7 @@ fn split_on_keyword<'a>(
 ) -> Option<(&'a str, &'static str, &'a str)> {
     let bytes = s.as_bytes();
     let mut depth = 0i32;
+    let mut bracket = 0i32;
     let mut in_quote: Option<u8> = None;
     for i in 0..s.len() {
         match in_quote {
@@ -102,12 +114,16 @@ fn split_on_keyword<'a>(
                     in_quote = Some(bytes[i]);
                     continue;
                 }
-                b'<' => depth += 1,
-                b'>' => depth -= 1,
+                b'[' => bracket += 1,
+                b']' => bracket -= 1,
+                // inside a [...] predicate, '<' and '>' are comparison
+                // operators ([@n > 5]), not fragment markup
+                b'<' if bracket == 0 => depth += 1,
+                b'>' if bracket == 0 => depth -= 1,
                 _ => {}
             },
         }
-        if depth != 0 {
+        if depth != 0 || bracket != 0 {
             continue;
         }
         let mut best: Option<&'static str> = None;
@@ -330,6 +346,34 @@ mod tests {
         assert!(xml.contains("G.Guerrini"));
         assert!(xml.contains("<year>2004</year><title>A</title>"));
         assert!(xml.contains("lastPage=\"134\""));
+    }
+
+    #[test]
+    fn comparison_predicates_mix_with_fragments_and_statement_lists() {
+        // '<'/'>' appear both as comparison operators (inside predicates) and
+        // as fragment markup in the same source; the splitters must not
+        // confuse the two
+        let doc = parse_document(
+            "<shop><item n=\"3\">x</item><item n=\"7\">y</item><item n=\"9\">z</item></shop>",
+        )
+        .unwrap();
+        let labels = Labeling::assign(&doc);
+        let pul = evaluate(
+            &doc,
+            &labels,
+            "rename node /shop/item[@n > 5][last()] as \"top\", \
+             insert nodes <tag>cheap</tag> as last into /shop/item[@n < 5], \
+             delete node /shop/item[@n != 3][1]",
+        )
+        .unwrap();
+        let names: Vec<OpName> = pul.ops().iter().map(|o| o.name()).collect();
+        assert_eq!(names, vec![OpName::Rename, OpName::InsLast, OpName::Delete]);
+        let mut d = doc.clone();
+        apply_pul(&mut d, &pul, &ApplyOptions::default()).unwrap();
+        let xml = write_document(&d);
+        assert!(xml.contains("<top n=\"9\">z</top>"), "{xml}");
+        assert!(xml.contains("x<tag>cheap</tag>"), "{xml}");
+        assert!(!xml.contains(">y<"), "item n=7 deleted: {xml}");
     }
 
     #[test]

@@ -21,10 +21,13 @@
 //! ```
 //!
 //! Paths support `/` and `//` steps, element name tests, `*`, `@name`, `@*`,
-//! `text()` and positional predicates `[n]`.
+//! `text()`, positional predicates `[n]` / `[last()]`, and attribute
+//! comparisons `[@name = "v"]`, `[@n < 5]`, `[@id != 'x']` (operators `=`,
+//! `!=`, `<`, `<=`, `>`, `>=`; numeric when both sides are numbers, string
+//! otherwise).
 
 pub mod eval;
 pub mod path;
 
 pub use eval::{evaluate, XqError};
-pub use path::Path;
+pub use path::{CmpOp, Path, Predicate};

@@ -17,6 +17,58 @@ pub enum NodeTest {
     Text,
 }
 
+/// A comparison operator usable in attribute predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison to an attribute value and the literal operand.
+    /// When both sides parse as numbers the comparison is numeric (so
+    /// `[@n < 5]` matches `n="4.5"` but not `n="10"`); otherwise both sides
+    /// compare as strings, lexicographically.
+    pub fn compare(self, left: &str, right: &str) -> bool {
+        let ord = match (left.trim().parse::<f64>(), right.trim().parse::<f64>()) {
+            (Ok(l), Ok(r)) => match l.partial_cmp(&r) {
+                Some(ord) => ord,
+                None => return false, // NaN compares false, like XPath
+            },
+            _ => left.cmp(right),
+        };
+        match self {
+            CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+            CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+            CmpOp::Lt => ord == std::cmp::Ordering::Less,
+            CmpOp::Le => ord != std::cmp::Ordering::Greater,
+            CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+            CmpOp::Ge => ord != std::cmp::Ordering::Less,
+        }
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
 /// A predicate within a step.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Predicate {
@@ -27,6 +79,11 @@ pub enum Predicate {
     /// An attribute value test: `[@name="value"]` — keeps the elements
     /// carrying an attribute `name` whose value is exactly `value`.
     AttrEquals(String, String),
+    /// An attribute comparison: `[@n < 5]`, `[@id != "x"]`, `[@v >= 1.5]` —
+    /// keeps the elements carrying an attribute `name` whose value satisfies
+    /// the comparison ([`CmpOp::compare`]). A missing attribute never
+    /// matches, whatever the operator.
+    AttrCompare(String, CmpOp, String),
 }
 
 /// One step of a path.
@@ -172,28 +229,60 @@ impl Path {
     }
 
     /// Parses the inside of a `[...]` predicate: a 1-based position, `last()`
-    /// or an attribute value test `@name="value"` (single or double quotes).
+    /// or an attribute comparison `@name <op> operand` where `<op>` is one of
+    /// `=`, `!=`, `<`, `<=`, `>`, `>=` and the operand is a quoted string
+    /// (single or double quotes) or a bare numeric literal.
     fn parse_predicate(src: &str) -> Result<Predicate, String> {
         if src == "last()" {
             return Ok(Predicate::Last);
         }
         if let Some(rest) = src.strip_prefix('@') {
-            let (name, value) = rest
-                .split_once('=')
-                .ok_or_else(|| "attribute predicates take the form @name=\"value\"".to_string())?;
-            let name = name.trim();
-            let value = value.trim();
+            // find the operator — two-character forms before their one-char
+            // prefixes, so `!=`/`<=`/`>=` never parse as `=`/`<`/`>`
+            let (pos, op) = rest
+                .char_indices()
+                .find_map(|(i, c)| {
+                    let two = rest.get(i..i + 2);
+                    match c {
+                        '!' if two == Some("!=") => Some((i, (CmpOp::Ne, 2))),
+                        '<' if two == Some("<=") => Some((i, (CmpOp::Le, 2))),
+                        '>' if two == Some(">=") => Some((i, (CmpOp::Ge, 2))),
+                        '<' => Some((i, (CmpOp::Lt, 1))),
+                        '>' => Some((i, (CmpOp::Gt, 1))),
+                        '=' => Some((i, (CmpOp::Eq, 1))),
+                        _ => None,
+                    }
+                })
+                .ok_or_else(|| {
+                    "attribute predicates take the form @name <op> value with <op> one of \
+                     =, !=, <, <=, >, >="
+                        .to_string()
+                })?;
+            let (op, op_len) = op;
+            let name = rest[..pos].trim();
+            let value = rest[pos + op_len..].trim();
             if name.is_empty() {
                 return Err("empty attribute name in predicate".into());
             }
-            let unquoted = if (value.starts_with('"') && value.ends_with('"') && value.len() >= 2)
-                || (value.starts_with('\'') && value.ends_with('\'') && value.len() >= 2)
-            {
-                &value[1..value.len() - 1]
+            let quoted = (value.starts_with('"') && value.ends_with('"') && value.len() >= 2)
+                || (value.starts_with('\'') && value.ends_with('\'') && value.len() >= 2);
+            let operand = if quoted {
+                value[1..value.len() - 1].to_string()
+            } else if value.parse::<f64>().is_ok() {
+                value.to_string()
             } else {
-                return Err("attribute predicate values must be quoted".into());
+                return Err(format!(
+                    "the operand of @{name} {} must be quoted or numeric, got '{value}'",
+                    op.symbol()
+                ));
             };
-            return Ok(Predicate::AttrEquals(name.to_string(), unquoted.to_string()));
+            // a quoted `=` is the exact string test; everything else —
+            // including a bare-numeric `=`, where `[@n = 5]` should match
+            // n="5.0" — goes through the comparing predicate
+            return Ok(match op {
+                CmpOp::Eq if quoted => Predicate::AttrEquals(name.to_string(), operand),
+                other => Predicate::AttrCompare(name.to_string(), other, operand),
+            });
         }
         let n: usize = src.parse().map_err(|_| "invalid position predicate".to_string())?;
         if n == 0 {
@@ -266,6 +355,15 @@ impl Path {
                                     .flatten()
                                     .and_then(|a| doc.value(a).ok().flatten())
                                     == Some(value.as_str())
+                            });
+                        }
+                        Predicate::AttrCompare(name, op, operand) => {
+                            matched.retain(|&c| {
+                                doc.attribute_by_name(c, name)
+                                    .ok()
+                                    .flatten()
+                                    .and_then(|a| doc.value(a).ok().flatten())
+                                    .is_some_and(|v| op.compare(v, operand))
                             });
                         }
                     }
@@ -459,6 +557,103 @@ mod tests {
         // the root step takes predicates too
         assert_eq!(Path::parse("/issue[@volume=\"30\"]/paper").unwrap().select(&d).len(), 2);
         assert!(Path::parse("/issue[@volume=\"31\"]/paper").unwrap().select(&d).is_empty());
+    }
+
+    #[test]
+    fn comparison_predicates_parse_into_the_enum() {
+        let p = Path::parse("/a/b[@n < 5]").unwrap();
+        assert_eq!(
+            p.steps[1].predicates,
+            vec![Predicate::AttrCompare("n".into(), CmpOp::Lt, "5".into())]
+        );
+        let p = Path::parse("/a/b[@n<=5]").unwrap();
+        assert_eq!(
+            p.steps[1].predicates,
+            vec![Predicate::AttrCompare("n".into(), CmpOp::Le, "5".into())]
+        );
+        let p = Path::parse("/a/b[@id != \"x\"]").unwrap();
+        assert_eq!(
+            p.steps[1].predicates,
+            vec![Predicate::AttrCompare("id".into(), CmpOp::Ne, "x".into())]
+        );
+        let p = Path::parse("/a/b[@v >= 1.5]").unwrap();
+        assert_eq!(
+            p.steps[1].predicates,
+            vec![Predicate::AttrCompare("v".into(), CmpOp::Ge, "1.5".into())]
+        );
+        let p = Path::parse("/a/b[@v > '2']").unwrap();
+        assert_eq!(
+            p.steps[1].predicates,
+            vec![Predicate::AttrCompare("v".into(), CmpOp::Gt, "2".into())]
+        );
+        // a bare-numeric `=` compares numerically, a quoted `=` exactly
+        let p = Path::parse("/a/b[@n = 5]").unwrap();
+        assert_eq!(
+            p.steps[1].predicates,
+            vec![Predicate::AttrCompare("n".into(), CmpOp::Eq, "5".into())]
+        );
+        let p = Path::parse("/a/b[@n = \"5\"]").unwrap();
+        assert_eq!(p.steps[1].predicates, vec![Predicate::AttrEquals("n".into(), "5".into())]);
+        // quoted operands keep operator characters verbatim
+        let p = Path::parse("/a/b[@id = \"x<y>=z\"]").unwrap();
+        assert_eq!(
+            p.steps[1].predicates,
+            vec![Predicate::AttrEquals("id".into(), "x<y>=z".into())]
+        );
+    }
+
+    #[test]
+    fn comparison_predicates_select() {
+        let d = parse_document(
+            "<shop><item n=\"3\" id=\"a\"/><item n=\"4.5\" id=\"b\"/><item n=\"10\" id=\"c\"/>\
+             <item id=\"d\"/></shop>",
+        )
+        .unwrap();
+        let ids = |path: &str| -> Vec<String> {
+            Path::parse(path)
+                .unwrap()
+                .select(&d)
+                .iter()
+                .map(|&h| {
+                    d.attribute_by_name(h, "id")
+                        .ok()
+                        .flatten()
+                        .and_then(|a| d.value(a).ok().flatten())
+                        .unwrap()
+                        .to_string()
+                })
+                .collect()
+        };
+        // numeric ordering, not lexicographic: "10" < "5" as strings, not as numbers
+        assert_eq!(ids("/shop/item[@n < 5]"), vec!["a", "b"]);
+        assert_eq!(ids("/shop/item[@n <= 4.5]"), vec!["a", "b"]);
+        assert_eq!(ids("/shop/item[@n > 4]"), vec!["b", "c"]);
+        assert_eq!(ids("/shop/item[@n >= 10]"), vec!["c"]);
+        assert_eq!(ids("/shop/item[@n = 4.50]"), vec!["b"], "numeric =, not string");
+        assert_eq!(ids("/shop/item[@n != 3]"), vec!["b", "c"], "missing attribute never matches");
+        assert_eq!(ids("/shop/item[@id != \"a\"]"), vec!["b", "c", "d"], "string !=");
+        // string ordering applies when either side is not numeric
+        assert_eq!(ids("/shop/item[@id < \"c\"]"), vec!["a", "b"]);
+        // comparisons compose with position predicates
+        assert_eq!(ids("/shop/item[@n < 5][last()]"), vec!["b"]);
+        assert_eq!(ids("/shop/item[@n > 99]"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn comparison_predicates_run_through_the_update_front_end() {
+        // end-to-end: a comparison predicate selecting the target of an update
+        let mut session = xdm::parser::parse_document(
+            "<shop><item n=\"3\">x</item><item n=\"7\">y</item></shop>",
+        )
+        .unwrap();
+        let labeling = xlabel::Labeling::assign(&session);
+        let pul =
+            crate::evaluate(&session, &labeling, "rename node /shop/item[@n > 5] as \"pricey\"")
+                .unwrap();
+        pul::apply_pul(&mut session, &pul, &pul::ApplyOptions::default()).unwrap();
+        let out = xdm::writer::write_document(&session);
+        assert!(out.contains("<pricey n=\"7\">y</pricey>"), "{out}");
+        assert!(out.contains("<item n=\"3\">x</item>"), "{out}");
     }
 
     #[test]

@@ -1,7 +1,11 @@
-//! Document versioning (§1): versions are stored as deltas (PULs) over the
-//! original document. Dropping intermediate versions amounts to submitting
-//! the consecutive deltas as one *sequence* — the session aggregates them and
-//! the reduction gives a compact, deterministic combined delta.
+//! Document versioning (§1), made durable: versions are stored as deltas
+//! (PULs) over the original document. A [`Durable`] session appends each
+//! committed delta to a write-ahead log before the version fence advances, so
+//! every version survives a crash, and `read_at(version)` materialises any
+//! past version by restoring the nearest checkpoint and replaying deltas
+//! forward. Dropping intermediate versions still amounts to submitting the
+//! consecutive deltas as one *sequence* — the session aggregates them and the
+//! reduction gives a compact, deterministic combined delta.
 //!
 //! Run with `cargo run --example versioning_deltas`.
 
@@ -9,21 +13,30 @@ use xmlpul::prelude::*;
 use xmlpul::xdm::parser::parse_fragment_with_first_id;
 
 fn main() {
-    let mut archive = Executor::parse(
+    let dir = std::env::temp_dir().join("xmlpul_versioning_deltas");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let archive = Executor::parse(
         "<article status=\"draft\"><title>PUL reasoning</title>\
          <abstract>TODO</abstract><body><sec>Intro</sec></body></article>",
     )
     .expect("well-formed document")
     .reduction(ReductionStrategy::Deterministic)
     .apply_options(ApplyOptions::producer());
-    let v0 = archive.document().clone();
-    let title = v0.find_element("title").unwrap();
-    let abstract_el = v0.find_element("abstract").unwrap();
-    let abstract_text = v0.children(abstract_el).unwrap()[0];
-    let body = v0.find_element("body").unwrap();
-    let status = v0.attribute_by_name(v0.root().unwrap(), "status").unwrap().unwrap();
+
+    // Opening the archive durably writes a base checkpoint of v0; from here
+    // on every committed delta reaches the log before the commit reports.
+    let mut archive =
+        Durable::create(&dir, archive, DurableOptions::default()).expect("fresh store");
 
     // Each revision is a delta (a PUL) over the previous version.
+    let doc = archive.document();
+    let title = doc.find_element("title").unwrap();
+    let abstract_el = doc.find_element("abstract").unwrap();
+    let abstract_text = doc.children(abstract_el).unwrap()[0];
+    let body = doc.find_element("body").unwrap();
+    let status = doc.attribute_by_name(doc.root().unwrap(), "status").unwrap().unwrap();
+
     let delta1 = archive.pul_from_ops(vec![
         UpdateOp::replace_value(abstract_text, "We study reduction, integration and aggregation."),
         UpdateOp::ins_last(
@@ -46,37 +59,64 @@ fn main() {
         UpdateOp::replace_value(status, "camera-ready"),
         UpdateOp::rename(title, "name"),
     ]);
-
-    // Keeping every version means keeping every delta. To drop the
-    // intermediate versions v1 and v2, the archive submits the deltas as one
-    // sequence: the session aggregates them (Def. 13) and its deterministic
-    // reduction yields the compact combined delta v0→v3.
     let deltas = vec![delta1, delta2, delta3];
-    archive.submit_sequence(&deltas).expect("aggregable deltas");
-    let resolution = archive.resolve().expect("solvable");
+
+    // Committing one delta per version gives the archive versions 1..=3, each
+    // logged as one WAL record.
+    for d in &deltas {
+        archive.submit(d.clone());
+        archive.commit().expect("applicable delta");
+    }
     println!(
-        "three deltas with {} operations in total",
+        "archive at v{}, WAL holds {} bytes of deltas\n",
+        archive.version(),
+        archive.wal_bytes()
+    );
+
+    // Point-in-time reads: any committed version materialises on demand.
+    for v in 0..=archive.version() {
+        let at = archive.read_at(v).expect("retained version");
+        println!("read_at({v}):\n  {}", at.serialize());
+    }
+
+    // Crash recovery: drop the session without ceremony and reopen the store.
+    // The WAL tail replays over the base checkpoint, landing bit-identically
+    // on the last durable version.
+    let (version, xml) = (archive.version(), archive.serialize());
+    drop(archive);
+    let archive = Durable::<Executor>::open(&dir, DurableOptions::default()).expect("recovery");
+    assert_eq!(archive.version(), version);
+    assert_eq!(archive.serialize(), xml);
+    println!("\nreopened store recovers v{version} exactly ✓");
+
+    // Dropping the intermediate versions v1 and v2: read v0 back out of the
+    // store and submit the deltas as one sequence — the session aggregates
+    // them (Def. 13) and its deterministic reduction yields the compact
+    // combined delta v0→v3.
+    let mut condensed = archive
+        .read_at(0)
+        .expect("retained v0")
+        .reduction(ReductionStrategy::Deterministic)
+        .apply_options(ApplyOptions::producer());
+    condensed.submit_sequence(&deltas).expect("aggregable deltas");
+    let resolution = condensed.resolve().expect("solvable");
+    println!(
+        "\nthree deltas with {} operations in total",
         deltas.iter().map(|d| d.len()).sum::<usize>()
     );
     println!(
-        "single combined delta v0→v3 ({} operations):\n  {}\n",
+        "single combined delta v0→v3 ({} operations):\n  {}",
         resolution.resolved_ops(),
         resolution.pul()
     );
 
     // Applying the combined delta to v0 yields exactly v3.
-    let mut direct = Executor::new(v0)
-        .reduction(ReductionStrategy::None)
-        .apply_options(ApplyOptions::producer());
-    for d in &deltas {
-        direct.submit(d.clone());
-        direct.commit().expect("applicable delta");
-    }
-    archive.commit_resolution(resolution).expect("applicable delta");
+    condensed.commit_resolution(resolution).expect("applicable delta");
     assert_eq!(
-        pul::obtainable::canonical_string(direct.document()),
+        pul::obtainable::canonical_string(condensed.document()),
         pul::obtainable::canonical_string(archive.document())
     );
-    println!("v0 + combined delta == v3 ✓ (archive at v{})", archive.version());
-    println!("v3:\n  {}", archive.serialize());
+    println!("\nv0 + combined delta == v3 ✓ (archive at v{})", archive.version());
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,935 @@
+//! Durability and time travel for executor sessions.
+//!
+//! [`Durable<B>`] wraps a session backend — [`Executor`] or
+//! [`ShardedExecutor`] — around an on-disk [`Store`] (crate `pul_store`):
+//!
+//! - every committed PUL round is appended to a **write-ahead log** *before*
+//!   the commit becomes observable (the backend runs the apply inside a
+//!   journal scope and rewinds it if the append fails, so the WAL record is
+//!   the commit point);
+//! - **checkpoints** snapshot the whole session — arena, labeling, version —
+//!   as one contiguous checksummed image, triggered by WAL growth or by
+//!   dead-slot churn (`slab_stats().dead_ratio`), and rotate the log;
+//! - **recovery** ([`Durable::open`]) loads the last checkpoint, replays the
+//!   WAL tail through the very same journaled apply path as the live commits,
+//!   and discards any torn or corrupt tail record;
+//! - **[`read_at`](Durable::read_at)** materialises any retained version by
+//!   replaying deltas forward from the nearest checkpoint at or below it.
+//!
+//! The wrapper derefs to its backend, so the whole session API —
+//! `submit` / `resolve` / `commit` — stays available unchanged; commits made
+//! through the deref'd backend are logged by the installed [`CommitSink`]
+//! automatically. The [`IngestQueue`](crate::IngestQueue) works unchanged
+//! too: `Durable<B>` implements [`IngestBackend`] by delegation, logging one
+//! WAL record per committed round and checkpointing between rounds.
+//!
+//! ```
+//! use xmlpul::prelude::*;
+//! use xmlpul::{Durable, DurableOptions};
+//!
+//! let dir = std::env::temp_dir().join(format!("xmlpul-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let session = Executor::parse("<doc><a/></doc>").unwrap();
+//! let mut durable = Durable::create(&dir, session, DurableOptions::default()).unwrap();
+//!
+//! let pul = durable.produce("insert nodes <b/> as last into /doc").unwrap();
+//! durable.submit(pul);
+//! durable.commit().unwrap();       // appended to the WAL before it reports
+//!
+//! // Crash? Reopen and find version 1 again, bit-identical.
+//! drop(durable);
+//! let recovered: Durable<Executor> = Durable::open(&dir, DurableOptions::default()).unwrap();
+//! assert_eq!(recovered.version(), 1);
+//!
+//! // Time travel: any retained version can be materialised.
+//! let v0 = recovered.read_at(0).unwrap();
+//! assert!(!v0.serialize().contains("<b/>"));
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use pul::Pul;
+use pul_store::{CheckpointState, ShardSnapshot, Store, StoreOptions, SyncPolicy};
+use xdm::NodeId;
+use xlabel::{LabelInterval, Labeling, NodeLabel, OrderKey};
+
+use crate::error::{Error, Result};
+use crate::executor::{Executor, ExecutorCore, ReductionStrategy, SessionSlabStats, SubmissionId};
+use crate::ingest::{BatchCommit, IngestBackend};
+use crate::shard::{ShardedExecutor, ShardedResolution};
+
+fn store_err(e: std::io::Error) -> Error {
+    Error::Store(e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// WAL record payloads
+// ---------------------------------------------------------------------------
+
+/// What one commit writes to the WAL, borrowed from the committing session.
+/// The payload byte format is one kind byte followed by the existing XML wire
+/// encodings (`pul::xmlio`) — nothing new to parse on recovery.
+#[derive(Debug, Clone, Copy)]
+pub enum CommitRecord<'a> {
+    /// A single-executor commit: the resolved PUL that was applied (`D`).
+    Delta(&'a Pul),
+    /// A sharded commit: the per-shard resolved PULs, in shard order (`S`).
+    Sharded(&'a [Pul]),
+    /// A streaming commit: the identified serialization it wrote (`W`).
+    Swap(&'a str),
+}
+
+impl CommitRecord<'_> {
+    /// Encodes the record into its WAL payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let (kind, body) = match self {
+            CommitRecord::Delta(pul) => (b'D', pul::xmlio::pul_to_xml(pul)),
+            CommitRecord::Sharded(puls) => (b'S', pul::xmlio::puls_to_xml(puls)),
+            CommitRecord::Swap(xml) => (b'W', (*xml).to_string()),
+        };
+        let mut out = Vec::with_capacity(1 + body.len());
+        out.push(kind);
+        out.extend_from_slice(body.as_bytes());
+        out
+    }
+}
+
+/// An owned, decoded WAL payload — what recovery replays.
+#[derive(Debug, Clone)]
+pub enum CommitPayload {
+    /// See [`CommitRecord::Delta`].
+    Delta(Pul),
+    /// See [`CommitRecord::Sharded`].
+    Sharded(Vec<Pul>),
+    /// See [`CommitRecord::Swap`].
+    Swap(String),
+}
+
+impl CommitPayload {
+    /// Decodes a WAL payload (the CRC of the frame already checked).
+    pub fn decode(bytes: &[u8]) -> Result<CommitPayload> {
+        let (&kind, rest) =
+            bytes.split_first().ok_or_else(|| Error::Store("empty WAL payload".into()))?;
+        let text = std::str::from_utf8(rest)
+            .map_err(|_| Error::Store("WAL payload is not UTF-8".into()))?;
+        match kind {
+            b'D' => Ok(CommitPayload::Delta(pul::xmlio::pul_from_xml(text)?)),
+            b'S' => Ok(CommitPayload::Sharded(pul::xmlio::puls_from_xml(text)?)),
+            b'W' => Ok(CommitPayload::Swap(text.to_string())),
+            other => Err(Error::Store(format!("unknown WAL payload kind {other:#04x}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The commit sink hook
+// ---------------------------------------------------------------------------
+
+/// The hook a session calls at its commit point. `on_commit` runs while the
+/// commit is still revocable (journal scopes open): returning an error aborts
+/// the commit, which rewinds as if the apply itself had failed. `on_rollback`
+/// runs after a transaction rollback and must discard every record above
+/// `version`; it is infallible by signature — an implementation that cannot
+/// guarantee the discard must panic rather than leave phantom records for
+/// recovery to replay.
+pub trait CommitSink: Send {
+    /// Called with the version the commit produces and the record to persist.
+    fn on_commit(&mut self, version: u64, record: CommitRecord<'_>) -> Result<()>;
+    /// Called after a rollback restored the session to `version`.
+    fn on_rollback(&mut self, version: u64);
+}
+
+/// A shareable sink handle, installable into a session.
+pub type SharedSink = Arc<Mutex<dyn CommitSink>>;
+
+/// The sink slot embedded in `Executor` / `ShardedExecutor`. **Cloning a
+/// session empties the slot**: a clone is a divergent copy, and two sessions
+/// appending to one WAL would interleave two histories.
+#[derive(Default)]
+pub(crate) struct SinkSlot(Option<SharedSink>);
+
+impl SinkSlot {
+    pub(crate) fn get(&self) -> Option<SharedSink> {
+        self.0.clone()
+    }
+
+    pub(crate) fn set(&mut self, sink: Option<SharedSink>) {
+        self.0 = sink;
+    }
+}
+
+impl Clone for SinkSlot {
+    fn clone(&self) -> Self {
+        SinkSlot(None)
+    }
+}
+
+impl fmt::Debug for SinkSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SinkSlot({})", if self.0.is_some() { "installed" } else { "empty" })
+    }
+}
+
+/// The production sink: appends to the shared [`Store`].
+struct StoreSink {
+    store: Arc<Mutex<Store>>,
+}
+
+impl CommitSink for StoreSink {
+    fn on_commit(&mut self, version: u64, record: CommitRecord<'_>) -> Result<()> {
+        self.store
+            .lock()
+            .expect("store mutex poisoned")
+            .append(version, &record.encode())
+            .map_err(store_err)
+    }
+
+    fn on_rollback(&mut self, version: u64) {
+        // A failed truncation would leave records for commits the session
+        // rolled back; recovery would replay them over the restored state.
+        // There is no way to continue safely, so this is fatal.
+        self.store
+            .lock()
+            .expect("store mutex poisoned")
+            .truncate_to_version(version)
+            .expect("WAL truncation failed while rolling back a transaction");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend adapters
+// ---------------------------------------------------------------------------
+
+/// What [`Durable`] needs from a session backend: snapshot/restore through
+/// the checkpoint image, record replay through the journaled apply path, and
+/// the sink installation point. Implemented by [`Executor`] and
+/// [`ShardedExecutor`].
+pub trait DurableBackend: Sized + Send + 'static {
+    /// Freezes the full session state at the current version.
+    fn checkpoint_state(&self) -> CheckpointState;
+    /// Rebuilds a session from a checkpoint image. Session configuration
+    /// (policy, reduction strategy, apply options) reverts to the defaults —
+    /// it is not durable state.
+    fn restore(state: &CheckpointState) -> Result<Self>;
+    /// Re-applies one WAL record, advancing the version by exactly one.
+    fn replay(&mut self, payload: &CommitPayload) -> Result<()>;
+    /// Installs (or removes) the commit sink.
+    fn install_sink(&mut self, sink: Option<SharedSink>);
+    /// The current session version.
+    fn backend_version(&self) -> u64;
+    /// Resolves and commits everything pending (the backend's `commit`),
+    /// returning the new version.
+    fn commit_all(&mut self) -> Result<u64>;
+    /// The session's slab-churn observable (drives checkpoint triggering).
+    fn session_slab_stats(&self) -> SessionSlabStats;
+}
+
+/// Snapshots one executor core into a shard image. Labels are stored in
+/// id-sorted order so the checkpoint bytes are deterministic.
+fn snapshot_core(core: &ExecutorCore, lo: Vec<u8>, hi: Vec<u8>) -> ShardSnapshot {
+    let mut labels: Vec<(u64, String)> = core
+        .labeling()
+        .iter()
+        .map(|l| (l.id.as_u64(), format!("{} {}", l.id.as_u64(), l.to_compact_string())))
+        .collect();
+    labels.sort_unstable_by_key(|&(id, _)| id);
+    ShardSnapshot {
+        doc: core.serialize_identified(),
+        labels: labels.into_iter().map(|(_, line)| line).collect(),
+        next_id: core.document().next_id(),
+        version: core.version(),
+        interval_lo: lo,
+        interval_hi: hi,
+    }
+}
+
+/// Rebuilds one executor core from a shard image: the identified parse
+/// restores the arena with original identifiers, `reserve_ids` lifts the
+/// fresh-identifier counter over the snapshotted fence (so dead slots are
+/// never re-minted), and the compact labels restore the labeling verbatim.
+fn core_from_snapshot(snap: &ShardSnapshot) -> Result<ExecutorCore> {
+    let mut doc = xdm::parser::parse_document_identified(&snap.doc)?;
+    doc.reserve_ids(snap.next_id);
+    let mut labeling = Labeling::new();
+    for line in &snap.labels {
+        let bad = || Error::Store(format!("malformed checkpoint label line {line:?}"));
+        let (id, compact) = line.split_once(' ').ok_or_else(bad)?;
+        let id: u64 = id.parse().map_err(|_| bad())?;
+        labeling.insert(NodeLabel::parse_compact(NodeId::new(id), compact).ok_or_else(bad)?);
+    }
+    let mut core = ExecutorCore::from_parts(doc, labeling);
+    core.version = snap.version;
+    Ok(core)
+}
+
+impl DurableBackend for Executor {
+    fn checkpoint_state(&self) -> CheckpointState {
+        CheckpointState {
+            version: self.version(),
+            sharded: false,
+            root_id: 0,
+            root_label: String::new(),
+            shards: vec![snapshot_core(self.core(), Vec::new(), Vec::new())],
+        }
+    }
+
+    fn restore(state: &CheckpointState) -> Result<Executor> {
+        if state.sharded || state.shards.len() != 1 {
+            return Err(Error::Store(
+                "checkpoint was written by a sharded session; restore a ShardedExecutor".into(),
+            ));
+        }
+        Ok(Executor::from_core(core_from_snapshot(&state.shards[0])?))
+    }
+
+    fn replay(&mut self, payload: &CommitPayload) -> Result<()> {
+        match payload {
+            CommitPayload::Delta(pul) => self.replay_delta(pul),
+            CommitPayload::Swap(xml) => self.replay_swap(xml),
+            CommitPayload::Sharded(_) => {
+                Err(Error::Store("sharded WAL record replayed into a single executor".into()))
+            }
+        }
+    }
+
+    fn install_sink(&mut self, sink: Option<SharedSink>) {
+        self.set_sink(sink);
+    }
+
+    fn backend_version(&self) -> u64 {
+        self.version()
+    }
+
+    fn commit_all(&mut self) -> Result<u64> {
+        self.commit().map(|report| report.version)
+    }
+
+    fn session_slab_stats(&self) -> SessionSlabStats {
+        self.slab_stats()
+    }
+}
+
+impl DurableBackend for ShardedExecutor {
+    fn checkpoint_state(&self) -> CheckpointState {
+        let (root_id, root_label) = self.root_identity();
+        CheckpointState {
+            version: self.version(),
+            sharded: true,
+            root_id: root_id.as_u64(),
+            root_label: root_label.to_compact_string(),
+            shards: (0..self.shard_count())
+                .map(|k| {
+                    let interval = self.shard_interval(k);
+                    snapshot_core(
+                        self.shard(k),
+                        interval.lo().digits().to_vec(),
+                        interval.hi().digits().to_vec(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn restore(state: &CheckpointState) -> Result<ShardedExecutor> {
+        if !state.sharded {
+            return Err(Error::Store(
+                "checkpoint was written by a single executor; restore an Executor".into(),
+            ));
+        }
+        let root_id = NodeId::new(state.root_id);
+        let root_label = NodeLabel::parse_compact(root_id, &state.root_label)
+            .ok_or_else(|| Error::Store("malformed checkpoint root label".into()))?;
+        let mut shards = Vec::with_capacity(state.shards.len());
+        for snap in &state.shards {
+            let interval = LabelInterval::new(
+                OrderKey::from_digits(snap.interval_lo.clone()),
+                OrderKey::from_digits(snap.interval_hi.clone()),
+            );
+            shards.push((core_from_snapshot(snap)?, interval));
+        }
+        Ok(ShardedExecutor::from_restored(shards, root_id, root_label, state.version))
+    }
+
+    fn replay(&mut self, payload: &CommitPayload) -> Result<()> {
+        match payload {
+            CommitPayload::Sharded(per_shard) => {
+                if per_shard.len() != self.shard_count() {
+                    return Err(Error::Store(format!(
+                        "WAL record fans out to {} shards, session has {}",
+                        per_shard.len(),
+                        self.shard_count()
+                    )));
+                }
+                // The live commit path, fed a synthetic resolution against the
+                // current version with no submissions to consume. The sink is
+                // never installed while replaying, so nothing is re-appended.
+                self.commit_resolution(ShardedResolution {
+                    version: self.version(),
+                    submission_ids: Vec::new(),
+                    per_shard: per_shard.clone(),
+                    conflicts: Vec::new(),
+                })
+                .map(|_| ())
+            }
+            _ => Err(Error::Store(
+                "single-executor WAL record replayed into a sharded session".into(),
+            )),
+        }
+    }
+
+    fn install_sink(&mut self, sink: Option<SharedSink>) {
+        self.set_sink(sink);
+    }
+
+    fn backend_version(&self) -> u64 {
+        self.version()
+    }
+
+    fn commit_all(&mut self) -> Result<u64> {
+        self.commit().map(|report| report.version)
+    }
+
+    fn session_slab_stats(&self) -> SessionSlabStats {
+        self.slab_stats()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The durable façade
+// ---------------------------------------------------------------------------
+
+/// Configuration of a [`Durable`] session.
+#[derive(Debug, Clone, Copy)]
+pub struct DurableOptions {
+    /// WAL sync policy (default: [`SyncPolicy::PerCommit`] — a reported
+    /// commit is durable).
+    pub sync: SyncPolicy,
+    /// Checkpoint once the live WAL segment reaches this many bytes
+    /// (default 1 MiB).
+    pub checkpoint_wal_bytes: u64,
+    /// Checkpoint once the node arena's dead-slot growth since the last
+    /// checkpoint reaches this fraction of the live population (default 0.5).
+    /// Identifiers are never reused, so a checkpoint is the only point where
+    /// the on-disk image sheds dead slots.
+    pub checkpoint_dead_ratio: f64,
+    /// Keep sealed WAL segments and superseded checkpoints (default true).
+    /// Required for [`Durable::read_at`] over the full history; turn off for
+    /// a fixed-size store that only ever recovers the latest version.
+    pub retain_history: bool,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            sync: SyncPolicy::PerCommit,
+            checkpoint_wal_bytes: 1 << 20,
+            checkpoint_dead_ratio: 0.5,
+            retain_history: true,
+        }
+    }
+}
+
+impl DurableOptions {
+    fn store_options(&self) -> StoreOptions {
+        StoreOptions { sync: self.sync, retain_history: self.retain_history }
+    }
+}
+
+/// A durable session: a backend (deref'd, full session API available) plus
+/// the store its commits append to. See the module documentation.
+pub struct Durable<B: DurableBackend> {
+    backend: B,
+    store: Arc<Mutex<Store>>,
+    opts: DurableOptions,
+    /// Node-arena dead-slot count when the last checkpoint was written; the
+    /// churn trigger compares against it.
+    dead_at_checkpoint: usize,
+}
+
+impl<B: DurableBackend> Durable<B> {
+    /// Creates a fresh store in `dir` (which must not already hold one),
+    /// writes a base checkpoint of `backend` at its current version, and
+    /// installs the commit sink. Every commit from here on is logged.
+    pub fn create(dir: impl AsRef<Path>, backend: B, opts: DurableOptions) -> Result<Durable<B>> {
+        let store = Store::create(dir, opts.store_options()).map_err(store_err)?;
+        let mut durable =
+            Durable { backend, store: Arc::new(Mutex::new(store)), opts, dead_at_checkpoint: 0 };
+        durable.checkpoint()?;
+        durable.install();
+        Ok(durable)
+    }
+
+    /// Recovers a session from `dir`: loads the last checkpoint, replays the
+    /// WAL tail through the journaled apply path (any torn or corrupt tail
+    /// record was already discarded by the store scan), and installs the
+    /// commit sink. The recovered state is bit-identical to the last durable
+    /// version's.
+    pub fn open(dir: impl AsRef<Path>, opts: DurableOptions) -> Result<Durable<B>> {
+        let store = Store::open(dir, opts.store_options()).map_err(store_err)?;
+        let base = store
+            .last_checkpoint()
+            .ok_or_else(|| Error::Store("store holds no checkpoint".into()))?;
+        let state = store.load_checkpoint(base).map_err(store_err)?;
+        let mut backend = B::restore(&state)?;
+        for record in store.replay_records(base, u64::MAX).map_err(store_err)? {
+            backend.replay(&CommitPayload::decode(&record.payload)?)?;
+            if backend.backend_version() != record.version {
+                return Err(Error::Store(format!(
+                    "WAL replay reached version {} where the record claims {}",
+                    backend.backend_version(),
+                    record.version
+                )));
+            }
+        }
+        let dead = backend.session_slab_stats().nodes.dead;
+        let mut durable =
+            Durable { backend, store: Arc::new(Mutex::new(store)), opts, dead_at_checkpoint: dead };
+        durable.install();
+        Ok(durable)
+    }
+
+    fn install(&mut self) {
+        let sink: SharedSink = Arc::new(Mutex::new(StoreSink { store: Arc::clone(&self.store) }));
+        self.backend.install_sink(Some(sink));
+    }
+
+    /// The wrapped backend (also reachable through deref).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Unwraps the backend, removing its commit sink. The store files stay on
+    /// disk; later commits on the returned session are **not** logged.
+    pub fn into_backend(mut self) -> B {
+        self.backend.install_sink(None);
+        self.backend
+    }
+
+    /// Bytes in the live WAL segment.
+    pub fn wal_bytes(&self) -> u64 {
+        self.store.lock().expect("store mutex poisoned").wal_bytes()
+    }
+
+    /// Version of the most recent durable checkpoint.
+    pub fn last_checkpoint(&self) -> Option<u64> {
+        self.store.lock().expect("store mutex poisoned").last_checkpoint()
+    }
+
+    /// Versions of every retained checkpoint, ascending.
+    pub fn checkpoints(&self) -> Vec<u64> {
+        self.store.lock().expect("store mutex poisoned").checkpoints().to_vec()
+    }
+
+    /// Writes a checkpoint of the current state unconditionally and rotates
+    /// the WAL. Returns the checkpointed version.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        let state = self.backend.checkpoint_state();
+        let version = state.version;
+        self.store
+            .lock()
+            .expect("store mutex poisoned")
+            .write_checkpoint(&state)
+            .map_err(store_err)?;
+        self.dead_at_checkpoint = self.backend.session_slab_stats().nodes.dead;
+        Ok(version)
+    }
+
+    /// Checkpoints if a trigger fires: the live WAL segment reached
+    /// `checkpoint_wal_bytes`, or dead-slot churn since the last checkpoint
+    /// reached `checkpoint_dead_ratio` of the live population. No-op while
+    /// the current version is already checkpointed.
+    pub fn checkpoint_if_due(&mut self) -> Result<bool> {
+        let version = self.backend.backend_version();
+        let (wal_bytes, last) = {
+            let store = self.store.lock().expect("store mutex poisoned");
+            (store.wal_bytes(), store.last_checkpoint())
+        };
+        if last.is_some_and(|c| c >= version) {
+            return Ok(false);
+        }
+        let nodes = self.backend.session_slab_stats().nodes;
+        let churn =
+            nodes.dead.saturating_sub(self.dead_at_checkpoint) as f64 / nodes.live.max(1) as f64;
+        if wal_bytes >= self.opts.checkpoint_wal_bytes || churn >= self.opts.checkpoint_dead_ratio {
+            self.checkpoint()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Commits everything pending durably, then runs the checkpoint triggers:
+    /// the one-call maintenance loop body for long-lived sessions.
+    pub fn commit_durable(&mut self) -> Result<u64> {
+        let version = self.backend.commit_all()?;
+        self.checkpoint_if_due()?;
+        Ok(version)
+    }
+
+    /// Materialises the session as it was at `version` (a point-in-time
+    /// read): restores the greatest retained checkpoint at or below it and
+    /// replays deltas forward. The returned session is a plain backend with
+    /// no sink — committing to it never touches this store. Requires
+    /// `retain_history`; fails with `XPUL-E07` for pruned or never-durable
+    /// versions.
+    pub fn read_at(&self, version: u64) -> Result<B> {
+        let store = self.store.lock().expect("store mutex poisoned");
+        let base = store.checkpoint_at_or_before(version).ok_or_else(|| {
+            Error::Store(format!("no checkpoint at or below version {version} is retained"))
+        })?;
+        let state = store.load_checkpoint(base).map_err(store_err)?;
+        let mut backend = B::restore(&state)?;
+        for record in store.replay_records(base, version).map_err(store_err)? {
+            backend.replay(&CommitPayload::decode(&record.payload)?)?;
+            if backend.backend_version() != record.version {
+                return Err(Error::Store(format!(
+                    "WAL replay reached version {} where the record claims {}",
+                    backend.backend_version(),
+                    record.version
+                )));
+            }
+        }
+        if backend.backend_version() != version {
+            return Err(Error::Store(format!(
+                "version {version} is not durable (replay stopped at {})",
+                backend.backend_version()
+            )));
+        }
+        Ok(backend)
+    }
+}
+
+impl<B: DurableBackend> Deref for Durable<B> {
+    type Target = B;
+    fn deref(&self) -> &B {
+        &self.backend
+    }
+}
+
+impl<B: DurableBackend> DerefMut for Durable<B> {
+    fn deref_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+}
+
+impl<B: DurableBackend + fmt::Debug> fmt::Debug for Durable<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Durable")
+            .field("backend", &self.backend)
+            .field("opts", &self.opts)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The ingestion pipeline runs over a durable backend unchanged: one WAL
+/// record per committed round (the backend's sink fires inside
+/// `commit_pending`), with the checkpoint triggers evaluated between rounds.
+impl<B: DurableBackend + IngestBackend> IngestBackend for Durable<B> {
+    type Resolution = B::Resolution;
+
+    fn admit(&mut self, pul: Pul, policy: pul_core::Policy, reduced: Option<Pul>) -> SubmissionId {
+        self.backend.admit(pul, policy, reduced)
+    }
+
+    fn resolve_pending(&self) -> Result<B::Resolution> {
+        self.backend.resolve_pending()
+    }
+
+    fn commit_pending(&mut self, resolution: B::Resolution) -> Result<BatchCommit> {
+        let commit = self.backend.commit_pending(resolution)?;
+        self.checkpoint_if_due()?;
+        Ok(commit)
+    }
+
+    fn discard(&mut self, id: SubmissionId) {
+        self.backend.discard(id)
+    }
+
+    fn current_version(&self) -> u64 {
+        self.backend.current_version()
+    }
+
+    fn reduction_strategy(&self) -> ReductionStrategy {
+        self.backend.reduction_strategy()
+    }
+
+    fn default_policy(&self) -> pul_core::Policy {
+        self.backend.default_policy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pul::UpdateOp;
+    use std::path::PathBuf;
+    use xdm::Tree;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xmlpul_durable_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const DOC: &str = "<lib><b1><t>A</t></b1><b2><t>B</t></b2><b3><t>C</t></b3></lib>";
+
+    fn commit_rename(session: &mut Executor, target: &str, to: &str) {
+        let id = session.document().find_element(target).unwrap();
+        let pul = session.pul_from_ops(vec![UpdateOp::rename(id, to)]);
+        session.submit(pul);
+        session.commit().unwrap();
+    }
+
+    #[test]
+    fn executor_recovers_bit_identical() {
+        let dir = tmp_dir("exec_recover");
+        let session = Executor::parse(DOC).unwrap();
+        let mut durable = Durable::create(&dir, session, DurableOptions::default()).unwrap();
+        commit_rename(&mut durable, "b1", "book");
+        let pul = durable.produce("insert nodes <b4/> as last into /lib").unwrap();
+        durable.submit(pul);
+        durable.commit().unwrap();
+        let reference = durable.backend().clone();
+        drop(durable);
+
+        let recovered: Durable<Executor> = Durable::open(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(recovered.version(), 2);
+        assert!(recovered.document().deep_eq(reference.document()));
+        assert!(recovered.labeling().deep_eq(reference.labeling()));
+        recovered.assert_consistent();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovered_sessions_keep_committing_durably() {
+        let dir = tmp_dir("exec_continue");
+        let mut durable =
+            Durable::create(&dir, Executor::parse(DOC).unwrap(), DurableOptions::default())
+                .unwrap();
+        commit_rename(&mut durable, "b1", "x");
+        drop(durable);
+        let mut durable: Durable<Executor> =
+            Durable::open(&dir, DurableOptions::default()).unwrap();
+        commit_rename(&mut durable, "b2", "y");
+        drop(durable);
+        let recovered: Durable<Executor> = Durable::open(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(recovered.version(), 2);
+        assert!(recovered.serialize().contains("<x>"));
+        assert!(recovered.serialize().contains("<y>"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_at_materialises_every_version() {
+        let dir = tmp_dir("exec_read_at");
+        let mut durable =
+            Durable::create(&dir, Executor::parse(DOC).unwrap(), DurableOptions::default())
+                .unwrap();
+        let mut serializations = vec![durable.serialize()];
+        for (target, to) in [("b1", "v1"), ("b2", "v2"), ("b3", "v3")] {
+            commit_rename(&mut durable, target, to);
+            serializations.push(durable.serialize());
+        }
+        // a mid-history checkpoint must not break earlier reads
+        durable.checkpoint().unwrap();
+        commit_rename(&mut durable, "v1", "v4");
+        serializations.push(durable.serialize());
+
+        for (v, expect) in serializations.iter().enumerate() {
+            let at = durable.read_at(v as u64).unwrap();
+            assert_eq!(&at.serialize(), expect, "read_at({v})");
+            assert_eq!(at.version(), v as u64);
+            at.assert_consistent();
+        }
+        assert_eq!(durable.read_at(99).unwrap_err().code(), "XPUL-E07");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_recovers_bit_identical() {
+        let dir = tmp_dir("shard_recover");
+        let session = ShardedExecutor::parse(DOC, 2).unwrap();
+        let mut durable = Durable::create(&dir, session, DurableOptions::default()).unwrap();
+        let pul = durable.pul_from_ops(vec![
+            UpdateOp::rename(2u64, "book"),
+            UpdateOp::ins_last(8u64, vec![Tree::element_with_text("note", "n")]),
+        ]);
+        durable.submit(pul);
+        durable.commit().unwrap();
+        let reference = durable.backend().clone();
+        drop(durable);
+
+        let recovered: Durable<ShardedExecutor> =
+            Durable::open(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(recovered.version(), 1);
+        assert_eq!(recovered.shard_count(), 2);
+        for k in 0..2 {
+            assert!(recovered.shard(k).document().deep_eq(reference.shard(k).document()));
+            assert!(recovered.shard(k).labeling().deep_eq(reference.shard(k).labeling()));
+        }
+        recovered.assert_consistent();
+        // and it keeps committing with correct routing
+        let mut recovered = recovered;
+        let pul = recovered.pul_from_ops(vec![UpdateOp::rename(5u64, "renamed")]);
+        recovered.submit(pul);
+        recovered.commit().unwrap();
+        assert!(recovered.serialize().contains("<renamed>"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_growth_triggers_a_checkpoint() {
+        let dir = tmp_dir("wal_trigger");
+        let opts = DurableOptions { checkpoint_wal_bytes: 64, ..DurableOptions::default() };
+        let mut durable = Durable::create(&dir, Executor::parse(DOC).unwrap(), opts).unwrap();
+        assert_eq!(durable.last_checkpoint(), Some(0));
+        commit_rename(&mut durable, "b1", "renamed-to-something-longer-than-the-threshold");
+        assert!(durable.checkpoint_if_due().unwrap());
+        assert_eq!(durable.last_checkpoint(), Some(1));
+        assert_eq!(durable.wal_bytes(), 0, "checkpoint rotates the WAL");
+        assert!(!durable.checkpoint_if_due().unwrap(), "no re-checkpoint at the same version");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dead_slot_churn_triggers_a_checkpoint() {
+        let dir = tmp_dir("churn_trigger");
+        let opts = DurableOptions {
+            checkpoint_wal_bytes: u64::MAX,
+            checkpoint_dead_ratio: 0.3,
+            ..DurableOptions::default()
+        };
+        let mut durable = Durable::create(&dir, Executor::parse(DOC).unwrap(), opts).unwrap();
+        let b1 = durable.document().find_element("b1").unwrap();
+        let b2 = durable.document().find_element("b2").unwrap();
+        let pul = durable.pul_from_ops(vec![UpdateOp::delete(b1), UpdateOp::delete(b2)]);
+        durable.submit(pul);
+        durable.commit().unwrap();
+        assert!(durable.checkpoint_if_due().unwrap(), "churn past the ratio checkpoints");
+        assert!(!durable.checkpoint_if_due().unwrap(), "churn counter rebased at the checkpoint");
+        let reread = durable.read_at(1).unwrap();
+        assert!(reread.document().deep_eq(durable.document()));
+        reread.assert_consistent();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn transaction_rollback_truncates_the_wal() {
+        let dir = tmp_dir("tx_rollback");
+        let mut durable =
+            Durable::create(&dir, Executor::parse(DOC).unwrap(), DurableOptions::default())
+                .unwrap();
+        commit_rename(&mut durable, "b1", "kept");
+        {
+            let mut tx = durable.transaction();
+            let pul = tx.produce("rename node /lib/b2 as \"discarded\"").unwrap();
+            tx.submit(pul);
+            tx.apply().unwrap();
+            assert_eq!(tx.version(), 2);
+        } // rollback: version 2's record must leave the WAL too
+        assert_eq!(durable.version(), 1);
+        drop(durable);
+        let recovered: Durable<Executor> = Durable::open(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(recovered.version(), 1, "rolled-back commit must not be replayed");
+        assert!(!recovered.serialize().contains("discarded"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streaming_commits_are_logged_and_recovered() {
+        let dir = tmp_dir("streaming");
+        let mut durable =
+            Durable::create(&dir, Executor::parse(DOC).unwrap(), DurableOptions::default())
+                .unwrap();
+        let pul = durable.produce("rename node /lib/b1 as \"streamed\"").unwrap();
+        durable.submit(pul);
+        let input = durable.serialize_identified();
+        let mut output = Vec::new();
+        durable.commit_streaming(&mut input.as_bytes(), &mut output).unwrap();
+        let reference = durable.backend().clone();
+        drop(durable);
+        let recovered: Durable<Executor> = Durable::open(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(recovered.version(), 1);
+        assert!(recovered.document().deep_eq(reference.document()));
+        assert!(recovered.labeling().deep_eq(reference.labeling()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cloned_sessions_do_not_inherit_the_sink() {
+        let dir = tmp_dir("clone_sink");
+        let mut durable =
+            Durable::create(&dir, Executor::parse(DOC).unwrap(), DurableOptions::default())
+                .unwrap();
+        let mut divergent = durable.backend().clone();
+        commit_rename(&mut divergent, "b1", "divergent");
+        commit_rename(&mut durable, "b1", "durable");
+        drop(durable);
+        let recovered: Durable<Executor> = Durable::open(&dir, DurableOptions::default()).unwrap();
+        assert!(recovered.serialize().contains("<durable>"), "only the original's history");
+        assert!(!recovered.serialize().contains("<divergent>"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ingest_queue_runs_over_a_durable_backend() {
+        use crate::ingest::IngestQueue;
+        let dir = tmp_dir("ingest");
+        let durable =
+            Durable::create(&dir, Executor::parse(DOC).unwrap(), DurableOptions::default())
+                .unwrap();
+        let reference = {
+            let queue = IngestQueue::new(durable);
+            let session = Executor::parse(DOC).unwrap();
+            let b1 = session.document().find_element("b1").unwrap();
+            let b2 = session.document().find_element("b2").unwrap();
+            let t1 =
+                queue.enqueue(session.pul_from_ops(vec![UpdateOp::rename(b1, "first")])).unwrap();
+            let t2 =
+                queue.enqueue(session.pul_from_ops(vec![UpdateOp::rename(b2, "second")])).unwrap();
+            t1.wait().unwrap();
+            t2.wait().unwrap();
+            let durable = queue.close();
+            durable.backend().clone()
+        };
+        let recovered: Durable<Executor> = Durable::open(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(recovered.version(), reference.version());
+        assert!(recovered.document().deep_eq(reference.document()));
+        assert!(recovered.labeling().deep_eq(reference.labeling()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn payload_codec_round_trips() {
+        let session = Executor::parse(DOC).unwrap();
+        let b1 = session.document().find_element("b1").unwrap();
+        let pul = session.pul_from_ops(vec![
+            UpdateOp::rename(b1, "renamed"),
+            UpdateOp::ins_last(b1, vec![Tree::element_with_text("note", "n")]),
+        ]);
+        let bytes = CommitRecord::Delta(&pul).encode();
+        match CommitPayload::decode(&bytes).unwrap() {
+            CommitPayload::Delta(decoded) => {
+                assert_eq!(decoded.len(), pul.len());
+                assert_eq!(decoded.targets(), pul.targets());
+            }
+            other => panic!("wrong payload kind: {other:?}"),
+        }
+        let bytes = CommitRecord::Sharded(&[pul.clone(), Pul::new()]).encode();
+        match CommitPayload::decode(&bytes).unwrap() {
+            CommitPayload::Sharded(decoded) => {
+                assert_eq!(decoded.len(), 2);
+                assert_eq!(decoded[0].len(), pul.len());
+                assert!(decoded[1].is_empty());
+            }
+            other => panic!("wrong payload kind: {other:?}"),
+        }
+        let bytes = CommitRecord::Swap("<r xml:id=\"1\"/>").encode();
+        assert!(matches!(CommitPayload::decode(&bytes).unwrap(), CommitPayload::Swap(_)));
+        assert_eq!(CommitPayload::decode(b"").unwrap_err().code(), "XPUL-E07");
+        assert_eq!(CommitPayload::decode(b"Zjunk").unwrap_err().code(), "XPUL-E07");
+    }
+}

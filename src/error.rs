@@ -58,6 +58,10 @@ pub enum Error {
     /// arrived, or a ticket was poisoned by the pipeline shutting down before
     /// its submission could be committed.
     Ingest(String),
+    /// A durable-store failure: the WAL could not be appended, a checkpoint
+    /// could not be written or loaded, or recovery/`read_at` met a record
+    /// stream inconsistent with the session it was replayed into.
+    Store(String),
 }
 
 impl Error {
@@ -95,6 +99,7 @@ impl Error {
             Error::Io(_) => "XPUL-E04",
             Error::Shard(_) => "XPUL-E05",
             Error::Ingest(_) => "XPUL-E06",
+            Error::Store(_) => "XPUL-E07",
         }
     }
 
@@ -124,6 +129,7 @@ impl fmt::Display for Error {
             Error::Io(msg) => write!(f, "I/O error while streaming: {msg}"),
             Error::Shard(msg) => write!(f, "sharding error: {msg}"),
             Error::Ingest(msg) => write!(f, "ingestion error: {msg}"),
+            Error::Store(msg) => write!(f, "durable store error: {msg}"),
         }
     }
 }
@@ -187,6 +193,7 @@ mod tests {
             (Error::from(XqError("bad".into())), "XPUL-Q01"),
             (Error::StaleResolution { resolved_at: 1, current: 2 }, "XPUL-E01"),
             (Error::Ingest("queue closed".into()), "XPUL-E06"),
+            (Error::Store("wal append failed".into()), "XPUL-E07"),
         ];
         for (e, code) in cases {
             assert_eq!(e.code(), code);

@@ -28,6 +28,7 @@ use pul_core::{aggregate, integrate, reconcile_integration, Policy};
 use xdm::{parser, writer, Document};
 use xlabel::Labeling;
 
+use crate::durable::{CommitRecord, SharedSink, SinkSlot};
 use crate::error::{Error, Result};
 use crate::ingest::{BatchCommit, IngestBackend};
 use crate::resolution::Resolution;
@@ -334,6 +335,12 @@ pub struct Executor {
     submissions: Vec<Submission>,
     next_submission: u64,
     reduction_cache: ReductionCache,
+    /// The durability hook: when a [`Durable`](crate::Durable) wrapper
+    /// installs a sink, every commit appends its WAL record *before* the
+    /// version fence becomes observable, and a failed append rewinds the
+    /// whole commit. Cloned sessions never inherit the sink — two sessions
+    /// appending to one log would interleave divergent histories.
+    sink: SinkSlot,
 }
 
 /// Default capacity of the wire-submission reduction cache.
@@ -358,7 +365,15 @@ impl Executor {
             submissions: Vec::new(),
             next_submission: 0,
             reduction_cache: ReductionCache::new(DEFAULT_REDUCTION_CACHE_CAPACITY),
+            sink: SinkSlot::default(),
         }
+    }
+
+    /// Installs (or removes) the commit sink. Crate-internal: sinks are
+    /// installed by the [`Durable`](crate::Durable) façade, which owns the
+    /// store the sink appends to.
+    pub(crate) fn set_sink(&mut self, sink: Option<SharedSink>) {
+        self.sink.set(sink);
     }
 
     /// Opens a session on the document serialized in `xml`.
@@ -588,7 +603,40 @@ impl Executor {
     /// for the transaction's own rollback).
     pub fn commit_resolution(&mut self, resolution: Resolution) -> Result<CommitReport> {
         self.check_fresh(&resolution)?;
-        let apply = self.core.commit_pul(&resolution.pul)?;
+        let apply = match self.sink.get() {
+            None => self.core.commit_pul(&resolution.pul)?,
+            Some(sink) => {
+                // Durable sessions make the WAL append the commit point: the
+                // apply runs inside an extra journal scope, so a failed append
+                // rewinds it and the version never advances without a durable
+                // record.
+                let scope = self.core.scope_open();
+                match self.core.commit_pul(&resolution.pul) {
+                    Ok(report) => {
+                        let appended = sink
+                            .lock()
+                            .expect("commit sink mutex poisoned")
+                            .on_commit(self.core.version, CommitRecord::Delta(&resolution.pul));
+                        match appended {
+                            Ok(()) => {
+                                self.core.scope_close(&scope);
+                                report
+                            }
+                            Err(e) => {
+                                self.core.scope_rewind(&scope);
+                                self.core.scope_close(&scope);
+                                return Err(e);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        // The apply already rewound its own partial work.
+                        self.core.scope_close(&scope);
+                        return Err(e);
+                    }
+                }
+            }
+        };
         self.consume_submissions(&resolution);
         Ok(CommitReport {
             version: self.core.version,
@@ -666,6 +714,11 @@ impl Executor {
         writer.write_all(output.as_bytes())?;
         let doc_entries_before = self.core.doc.journal_len();
         let label_entries_before = self.core.labeling.journal_len();
+        let sink = self.sink.get();
+        // Durable sessions wrap the swap in a journal scope so a failed WAL
+        // append can rewind it; the streamed bytes were already written, so on
+        // that failure the caller must discard the writer's output.
+        let scope = sink.is_some().then(|| self.core.scope_open());
         // Incremental labeling (§4.1): only the nodes the stream inserted gain
         // labels and only the removed ones lose theirs — the labels of
         // untouched nodes stay bit-identical, no full re-assignment. Inside a
@@ -676,6 +729,21 @@ impl Executor {
         // rollback restores it.
         self.core.doc.replace_with(updated);
         self.core.version += 1;
+        if let Some(sink) = &sink {
+            let scope = scope.as_ref().expect("scope opened alongside the sink");
+            let appended = sink
+                .lock()
+                .expect("commit sink mutex poisoned")
+                .on_commit(self.core.version, CommitRecord::Swap(&output));
+            match appended {
+                Ok(()) => self.core.scope_close(scope),
+                Err(e) => {
+                    self.core.scope_rewind(scope);
+                    self.core.scope_close(scope);
+                    return Err(e);
+                }
+            }
+        }
         self.consume_submissions(&resolution);
         // The structural report stays empty (the stream never materialises
         // per-op effects), but the journal stats are real: entries recorded
@@ -744,6 +812,11 @@ impl Executor {
         self.core.scope_close(&scope.core);
         self.submissions = scope.submissions;
         self.next_submission = scope.next_submission;
+        // Durable sessions truncate the WAL records of the rolled-back
+        // commits, so a crash cannot resurrect them.
+        if let Some(sink) = self.sink.get() {
+            sink.lock().expect("commit sink mutex poisoned").on_rollback(self.core.version);
+        }
     }
 
     /// Makes the scope's changes permanent: the recorded inverses are dropped
@@ -751,6 +824,28 @@ impl Executor {
     /// scope (nested transactions).
     pub(crate) fn tx_commit(&mut self, scope: TxScope) {
         self.core.scope_close(&scope.core);
+    }
+
+    // ---------------------------------------------------------------- recovery
+
+    /// Re-applies a WAL `Delta` record: the resolved PUL a committed round
+    /// applied. Same journaled apply path as the live commit, so the
+    /// recovered state is bit-identical.
+    pub(crate) fn replay_delta(&mut self, pul: &Pul) -> Result<()> {
+        self.core.commit_pul(pul).map(|_| ())
+    }
+
+    /// Re-applies a WAL `Swap` record: the identified serialization a
+    /// streaming commit wrote. Same parse → patch → replace path as the live
+    /// commit (including the re-parsed fresh-identifier counter), so the
+    /// recovered state is bit-identical.
+    pub(crate) fn replay_swap(&mut self, output: &str) -> Result<()> {
+        let updated = parser::parse_document_identified(output)
+            .map_err(|e| Error::Store(format!("corrupt swap record: {e}")))?;
+        self.core.labeling.patch_from_document(&updated);
+        self.core.doc.replace_with(updated);
+        self.core.version += 1;
+        Ok(())
     }
 
     /// Debug invariant walker over the whole session: document structure

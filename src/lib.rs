@@ -74,11 +74,13 @@
 
 pub use pul;
 pub use pul_core;
+pub use pul_store;
 pub use workload;
 pub use xdm;
 pub use xlabel;
 pub use xqupdate;
 
+mod durable;
 mod error;
 mod executor;
 mod ingest;
@@ -88,12 +90,16 @@ mod transaction;
 
 pub mod fixtures;
 
+pub use durable::{
+    CommitPayload, CommitRecord, CommitSink, Durable, DurableBackend, DurableOptions, SharedSink,
+};
 pub use error::{Error, Result};
 pub use executor::{
     CacheStats, CommitReport, Executor, ExecutorCore, ReductionStrategy, SessionSlabStats,
     SubmissionId,
 };
 pub use ingest::{BatchCommit, IngestBackend, IngestConfig, IngestQueue, Ticket, TicketOutcome};
+pub use pul_store::SyncPolicy;
 pub use resolution::Resolution;
 pub use shard::{ShardedCommitReport, ShardedExecutor, ShardedResolution};
 pub use transaction::Transaction;
@@ -101,10 +107,10 @@ pub use transaction::Transaction;
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::{
-        BatchCommit, CacheStats, CommitReport, Error, Executor, ExecutorCore, IngestBackend,
-        IngestConfig, IngestQueue, ReductionStrategy, Resolution, Result, SessionSlabStats,
-        ShardedCommitReport, ShardedExecutor, ShardedResolution, SubmissionId, Ticket,
-        TicketOutcome, Transaction,
+        BatchCommit, CacheStats, CommitReport, Durable, DurableOptions, Error, Executor,
+        ExecutorCore, IngestBackend, IngestConfig, IngestQueue, ReductionStrategy, Resolution,
+        Result, SessionSlabStats, ShardedCommitReport, ShardedExecutor, ShardedResolution,
+        SubmissionId, SyncPolicy, Ticket, TicketOutcome, Transaction,
     };
     pub use pul::{ApplyOptions, OpClass, OpName, Pul, UpdateOp};
     pub use pul_core::{Conflict, ConflictType, Policy};

@@ -59,6 +59,7 @@ use pul_core::{integrate, reconcile_integration, Conflict, Policy};
 use xdm::{writer, Document, NodeId};
 use xlabel::{LabelInterval, Labeling, NodeLabel, OrderKey};
 
+use crate::durable::{CommitRecord, SharedSink, SinkSlot};
 use crate::error::{Error, Result};
 use crate::executor::{
     check_resolution_fresh, CoreScope, ExecutorCore, ReductionStrategy, SessionSlabStats,
@@ -156,6 +157,11 @@ pub struct ShardedExecutor {
     submissions: Vec<ShardedSubmission>,
     next_submission: u64,
     version: u64,
+    /// The durability hook (see [`Executor`](crate::Executor)'s field of the
+    /// same name): under a sink the WAL append becomes the commit point of
+    /// the two-phase protocol — it happens while every shard scope is still
+    /// open, so an append failure aborts exactly like a shard failure.
+    sink: SinkSlot,
 }
 
 impl ShardedExecutor {
@@ -277,7 +283,42 @@ impl ShardedExecutor {
             submissions: Vec::new(),
             next_submission: 0,
             version: 0,
+            sink: SinkSlot::default(),
         })
+    }
+
+    /// Rebuilds a session from restored parts (checkpoint recovery): the
+    /// shard cores and routing intervals exactly as snapshotted, the root
+    /// identity, and the session version. Session configuration (policy,
+    /// strategy) reverts to the defaults — it is not part of durable state.
+    pub(crate) fn from_restored(
+        shards: Vec<(ExecutorCore, LabelInterval)>,
+        root_id: NodeId,
+        root_label: NodeLabel,
+        version: u64,
+    ) -> Self {
+        ShardedExecutor {
+            shards: shards.into_iter().map(|(core, interval)| Shard { core, interval }).collect(),
+            root_id,
+            root_label,
+            default_policy: Policy::default(),
+            strategy: ReductionStrategy::default(),
+            submissions: Vec::new(),
+            next_submission: 0,
+            version,
+            sink: SinkSlot::default(),
+        }
+    }
+
+    /// The root element identifier and global root label (checkpointing).
+    pub(crate) fn root_identity(&self) -> (NodeId, &NodeLabel) {
+        (self.root_id, &self.root_label)
+    }
+
+    /// Installs (or removes) the commit sink (see [`Executor::set_sink`]
+    /// (crate::Executor)).
+    pub(crate) fn set_sink(&mut self, sink: Option<SharedSink>) {
+        self.sink.set(sink);
     }
 
     /// Opens a sharded session on the document serialized in `xml`.
@@ -717,6 +758,23 @@ impl ShardedExecutor {
             }
         }
 
+        // The WAL append is the commit point: it happens while every shard
+        // scope is still open, so a failed append aborts the whole two-phase
+        // commit exactly like a shard failure would.
+        if let Some(sink) = self.sink.get() {
+            let appended = sink
+                .lock()
+                .expect("commit sink mutex poisoned")
+                .on_commit(self.version + 1, CommitRecord::Sharded(&resolution.per_shard));
+            if let Err(e) = appended {
+                for (j, scope) in open.iter().rev() {
+                    let core = &mut self.shards[*j].core;
+                    core.scope_rewind(scope);
+                    core.scope_close(scope);
+                }
+                return Err(e);
+            }
+        }
         for (j, scope) in open.drain(..) {
             self.shards[j].core.scope_close(&scope);
         }

@@ -1,0 +1,182 @@
+//! Seeded randomized round-trip verification of the PUL exchange format.
+//!
+//! For every seeded case the workload generators produce an XMark document
+//! and a batch of synthetic PULs exercising every operation kind; each PUL
+//! must survive `pul_to_xml ∘ pul_from_xml` **exactly**: same operations in
+//! the same order (name, target, scalar parameters, content trees with their
+//! original node identifiers) and the same target labels. The batched
+//! `<puls>` framing is checked the same way.
+//!
+//! This is the fidelity contract §4.1 rests on: a consumer reasons on the
+//! parsed PUL as if it were the produced one, so any loss in the exchange
+//! format silently changes what is reasoned about. The default suite covers
+//! 40 seeds; the `#[ignore]`d sweep (run nightly in CI with `--ignored`)
+//! covers 400 more.
+
+use pul::xmlio::{pul_from_xml, pul_to_xml, puls_from_xml, puls_to_xml};
+use workload::pulgen::{differential_case_with, generate_pul};
+use workload::{PulGenConfig, XmarkConfig};
+use xlabel::Labeling;
+use xmlpul::prelude::*;
+
+/// Strict operation equality: everything the consumer reasons on. Content
+/// trees must keep their structure *and* their node identifiers — later PULs
+/// in a sequence refer to nodes inserted by earlier ones.
+fn assert_op_roundtrips(a: &UpdateOp, b: &UpdateOp, ctx: &str) {
+    assert_eq!(a.name(), b.name(), "{ctx}: op name");
+    assert_eq!(a.target(), b.target(), "{ctx}: target");
+    match (a, b) {
+        (UpdateOp::ReplaceContent { text: ta, .. }, UpdateOp::ReplaceContent { text: tb, .. }) => {
+            // param_sort_key folds None and Some("") together; the wire
+            // format must not (empty="true" vs value="")
+            assert_eq!(ta, tb, "{ctx}: replaceContent text option");
+        }
+        _ => assert_eq!(a.param_sort_key(), b.param_sort_key(), "{ctx}: scalar parameter"),
+    }
+    match (a.content(), b.content()) {
+        (None, None) => {}
+        (Some(ca), Some(cb)) => {
+            assert_eq!(ca.len(), cb.len(), "{ctx}: content tree count");
+            for (i, (ta, tb)) in ca.iter().zip(cb).enumerate() {
+                assert_eq!(ta.root_id(), tb.root_id(), "{ctx}: tree {i} root id");
+                assert_eq!(
+                    ta.preorder_from_root(),
+                    tb.preorder_from_root(),
+                    "{ctx}: tree {i} node identifiers"
+                );
+                assert!(ta.structurally_equal(tb), "{ctx}: tree {i} structure");
+            }
+        }
+        _ => panic!("{ctx}: content presence mismatch"),
+    }
+}
+
+fn assert_pul_roundtrips(orig: &Pul, back: &Pul, ctx: &str) {
+    assert_eq!(orig.len(), back.len(), "{ctx}: op count");
+    for (i, (a, b)) in orig.ops().iter().zip(back.ops()).enumerate() {
+        assert_op_roundtrips(a, b, &format!("{ctx}, op {i}"));
+    }
+    for target in orig.targets() {
+        match (orig.label(target), back.label(target)) {
+            (Some(a), Some(b)) => assert_eq!(a, b, "{ctx}: label of {target}"),
+            (None, None) => {}
+            _ => panic!("{ctx}: label presence mismatch for {target}"),
+        }
+    }
+}
+
+fn check_seed(seed: u64) {
+    // three producers ⇒ three generator streams per case, plus one dense PUL
+    // with a high reducible ratio to bias toward op-pair shapes
+    let case = differential_case_with(seed, 3);
+    let mut puls = case.puls.clone();
+    let doc = workload::generate_xmark(&XmarkConfig {
+        target_nodes: 80 + (seed as usize % 7) * 30,
+        seed: seed.wrapping_mul(31),
+    });
+    let labeling = Labeling::assign(&doc);
+    puls.push(generate_pul(
+        &doc,
+        &labeling,
+        &PulGenConfig {
+            n_ops: 60,
+            reducible_ratio: 0.6,
+            content_id_base: doc.next_id() + 10_000,
+            seed: seed.wrapping_mul(7919),
+        },
+    ));
+
+    for (i, pul) in puls.iter().enumerate() {
+        let xml = pul_to_xml(pul);
+        let back = pul_from_xml(&xml)
+            .unwrap_or_else(|e| panic!("seed {seed}, pul {i}: reparse failed: {e}"));
+        assert_pul_roundtrips(pul, &back, &format!("seed {seed}, pul {i}"));
+        // the round trip is idempotent: serializing the reparse is bit-equal
+        assert_eq!(xml, pul_to_xml(&back), "seed {seed}, pul {i}: serialization not idempotent");
+    }
+
+    let batch_xml = puls_to_xml(&puls);
+    let batch_back = puls_from_xml(&batch_xml)
+        .unwrap_or_else(|e| panic!("seed {seed}: batch reparse failed: {e}"));
+    assert_eq!(batch_back.len(), puls.len(), "seed {seed}: batch length");
+    for (i, (orig, back)) in puls.iter().zip(&batch_back).enumerate() {
+        assert_pul_roundtrips(orig, back, &format!("seed {seed}, batched pul {i}"));
+    }
+}
+
+#[test]
+fn randomized_puls_roundtrip_exactly() {
+    for seed in 0..40 {
+        check_seed(seed);
+    }
+}
+
+#[test]
+fn committed_resolutions_roundtrip_through_the_wire() {
+    // end-to-end: the resolved PUL of a commit survives the wire and commits
+    // to the same document on a fresh consumer session
+    for seed in [3u64, 17, 29] {
+        let case = differential_case_with(seed, 2);
+        let mut producer = Executor::new(case.doc.clone());
+        for pul in &case.puls {
+            producer.submit(pul.clone());
+        }
+        let resolution = match producer.resolve() {
+            Ok(r) => r,
+            Err(_) => continue, // unsolvable seeds are not this test's concern
+        };
+        let wire = pul_to_xml(resolution.pul());
+        let back = pul_from_xml(&wire).unwrap();
+        assert_pul_roundtrips(resolution.pul(), &back, &format!("seed {seed}, resolution"));
+    }
+}
+
+#[test]
+fn adversarial_scalar_values_roundtrip() {
+    // every op kind carrying scalar or tree parameters, fed strings the wire
+    // format must escape: markup, quotes, newlines, tabs, CR, unicode, and
+    // strings that *look* like entities or character references
+    let nasty = [
+        "a < b & c > d",
+        "\"quoted\" & 'apostrophes'",
+        "line\nbreak\ttab\rcarriage",
+        "&amp; literal &#x41; &#65; &bogus;",
+        "]]> cdata terminator",
+        "ünïcödé ✓ 中文",
+        "",
+        " leading and trailing ",
+    ];
+    for (i, value) in nasty.iter().enumerate() {
+        let mut pul = Pul::new();
+        let base = 1000 * (i as u64 + 1);
+        pul.push(UpdateOp::replace_value(base + 1, *value));
+        pul.push(UpdateOp::rename(base + 2, format!("n{i}")));
+        pul.push(UpdateOp::replace_content(base + 3, Some(value.to_string())));
+        pul.push(UpdateOp::replace_content(base + 4, None));
+        pul.push(UpdateOp::ins_last(base + 5, vec![Tree::text(*value)]));
+        pul.push(UpdateOp::ins_attributes(base + 6, vec![Tree::attribute("a", *value)]));
+        pul.push(UpdateOp::ins_before(base + 7, vec![Tree::element_with_text("e", *value)]));
+        pul.push(UpdateOp::replace_node(base + 8, vec![Tree::element_with_text("r", *value)]));
+        let xml = pul_to_xml(&pul);
+        let back = pul_from_xml(&xml)
+            .unwrap_or_else(|e| panic!("nasty value {i} {value:?}: reparse failed: {e}"));
+        assert_pul_roundtrips(&pul, &back, &format!("nasty value {i} {value:?}"));
+    }
+    // replaceContent must distinguish empty-string from no-text on the wire
+    let mut pul = Pul::new();
+    pul.push(UpdateOp::replace_content(1u64, Some(String::new())));
+    pul.push(UpdateOp::replace_content(2u64, None));
+    let back = pul_from_xml(&pul_to_xml(&pul)).unwrap();
+    assert!(
+        matches!(&back.ops()[0], UpdateOp::ReplaceContent { text: Some(t), .. } if t.is_empty())
+    );
+    assert!(matches!(&back.ops()[1], UpdateOp::ReplaceContent { text: None, .. }));
+}
+
+#[test]
+#[ignore = "many-seed sweep, run nightly with --ignored"]
+fn randomized_puls_roundtrip_exactly_sweep() {
+    for seed in 40..440 {
+        check_seed(seed);
+    }
+}
