@@ -444,7 +444,11 @@ pub fn run_ingest_queue<B: xmlpul::IngestBackend>(
     let total_ops = puls.iter().map(|p| p.len()).sum();
     let queue = xmlpul::IngestQueue::with_config(
         backend,
-        xmlpul::IngestConfig { flush_threshold: batch, tick: Duration::from_secs(3600) },
+        xmlpul::IngestConfig {
+            flush_threshold: batch,
+            tick: Duration::from_secs(3600),
+            ..xmlpul::IngestConfig::default()
+        },
     );
     let start = Instant::now();
     let tickets: Vec<xmlpul::Ticket> =
@@ -452,7 +456,7 @@ pub fn run_ingest_queue<B: xmlpul::IngestBackend>(
     queue.flush();
     let committed = tickets.iter().filter(|t| t.wait().is_ok()).count();
     let elapsed = start.elapsed();
-    let backend = queue.close();
+    let backend = queue.close().expect("ingest queue closed");
     IngestRunReport { elapsed, commits: backend.current_version(), committed, total_ops }
 }
 

@@ -1,0 +1,123 @@
+//! The store's structured error type.
+//!
+//! Every fallible [`Store`](crate::Store) operation returns a [`StoreError`]
+//! that preserves the underlying [`std::io::ErrorKind`] (instead of
+//! stringifying it away) plus the operation name and — where the failure
+//! names one — the WAL segment and byte offset. The kind is what retry
+//! policies classify on: [`StoreError::is_transient`] is the single
+//! definition of "worth retrying" for the whole workspace.
+
+use std::fmt;
+use std::io;
+
+use crate::faults::FaultKind;
+
+/// Result alias for store operations.
+pub type StoreResult<T> = std::result::Result<T, StoreError>;
+
+/// A structured store failure. See the module documentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError {
+    /// The operation that failed — a failpoint site name such as
+    /// `"wal.append"`, or a coarser verb like `"store.open"`.
+    pub op: &'static str,
+    /// The preserved `std::io::ErrorKind` (logical/format failures surface as
+    /// [`io::ErrorKind::InvalidData`]).
+    pub kind: io::ErrorKind,
+    /// The WAL segment index involved, when the failure names one.
+    pub segment: Option<u64>,
+    /// The byte offset within that segment, when known.
+    pub offset: Option<u64>,
+    /// Whether the failure was injected by an armed
+    /// [`FaultPlan`](crate::faults::FaultPlan).
+    pub injected: bool,
+    /// Human-readable detail.
+    pub msg: String,
+}
+
+impl StoreError {
+    /// A new error for `op` wrapping an `io::ErrorKind` and message.
+    pub fn new(op: &'static str, kind: io::ErrorKind, msg: impl Into<String>) -> StoreError {
+        StoreError { op, kind, segment: None, offset: None, injected: false, msg: msg.into() }
+    }
+
+    /// The error an armed fault of `kind` injects at `op`.
+    pub fn injected(op: &'static str, kind: FaultKind) -> StoreError {
+        StoreError {
+            op,
+            kind: kind.io_kind(),
+            segment: None,
+            offset: None,
+            injected: true,
+            msg: format!("injected {kind:?} fault"),
+        }
+    }
+
+    /// Wraps an `io::Error` from `op`, preserving its kind.
+    pub fn io(op: &'static str, e: &io::Error) -> StoreError {
+        StoreError::new(op, e.kind(), e.to_string())
+    }
+
+    /// Attaches the WAL position the failure concerns.
+    pub fn at(mut self, segment: u64, offset: u64) -> StoreError {
+        self.segment = Some(segment);
+        self.offset = Some(offset);
+        self
+    }
+
+    /// Whether a retry may succeed: interrupted, would-block and timed-out
+    /// conditions are transient; everything else (including torn writes and
+    /// logical corruption) is permanent.
+    pub fn is_transient(&self) -> bool {
+        transient_kind(self.kind)
+    }
+}
+
+/// The transient/permanent classification on the raw kind, shared with the
+/// façade's `Error::Io`.
+pub fn transient_kind(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} failed ({:?})", self.op, self.kind)?;
+        if let Some(segment) = self.segment {
+            write!(f, " [segment {segment}")?;
+            if let Some(offset) = self.offset {
+                write!(f, ", offset {offset}")?;
+            }
+            write!(f, "]")?;
+        }
+        write!(f, ": {}", self.msg)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::site;
+
+    #[test]
+    fn classification_follows_the_kind() {
+        assert!(StoreError::new(site::WAL_APPEND, io::ErrorKind::Interrupted, "x").is_transient());
+        assert!(StoreError::new(site::WAL_SYNC, io::ErrorKind::TimedOut, "x").is_transient());
+        assert!(!StoreError::new(site::WAL_APPEND, io::ErrorKind::Other, "x").is_transient());
+        assert!(!StoreError::new("store.open", io::ErrorKind::NotFound, "x").is_transient());
+        assert!(StoreError::injected(site::WAL_APPEND, FaultKind::Transient).is_transient());
+        assert!(!StoreError::injected(site::WAL_APPEND, FaultKind::Permanent).is_transient());
+        assert!(!StoreError::injected(site::WAL_APPEND, FaultKind::Torn).is_transient());
+    }
+
+    #[test]
+    fn display_carries_op_and_wal_position() {
+        let e = StoreError::new(site::WAL_APPEND, io::ErrorKind::Other, "disk on fire").at(3, 128);
+        let s = e.to_string();
+        assert!(s.contains("wal.append"), "{s}");
+        assert!(s.contains("segment 3"), "{s}");
+        assert!(s.contains("offset 128"), "{s}");
+        assert!(s.contains("disk on fire"), "{s}");
+    }
+}

@@ -20,6 +20,16 @@
 //! truncates the torn or corrupt tail of the *current* segment (earlier
 //! segments are sealed by the checkpoint that rotated them), and leaves the
 //! store ready to append.
+//!
+//! Every fallible operation returns a [`StoreError`] carrying the underlying
+//! [`std::io::ErrorKind`] plus the WAL position involved, and consults the
+//! [`faults`] failpoints on the way, so the layers above can classify
+//! transient vs permanent failures and tests can inject both
+//! deterministically. A failed append or sync repairs the segment tail back
+//! to the last good frame boundary; if that repair itself fails (or a torn
+//! write is injected) the store is **poisoned** — every further append is
+//! refused — until a rollback truncation, a checkpoint rotation, or a reopen
+//! restores a clean tail.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
@@ -27,10 +37,14 @@ use std::path::{Path, PathBuf};
 
 pub mod checkpoint;
 mod crc;
+mod error;
+pub mod faults;
 pub mod wal;
 
 pub use checkpoint::{CheckpointState, ShardSnapshot};
 pub use crc::{crc32, crc32_parts};
+pub use error::{transient_kind, StoreError, StoreResult};
+pub use faults::{site, FaultKind, FaultPlan, FaultSpec, Faults, Trigger};
 pub use wal::{ScanOutcome, WalRecord};
 
 /// When appends reach the disk.
@@ -96,19 +110,27 @@ pub struct Store {
     checkpoints: Vec<u64>,
     /// Indices of every segment on disk, ascending (last = current).
     segments: Vec<u64>,
+    /// Armed failpoints (disabled unless a test injects a plan).
+    faults: Faults,
+    /// The segment tail may hold torn bytes past `wal_len` (a failed repair
+    /// or an injected torn write): appends are refused until a truncation,
+    /// rotation or reopen restores a clean frame boundary.
+    poisoned: bool,
 }
 
 impl Store {
     /// Creates a fresh store in `dir` (created if missing). Fails if the
     /// directory already holds store files.
-    pub fn create(dir: impl AsRef<Path>, opts: StoreOptions) -> io::Result<Store> {
+    pub fn create(dir: impl AsRef<Path>, opts: StoreOptions) -> StoreResult<Store> {
+        let op = "store.create";
         let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir)?;
-        for entry in fs::read_dir(&dir)? {
-            let name = entry?.file_name();
+        fs::create_dir_all(&dir).map_err(|e| StoreError::io(op, &e))?;
+        for entry in fs::read_dir(&dir).map_err(|e| StoreError::io(op, &e))? {
+            let name = entry.map_err(|e| StoreError::io(op, &e))?.file_name();
             let name = name.to_string_lossy();
             if name.starts_with("wal-") || name.starts_with("ckpt-") {
-                return Err(io::Error::new(
+                return Err(StoreError::new(
+                    op,
                     io::ErrorKind::AlreadyExists,
                     format!("{} already holds store files", dir.display()),
                 ));
@@ -118,7 +140,8 @@ impl Store {
             .create_new(true)
             .append(true)
             .read(true)
-            .open(dir.join(segment_name(0)))?;
+            .open(dir.join(segment_name(0)))
+            .map_err(|e| StoreError::io(op, &e).at(0, 0))?;
         Ok(Store {
             dir,
             opts,
@@ -129,17 +152,20 @@ impl Store {
             unsynced: 0,
             checkpoints: Vec::new(),
             segments: vec![0],
+            faults: Faults::disabled(),
+            poisoned: false,
         })
     }
 
     /// Opens an existing store, truncating any torn or corrupt tail of the
     /// current (highest-numbered) segment.
-    pub fn open(dir: impl AsRef<Path>, opts: StoreOptions) -> io::Result<Store> {
+    pub fn open(dir: impl AsRef<Path>, opts: StoreOptions) -> StoreResult<Store> {
+        let op = "store.open";
         let dir = dir.as_ref().to_path_buf();
         let mut segments = Vec::new();
         let mut checkpoints = Vec::new();
-        for entry in fs::read_dir(&dir)? {
-            let name = entry?.file_name();
+        for entry in fs::read_dir(&dir).map_err(|e| StoreError::io(op, &e))? {
+            let name = entry.map_err(|e| StoreError::io(op, &e))?.file_name();
             let name = name.to_string_lossy().into_owned();
             if let Some(seg) = parse_numbered(&name, "wal-", ".log") {
                 segments.push(seg);
@@ -150,21 +176,23 @@ impl Store {
         segments.sort_unstable();
         checkpoints.sort_unstable();
         let &segment = segments.last().ok_or_else(|| {
-            io::Error::new(
+            StoreError::new(
+                op,
                 io::ErrorKind::NotFound,
                 format!("{} holds no WAL segment", dir.display()),
             )
         })?;
 
         let path = dir.join(segment_name(segment));
-        let bytes = fs::read(&path)?;
+        let bytes = fs::read(&path).map_err(|e| StoreError::io(op, &e).at(segment, 0))?;
         let scan = wal::scan(&bytes);
         if scan.valid_len < bytes.len() as u64 {
             // Torn or corrupt tail from a crash mid-append: cut it off so the
             // next append starts on a clean frame boundary.
-            let f = OpenOptions::new().write(true).open(&path)?;
-            f.set_len(scan.valid_len)?;
-            f.sync_all()?;
+            let cut = |e: &io::Error| StoreError::io(op, e).at(segment, scan.valid_len);
+            let f = OpenOptions::new().write(true).open(&path).map_err(|e| cut(&e))?;
+            f.set_len(scan.valid_len).map_err(|e| cut(&e))?;
+            f.sync_all().map_err(|e| cut(&e))?;
         }
         let mut appended = Vec::with_capacity(scan.records.len());
         let mut at = 0u64;
@@ -172,7 +200,11 @@ impl Store {
             appended.push((rec.version, at));
             at += (wal::RECORD_HEADER_LEN + rec.payload.len()) as u64;
         }
-        let wal_file = OpenOptions::new().append(true).read(true).open(&path)?;
+        let wal_file = OpenOptions::new()
+            .append(true)
+            .read(true)
+            .open(&path)
+            .map_err(|e| StoreError::io(op, &e).at(segment, 0))?;
         Ok(Store {
             dir,
             opts,
@@ -183,6 +215,8 @@ impl Store {
             unsynced: 0,
             checkpoints,
             segments,
+            faults: Faults::disabled(),
+            poisoned: false,
         })
     }
 
@@ -206,6 +240,17 @@ impl Store {
         &self.checkpoints
     }
 
+    /// Installs the failpoint handle the store consults on every append,
+    /// sync, rotation and checkpoint write.
+    pub fn set_faults(&mut self, faults: Faults) {
+        self.faults = faults;
+    }
+
+    /// Whether the segment tail is poisoned by an unrepaired torn write.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
     /// The highest version the store holds durably: the greater of the last
     /// checkpoint and the last WAL record in the current segment.
     pub fn last_version(&self) -> Option<u64> {
@@ -216,90 +261,193 @@ impl Store {
         }
     }
 
-    /// Appends one commit record and applies the sync policy.
-    pub fn append(&mut self, version: u64, payload: &[u8]) -> io::Result<()> {
+    /// After a failed append or sync, restores the segment to the last good
+    /// frame boundary so a retry re-appends cleanly. If the repair itself
+    /// fails the tail may hold torn bytes: the store poisons itself and
+    /// refuses appends until truncation, rotation or reopen heals the tail.
+    fn repair_tail(&mut self) {
+        let ok = self.wal_file.set_len(self.wal_len).is_ok() && self.wal_file.sync_data().is_ok();
+        if !ok {
+            self.poisoned = true;
+        }
+    }
+
+    /// Appends one commit record and applies the sync policy. On failure the
+    /// record is **not** recorded: the tail is repaired to the previous frame
+    /// boundary and a retry appends the same frame from scratch.
+    pub fn append(&mut self, version: u64, payload: &[u8]) -> StoreResult<()> {
+        if self.poisoned {
+            return Err(StoreError::new(
+                site::WAL_APPEND,
+                io::ErrorKind::Other,
+                "segment tail is poisoned by an unrepaired torn write",
+            )
+            .at(self.segment, self.wal_len));
+        }
         let frame = wal::encode_record(version, payload);
-        self.wal_file.write_all(&frame)?;
+        if let Some(kind) = self.faults.check(site::WAL_APPEND) {
+            if kind == FaultKind::Torn {
+                // Write a partial frame and fail *without* repairing — the
+                // bytes a kill mid-append would leave on disk.
+                let cut = (frame.len() / 2).max(1);
+                let _ = self.wal_file.write_all(&frame[..cut]);
+                let _ = self.wal_file.sync_data();
+                self.poisoned = true;
+            }
+            return Err(StoreError::injected(site::WAL_APPEND, kind).at(self.segment, self.wal_len));
+        }
+        if let Err(e) = self.wal_file.write_all(&frame) {
+            self.repair_tail();
+            return Err(StoreError::io(site::WAL_APPEND, &e).at(self.segment, self.wal_len));
+        }
+        let need_sync = match self.opts.sync {
+            SyncPolicy::PerCommit => true,
+            SyncPolicy::Interval(n) => self.unsynced + 1 >= n.max(1),
+            SyncPolicy::Off => false,
+        };
+        if need_sync {
+            if let Some(kind) = self.faults.check(site::WAL_SYNC) {
+                self.repair_tail();
+                return Err(
+                    StoreError::injected(site::WAL_SYNC, kind).at(self.segment, self.wal_len)
+                );
+            }
+            if let Err(e) = self.wal_file.sync_data() {
+                self.repair_tail();
+                return Err(StoreError::io(site::WAL_SYNC, &e).at(self.segment, self.wal_len));
+            }
+            self.unsynced = 0;
+        } else if matches!(self.opts.sync, SyncPolicy::Interval(_)) {
+            self.unsynced += 1;
+        }
         self.appended.push((version, self.wal_len));
         self.wal_len += frame.len() as u64;
-        match self.opts.sync {
-            SyncPolicy::PerCommit => self.wal_file.sync_data()?,
-            SyncPolicy::Interval(n) => {
-                self.unsynced += 1;
-                if self.unsynced >= n.max(1) {
-                    self.wal_file.sync_data()?;
-                    self.unsynced = 0;
-                }
-            }
-            SyncPolicy::Off => {}
-        }
         Ok(())
     }
 
     /// Drops every record of the current segment with a version above `v` —
     /// the durable half of a rollback. The frames are physically truncated so
-    /// a crash cannot resurrect them.
-    pub fn truncate_to_version(&mut self, v: u64) -> io::Result<()> {
+    /// a crash cannot resurrect them. Also discards any poisoned torn bytes
+    /// past the last good frame, healing the tail.
+    pub fn truncate_to_version(&mut self, v: u64) -> StoreResult<()> {
+        let op = "wal.truncate";
         let keep = self.appended.iter().position(|&(rv, _)| rv > v);
-        let Some(idx) = keep else { return Ok(()) };
-        let new_len = self.appended[idx].1;
-        self.wal_file.set_len(new_len)?;
-        self.wal_file.sync_all()?;
-        self.appended.truncate(idx);
+        let new_len = match keep {
+            Some(idx) => self.appended[idx].1,
+            // No record to drop, but a poisoned tail still needs cutting.
+            None if self.poisoned => self.wal_len,
+            None => return Ok(()),
+        };
+        self.wal_file
+            .set_len(new_len)
+            .and_then(|_| self.wal_file.sync_all())
+            .map_err(|e| StoreError::io(op, &e).at(self.segment, new_len))?;
+        if let Some(idx) = keep {
+            self.appended.truncate(idx);
+        }
         self.wal_len = new_len;
         self.unsynced = 0;
+        self.poisoned = false;
         Ok(())
     }
 
     /// Writes a checkpoint image durably (tmp + fsync + rename + dir fsync),
     /// rotates the WAL to a fresh segment, and — without `retain_history` —
     /// prunes everything the new checkpoint supersedes.
-    pub fn write_checkpoint(&mut self, state: &CheckpointState) -> io::Result<()> {
+    ///
+    /// The operation is retry-idempotent: in-memory state only changes after
+    /// every I/O step has succeeded, the temporary is recreated from scratch
+    /// on each attempt, and a segment left behind by a previous failed
+    /// rotation is reused empty.
+    pub fn write_checkpoint(&mut self, state: &CheckpointState) -> StoreResult<()> {
+        if let Some(kind) = self.faults.check(site::CKPT_WRITE) {
+            return Err(StoreError::injected(site::CKPT_WRITE, kind));
+        }
         let image = checkpoint::encode(state);
         let tmp = self.dir.join("ckpt.tmp");
         {
-            let mut f = File::create(&tmp)?;
-            f.write_all(&image)?;
-            f.sync_all()?;
+            let werr = |e: &io::Error| StoreError::io(site::CKPT_WRITE, e);
+            let mut f = File::create(&tmp).map_err(|e| werr(&e))?;
+            f.write_all(&image).map_err(|e| werr(&e))?;
+            f.sync_all().map_err(|e| werr(&e))?;
+        }
+        if let Some(kind) = self.faults.check(site::CKPT_RENAME) {
+            return Err(StoreError::injected(site::CKPT_RENAME, kind));
         }
         let final_path = self.dir.join(checkpoint_name(state.version));
-        fs::rename(&tmp, &final_path)?;
+        fs::rename(&tmp, &final_path).map_err(|e| StoreError::io(site::CKPT_RENAME, &e))?;
         // Make the rename itself durable before truncating any WAL data that
         // the checkpoint supersedes.
         if let Ok(d) = File::open(&self.dir) {
             let _ = d.sync_all();
         }
+
+        // Seal the current segment and rotate to a fresh one.
+        if let Some(kind) = self.faults.check(site::WAL_ROTATE) {
+            return Err(StoreError::injected(site::WAL_ROTATE, kind).at(self.segment, self.wal_len));
+        }
+        if !self.poisoned {
+            self.wal_file
+                .sync_data()
+                .map_err(|e| StoreError::io(site::WAL_ROTATE, &e).at(self.segment, self.wal_len))?;
+        }
+        let next = self.segment + 1;
+        let next_path = self.dir.join(segment_name(next));
+        let rerr = |e: &io::Error| StoreError::io(site::WAL_ROTATE, e).at(next, 0);
+        let wal_file =
+            match OpenOptions::new().create_new(true).append(true).read(true).open(&next_path) {
+                Ok(f) => f,
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    // A previous rotation attempt created the segment but
+                    // failed before the store switched to it: reuse it empty.
+                    let f = OpenOptions::new()
+                        .append(true)
+                        .read(true)
+                        .open(&next_path)
+                        .map_err(|e| rerr(&e))?;
+                    f.set_len(0).map_err(|e| rerr(&e))?;
+                    f
+                }
+                Err(e) => return Err(rerr(&e)),
+            };
+
+        // Every I/O step succeeded: commit the new state.
+        self.wal_file = wal_file;
+        self.segment = next;
+        self.segments.push(next);
+        self.segments.sort_unstable();
+        self.segments.dedup();
+        self.wal_len = 0;
+        self.appended.clear();
+        self.unsynced = 0;
+        self.poisoned = false;
         self.checkpoints.push(state.version);
         self.checkpoints.sort_unstable();
         self.checkpoints.dedup();
 
-        // Seal the current segment and rotate to a fresh one.
-        self.wal_file.sync_data()?;
-        let next = self.segment + 1;
-        self.wal_file = OpenOptions::new()
-            .create_new(true)
-            .append(true)
-            .read(true)
-            .open(self.dir.join(segment_name(next)))?;
-        self.segment = next;
-        self.segments.push(next);
-        self.wal_len = 0;
-        self.appended.clear();
-        self.unsynced = 0;
-
         if !self.opts.retain_history {
             // Everything at or below the checkpoint is reachable from the
-            // image alone; drop sealed segments and older checkpoints.
+            // image alone; drop sealed segments and older checkpoints. A file
+            // already removed by a previous attempt is not an error.
+            let perr = |e: &io::Error| StoreError::io("store.prune", e);
             let sealed: Vec<u64> =
                 self.segments.iter().copied().filter(|&s| s < self.segment).collect();
             for seg in sealed {
-                fs::remove_file(self.dir.join(segment_name(seg)))?;
+                match fs::remove_file(self.dir.join(segment_name(seg))) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(perr(&e)),
+                }
                 self.segments.retain(|&s| s != seg);
             }
             let old: Vec<u64> =
                 self.checkpoints.iter().copied().filter(|&v| v < state.version).collect();
             for v in old {
-                fs::remove_file(self.dir.join(checkpoint_name(v)))?;
+                match fs::remove_file(self.dir.join(checkpoint_name(v))) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(perr(&e)),
+                }
                 self.checkpoints.retain(|&c| c != v);
             }
         }
@@ -307,12 +455,16 @@ impl Store {
     }
 
     /// Loads and integrity-checks the checkpoint image for `version`.
-    pub fn load_checkpoint(&self, version: u64) -> io::Result<CheckpointState> {
+    pub fn load_checkpoint(&self, version: u64) -> StoreResult<CheckpointState> {
+        let op = "ckpt.load";
         let mut bytes = Vec::new();
-        File::open(self.dir.join(checkpoint_name(version)))?.read_to_end(&mut bytes)?;
-        let state = checkpoint::decode(&bytes)?;
+        File::open(self.dir.join(checkpoint_name(version)))
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| StoreError::io(op, &e))?;
+        let state = checkpoint::decode(&bytes).map_err(|e| StoreError::io(op, &e))?;
         if state.version != version {
-            return Err(io::Error::new(
+            return Err(StoreError::new(
+                op,
                 io::ErrorKind::InvalidData,
                 format!("checkpoint file for v{version} holds v{}", state.version),
             ));
@@ -328,10 +480,11 @@ impl Store {
     /// Collects every valid record with `after < version ≤ up_to` across all
     /// retained segments, oldest segment first. Per segment the scan stops at
     /// the first torn or corrupt frame, matching what recovery would keep.
-    pub fn replay_records(&self, after: u64, up_to: u64) -> io::Result<Vec<WalRecord>> {
+    pub fn replay_records(&self, after: u64, up_to: u64) -> StoreResult<Vec<WalRecord>> {
         let mut out = Vec::new();
         for &seg in &self.segments {
-            let bytes = fs::read(self.dir.join(segment_name(seg)))?;
+            let bytes = fs::read(self.dir.join(segment_name(seg)))
+                .map_err(|e| StoreError::io("wal.replay", &e).at(seg, 0))?;
             for rec in wal::scan(&bytes).records {
                 if rec.version > after && rec.version <= up_to {
                     out.push(rec);
@@ -391,7 +544,8 @@ mod tests {
     fn create_refuses_existing_store() {
         let dir = tmp_dir("refuse");
         let _store = Store::create(&dir, StoreOptions::default()).unwrap();
-        assert!(Store::create(&dir, StoreOptions::default()).is_err());
+        let err = Store::create(&dir, StoreOptions::default()).unwrap_err();
+        assert_eq!(err.kind, io::ErrorKind::AlreadyExists);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -503,6 +657,162 @@ mod tests {
         // No assertion beyond "it works" — the policy only changes fsync
         // cadence, which the filesystem hides from us here.
         assert_eq!(store.last_version(), Some(7));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_transient_append_leaves_store_retryable() {
+        let dir = tmp_dir("inj_transient");
+        let mut store = Store::create(&dir, StoreOptions::default()).unwrap();
+        store.set_faults(
+            FaultPlan::new(1).fail(site::WAL_APPEND, Trigger::Nth(2), FaultKind::Transient).arm(),
+        );
+        store.append(1, b"one").unwrap();
+        let err = store.append(2, b"two").unwrap_err();
+        assert!(err.is_transient());
+        assert!(err.injected);
+        assert_eq!(err.segment, Some(0));
+        // The failed frame left no trace; the retry appends it cleanly.
+        store.append(2, b"two").unwrap();
+        assert_eq!(store.last_version(), Some(2));
+        drop(store);
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        let recs = store.replay_records(0, u64::MAX).unwrap();
+        assert_eq!(recs.iter().map(|r| r.version).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(recs[1].payload, b"two");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_sync_failure_rolls_the_frame_back() {
+        let dir = tmp_dir("inj_sync");
+        let mut store = Store::create(&dir, StoreOptions::default()).unwrap();
+        store.set_faults(
+            FaultPlan::new(1).fail(site::WAL_SYNC, Trigger::Nth(1), FaultKind::Transient).arm(),
+        );
+        let err = store.append(1, b"frame").unwrap_err();
+        assert_eq!(err.op, site::WAL_SYNC);
+        assert_eq!(store.last_version(), None, "unsynced frame is not recorded");
+        assert_eq!(store.wal_bytes(), 0);
+        // The tail was repaired: a retry writes exactly one frame.
+        store.append(1, b"frame").unwrap();
+        drop(store);
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        let recs = store.replay_records(0, u64::MAX).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].payload, b"frame");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_poisons_until_truncation_heals() {
+        let dir = tmp_dir("inj_torn");
+        let mut store = Store::create(&dir, StoreOptions::default()).unwrap();
+        store.set_faults(
+            FaultPlan::new(1).fail(site::WAL_APPEND, Trigger::Nth(2), FaultKind::Torn).arm(),
+        );
+        store.append(1, b"good").unwrap();
+        let good_len = store.wal_bytes();
+        let err = store.append(2, b"torn").unwrap_err();
+        assert!(!err.is_transient());
+        assert!(store.is_poisoned());
+        // Torn bytes really are on disk past the last good frame.
+        let on_disk = fs::read(dir.join(segment_name(0))).unwrap();
+        assert!(on_disk.len() as u64 > good_len);
+        // Every append is refused while poisoned — even of a fresh version.
+        assert!(store.append(2, b"retry").is_err());
+        // Rolling back to the last good version cuts the torn bytes.
+        store.truncate_to_version(1).unwrap();
+        assert!(!store.is_poisoned());
+        assert_eq!(fs::read(dir.join(segment_name(0))).unwrap().len() as u64, good_len);
+        store.append(2, b"retry").unwrap();
+        let recs = store.replay_records(0, u64::MAX).unwrap();
+        assert_eq!(recs.iter().map(|r| r.version).collect::<Vec<_>>(), vec![1, 2]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_heals_across_reopen() {
+        let dir = tmp_dir("inj_torn_reopen");
+        let mut store = Store::create(&dir, StoreOptions::default()).unwrap();
+        store.set_faults(
+            FaultPlan::new(1).fail(site::WAL_APPEND, Trigger::Nth(2), FaultKind::Torn).arm(),
+        );
+        store.append(1, b"good").unwrap();
+        assert!(store.append(2, b"torn").is_err());
+        drop(store);
+        // Reopen scans past the torn bytes and truncates them, exactly as
+        // recovery from a real kill would.
+        let mut store = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(store.last_version(), Some(1));
+        assert!(!store.is_poisoned());
+        store.append(2, b"after").unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_failure_is_retryable() {
+        let dir = tmp_dir("inj_ckpt");
+        let mut store = Store::create(&dir, StoreOptions::default()).unwrap();
+        store.append(1, b"one").unwrap();
+        store.set_faults(
+            FaultPlan::new(1)
+                .fail(site::CKPT_RENAME, Trigger::Nth(1), FaultKind::Transient)
+                .fail(site::WAL_ROTATE, Trigger::Nth(1), FaultKind::Transient)
+                .arm(),
+        );
+        // First attempt dies before the rename: no checkpoint, WAL intact.
+        let err = store.write_checkpoint(&shardless(1)).unwrap_err();
+        assert_eq!(err.op, site::CKPT_RENAME);
+        assert_eq!(store.last_checkpoint(), None);
+        assert_eq!(store.last_version(), Some(1));
+        // Second attempt dies at rotation, after the image was renamed in.
+        let err = store.write_checkpoint(&shardless(1)).unwrap_err();
+        assert_eq!(err.op, site::WAL_ROTATE);
+        assert_eq!(store.last_checkpoint(), None, "state not updated until rotation succeeds");
+        // Third attempt succeeds end to end and the store is coherent.
+        store.write_checkpoint(&shardless(1)).unwrap();
+        assert_eq!(store.last_checkpoint(), Some(1));
+        assert_eq!(store.wal_bytes(), 0);
+        store.append(2, b"two").unwrap();
+        drop(store);
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(store.last_checkpoint(), Some(1));
+        assert_eq!(store.last_version(), Some(2));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_rotation_reuses_a_leftover_segment() {
+        let dir = tmp_dir("inj_rotate_leftover");
+        let mut store = Store::create(&dir, StoreOptions::default()).unwrap();
+        store.append(1, b"one").unwrap();
+        // Simulate a previous attempt that created the next segment (with
+        // junk) before dying: rotation must reuse it empty.
+        fs::write(dir.join(segment_name(1)), b"junk-from-failed-attempt").unwrap();
+        store.write_checkpoint(&shardless(1)).unwrap();
+        assert_eq!(store.wal_bytes(), 0);
+        store.append(2, b"two").unwrap();
+        let recs = store.replay_records(0, u64::MAX).unwrap();
+        assert_eq!(recs.iter().map(|r| r.version).collect::<Vec<_>>(), vec![1, 2]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_rotation_heals_a_poisoned_tail() {
+        let dir = tmp_dir("inj_ckpt_heal");
+        let mut store = Store::create(&dir, StoreOptions::default()).unwrap();
+        store.set_faults(
+            FaultPlan::new(1).fail(site::WAL_APPEND, Trigger::Nth(2), FaultKind::Torn).arm(),
+        );
+        store.append(1, b"good").unwrap();
+        assert!(store.append(2, b"torn").is_err());
+        assert!(store.is_poisoned());
+        // A checkpoint at the durable version rotates to a clean segment.
+        store.write_checkpoint(&shardless(1)).unwrap();
+        assert!(!store.is_poisoned());
+        store.append(2, b"after").unwrap();
+        assert_eq!(store.last_version(), Some(2));
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -79,7 +79,7 @@ fn main() {
             .collect();
         handles.into_iter().map(|h| h.join().expect("writer thread")).collect()
     });
-    let session = queue.close();
+    let session = queue.close().expect("ingest pipeline closed cleanly");
 
     println!("final document (v{}):\n  {}\n", session.version(), session.serialize());
     for (writer, outcome) in &outcomes {

@@ -50,10 +50,15 @@
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use pul::Pul;
-use pul_store::{CheckpointState, ShardSnapshot, Store, StoreOptions, SyncPolicy};
+use pul_store::{
+    site, CheckpointState, Faults, ShardSnapshot, Store, StoreError, StoreOptions, StoreResult,
+    SyncPolicy,
+};
 use xdm::NodeId;
 use xlabel::{LabelInterval, Labeling, NodeLabel, OrderKey};
 
@@ -62,8 +67,72 @@ use crate::executor::{Executor, ExecutorCore, ReductionStrategy, SessionSlabStat
 use crate::ingest::{BatchCommit, IngestBackend};
 use crate::shard::{ShardedExecutor, ShardedResolution};
 
-fn store_err(e: std::io::Error) -> Error {
-    Error::Store(e.to_string())
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+/// How transient store failures (see [`Error::is_transient`]) are retried:
+/// bounded attempts with exponential backoff, all under one per-operation
+/// deadline. Permanent failures are never retried. An operation that
+/// exhausts this budget tips the session into sticky degraded mode
+/// (`XPUL-E09`).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (default 4).
+    pub max_retries: u32,
+    /// Sleep before the first retry (default 1 ms); doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling (default 50 ms).
+    pub max_backoff: Duration,
+    /// Wall-clock budget for the operation including backoff sleeps
+    /// (default 1 s). Retries stop once the next sleep would cross it.
+    pub op_deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            op_deadline: Duration::from_secs(1),
+        }
+    }
+}
+
+enum RetryOutcome<T> {
+    /// An attempt succeeded.
+    Done(T),
+    /// A permanent failure: not worth retrying, session stays usable.
+    Permanent(StoreError),
+    /// Transient failures exhausted the attempt or deadline budget.
+    Exhausted(StoreError),
+}
+
+/// Runs `f` under the policy: transient errors retry with exponential
+/// backoff until the attempt count or the operation deadline runs out.
+fn with_retry<T>(retry: &RetryPolicy, mut f: impl FnMut() -> StoreResult<T>) -> RetryOutcome<T> {
+    let start = Instant::now();
+    let mut backoff = retry.base_backoff;
+    let mut attempts = 0u32;
+    loop {
+        match f() {
+            Ok(v) => return RetryOutcome::Done(v),
+            Err(e) if !e.is_transient() => return RetryOutcome::Permanent(e),
+            Err(e) => {
+                attempts += 1;
+                if attempts > retry.max_retries
+                    || start.elapsed().saturating_add(backoff) > retry.op_deadline
+                {
+                    return RetryOutcome::Exhausted(e);
+                }
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                backoff = backoff.saturating_mul(2).min(retry.max_backoff);
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -71,14 +140,30 @@ fn store_err(e: std::io::Error) -> Error {
 // ---------------------------------------------------------------------------
 
 /// What one commit writes to the WAL, borrowed from the committing session.
-/// The payload byte format is one kind byte followed by the existing XML wire
-/// encodings (`pul::xmlio`) — nothing new to parse on recovery.
+/// The payload byte format is one kind byte — for `D`/`S` followed by one
+/// identifier-discipline byte (`P`: the commit grafted parameter trees with
+/// their identifiers preserved, `F`: it minted fresh ones) — then the
+/// existing XML wire encodings (`pul::xmlio`). Replay must re-apply under
+/// the same discipline: a delta committed with `preserve_content_ids` grafts
+/// the tree identifiers the record carries, while a fresh-minting commit
+/// re-mints deterministically from the restored identifier counter. Either
+/// way the recovered arena is bit-identical to the one the live commit built.
 #[derive(Debug, Clone, Copy)]
 pub enum CommitRecord<'a> {
     /// A single-executor commit: the resolved PUL that was applied (`D`).
-    Delta(&'a Pul),
+    Delta {
+        /// The resolved round PUL.
+        pul: &'a Pul,
+        /// The committing session's `ApplyOptions::preserve_content_ids`.
+        preserve_content_ids: bool,
+    },
     /// A sharded commit: the per-shard resolved PULs, in shard order (`S`).
-    Sharded(&'a [Pul]),
+    Sharded {
+        /// The per-shard slices of the resolved round.
+        puls: &'a [Pul],
+        /// The committing session's `ApplyOptions::preserve_content_ids`.
+        preserve_content_ids: bool,
+    },
     /// A streaming commit: the identified serialization it wrote (`W`).
     Swap(&'a str),
 }
@@ -86,13 +171,18 @@ pub enum CommitRecord<'a> {
 impl CommitRecord<'_> {
     /// Encodes the record into its WAL payload bytes.
     pub fn encode(&self) -> Vec<u8> {
-        let (kind, body) = match self {
-            CommitRecord::Delta(pul) => (b'D', pul::xmlio::pul_to_xml(pul)),
-            CommitRecord::Sharded(puls) => (b'S', pul::xmlio::puls_to_xml(puls)),
-            CommitRecord::Swap(xml) => (b'W', (*xml).to_string()),
+        let discipline = |preserve: bool| if preserve { b'P' } else { b'F' };
+        let (header, body) = match self {
+            CommitRecord::Delta { pul, preserve_content_ids } => {
+                (vec![b'D', discipline(*preserve_content_ids)], pul::xmlio::pul_to_xml(pul))
+            }
+            CommitRecord::Sharded { puls, preserve_content_ids } => {
+                (vec![b'S', discipline(*preserve_content_ids)], pul::xmlio::puls_to_xml(puls))
+            }
+            CommitRecord::Swap(xml) => (vec![b'W'], (*xml).to_string()),
         };
-        let mut out = Vec::with_capacity(1 + body.len());
-        out.push(kind);
+        let mut out = Vec::with_capacity(header.len() + body.len());
+        out.extend_from_slice(&header);
         out.extend_from_slice(body.as_bytes());
         out
     }
@@ -102,9 +192,19 @@ impl CommitRecord<'_> {
 #[derive(Debug, Clone)]
 pub enum CommitPayload {
     /// See [`CommitRecord::Delta`].
-    Delta(Pul),
+    Delta {
+        /// The resolved round PUL.
+        pul: Pul,
+        /// The identifier discipline the commit applied under.
+        preserve_content_ids: bool,
+    },
     /// See [`CommitRecord::Sharded`].
-    Sharded(Vec<Pul>),
+    Sharded {
+        /// The per-shard slices of the resolved round.
+        puls: Vec<Pul>,
+        /// The identifier discipline the commit applied under.
+        preserve_content_ids: bool,
+    },
     /// See [`CommitRecord::Swap`].
     Swap(String),
 }
@@ -112,15 +212,45 @@ pub enum CommitPayload {
 impl CommitPayload {
     /// Decodes a WAL payload (the CRC of the frame already checked).
     pub fn decode(bytes: &[u8]) -> Result<CommitPayload> {
-        let (&kind, rest) =
-            bytes.split_first().ok_or_else(|| Error::Store("empty WAL payload".into()))?;
-        let text = std::str::from_utf8(rest)
-            .map_err(|_| Error::Store("WAL payload is not UTF-8".into()))?;
+        let (&kind, rest) = bytes.split_first().ok_or_else(|| Error::store("empty WAL payload"))?;
+        let discipline = |rest: &[u8]| -> Result<(bool, String)> {
+            let (&flag, body) = rest
+                .split_first()
+                .ok_or_else(|| Error::store("WAL payload missing its discipline byte"))?;
+            let preserve = match flag {
+                b'P' => true,
+                b'F' => false,
+                other => {
+                    return Err(Error::store(format!(
+                        "unknown WAL identifier discipline {other:#04x}"
+                    )))
+                }
+            };
+            let text =
+                std::str::from_utf8(body).map_err(|_| Error::store("WAL payload is not UTF-8"))?;
+            Ok((preserve, text.to_string()))
+        };
         match kind {
-            b'D' => Ok(CommitPayload::Delta(pul::xmlio::pul_from_xml(text)?)),
-            b'S' => Ok(CommitPayload::Sharded(pul::xmlio::puls_from_xml(text)?)),
-            b'W' => Ok(CommitPayload::Swap(text.to_string())),
-            other => Err(Error::Store(format!("unknown WAL payload kind {other:#04x}"))),
+            b'D' => {
+                let (preserve_content_ids, text) = discipline(rest)?;
+                Ok(CommitPayload::Delta {
+                    pul: pul::xmlio::pul_from_xml(&text)?,
+                    preserve_content_ids,
+                })
+            }
+            b'S' => {
+                let (preserve_content_ids, text) = discipline(rest)?;
+                Ok(CommitPayload::Sharded {
+                    puls: pul::xmlio::puls_from_xml(&text)?,
+                    preserve_content_ids,
+                })
+            }
+            b'W' => {
+                let text = std::str::from_utf8(rest)
+                    .map_err(|_| Error::store("WAL payload is not UTF-8"))?;
+                Ok(CommitPayload::Swap(text.to_string()))
+            }
+            other => Err(Error::store(format!("unknown WAL payload kind {other:#04x}"))),
         }
     }
 }
@@ -174,18 +304,39 @@ impl fmt::Debug for SinkSlot {
     }
 }
 
-/// The production sink: appends to the shared [`Store`].
+/// The production sink: appends to the shared [`Store`], retrying transient
+/// failures under the session's [`RetryPolicy`]. An exhausted retry budget
+/// flips the shared degraded flag — from then on every commit is refused
+/// with `XPUL-E09` until the store is reopened.
 struct StoreSink {
     store: Arc<Mutex<Store>>,
+    faults: Faults,
+    retry: RetryPolicy,
+    degraded: Arc<AtomicBool>,
 }
 
 impl CommitSink for StoreSink {
     fn on_commit(&mut self, version: u64, record: CommitRecord<'_>) -> Result<()> {
-        self.store
-            .lock()
-            .expect("store mutex poisoned")
-            .append(version, &record.encode())
-            .map_err(store_err)
+        if self.degraded.load(Ordering::SeqCst) {
+            return Err(Error::Degraded(
+                "session is read-only after an exhausted WAL retry budget".into(),
+            ));
+        }
+        let payload = record.encode();
+        let outcome = with_retry(&self.retry, || {
+            if let Some(kind) = self.faults.check(site::SINK_COMMIT) {
+                return Err(StoreError::injected(site::SINK_COMMIT, kind));
+            }
+            self.store.lock().expect("store mutex poisoned").append(version, &payload)
+        });
+        match outcome {
+            RetryOutcome::Done(()) => Ok(()),
+            RetryOutcome::Permanent(e) => Err(Error::Store(e)),
+            RetryOutcome::Exhausted(e) => {
+                self.degraded.store(true, Ordering::SeqCst);
+                Err(Error::Degraded(format!("WAL append retries exhausted: {e}")))
+            }
+        }
     }
 
     fn on_rollback(&mut self, version: u64) {
@@ -219,6 +370,10 @@ pub trait DurableBackend: Sized + Send + 'static {
     fn replay(&mut self, payload: &CommitPayload) -> Result<()>;
     /// Installs (or removes) the commit sink.
     fn install_sink(&mut self, sink: Option<SharedSink>);
+    /// Installs the failpoint handle the backend consults during its own
+    /// commit phases (e.g. shard apply). Backends without failpoints ignore
+    /// it.
+    fn install_faults(&mut self, _faults: Faults) {}
     /// The current session version.
     fn backend_version(&self) -> u64;
     /// Resolves and commits everything pending (the backend's `commit`),
@@ -256,7 +411,7 @@ fn core_from_snapshot(snap: &ShardSnapshot) -> Result<ExecutorCore> {
     doc.reserve_ids(snap.next_id);
     let mut labeling = Labeling::new();
     for line in &snap.labels {
-        let bad = || Error::Store(format!("malformed checkpoint label line {line:?}"));
+        let bad = || Error::store(format!("malformed checkpoint label line {line:?}"));
         let (id, compact) = line.split_once(' ').ok_or_else(bad)?;
         let id: u64 = id.parse().map_err(|_| bad())?;
         labeling.insert(NodeLabel::parse_compact(NodeId::new(id), compact).ok_or_else(bad)?);
@@ -279,8 +434,8 @@ impl DurableBackend for Executor {
 
     fn restore(state: &CheckpointState) -> Result<Executor> {
         if state.sharded || state.shards.len() != 1 {
-            return Err(Error::Store(
-                "checkpoint was written by a sharded session; restore a ShardedExecutor".into(),
+            return Err(Error::store(
+                "checkpoint was written by a sharded session; restore a ShardedExecutor",
             ));
         }
         Ok(Executor::from_core(core_from_snapshot(&state.shards[0])?))
@@ -288,10 +443,12 @@ impl DurableBackend for Executor {
 
     fn replay(&mut self, payload: &CommitPayload) -> Result<()> {
         match payload {
-            CommitPayload::Delta(pul) => self.replay_delta(pul),
+            CommitPayload::Delta { pul, preserve_content_ids } => {
+                self.replay_delta(pul, *preserve_content_ids)
+            }
             CommitPayload::Swap(xml) => self.replay_swap(xml),
-            CommitPayload::Sharded(_) => {
-                Err(Error::Store("sharded WAL record replayed into a single executor".into()))
+            CommitPayload::Sharded { .. } => {
+                Err(Error::store("sharded WAL record replayed into a single executor"))
             }
         }
     }
@@ -336,13 +493,13 @@ impl DurableBackend for ShardedExecutor {
 
     fn restore(state: &CheckpointState) -> Result<ShardedExecutor> {
         if !state.sharded {
-            return Err(Error::Store(
-                "checkpoint was written by a single executor; restore an Executor".into(),
+            return Err(Error::store(
+                "checkpoint was written by a single executor; restore an Executor",
             ));
         }
         let root_id = NodeId::new(state.root_id);
         let root_label = NodeLabel::parse_compact(root_id, &state.root_label)
-            .ok_or_else(|| Error::Store("malformed checkpoint root label".into()))?;
+            .ok_or_else(|| Error::store("malformed checkpoint root label"))?;
         let mut shards = Vec::with_capacity(state.shards.len());
         for snap in &state.shards {
             let interval = LabelInterval::new(
@@ -356,33 +513,39 @@ impl DurableBackend for ShardedExecutor {
 
     fn replay(&mut self, payload: &CommitPayload) -> Result<()> {
         match payload {
-            CommitPayload::Sharded(per_shard) => {
+            CommitPayload::Sharded { puls: per_shard, preserve_content_ids } => {
                 if per_shard.len() != self.shard_count() {
-                    return Err(Error::Store(format!(
+                    return Err(Error::store(format!(
                         "WAL record fans out to {} shards, session has {}",
                         per_shard.len(),
                         self.shard_count()
                     )));
                 }
                 // The live commit path, fed a synthetic resolution against the
-                // current version with no submissions to consume. The sink is
-                // never installed while replaying, so nothing is re-appended.
-                self.commit_resolution(ShardedResolution {
+                // current version with no submissions to consume, under the
+                // identifier discipline the record was committed with. The
+                // sink is never installed while replaying, so nothing is
+                // re-appended.
+                let live = self.set_preserve_content_ids(*preserve_content_ids);
+                let replayed = self.commit_resolution(ShardedResolution {
                     version: self.version(),
                     submission_ids: Vec::new(),
                     per_shard: per_shard.clone(),
                     conflicts: Vec::new(),
-                })
-                .map(|_| ())
+                });
+                self.set_preserve_content_ids(live);
+                replayed.map(|_| ())
             }
-            _ => Err(Error::Store(
-                "single-executor WAL record replayed into a sharded session".into(),
-            )),
+            _ => Err(Error::store("single-executor WAL record replayed into a sharded session")),
         }
     }
 
     fn install_sink(&mut self, sink: Option<SharedSink>) {
         self.set_sink(sink);
+    }
+
+    fn install_faults(&mut self, faults: Faults) {
+        self.set_faults(faults);
     }
 
     fn backend_version(&self) -> u64 {
@@ -420,6 +583,8 @@ pub struct DurableOptions {
     /// Required for [`Durable::read_at`] over the full history; turn off for
     /// a fixed-size store that only ever recovers the latest version.
     pub retain_history: bool,
+    /// How transient WAL-append and checkpoint failures are retried.
+    pub retry: RetryPolicy,
 }
 
 impl Default for DurableOptions {
@@ -429,6 +594,7 @@ impl Default for DurableOptions {
             checkpoint_wal_bytes: 1 << 20,
             checkpoint_dead_ratio: 0.5,
             retain_history: true,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -448,6 +614,11 @@ pub struct Durable<B: DurableBackend> {
     /// Node-arena dead-slot count when the last checkpoint was written; the
     /// churn trigger compares against it.
     dead_at_checkpoint: usize,
+    /// Failpoint handle shared with the store, the sink and the backend.
+    faults: Faults,
+    /// Sticky read-only flag, shared with the sink: set when a WAL append or
+    /// checkpoint write exhausts its retry budget.
+    degraded: Arc<AtomicBool>,
 }
 
 impl<B: DurableBackend> Durable<B> {
@@ -455,9 +626,15 @@ impl<B: DurableBackend> Durable<B> {
     /// writes a base checkpoint of `backend` at its current version, and
     /// installs the commit sink. Every commit from here on is logged.
     pub fn create(dir: impl AsRef<Path>, backend: B, opts: DurableOptions) -> Result<Durable<B>> {
-        let store = Store::create(dir, opts.store_options()).map_err(store_err)?;
-        let mut durable =
-            Durable { backend, store: Arc::new(Mutex::new(store)), opts, dead_at_checkpoint: 0 };
+        let store = Store::create(dir, opts.store_options())?;
+        let mut durable = Durable {
+            backend,
+            store: Arc::new(Mutex::new(store)),
+            opts,
+            dead_at_checkpoint: 0,
+            faults: Faults::disabled(),
+            degraded: Arc::new(AtomicBool::new(false)),
+        };
         durable.checkpoint()?;
         durable.install();
         Ok(durable)
@@ -469,16 +646,15 @@ impl<B: DurableBackend> Durable<B> {
     /// commit sink. The recovered state is bit-identical to the last durable
     /// version's.
     pub fn open(dir: impl AsRef<Path>, opts: DurableOptions) -> Result<Durable<B>> {
-        let store = Store::open(dir, opts.store_options()).map_err(store_err)?;
-        let base = store
-            .last_checkpoint()
-            .ok_or_else(|| Error::Store("store holds no checkpoint".into()))?;
-        let state = store.load_checkpoint(base).map_err(store_err)?;
+        let store = Store::open(dir, opts.store_options())?;
+        let base =
+            store.last_checkpoint().ok_or_else(|| Error::store("store holds no checkpoint"))?;
+        let state = store.load_checkpoint(base)?;
         let mut backend = B::restore(&state)?;
-        for record in store.replay_records(base, u64::MAX).map_err(store_err)? {
+        for record in store.replay_records(base, u64::MAX)? {
             backend.replay(&CommitPayload::decode(&record.payload)?)?;
             if backend.backend_version() != record.version {
-                return Err(Error::Store(format!(
+                return Err(Error::store(format!(
                     "WAL replay reached version {} where the record claims {}",
                     backend.backend_version(),
                     record.version
@@ -486,15 +662,46 @@ impl<B: DurableBackend> Durable<B> {
             }
         }
         let dead = backend.session_slab_stats().nodes.dead;
-        let mut durable =
-            Durable { backend, store: Arc::new(Mutex::new(store)), opts, dead_at_checkpoint: dead };
+        let mut durable = Durable {
+            backend,
+            store: Arc::new(Mutex::new(store)),
+            opts,
+            dead_at_checkpoint: dead,
+            faults: Faults::disabled(),
+            degraded: Arc::new(AtomicBool::new(false)),
+        };
         durable.install();
         Ok(durable)
     }
 
     fn install(&mut self) {
-        let sink: SharedSink = Arc::new(Mutex::new(StoreSink { store: Arc::clone(&self.store) }));
+        let sink: SharedSink = Arc::new(Mutex::new(StoreSink {
+            store: Arc::clone(&self.store),
+            faults: self.faults.clone(),
+            retry: self.opts.retry,
+            degraded: Arc::clone(&self.degraded),
+        }));
         self.backend.install_sink(Some(sink));
+    }
+
+    /// Installs an armed failpoint handle across the whole durable stack:
+    /// the store (WAL append/sync/rotation, checkpoint write/rename), the
+    /// commit sink, and the backend (shard apply). Tests only; a handle is
+    /// never installed in production paths.
+    pub fn inject_faults(&mut self, faults: Faults) {
+        self.store.lock().expect("store mutex poisoned").set_faults(faults.clone());
+        self.faults = faults.clone();
+        self.backend.install_faults(faults);
+        self.install();
+    }
+
+    /// Whether the session is in sticky read-only degraded mode: a WAL
+    /// append or checkpoint write exhausted its retry budget. Commits and
+    /// checkpoints are refused with `XPUL-E09`; reads (including
+    /// [`Durable::read_at`]) still work. Reopening the store is the recovery
+    /// path.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
     }
 
     /// The wrapped backend (also reachable through deref).
@@ -525,24 +732,45 @@ impl<B: DurableBackend> Durable<B> {
     }
 
     /// Writes a checkpoint of the current state unconditionally and rotates
-    /// the WAL. Returns the checkpointed version.
+    /// the WAL, retrying transient failures under the session's
+    /// [`RetryPolicy`]. Returns the checkpointed version. An exhausted retry
+    /// budget degrades the session (`XPUL-E09`).
     pub fn checkpoint(&mut self) -> Result<u64> {
+        if self.is_degraded() {
+            return Err(Error::Degraded(
+                "session is read-only after an exhausted retry budget".into(),
+            ));
+        }
         let state = self.backend.checkpoint_state();
         let version = state.version;
-        self.store
-            .lock()
-            .expect("store mutex poisoned")
-            .write_checkpoint(&state)
-            .map_err(store_err)?;
-        self.dead_at_checkpoint = self.backend.session_slab_stats().nodes.dead;
-        Ok(version)
+        let outcome = {
+            let mut store = self.store.lock().expect("store mutex poisoned");
+            with_retry(&self.opts.retry, || store.write_checkpoint(&state))
+        };
+        match outcome {
+            RetryOutcome::Done(()) => {
+                self.dead_at_checkpoint = self.backend.session_slab_stats().nodes.dead;
+                Ok(version)
+            }
+            RetryOutcome::Permanent(e) => Err(Error::Store(e)),
+            RetryOutcome::Exhausted(e) => {
+                self.degraded.store(true, Ordering::SeqCst);
+                Err(Error::Degraded(format!("checkpoint retries exhausted: {e}")))
+            }
+        }
     }
 
     /// Checkpoints if a trigger fires: the live WAL segment reached
     /// `checkpoint_wal_bytes`, or dead-slot churn since the last checkpoint
     /// reached `checkpoint_dead_ratio` of the live population. No-op while
-    /// the current version is already checkpointed.
+    /// the current version is already checkpointed. In degraded mode the
+    /// call fails with `XPUL-E09` — stickiness is observable here too.
     pub fn checkpoint_if_due(&mut self) -> Result<bool> {
+        if self.is_degraded() {
+            return Err(Error::Degraded(
+                "session is read-only after an exhausted retry budget".into(),
+            ));
+        }
         let version = self.backend.backend_version();
         let (wal_bytes, last) = {
             let store = self.store.lock().expect("store mutex poisoned");
@@ -565,7 +793,11 @@ impl<B: DurableBackend> Durable<B> {
     /// the one-call maintenance loop body for long-lived sessions.
     pub fn commit_durable(&mut self) -> Result<u64> {
         let version = self.backend.commit_all()?;
-        self.checkpoint_if_due()?;
+        // The commit's WAL record is durable at this point: a checkpoint
+        // failure must not fail the commit (a caller retrying it would
+        // re-apply an applied round). Degradation surfaces on the *next*
+        // commit through the sink.
+        let _ = self.checkpoint_if_due();
         Ok(version)
     }
 
@@ -578,14 +810,14 @@ impl<B: DurableBackend> Durable<B> {
     pub fn read_at(&self, version: u64) -> Result<B> {
         let store = self.store.lock().expect("store mutex poisoned");
         let base = store.checkpoint_at_or_before(version).ok_or_else(|| {
-            Error::Store(format!("no checkpoint at or below version {version} is retained"))
+            Error::store(format!("no checkpoint at or below version {version} is retained"))
         })?;
-        let state = store.load_checkpoint(base).map_err(store_err)?;
+        let state = store.load_checkpoint(base)?;
         let mut backend = B::restore(&state)?;
-        for record in store.replay_records(base, version).map_err(store_err)? {
+        for record in store.replay_records(base, version)? {
             backend.replay(&CommitPayload::decode(&record.payload)?)?;
             if backend.backend_version() != record.version {
-                return Err(Error::Store(format!(
+                return Err(Error::store(format!(
                     "WAL replay reached version {} where the record claims {}",
                     backend.backend_version(),
                     record.version
@@ -593,7 +825,7 @@ impl<B: DurableBackend> Durable<B> {
             }
         }
         if backend.backend_version() != version {
-            return Err(Error::Store(format!(
+            return Err(Error::store(format!(
                 "version {version} is not durable (replay stopped at {})",
                 backend.backend_version()
             )));
@@ -640,7 +872,10 @@ impl<B: DurableBackend + IngestBackend> IngestBackend for Durable<B> {
 
     fn commit_pending(&mut self, resolution: B::Resolution) -> Result<BatchCommit> {
         let commit = self.backend.commit_pending(resolution)?;
-        self.checkpoint_if_due()?;
+        // The round is durably committed: a checkpoint failure here must not
+        // fail it, or the ingest pipeline would retry (and re-apply) an
+        // already-applied round. Degradation surfaces on the next round.
+        let _ = self.checkpoint_if_due();
         Ok(commit)
     }
 
@@ -892,13 +1127,144 @@ mod tests {
                 queue.enqueue(session.pul_from_ops(vec![UpdateOp::rename(b2, "second")])).unwrap();
             t1.wait().unwrap();
             t2.wait().unwrap();
-            let durable = queue.close();
+            let durable = queue.close().unwrap();
             durable.backend().clone()
         };
         let recovered: Durable<Executor> = Durable::open(&dir, DurableOptions::default()).unwrap();
         assert_eq!(recovered.version(), reference.version());
         assert!(recovered.document().deep_eq(reference.document()));
         assert!(recovered.labeling().deep_eq(reference.labeling()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Zero-backoff policy: retry semantics without test-suite sleeps.
+    fn fast_retry(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            op_deadline: Duration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_the_commit_succeeds() {
+        use pul_store::{FaultKind, FaultPlan, Trigger};
+        let dir = tmp_dir("retry_transient");
+        let opts = DurableOptions { retry: fast_retry(4), ..DurableOptions::default() };
+        let mut durable = Durable::create(&dir, Executor::parse(DOC).unwrap(), opts).unwrap();
+        let faults =
+            FaultPlan::new(1).fail(site::WAL_APPEND, Trigger::Nth(1), FaultKind::Transient).arm();
+        durable.inject_faults(faults.clone());
+        commit_rename(&mut durable, "b1", "retried");
+        assert_eq!(faults.injected_at(site::WAL_APPEND), 1, "the fault fired once");
+        assert!(!durable.is_degraded());
+        let reference = durable.backend().clone();
+        drop(durable);
+        let recovered: Durable<Executor> = Durable::open(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(recovered.version(), 1);
+        assert!(recovered.document().deep_eq(reference.document()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn permanent_faults_fail_the_commit_but_not_the_session() {
+        use pul_store::{FaultKind, FaultPlan, Trigger};
+        let dir = tmp_dir("permanent_fault");
+        let opts = DurableOptions { retry: fast_retry(4), ..DurableOptions::default() };
+        let mut durable = Durable::create(&dir, Executor::parse(DOC).unwrap(), opts).unwrap();
+        durable.inject_faults(
+            FaultPlan::new(1).fail(site::SINK_COMMIT, Trigger::Nth(1), FaultKind::Permanent).arm(),
+        );
+        let before = durable.serialize();
+        let id = durable.document().find_element("b1").unwrap();
+        let pul = durable.pul_from_ops(vec![UpdateOp::rename(id, "kept")]);
+        durable.submit(pul);
+        let err = durable.commit().unwrap_err();
+        assert_eq!(err.code(), "XPUL-E07", "{err}");
+        assert!(!err.is_transient());
+        assert!(!durable.is_degraded(), "a permanent fault does not degrade the session");
+        assert_eq!(durable.serialize(), before, "the failed commit rewound bit-identically");
+        assert_eq!(durable.version(), 0);
+        durable.assert_consistent();
+        // The failed submission is still pending (the rewind restored the
+        // pre-commit state exactly): an explicit caller retry goes through
+        // now that the injected fault is spent.
+        durable.commit().unwrap();
+        drop(durable);
+        let recovered: Durable<Executor> = Durable::open(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(recovered.version(), 1);
+        assert!(recovered.serialize().contains("<kept>"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_the_session_stickily() {
+        use pul_store::{FaultKind, FaultPlan, Trigger};
+        let dir = tmp_dir("degraded_sticky");
+        let opts = DurableOptions { retry: fast_retry(2), ..DurableOptions::default() };
+        let mut durable = Durable::create(&dir, Executor::parse(DOC).unwrap(), opts).unwrap();
+        commit_rename(&mut durable, "b1", "durable");
+        let faults =
+            FaultPlan::new(1).fail(site::SINK_COMMIT, Trigger::Always, FaultKind::Transient).arm();
+        durable.inject_faults(faults.clone());
+        let id = durable.document().find_element("b2").unwrap();
+        let pul = durable.pul_from_ops(vec![UpdateOp::rename(id, "refused")]);
+        durable.submit(pul);
+        let err = durable.commit().unwrap_err();
+        assert_eq!(err.code(), "XPUL-E09", "{err}");
+        assert!(durable.is_degraded());
+        assert_eq!(faults.injected_at(site::SINK_COMMIT), 3, "initial attempt + 2 retries");
+        // Sticky: every further write path is refused with E09 without
+        // touching the failpoint again — including checkpoint_if_due.
+        let id = durable.document().find_element("b3").unwrap();
+        let pul = durable.pul_from_ops(vec![UpdateOp::rename(id, "still-refused")]);
+        durable.submit(pul);
+        assert_eq!(durable.commit().unwrap_err().code(), "XPUL-E09");
+        assert_eq!(durable.checkpoint_if_due().unwrap_err().code(), "XPUL-E09");
+        assert_eq!(durable.checkpoint().unwrap_err().code(), "XPUL-E09");
+        assert_eq!(faults.injected_at(site::SINK_COMMIT), 3, "degraded mode short-circuits");
+        // Reads still work in degraded mode.
+        assert!(durable.read_at(1).unwrap().serialize().contains("<durable>"));
+        drop(durable);
+        // Reopening the store is the recovery path: the durable prefix is
+        // intact and the fresh session accepts commits again.
+        let mut recovered: Durable<Executor> =
+            Durable::open(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(recovered.version(), 1);
+        assert!(!recovered.is_degraded());
+        assert!(!recovered.serialize().contains("refused"));
+        commit_rename(&mut recovered, "b2", "healed");
+        assert_eq!(recovered.version(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_writes_poison_the_wal_until_a_checkpoint_heals_it() {
+        use pul_store::{FaultKind, FaultPlan, Trigger};
+        let dir = tmp_dir("torn_heal");
+        let opts = DurableOptions { retry: fast_retry(2), ..DurableOptions::default() };
+        let mut durable = Durable::create(&dir, Executor::parse(DOC).unwrap(), opts).unwrap();
+        commit_rename(&mut durable, "b1", "before");
+        durable.inject_faults(
+            FaultPlan::new(1).fail(site::WAL_APPEND, Trigger::Nth(1), FaultKind::Torn).arm(),
+        );
+        let id = durable.document().find_element("b2").unwrap();
+        let pul = durable.pul_from_ops(vec![UpdateOp::rename(id, "torn")]);
+        durable.submit(pul);
+        let err = durable.commit().unwrap_err();
+        assert_eq!(err.code(), "XPUL-E07", "{err}");
+        assert_eq!(durable.version(), 1, "the torn commit rewound");
+        // The WAL tail now holds torn bytes: appends are refused until the
+        // log rotates. A checkpoint rotates and heals.
+        durable.checkpoint().unwrap();
+        commit_rename(&mut durable, "b2", "after");
+        let reference = durable.backend().clone();
+        drop(durable);
+        let recovered: Durable<Executor> = Durable::open(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(recovered.version(), 2);
+        assert!(recovered.document().deep_eq(reference.document()));
+        recovered.assert_consistent();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -910,20 +1276,24 @@ mod tests {
             UpdateOp::rename(b1, "renamed"),
             UpdateOp::ins_last(b1, vec![Tree::element_with_text("note", "n")]),
         ]);
-        let bytes = CommitRecord::Delta(&pul).encode();
+        let bytes = CommitRecord::Delta { pul: &pul, preserve_content_ids: true }.encode();
         match CommitPayload::decode(&bytes).unwrap() {
-            CommitPayload::Delta(decoded) => {
+            CommitPayload::Delta { pul: decoded, preserve_content_ids } => {
                 assert_eq!(decoded.len(), pul.len());
                 assert_eq!(decoded.targets(), pul.targets());
+                assert!(preserve_content_ids, "the identifier discipline rides the record");
             }
             other => panic!("wrong payload kind: {other:?}"),
         }
-        let bytes = CommitRecord::Sharded(&[pul.clone(), Pul::new()]).encode();
+        let bytes =
+            CommitRecord::Sharded { puls: &[pul.clone(), Pul::new()], preserve_content_ids: false }
+                .encode();
         match CommitPayload::decode(&bytes).unwrap() {
-            CommitPayload::Sharded(decoded) => {
+            CommitPayload::Sharded { puls: decoded, preserve_content_ids } => {
                 assert_eq!(decoded.len(), 2);
                 assert_eq!(decoded[0].len(), pul.len());
                 assert!(decoded[1].is_empty());
+                assert!(!preserve_content_ids);
             }
             other => panic!("wrong payload kind: {other:?}"),
         }
@@ -931,5 +1301,8 @@ mod tests {
         assert!(matches!(CommitPayload::decode(&bytes).unwrap(), CommitPayload::Swap(_)));
         assert_eq!(CommitPayload::decode(b"").unwrap_err().code(), "XPUL-E07");
         assert_eq!(CommitPayload::decode(b"Zjunk").unwrap_err().code(), "XPUL-E07");
+        // a D/S record truncated before its discipline byte is corrupt
+        assert_eq!(CommitPayload::decode(b"D").unwrap_err().code(), "XPUL-E07");
+        assert_eq!(CommitPayload::decode(b"DXjunk").unwrap_err().code(), "XPUL-E07");
     }
 }

@@ -13,9 +13,11 @@
 //! new codes.
 
 use std::fmt;
+use std::io;
 
 use pul::PulError;
 use pul_core::ReconcileError;
+use pul_store::StoreError;
 use xdm::XdmError;
 use xqupdate::XqError;
 
@@ -48,8 +50,14 @@ pub enum Error {
     /// `commit_streaming` was asked to stream a serialization that does not
     /// correspond to the executor's document.
     StreamMismatch(String),
-    /// An I/O error while streaming a commit.
-    Io(String),
+    /// An I/O error. The originating [`std::io::ErrorKind`] is preserved so
+    /// retry policies can classify the failure (see [`Error::is_transient`]).
+    Io {
+        /// The preserved kind of the underlying `std::io::Error`.
+        kind: io::ErrorKind,
+        /// Human-readable detail.
+        msg: String,
+    },
     /// A sharded-executor routing or partitioning failure: an operation that
     /// cannot be assigned to any shard (e.g. a whole-root replacement, or a
     /// target unknown to every shard).
@@ -60,8 +68,18 @@ pub enum Error {
     Ingest(String),
     /// A durable-store failure: the WAL could not be appended, a checkpoint
     /// could not be written or loaded, or recovery/`read_at` met a record
-    /// stream inconsistent with the session it was replayed into.
-    Store(String),
+    /// stream inconsistent with the session it was replayed into. Carries the
+    /// structured [`StoreError`] (operation, `io::ErrorKind`, WAL position).
+    Store(StoreError),
+    /// Admission control rejected a submission: the ingest queue was at
+    /// capacity (`try_enqueue` sheds load rather than block) or the ticket's
+    /// deadline expired before its round committed.
+    Overload(String),
+    /// The durable session is in sticky read-only degraded mode: a WAL or
+    /// checkpoint write exhausted its retry budget, so further commits are
+    /// refused rather than risking a torn state. Reads still work; recovery
+    /// is reopening the store.
+    Degraded(String),
 }
 
 impl Error {
@@ -96,11 +114,43 @@ impl Error {
             Error::StaleResolution { .. } => "XPUL-E01",
             Error::UnknownSubmission(_) => "XPUL-E02",
             Error::StreamMismatch(_) => "XPUL-E03",
-            Error::Io(_) => "XPUL-E04",
+            Error::Io { .. } => "XPUL-E04",
             Error::Shard(_) => "XPUL-E05",
             Error::Ingest(_) => "XPUL-E06",
             Error::Store(_) => "XPUL-E07",
+            Error::Overload(_) => "XPUL-E08",
+            Error::Degraded(_) => "XPUL-E09",
         }
+    }
+
+    /// A session-level (logical) store error: malformed checkpoint contents,
+    /// a replayed record stream inconsistent with the session, and the like.
+    /// Surfaces as `XPUL-E07` with kind [`io::ErrorKind::InvalidData`].
+    pub fn store(msg: impl Into<String>) -> Error {
+        Error::Store(StoreError::new("session", io::ErrorKind::InvalidData, msg))
+    }
+
+    /// The error an armed fault of `kind` injects at a failpoint `site`
+    /// outside the store (shard apply, ingest drainer/committer).
+    pub fn injected(site: &'static str, kind: pul_store::FaultKind) -> Error {
+        Error::Io { kind: kind.io_kind(), msg: format!("injected fault at {site}") }
+    }
+
+    /// The underlying `std::io::ErrorKind`, when this error carries one.
+    pub fn io_kind(&self) -> Option<io::ErrorKind> {
+        match self {
+            Error::Io { kind, .. } => Some(*kind),
+            Error::Store(e) => Some(e.kind),
+            _ => None,
+        }
+    }
+
+    /// Whether a retry of the failed operation may succeed. Only I/O-carrying
+    /// errors with an interrupted / would-block / timed-out kind are
+    /// transient; logical failures, overload shedding and degraded mode are
+    /// permanent for the operation that observed them.
+    pub fn is_transient(&self) -> bool {
+        self.io_kind().is_some_and(pul_store::transient_kind)
     }
 
     /// The conflict that made reconciliation fail, when there is one.
@@ -126,10 +176,12 @@ impl fmt::Display for Error {
             ),
             Error::UnknownSubmission(id) => write!(f, "no pending submission {id}"),
             Error::StreamMismatch(msg) => write!(f, "streamed document mismatch: {msg}"),
-            Error::Io(msg) => write!(f, "I/O error while streaming: {msg}"),
+            Error::Io { kind, msg } => write!(f, "I/O error ({kind:?}): {msg}"),
             Error::Shard(msg) => write!(f, "sharding error: {msg}"),
             Error::Ingest(msg) => write!(f, "ingestion error: {msg}"),
-            Error::Store(msg) => write!(f, "durable store error: {msg}"),
+            Error::Store(e) => write!(f, "durable store error: {e}"),
+            Error::Overload(msg) => write!(f, "admission control: {msg}"),
+            Error::Degraded(msg) => write!(f, "degraded mode: {msg}"),
         }
     }
 }
@@ -177,7 +229,13 @@ impl From<XqError> for Error {
 
 impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Self {
-        Error::Io(e.to_string())
+        Error::Io { kind: e.kind(), msg: e.to_string() }
+    }
+}
+
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Self {
+        Error::Store(e)
     }
 }
 
@@ -193,12 +251,34 @@ mod tests {
             (Error::from(XqError("bad".into())), "XPUL-Q01"),
             (Error::StaleResolution { resolved_at: 1, current: 2 }, "XPUL-E01"),
             (Error::Ingest("queue closed".into()), "XPUL-E06"),
-            (Error::Store("wal append failed".into()), "XPUL-E07"),
+            (Error::store("wal append failed"), "XPUL-E07"),
+            (Error::Overload("queue at capacity".into()), "XPUL-E08"),
+            (Error::Degraded("retries exhausted".into()), "XPUL-E09"),
         ];
         for (e, code) in cases {
             assert_eq!(e.code(), code);
             assert!(e.to_string().starts_with(&format!("[{code}]")), "{e}");
         }
+    }
+
+    #[test]
+    fn io_errors_preserve_the_kind() {
+        let e = Error::from(io::Error::new(io::ErrorKind::Interrupted, "try again"));
+        assert_eq!(e.code(), "XPUL-E04");
+        assert_eq!(e.io_kind(), Some(io::ErrorKind::Interrupted));
+        assert!(e.is_transient());
+        let e = Error::from(io::Error::other("gone"));
+        assert!(!e.is_transient());
+        let e = Error::from(StoreError::new(
+            pul_store::site::WAL_APPEND,
+            io::ErrorKind::TimedOut,
+            "slow disk",
+        ));
+        assert_eq!(e.code(), "XPUL-E07");
+        assert!(e.is_transient());
+        assert!(!Error::store("malformed checkpoint").is_transient());
+        assert!(!Error::Overload("shed".into()).is_transient());
+        assert!(!Error::Degraded("sticky".into()).is_transient());
     }
 
     #[test]

@@ -613,10 +613,13 @@ impl Executor {
                 let scope = self.core.scope_open();
                 match self.core.commit_pul(&resolution.pul) {
                     Ok(report) => {
-                        let appended = sink
-                            .lock()
-                            .expect("commit sink mutex poisoned")
-                            .on_commit(self.core.version, CommitRecord::Delta(&resolution.pul));
+                        let appended = sink.lock().expect("commit sink mutex poisoned").on_commit(
+                            self.core.version,
+                            CommitRecord::Delta {
+                                pul: &resolution.pul,
+                                preserve_content_ids: self.core.apply_options.preserve_content_ids,
+                            },
+                        );
                         match appended {
                             Ok(()) => {
                                 self.core.scope_close(&scope);
@@ -829,10 +832,18 @@ impl Executor {
     // ---------------------------------------------------------------- recovery
 
     /// Re-applies a WAL `Delta` record: the resolved PUL a committed round
-    /// applied. Same journaled apply path as the live commit, so the
-    /// recovered state is bit-identical.
-    pub(crate) fn replay_delta(&mut self, pul: &Pul) -> Result<()> {
-        self.core.commit_pul(pul).map(|_| ())
+    /// applied. Same journaled apply path as the live commit, under the
+    /// identifier discipline the record was committed with (the restored
+    /// session's own apply options are *not* durable state and must not leak
+    /// into replay — a producer-discipline delta re-applied with fresh
+    /// minting would silently renumber the recovered arena). Bit-identical
+    /// recovered state either way.
+    pub(crate) fn replay_delta(&mut self, pul: &Pul, preserve_content_ids: bool) -> Result<()> {
+        let live = self.core.apply_options.preserve_content_ids;
+        self.core.apply_options.preserve_content_ids = preserve_content_ids;
+        let replayed = self.core.commit_pul(pul).map(|_| ());
+        self.core.apply_options.preserve_content_ids = live;
+        replayed
     }
 
     /// Re-applies a WAL `Swap` record: the identified serialization a
@@ -841,7 +852,7 @@ impl Executor {
     /// recovered state is bit-identical.
     pub(crate) fn replay_swap(&mut self, output: &str) -> Result<()> {
         let updated = parser::parse_document_identified(output)
-            .map_err(|e| Error::Store(format!("corrupt swap record: {e}")))?;
+            .map_err(|e| Error::store(format!("corrupt swap record: {e}")))?;
         self.core.labeling.patch_from_document(&updated);
         self.core.doc.replace_with(updated);
         self.core.version += 1;

@@ -57,6 +57,7 @@ use std::time::{Duration, Instant};
 
 use pul::{OpName, Pul};
 use pul_core::{Conflict, Policy};
+use pul_store::{site, Faults};
 use xdm::NodeId;
 use xlabel::LabelInterval;
 
@@ -342,11 +343,25 @@ pub struct IngestConfig {
     /// Drain whatever is queued once this much time has passed since the
     /// first submission of the current window.
     pub tick: Duration,
+    /// Hard bound on the number of submissions waiting to be drained.
+    /// [`enqueue`](IngestQueue::enqueue) blocks while the queue is full;
+    /// [`try_enqueue`](IngestQueue::try_enqueue) sheds load with `XPUL-E08`
+    /// instead of blocking.
+    pub capacity: usize,
+    /// Failpoints the pipeline consults: the drainer at
+    /// [`site::INGEST_PREPARE`] and the committer at [`site::INGEST_COMMIT`].
+    /// Disabled by default — a single branch per check.
+    pub faults: Faults,
 }
 
 impl Default for IngestConfig {
     fn default() -> Self {
-        IngestConfig { flush_threshold: 16, tick: Duration::from_millis(2) }
+        IngestConfig {
+            flush_threshold: 16,
+            tick: Duration::from_millis(2),
+            capacity: 1024,
+            faults: Faults::disabled(),
+        }
     }
 }
 
@@ -354,6 +369,10 @@ impl Default for IngestConfig {
 struct QueuedEntry {
     pul: Pul,
     policy: Policy,
+    /// Absolute deadline: the entry fails with `XPUL-E08` instead of
+    /// committing once this instant passes (checked at drain and again at
+    /// commit). `None` means no deadline.
+    expires: Option<Instant>,
     completer: TicketCompleter,
 }
 
@@ -363,6 +382,7 @@ struct PreparedEntry {
     pul: Pul,
     reduced: Pul,
     policy: Policy,
+    expires: Option<Instant>,
     completer: TicketCompleter,
 }
 
@@ -393,6 +413,7 @@ struct Shared {
 pub struct IngestQueue<B: IngestBackend> {
     shared: Arc<Shared>,
     default_policy: Policy,
+    capacity: usize,
     drainer: Option<JoinHandle<()>>,
     committer: Option<JoinHandle<B>>,
 }
@@ -407,6 +428,8 @@ impl<B: IngestBackend> IngestQueue<B> {
     pub fn with_config(backend: B, config: IngestConfig) -> Self {
         let strategy = backend.reduction_strategy();
         let default_policy = backend.default_policy();
+        let capacity = config.capacity.max(1);
+        let faults = config.faults.clone();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -432,31 +455,98 @@ impl<B: IngestBackend> IngestQueue<B> {
         };
         let committer = {
             let shared = shared.clone();
+            let faults = faults.clone();
             std::thread::Builder::new()
                 .name("ingest-committer".into())
-                .spawn(move || committer_loop(&shared, backend, rx))
+                .spawn(move || committer_loop(&shared, backend, rx, faults))
                 .expect("spawn ingest committer")
         };
-        IngestQueue { shared, default_policy, drainer: Some(drainer), committer: Some(committer) }
+        IngestQueue {
+            shared,
+            default_policy,
+            capacity,
+            drainer: Some(drainer),
+            committer: Some(committer),
+        }
     }
 
     /// Enqueues a producer PUL under the backend's default policy, returning
-    /// its completion ticket. Fails with `XPUL-E06` once the queue is closed.
+    /// its completion ticket. Blocks while the queue is at
+    /// [`capacity`](IngestConfig::capacity); fails with `XPUL-E06` once the
+    /// queue is closed.
     pub fn enqueue(&self, pul: Pul) -> Result<Ticket> {
         self.enqueue_with_policy(pul, self.default_policy)
     }
 
-    /// Enqueues a producer PUL with an explicit producer policy.
+    /// Enqueues a producer PUL with an explicit producer policy (blocking at
+    /// capacity, like [`enqueue`](IngestQueue::enqueue)).
     pub fn enqueue_with_policy(&self, pul: Pul, policy: Policy) -> Result<Ticket> {
+        self.enqueue_inner(pul, policy, None, true)
+    }
+
+    /// Non-blocking enqueue: if the queue is at capacity the submission is
+    /// shed with `XPUL-E08` instead of waiting for space — the admission-
+    /// control path for producers that would rather drop than stall.
+    pub fn try_enqueue(&self, pul: Pul) -> Result<Ticket> {
+        self.enqueue_inner(pul, self.default_policy, None, false)
+    }
+
+    /// Non-blocking enqueue with an explicit producer policy.
+    pub fn try_enqueue_with_policy(&self, pul: Pul, policy: Policy) -> Result<Ticket> {
+        self.enqueue_inner(pul, policy, None, false)
+    }
+
+    /// Enqueues with a per-ticket deadline: if the submission has not
+    /// committed when `deadline` elapses, its ticket fails with `XPUL-E08`
+    /// (checked when the entry is drained and again just before its round
+    /// commits). Other members of the same round are unaffected.
+    pub fn enqueue_with_deadline(&self, pul: Pul, deadline: Duration) -> Result<Ticket> {
+        let expires = Instant::now().checked_add(deadline);
+        self.enqueue_inner(pul, self.default_policy, expires, true)
+    }
+
+    fn enqueue_inner(
+        &self,
+        pul: Pul,
+        policy: Policy,
+        expires: Option<Instant>,
+        block: bool,
+    ) -> Result<Ticket> {
+        let closed_err = || Error::Ingest("queue closed: no further submissions accepted".into());
         if self.shared.closed.load(Ordering::Acquire) {
-            return Err(Error::Ingest("queue closed: no further submissions accepted".into()));
+            return Err(closed_err());
+        }
+        let mut state = self.shared.state.lock().expect("queue lock");
+        while state.queue.len() >= self.capacity {
+            if !block {
+                return Err(Error::Overload(format!(
+                    "ingest queue at capacity ({} waiting submissions)",
+                    self.capacity
+                )));
+            }
+            if self.shared.closed.load(Ordering::Acquire) {
+                return Err(closed_err());
+            }
+            if self.drainer.as_ref().is_none_or(|h| h.is_finished()) {
+                return Err(Error::Ingest(
+                    "ingest pipeline is dead: the drainer exited with the queue full".into(),
+                ));
+            }
+            // The drainer signals `settled` after every drain (space freed);
+            // the timeout re-polls closed/liveness so a crash that happens
+            // while we wait is noticed too.
+            let (s, _) = self
+                .shared
+                .settled
+                .wait_timeout(state, Duration::from_millis(50))
+                .expect("queue lock");
+            state = s;
         }
         let (ticket, completer) = Ticket::new();
-        let mut state = self.shared.state.lock().expect("queue lock");
         if state.queue.is_empty() {
             state.window_start = Some(Instant::now());
         }
-        state.queue.push_back(QueuedEntry { pul, policy, completer });
+        state.queue.push_back(QueuedEntry { pul, policy, expires, completer });
         drop(state);
         self.shared.enqueued.notify_all();
         Ok(ticket)
@@ -504,9 +594,21 @@ impl<B: IngestBackend> IngestQueue<B> {
     /// Closes the queue: everything already enqueued is drained and
     /// committed, both pipeline threads stop, and the backend is returned.
     /// Subsequent `enqueue` calls fail with `XPUL-E06`.
-    pub fn close(mut self) -> B {
+    ///
+    /// If the committer thread panicked (a backend crash mid-commit), the
+    /// backend is lost with it: `close` reports a typed `XPUL-E06` error
+    /// instead of propagating the panic into the caller.
+    pub fn close(mut self) -> Result<B> {
         self.shutdown();
-        self.committer.take().expect("committer joined once").join().expect("ingest committer")
+        let committer = self.committer.take().expect("committer joined once");
+        committer.join().map_err(|panic| {
+            let what = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Error::Ingest(format!("ingest committer panicked: {what}"))
+        })
     }
 
     fn shutdown(&mut self) {
@@ -573,9 +675,38 @@ fn drainer_loop(
             state.in_flight += take;
             state.queue.drain(..take).collect::<Vec<QueuedEntry>>()
         };
+        // Space was freed: wake any producer blocked on the capacity bound.
+        shared.settled.notify_all();
+
+        // Fail deadline-expired entries before spending any preparation work
+        // on them. The rest of the batch is coalesced and committed as if
+        // the expired entries had never been enqueued.
+        let now = Instant::now();
+        let (batch, expired): (Vec<QueuedEntry>, Vec<QueuedEntry>) =
+            batch.into_iter().partition(|e| e.expires.is_none_or(|t| t > now));
+        if !expired.is_empty() {
+            let n = expired.len();
+            for e in expired {
+                e.completer.complete(Err(Error::Overload(
+                    "ticket deadline expired before the submission was drained".into(),
+                )));
+            }
+            settle(shared, n);
+        }
 
         let mut rounds = coalesce(batch).into_iter();
         while let Some(round) = rounds.next() {
+            // Failpoint: an injected preparation fault fails this round's
+            // tickets and nothing reaches the committer; later rounds of the
+            // batch (and the pipeline itself) continue.
+            if let Some(kind) = config.faults.check(site::INGEST_PREPARE) {
+                let n = round.len();
+                for e in round {
+                    e.completer.complete(Err(Error::injected(site::INGEST_PREPARE, kind)));
+                }
+                settle(shared, n);
+                continue;
+            }
             // Pre-reduce here, on the drainer thread: reduction dominates
             // resolution (§4.3) and is document-independent, so it overlaps
             // the committer applying the previous round.
@@ -585,6 +716,7 @@ fn drainer_loop(
                     reduced: strategy.reduce(&e.pul),
                     pul: e.pul,
                     policy: e.policy,
+                    expires: e.expires,
                     completer: e.completer,
                 })
                 .collect();
@@ -597,14 +729,23 @@ fn drainer_loop(
                 for round in rounds {
                     orphaned += round.len();
                 }
-                let mut state = shared.state.lock().expect("queue lock");
-                state.in_flight -= orphaned;
-                drop(state);
-                shared.settled.notify_all();
+                settle(shared, orphaned);
                 return;
             }
         }
     }
+}
+
+/// Settles `n` drained-but-uncommitted entries: decrements the in-flight
+/// count and wakes both `flush` waiters and capacity-blocked producers.
+fn settle(shared: &Shared, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let mut state = shared.state.lock().expect("queue lock");
+    state.in_flight -= n;
+    drop(state);
+    shared.settled.notify_all();
 }
 
 /// Partitions a drained batch into rounds of pairwise-independent PULs,
@@ -660,10 +801,11 @@ fn committer_loop<B: IngestBackend>(
     shared: &Shared,
     mut backend: B,
     rx: Receiver<Vec<PreparedEntry>>,
+    faults: Faults,
 ) -> B {
     while let Ok(entries) = rx.recv() {
         let _settle = InFlightGuard { shared, n: entries.len() };
-        commit_round(&mut backend, entries, true);
+        commit_round(&mut backend, entries, true, &faults);
     }
     backend
 }
@@ -682,26 +824,53 @@ fn committer_loop<B: IngestBackend>(
 /// order), so only the genuinely failing submissions fail — exactly the
 /// outcome a sequential `submit → resolve → commit` per producer would have
 /// produced.
-fn commit_round<B: IngestBackend>(backend: &mut B, mut entries: Vec<PreparedEntry>, retry: bool) {
+fn commit_round<B: IngestBackend>(
+    backend: &mut B,
+    entries: Vec<PreparedEntry>,
+    retry: bool,
+    faults: &Faults,
+) {
+    // Deadline check at commit time: expired members fail with `XPUL-E08`
+    // and leave the round *before* the merge, so one expired ticket neither
+    // blocks the survivors nor pushes them onto the serialized singleton
+    // path — they still coalesce into a single commit.
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(entries.len());
+    for entry in entries {
+        if entry.expires.is_some_and(|t| t <= now) {
+            entry.completer.complete(Err(Error::Overload(
+                "ticket deadline expired before its round committed".into(),
+            )));
+        } else {
+            live.push(entry);
+        }
+    }
+    let mut entries = live;
     if entries.len() > 1 {
-        let merged = Pul::merge_all(entries.iter().map(|e| &e.pul))
-            .and_then(|pul| Pul::merge_all(entries.iter().map(|e| &e.reduced)).map(|r| (pul, r)));
-        // An Err here (not a well-formed union) falls through to singletons.
-        if let Ok((pul, reduced)) = merged {
-            // Policies steer conflict reconciliation only, and an
-            // independent round cannot conflict — any policy serves.
-            let id = backend.admit(pul, entries[0].policy, Some(reduced));
-            match backend.resolve_pending().and_then(|r| backend.commit_pending(r)) {
-                Ok(batch) => {
-                    for entry in entries {
-                        entry.completer.complete(Ok(TicketOutcome {
-                            version: batch.version,
-                            conflicts: Vec::new(),
-                        }));
+        // Failpoint: an injected committer fault fails the merged attempt
+        // exactly like a real commit failure — the round degrades to the
+        // singleton retries below, each of which re-checks the failpoint.
+        if faults.check(site::INGEST_COMMIT).is_none() {
+            let merged = Pul::merge_all(entries.iter().map(|e| &e.pul)).and_then(|pul| {
+                Pul::merge_all(entries.iter().map(|e| &e.reduced)).map(|r| (pul, r))
+            });
+            // An Err here (not a well-formed union) falls through to singletons.
+            if let Ok((pul, reduced)) = merged {
+                // Policies steer conflict reconciliation only, and an
+                // independent round cannot conflict — any policy serves.
+                let id = backend.admit(pul, entries[0].policy, Some(reduced));
+                match backend.resolve_pending().and_then(|r| backend.commit_pending(r)) {
+                    Ok(batch) => {
+                        for entry in entries {
+                            entry.completer.complete(Ok(TicketOutcome {
+                                version: batch.version,
+                                conflicts: Vec::new(),
+                            }));
+                        }
+                        return;
                     }
-                    return;
+                    Err(_) => backend.discard(id),
                 }
-                Err(_) => backend.discard(id),
             }
         }
         // The merged commit failed (or the union was not well-formed — a
@@ -709,7 +878,7 @@ fn commit_round<B: IngestBackend>(backend: &mut B, mut entries: Vec<PreparedEntr
         // only the failing members fail.
         if retry {
             for entry in entries {
-                commit_round(backend, vec![entry], false);
+                commit_round(backend, vec![entry], false, faults);
             }
             return;
         }
@@ -723,6 +892,10 @@ fn commit_round<B: IngestBackend>(backend: &mut B, mut entries: Vec<PreparedEntr
     }
 
     let Some(entry) = entries.pop() else { return };
+    if let Some(kind) = faults.check(site::INGEST_COMMIT) {
+        entry.completer.complete(Err(Error::injected(site::INGEST_COMMIT, kind)));
+        return;
+    }
     let id = backend.admit(entry.pul, entry.policy, Some(entry.reduced));
     match backend.resolve_pending().and_then(|r| backend.commit_pending(r)) {
         Ok(batch) => {
@@ -758,7 +931,11 @@ mod tests {
     fn giant_tick() -> IngestConfig {
         // Threshold-driven draining only: keeps round formation deterministic
         // in tests that enqueue faster than any realistic tick.
-        IngestConfig { flush_threshold: 64, tick: Duration::from_secs(3600) }
+        IngestConfig {
+            flush_threshold: 64,
+            tick: Duration::from_secs(3600),
+            ..IngestConfig::default()
+        }
     }
 
     #[test]
@@ -834,7 +1011,7 @@ mod tests {
         let versions: Vec<u64> = outcomes.iter().map(|o| o.version).collect();
         assert!(versions.iter().all(|&v| v == versions[0]), "coalesced: {versions:?}");
         assert!(outcomes.iter().all(|o| o.conflicts.is_empty()));
-        let session = queue.close();
+        let session = queue.close().unwrap();
         assert_eq!(session.version(), 1, "one commit for four independent submissions");
         let xml = session.serialize();
         for name in ["<x1>", "<x2>", "<x3>", "<x4>"] {
@@ -855,7 +1032,7 @@ mod tests {
         let o1 = t1.wait().unwrap();
         let o2 = t2.wait().unwrap();
         assert!(o1.version < o2.version, "serialized rounds get successive versions");
-        let session = queue.close();
+        let session = queue.close().unwrap();
         assert_eq!(session.version(), 2);
         assert!(session.serialize().contains("second"), "the later submission wins");
     }
@@ -879,7 +1056,7 @@ mod tests {
         t2.wait().expect("independent good submission commits");
         let err = tp.wait().unwrap_err();
         assert_eq!(err.code(), "XPUL-P03", "{err}");
-        let session = queue.close();
+        let session = queue.close().unwrap();
         let xml = session.serialize();
         assert!(xml.contains("<kept1>") && xml.contains("<kept2>"), "{xml}");
         assert!(!xml.contains("id=\"1\""), "the poison PUL left no trace");
@@ -899,7 +1076,7 @@ mod tests {
         let o1 = t1.wait().unwrap();
         let o2 = t2.wait().unwrap();
         assert_eq!(o1.version, o2.version, "independent cross-shard PULs coalesce");
-        let session = queue.close();
+        let session = queue.close().unwrap();
         assert_eq!(session.version(), 1);
         assert!(session.serialize().contains("<s0>"));
         assert!(session.serialize().contains("<s1>"));
@@ -923,7 +1100,7 @@ mod tests {
         let queue = IngestQueue::with_config(session, giant_tick());
         let ticket = queue.enqueue(pul).unwrap();
         // no flush(): close() must still drain and commit the entry
-        let session = queue.close();
+        let session = queue.close().unwrap();
         ticket.wait().expect("close drains the queue");
         assert!(session.serialize().contains("<flushed>"));
     }
@@ -934,7 +1111,11 @@ mod tests {
         let pul = session.pul_from_ops(vec![UpdateOp::rename(3u64, "ticked")]);
         let queue = IngestQueue::with_config(
             session,
-            IngestConfig { flush_threshold: 1_000, tick: Duration::from_millis(1) },
+            IngestConfig {
+                flush_threshold: 1_000,
+                tick: Duration::from_millis(1),
+                ..IngestConfig::default()
+            },
         );
         let ticket = queue.enqueue(pul).unwrap();
         let outcome = ticket.wait().expect("the tick drains a sub-threshold window");
@@ -977,7 +1158,11 @@ mod tests {
         let p2 = session.pul_from_ops(vec![UpdateOp::rename(6u64, "y")]);
         let queue = IngestQueue::with_config(
             PanickingBackend(session),
-            IngestConfig { flush_threshold: 2, tick: Duration::from_millis(1) },
+            IngestConfig {
+                flush_threshold: 2,
+                tick: Duration::from_millis(1),
+                ..IngestConfig::default()
+            },
         );
         let t1 = queue.enqueue(p1).unwrap();
         let t2 = queue.enqueue(p2).unwrap();
@@ -987,6 +1172,182 @@ mod tests {
         assert_eq!(t1.wait().unwrap_err().code(), "XPUL-E06");
         assert_eq!(t2.wait().unwrap_err().code(), "XPUL-E06");
         drop(queue); // joins the panicked committer without propagating
+    }
+
+    #[test]
+    fn try_enqueue_sheds_load_at_capacity() {
+        let session = Executor::parse(LIB).unwrap();
+        let puls: Vec<Pul> = [(3u64, "x1"), (6u64, "x2"), (9u64, "x3")]
+            .iter()
+            .map(|&(id, name)| session.pul_from_ops(vec![UpdateOp::rename(id, name)]))
+            .collect();
+        // Giant tick + high threshold: nothing drains until flush, so the
+        // queue genuinely fills to its bound.
+        let queue = IngestQueue::with_config(session, IngestConfig { capacity: 2, ..giant_tick() });
+        let mut puls = puls.into_iter();
+        let t1 = queue.try_enqueue(puls.next().unwrap()).unwrap();
+        let t2 = queue.try_enqueue(puls.next().unwrap()).unwrap();
+        let err = queue.try_enqueue(puls.next().unwrap()).unwrap_err();
+        assert_eq!(err.code(), "XPUL-E08", "{err}");
+        queue.flush();
+        t1.wait().expect("admitted submissions commit");
+        t2.wait().expect("admitted submissions commit");
+        let session = queue.close().unwrap();
+        let xml = session.serialize();
+        assert!(xml.contains("<x1>") && xml.contains("<x2>"), "{xml}");
+        assert!(!xml.contains("<x3>"), "the shed submission left no trace");
+    }
+
+    #[test]
+    fn enqueue_blocks_at_capacity_until_space_frees() {
+        let session = Executor::parse(LIB).unwrap();
+        let p1 = session.pul_from_ops(vec![UpdateOp::rename(3u64, "x1")]);
+        let p2 = session.pul_from_ops(vec![UpdateOp::rename(6u64, "x2")]);
+        // capacity 1 with an eager drainer: the second enqueue finds the
+        // queue full and must wait for the drain, not error out.
+        let queue = IngestQueue::with_config(
+            session,
+            IngestConfig {
+                flush_threshold: 1,
+                tick: Duration::from_millis(1),
+                capacity: 1,
+                ..IngestConfig::default()
+            },
+        );
+        let t1 = queue.enqueue(p1).unwrap();
+        let t2 = queue.enqueue(p2).unwrap();
+        queue.flush();
+        t1.wait().unwrap();
+        t2.wait().unwrap();
+        let session = queue.close().unwrap();
+        assert!(session.serialize().contains("<x2>"));
+        session.assert_consistent();
+    }
+
+    #[test]
+    fn expired_tickets_are_shed_at_drain_with_e08() {
+        let session = Executor::parse(LIB).unwrap();
+        let pul = session.pul_from_ops(vec![UpdateOp::rename(3u64, "late")]);
+        let queue = IngestQueue::with_config(session, giant_tick());
+        let ticket = queue.enqueue_with_deadline(pul, Duration::ZERO).unwrap();
+        queue.flush();
+        let err = ticket.wait().unwrap_err();
+        assert_eq!(err.code(), "XPUL-E08", "{err}");
+        let session = queue.close().unwrap();
+        assert_eq!(session.version(), 0, "the expired submission never committed");
+        assert!(!session.serialize().contains("<late>"));
+    }
+
+    #[test]
+    fn mid_batch_expiry_does_not_serialize_the_round() {
+        // Drive commit_round directly: three independent entries, the middle
+        // one already expired. The survivors must still coalesce into a
+        // single merged commit — one version, not two serialized ones.
+        let mut session = Executor::parse(LIB).unwrap();
+        let strategy = session.reduction_strategy();
+        let policy = session.default_policy();
+        let mut entries = Vec::new();
+        let mut tickets = Vec::new();
+        for (i, &(id, name)) in [(3u64, "x1"), (6u64, "gone"), (9u64, "x3")].iter().enumerate() {
+            let pul = session.pul_from_ops(vec![UpdateOp::rename(id, name)]);
+            let (ticket, completer) = Ticket::new();
+            let expired = i == 1;
+            entries.push(PreparedEntry {
+                reduced: strategy.reduce(&pul),
+                pul,
+                policy,
+                expires: expired.then(Instant::now),
+                completer,
+            });
+            tickets.push(ticket);
+        }
+        commit_round(&mut session, entries, true, &Faults::disabled());
+        let o1 = tickets[0].wait().expect("live member commits");
+        let o3 = tickets[2].wait().expect("live member commits");
+        let err = tickets[1].wait().unwrap_err();
+        assert_eq!(err.code(), "XPUL-E08", "{err}");
+        assert_eq!(o1.version, o3.version, "survivors coalesce into one commit");
+        assert_eq!(session.version(), 1, "one merged commit, no singleton fallback");
+        assert!(!session.serialize().contains("<gone>"));
+        session.assert_consistent();
+    }
+
+    #[test]
+    fn close_after_committer_panic_returns_a_typed_error() {
+        let session = Executor::parse(LIB).unwrap();
+        let pul = session.pul_from_ops(vec![UpdateOp::rename(3u64, "x")]);
+        let queue = IngestQueue::with_config(
+            PanickingBackend(session),
+            IngestConfig {
+                flush_threshold: 1,
+                tick: Duration::from_millis(1),
+                ..IngestConfig::default()
+            },
+        );
+        let ticket = queue.enqueue(pul).unwrap();
+        queue.flush();
+        assert_eq!(ticket.wait().unwrap_err().code(), "XPUL-E06");
+        // Regression: close() used to propagate the committer's panic into
+        // the caller; it must report a typed error instead.
+        let err = match queue.close() {
+            Ok(_) => panic!("close must fail after a committer panic"),
+            Err(e) => e,
+        };
+        assert_eq!(err.code(), "XPUL-E06", "{err}");
+        assert!(err.to_string().contains("panicked"), "{err}");
+    }
+
+    #[test]
+    fn injected_commit_fault_degrades_to_singleton_retries() {
+        use pul_store::{FaultKind, FaultPlan, Trigger};
+        let session = Executor::parse(LIB).unwrap();
+        let p1 = session.pul_from_ops(vec![UpdateOp::rename(3u64, "x1")]);
+        let p2 = session.pul_from_ops(vec![UpdateOp::rename(6u64, "x2")]);
+        let faults = FaultPlan::new(7)
+            .fail(site::INGEST_COMMIT, Trigger::Nth(1), FaultKind::Transient)
+            .arm();
+        let queue = IngestQueue::with_config(
+            session,
+            IngestConfig { faults: faults.clone(), ..giant_tick() },
+        );
+        let t1 = queue.enqueue(p1).unwrap();
+        let t2 = queue.enqueue(p2).unwrap();
+        queue.flush();
+        // The merged attempt was failed by the injection; the singleton
+        // retries commit both members, just in separate versions.
+        let o1 = t1.wait().expect("singleton retry commits");
+        let o2 = t2.wait().expect("singleton retry commits");
+        assert!(o1.version < o2.version, "degraded to serialized singletons");
+        assert_eq!(faults.injected_at(site::INGEST_COMMIT), 1);
+        let session = queue.close().unwrap();
+        assert_eq!(session.version(), 2);
+        let xml = session.serialize();
+        assert!(xml.contains("<x1>") && xml.contains("<x2>"), "{xml}");
+        session.assert_consistent();
+    }
+
+    #[test]
+    fn injected_prepare_fault_fails_the_round_and_the_pipeline_survives() {
+        use pul_store::{FaultKind, FaultPlan, Trigger};
+        let session = Executor::parse(LIB).unwrap();
+        let p1 = session.pul_from_ops(vec![UpdateOp::rename(3u64, "dropped")]);
+        let p2 = session.pul_from_ops(vec![UpdateOp::rename(6u64, "kept")]);
+        let faults = FaultPlan::new(7)
+            .fail(site::INGEST_PREPARE, Trigger::Nth(1), FaultKind::Permanent)
+            .arm();
+        let queue = IngestQueue::with_config(session, IngestConfig { faults, ..giant_tick() });
+        let t1 = queue.enqueue(p1).unwrap();
+        queue.flush();
+        let err = t1.wait().unwrap_err();
+        assert_eq!(err.code(), "XPUL-E04", "injected faults keep the I/O code: {err}");
+        // The pipeline survives the injection: later rounds still commit.
+        let t2 = queue.enqueue(p2).unwrap();
+        queue.flush();
+        t2.wait().expect("the pipeline survives an injected prepare fault");
+        let session = queue.close().unwrap();
+        let xml = session.serialize();
+        assert!(xml.contains("<kept>") && !xml.contains("<dropped>"), "{xml}");
+        session.assert_consistent();
     }
 
     #[test]

@@ -91,7 +91,8 @@ mod transaction;
 pub mod fixtures;
 
 pub use durable::{
-    CommitPayload, CommitRecord, CommitSink, Durable, DurableBackend, DurableOptions, SharedSink,
+    CommitPayload, CommitRecord, CommitSink, Durable, DurableBackend, DurableOptions, RetryPolicy,
+    SharedSink,
 };
 pub use error::{Error, Result};
 pub use executor::{
@@ -99,7 +100,9 @@ pub use executor::{
     SubmissionId,
 };
 pub use ingest::{BatchCommit, IngestBackend, IngestConfig, IngestQueue, Ticket, TicketOutcome};
-pub use pul_store::SyncPolicy;
+pub use pul_store::{
+    site as fault_site, FaultKind, FaultPlan, FaultSpec, Faults, StoreError, SyncPolicy, Trigger,
+};
 pub use resolution::Resolution;
 pub use shard::{ShardedCommitReport, ShardedExecutor, ShardedResolution};
 pub use transaction::Transaction;
@@ -108,9 +111,10 @@ pub use transaction::Transaction;
 pub mod prelude {
     pub use crate::{
         BatchCommit, CacheStats, CommitReport, Durable, DurableOptions, Error, Executor,
-        ExecutorCore, IngestBackend, IngestConfig, IngestQueue, ReductionStrategy, Resolution,
-        Result, SessionSlabStats, ShardedCommitReport, ShardedExecutor, ShardedResolution,
-        SubmissionId, SyncPolicy, Ticket, TicketOutcome, Transaction,
+        ExecutorCore, FaultKind, FaultPlan, Faults, IngestBackend, IngestConfig, IngestQueue,
+        ReductionStrategy, Resolution, Result, RetryPolicy, SessionSlabStats, ShardedCommitReport,
+        ShardedExecutor, ShardedResolution, SubmissionId, SyncPolicy, Ticket, TicketOutcome,
+        Transaction, Trigger,
     };
     pub use pul::{ApplyOptions, OpClass, OpName, Pul, UpdateOp};
     pub use pul_core::{Conflict, ConflictType, Policy};

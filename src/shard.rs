@@ -56,6 +56,7 @@ use std::collections::HashMap;
 use pul::apply::{ApplyOptions, JournalStats};
 use pul::{OpName, Pul, UpdateOp};
 use pul_core::{integrate, reconcile_integration, Conflict, Policy};
+use pul_store::{site, Faults};
 use xdm::{writer, Document, NodeId};
 use xlabel::{LabelInterval, Labeling, NodeLabel, OrderKey};
 
@@ -162,6 +163,9 @@ pub struct ShardedExecutor {
     /// the two-phase protocol — it happens while every shard scope is still
     /// open, so an append failure aborts exactly like a shard failure.
     sink: SinkSlot,
+    /// Failpoint handle consulted before each shard applies its sub-PUL
+    /// (disabled unless a test injects a plan).
+    faults: Faults,
 }
 
 impl ShardedExecutor {
@@ -284,6 +288,7 @@ impl ShardedExecutor {
             next_submission: 0,
             version: 0,
             sink: SinkSlot::default(),
+            faults: Faults::disabled(),
         })
     }
 
@@ -307,6 +312,7 @@ impl ShardedExecutor {
             next_submission: 0,
             version,
             sink: SinkSlot::default(),
+            faults: Faults::disabled(),
         }
     }
 
@@ -319,6 +325,11 @@ impl ShardedExecutor {
     /// (crate::Executor)).
     pub(crate) fn set_sink(&mut self, sink: Option<SharedSink>) {
         self.sink.set(sink);
+    }
+
+    /// Installs the failpoint handle consulted in the two-phase commit.
+    pub(crate) fn set_faults(&mut self, faults: Faults) {
+        self.faults = faults;
     }
 
     /// Opens a sharded session on the document serialized in `xml`.
@@ -346,6 +357,26 @@ impl ShardedExecutor {
             shard.core.set_apply_options(options.clone());
         }
         self
+    }
+
+    /// The identifier discipline the shards currently apply under. Every
+    /// shard shares one set of apply options, so the first shard speaks for
+    /// all of them.
+    pub(crate) fn preserve_content_ids(&self) -> bool {
+        self.shards.first().is_some_and(|s| s.core.apply_options().preserve_content_ids)
+    }
+
+    /// Flips the identifier discipline on every shard, returning the
+    /// previous one. WAL replay uses this to re-apply a record under the
+    /// discipline it was committed with, then restore the session's own.
+    pub(crate) fn set_preserve_content_ids(&mut self, preserve: bool) -> bool {
+        let previous = self.preserve_content_ids();
+        for shard in &mut self.shards {
+            let mut options = shard.core.apply_options().clone();
+            options.preserve_content_ids = preserve;
+            shard.core.set_apply_options(options);
+        }
+        previous
     }
 
     // -------------------------------------------------------------- inspection
@@ -722,6 +753,16 @@ impl ShardedExecutor {
             if pul.is_empty() {
                 continue;
             }
+            if let Some(kind) = self.faults.check(site::SHARD_APPLY) {
+                // An injected shard failure aborts exactly like a real one:
+                // every already-applied shard's journal replays in reverse.
+                for (j, scope) in open.iter().rev() {
+                    let core = &mut self.shards[*j].core;
+                    core.scope_rewind(scope);
+                    core.scope_close(scope);
+                }
+                return Err(Error::injected(site::SHARD_APPLY, kind));
+            }
             let outcome = {
                 let core = &mut self.shards[k].core;
                 let scope = core.scope_open();
@@ -762,10 +803,13 @@ impl ShardedExecutor {
         // scope is still open, so a failed append aborts the whole two-phase
         // commit exactly like a shard failure would.
         if let Some(sink) = self.sink.get() {
-            let appended = sink
-                .lock()
-                .expect("commit sink mutex poisoned")
-                .on_commit(self.version + 1, CommitRecord::Sharded(&resolution.per_shard));
+            let appended = sink.lock().expect("commit sink mutex poisoned").on_commit(
+                self.version + 1,
+                CommitRecord::Sharded {
+                    puls: &resolution.per_shard,
+                    preserve_content_ids: self.preserve_content_ids(),
+                },
+            );
             if let Err(e) = appended {
                 for (j, scope) in open.iter().rev() {
                     let core = &mut self.shards[*j].core;

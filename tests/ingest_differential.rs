@@ -46,7 +46,11 @@ fn producer_options() -> ApplyOptions {
 /// Threshold-driven config: the tick never fires, so round formation depends
 /// only on the flush threshold (and the closing flush).
 fn config(batch: usize) -> IngestConfig {
-    IngestConfig { flush_threshold: batch, tick: Duration::from_secs(3600) }
+    IngestConfig {
+        flush_threshold: batch,
+        tick: Duration::from_secs(3600),
+        ..IngestConfig::default()
+    }
 }
 
 /// Samples Table-1 predicate agreement between a labeling under test and the
@@ -121,7 +125,7 @@ fn run_case(seed: u64) {
         let queue = IngestQueue::with_config(backend, config(batch));
         let tickets: Vec<Ticket> =
             case.puls.iter().map(|p| queue.enqueue(p.clone()).expect("queue open")).collect();
-        let session = queue.close();
+        let session = queue.close().unwrap();
         assert_outcomes_match(&tickets, &oracle_outcomes, seed, batch, "executor");
         assert!(
             session.document().deep_eq(oracle.document()),
@@ -147,7 +151,7 @@ fn run_case(seed: u64) {
         let queue = IngestQueue::with_config(backend, config(batch));
         let tickets: Vec<Ticket> =
             case.puls.iter().map(|p| queue.enqueue(p.clone()).expect("queue open")).collect();
-        let session = queue.close();
+        let session = queue.close().unwrap();
         assert_outcomes_match(&tickets, &oracle_outcomes, seed, batch, "sharded");
         assert!(
             session.document().deep_eq(oracle.document()),
@@ -244,11 +248,15 @@ fn mid_batch_commit_failure_fails_only_its_own_ticket() {
 
         let queue = IngestQueue::with_config(
             session,
-            IngestConfig { flush_threshold: 6, tick: Duration::from_secs(3600) },
+            IngestConfig {
+                flush_threshold: 6,
+                tick: Duration::from_secs(3600),
+                ..IngestConfig::default()
+            },
         );
         let tickets: Vec<Ticket> =
             puls.iter().map(|p| queue.enqueue(p.clone()).expect("queue open")).collect();
-        let session = queue.close();
+        let session = queue.close().unwrap();
 
         for (i, ticket) in tickets.iter().enumerate() {
             if i == poison_at {
