@@ -1,7 +1,8 @@
 //! Regenerates the evaluation of §4.3: one table per figure of the paper.
 //!
 //! ```text
-//! experiments [--fig 6a|6b|6c|6d|6e|session|shards|ingest|memory|wal|recovery|faults|all]
+//! experiments [--fig 6a|6b|6c|6d|6e|session|shards|ingest|memory|wal|recovery|faults
+//!                    |compaction|pool|all]
 //!             [--full|--quick] [--json [PATH]]
 //! ```
 //!
@@ -736,6 +737,106 @@ fn faults_overhead(mode: Mode) -> Vec<String> {
     rows
 }
 
+fn compaction(mode: Mode) -> Vec<String> {
+    println!("\n=== Compaction — epoch renumbering cost vs document size ===");
+    println!(
+        "{:>10} {:>8} {:>10} {:>13} {:>12} {:>12} {:>10}",
+        "doc nodes", "commits", "dead", "ratio before", "compact ms", "ratio after", "live"
+    );
+    let (sizes, rounds): (&[usize], usize) = match mode {
+        Mode::Full => (&[20_000, 50_000, 100_000, 200_000], 64),
+        Mode::Default => (&[10_000, 20_000, 50_000], 48),
+        Mode::Quick => (&[5_000], 16),
+    };
+    let mut rows = Vec::new();
+    for &nodes in sizes {
+        let mut session = setup_churned_session(nodes, rounds, 42);
+        let before = session.slab_stats().nodes;
+        let ratio_before = session.reclaimable_dead_ratio();
+        assert!(before.dead > 0, "churn must strand dead slots");
+        let (report, d) = timed(|| session.compact().expect("compaction succeeds"));
+        let after = session.slab_stats().nodes;
+        let ratio_after = session.reclaimable_dead_ratio();
+        // The whole point: renumbering returns the arena to density.
+        assert_eq!(after.dead, 0, "compaction reclaims every dead slot");
+        assert_eq!(after.spill, 0, "compaction empties the spill map");
+        assert_eq!(report.epoch, 1, "first compaction opens epoch 1");
+        println!(
+            "{:>10} {:>8} {:>10} {:>13.4} {:>12.2} {:>12.4} {:>10}",
+            nodes,
+            rounds,
+            before.dead,
+            ratio_before,
+            ms_f(d),
+            ratio_after,
+            after.live
+        );
+        rows.push(format!(
+            "{{\"doc_nodes\": {nodes}, \"churn_commits\": {rounds}, \
+             \"dead_before\": {}, \"dead_ratio_before\": {ratio_before:.5}, \
+             \"compact_ms\": {:.3}, \"dead_ratio_after\": {ratio_after:.5}, \
+             \"live_after\": {}}}",
+            before.dead,
+            ms_f(d),
+            after.live
+        ));
+    }
+    rows
+}
+
+fn pool_reuse(mode: Mode) -> Vec<String> {
+    println!("\n=== Pool reuse — steady-state commit allocations, pooled vs unpooled ===");
+    println!(
+        "{:>10} {:>10} {:>9} {:>13} {:>13} {:>10} {:>10}",
+        "variant", "pool idle", "commits", "gross bytes", "bytes/commit", "reused", "minted"
+    );
+    let (doc_nodes, n_commits): (usize, usize) = match mode {
+        Mode::Full => (60_000, 256),
+        Mode::Default => (20_000, 128),
+        Mode::Quick => (10_000, 32),
+    };
+    let warmup = 8;
+    let w = setup_durability(doc_nodes, n_commits + warmup, 4, 42);
+    let dir = std::env::temp_dir().join(format!("xmlpul_bench_pool_{}", std::process::id()));
+    let mut rows = Vec::new();
+    let mut per_commit = Vec::new();
+    for (name, idle) in [("unpooled", 0usize), ("pooled", 2usize)] {
+        let report = run_pool_reuse(&w, idle, warmup, &dir);
+        let bytes_per_commit = report.gross_bytes as f64 / report.commits as f64;
+        per_commit.push(bytes_per_commit);
+        println!(
+            "{:>10} {:>10} {:>9} {:>13} {:>13.0} {:>10} {:>10}",
+            name,
+            idle,
+            report.commits,
+            report.gross_bytes,
+            bytes_per_commit,
+            report.frame_pool.reused,
+            report.frame_pool.minted
+        );
+        rows.push(format!(
+            "{{\"variant\": \"{name}\", \"pool_idle\": {idle}, \"commits\": {}, \
+             \"gross_bytes\": {}, \"bytes_per_commit\": {bytes_per_commit:.1}, \
+             \"frames_reused\": {}, \"frames_minted\": {}}}",
+            report.commits, report.gross_bytes, report.frame_pool.reused, report.frame_pool.minted
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    // Pooling is a contract, not a trend: the steady-state commit loop must
+    // allocate strictly less with the pools on.
+    assert!(
+        per_commit[1] < per_commit[0],
+        "pooled commits allocate {:.0} B each, unpooled {:.0} B — pooling regressed",
+        per_commit[1],
+        per_commit[0]
+    );
+    println!(
+        "pooled {:.0} B/commit vs unpooled {:.0} B/commit — the pools hold on the hot path",
+        per_commit[1], per_commit[0]
+    );
+    rows
+}
+
 fn main() {
     let args: Vec<String> = env::args().collect();
     let mode = if args.iter().any(|a| a == "--full") {
@@ -779,6 +880,8 @@ fn main() {
     run_suite!("wal_overhead", "wal", wal_overhead);
     run_suite!("recovery_time", "recovery", recovery_time);
     run_suite!("faults_overhead", "faults", faults_overhead);
+    run_suite!("compaction", "compaction", compaction);
+    run_suite!("pool_reuse", "pool", pool_reuse);
 
     if let Some(path) = json_path {
         let body = report.render(mode);

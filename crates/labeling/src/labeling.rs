@@ -125,7 +125,16 @@ impl Labeling {
             next += 1;
             k
         };
-        labeling.assign_subtree(doc, root, 0, &mut take);
+        let mut labels = Vec::with_capacity(n);
+        Self::collect_subtree(doc, root, 0, &mut take, &mut labels);
+        // Insert in ascending identifier order: the slab anchors its dense
+        // range at the first inserted id, and the traversal finishes element
+        // labels in post-order — inserting as collected would strand every
+        // id below the first-finished element in the spill map.
+        labels.sort_unstable_by_key(|l| l.id);
+        for label in labels {
+            labeling.insert(label);
+        }
         labeling
     }
 
@@ -135,6 +144,23 @@ impl Labeling {
         id: NodeId,
         level: u32,
         take: &mut impl FnMut() -> OrderKey,
+    ) {
+        let mut labels = Vec::new();
+        Self::collect_subtree(doc, id, level, take, &mut labels);
+        labels.sort_unstable_by_key(|l| l.id);
+        for label in labels {
+            self.insert(label);
+        }
+    }
+
+    /// Computes the labels of `id`'s subtree (attributes inside the element's
+    /// interval, element labels closed in post-order) without storing them.
+    fn collect_subtree(
+        doc: &Document,
+        id: NodeId,
+        level: u32,
+        take: &mut impl FnMut() -> OrderKey,
+        out: &mut Vec<NodeLabel>,
     ) {
         let start = take();
         let Ok(data) = doc.node(id) else { return };
@@ -153,10 +179,10 @@ impl Labeling {
                 is_first_child: false,
                 is_last_child: false,
             };
-            self.insert(label);
+            out.push(label);
         }
         for &c in &data.children {
-            self.assign_subtree(doc, c, level + 1, take);
+            Self::collect_subtree(doc, c, level + 1, take, out);
         }
         let end = take();
         let parent = data.parent;
@@ -186,7 +212,7 @@ impl Labeling {
             is_first_child: is_first,
             is_last_child: is_last,
         };
-        self.insert(label);
+        out.push(label);
     }
 
     /// Returns the label of a node, if present.

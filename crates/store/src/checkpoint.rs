@@ -17,8 +17,9 @@ use crate::crc::crc32;
 /// Format magic opening every checkpoint image.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"XCKP";
 
-/// Current encoding version.
-pub const CHECKPOINT_FORMAT: u32 = 1;
+/// Current encoding version. Format 2 added the session compaction epoch;
+/// format 1 images (pre-epoch) still decode, with `epoch = 0`.
+pub const CHECKPOINT_FORMAT: u32 = 2;
 
 /// The frozen state of one shard (a single executor checkpoints as exactly
 /// one shard with an empty routing interval).
@@ -45,6 +46,9 @@ pub struct ShardSnapshot {
 pub struct CheckpointState {
     /// The session version the snapshot freezes.
     pub version: u64,
+    /// The session's compaction epoch at the snapshot (0 for sessions that
+    /// never compacted, and for format-1 images written before epochs).
+    pub epoch: u64,
     /// Whether the snapshot came from a sharded session.
     pub sharded: bool,
     /// The root element identifier (sharded sessions only; 0 otherwise).
@@ -115,6 +119,7 @@ pub fn encode(state: &CheckpointState) -> Vec<u8> {
     out.extend_from_slice(&CHECKPOINT_MAGIC);
     put_u32(&mut out, CHECKPOINT_FORMAT);
     put_u64(&mut out, state.version);
+    put_u64(&mut out, state.epoch);
     out.push(u8::from(state.sharded));
     put_u64(&mut out, state.root_id);
     put_str(&mut out, &state.root_label);
@@ -150,10 +155,12 @@ pub fn decode(bytes: &[u8]) -> io::Result<CheckpointState> {
         return Err(corrupt("bad magic"));
     }
     let format = r.u32()?;
-    if format != CHECKPOINT_FORMAT {
+    if format == 0 || format > CHECKPOINT_FORMAT {
         return Err(corrupt("unknown format version"));
     }
     let version = r.u64()?;
+    // Format 1 predates compaction epochs: such a session never compacted.
+    let epoch = if format >= 2 { r.u64()? } else { 0 };
     let sharded = r.take(1)?[0] != 0;
     let root_id = r.u64()?;
     let root_label = r.string()?;
@@ -182,7 +189,7 @@ pub fn decode(bytes: &[u8]) -> io::Result<CheckpointState> {
     if r.at != r.bytes.len() {
         return Err(corrupt("trailing bytes after the last shard"));
     }
-    Ok(CheckpointState { version, sharded, root_id, root_label, shards })
+    Ok(CheckpointState { version, epoch, sharded, root_id, root_label, shards })
 }
 
 #[cfg(test)]
@@ -192,6 +199,7 @@ mod tests {
     fn sample() -> CheckpointState {
         CheckpointState {
             version: 42,
+            epoch: 3,
             sharded: true,
             root_id: 1,
             root_label: "0-1;0-9;0;E;-;-;FL".into(),
@@ -222,6 +230,7 @@ mod tests {
         assert_eq!(decode(&encode(&state)).unwrap(), state);
         let single = CheckpointState {
             version: 0,
+            epoch: 0,
             sharded: false,
             root_id: 0,
             root_label: String::new(),
@@ -235,6 +244,54 @@ mod tests {
             }],
         };
         assert_eq!(decode(&encode(&single)).unwrap(), single);
+    }
+
+    /// Encodes `state` the way format 1 did (no epoch field), so the
+    /// backward-compatibility path is exercised against real layout.
+    fn encode_format1(state: &CheckpointState) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        put_u32(&mut out, 1);
+        put_u64(&mut out, state.version);
+        out.push(u8::from(state.sharded));
+        put_u64(&mut out, state.root_id);
+        put_str(&mut out, &state.root_label);
+        put_u32(&mut out, state.shards.len() as u32);
+        for shard in &state.shards {
+            put_str(&mut out, &shard.doc);
+            put_u32(&mut out, shard.labels.len() as u32);
+            for label in &shard.labels {
+                put_str(&mut out, label);
+            }
+            put_u64(&mut out, shard.next_id);
+            put_u64(&mut out, shard.version);
+            put_bytes(&mut out, &shard.interval_lo);
+            put_bytes(&mut out, &shard.interval_hi);
+        }
+        let crc = crc32(&out);
+        put_u32(&mut out, crc);
+        out
+    }
+
+    #[test]
+    fn format1_images_decode_with_epoch_zero() {
+        let mut state = sample();
+        state.epoch = 0; // format 1 cannot carry an epoch
+        let decoded = decode(&encode_format1(&state)).unwrap();
+        assert_eq!(decoded, state);
+        assert_eq!(decoded.epoch, 0);
+    }
+
+    #[test]
+    fn future_formats_are_rejected() {
+        let mut bytes = encode(&sample());
+        // Bump the format field past the current version and refresh the CRC.
+        let future = (CHECKPOINT_FORMAT + 1).to_le_bytes();
+        bytes[4..8].copy_from_slice(&future);
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        assert!(decode(&bytes).is_err());
     }
 
     #[test]

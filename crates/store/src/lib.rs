@@ -39,12 +39,14 @@ pub mod checkpoint;
 mod crc;
 mod error;
 pub mod faults;
+pub mod pool;
 pub mod wal;
 
 pub use checkpoint::{CheckpointState, ShardSnapshot};
 pub use crc::{crc32, crc32_parts};
 pub use error::{transient_kind, StoreError, StoreResult};
 pub use faults::{site, FaultKind, FaultPlan, FaultSpec, Faults, Trigger};
+pub use pool::{Pool, PoolStats, SharedPool};
 pub use wal::{ScanOutcome, WalRecord};
 
 /// When appends reach the disk.
@@ -67,11 +69,20 @@ pub struct StoreOptions {
     /// Keep sealed segments and old checkpoints (enables `read_at` over the
     /// full history). When off, a durable checkpoint prunes everything older.
     pub retain_history: bool,
+    /// Idle WAL frame encode buffers retained between appends (default 2:
+    /// one writer's steady state plus one absorbing checkpoint
+    /// interleavings). 0 disables pooling — every append allocates a fresh
+    /// frame, the baseline the `pool_reuse` bench suite prices.
+    pub frame_pool_idle: usize,
 }
 
 impl Default for StoreOptions {
     fn default() -> Self {
-        StoreOptions { sync: SyncPolicy::PerCommit, retain_history: true }
+        StoreOptions {
+            sync: SyncPolicy::PerCommit,
+            retain_history: true,
+            frame_pool_idle: FRAME_POOL_IDLE,
+        }
     }
 }
 
@@ -116,7 +127,14 @@ pub struct Store {
     /// or an injected torn write): appends are refused until a truncation,
     /// rotation or reopen restores a clean frame boundary.
     poisoned: bool,
+    /// Recycled WAL frame encode buffers — one append's frame is dead the
+    /// moment it hits the file, so its backbone is reused.
+    frame_pool: Pool<Vec<u8>>,
 }
+
+/// Idle frame buffers the store retains between appends (one writer, so one
+/// buffer is the steady state; a second absorbs checkpoint interleavings).
+const FRAME_POOL_IDLE: usize = 2;
 
 impl Store {
     /// Creates a fresh store in `dir` (created if missing). Fails if the
@@ -154,6 +172,7 @@ impl Store {
             segments: vec![0],
             faults: Faults::disabled(),
             poisoned: false,
+            frame_pool: Pool::new(opts.frame_pool_idle),
         })
     }
 
@@ -217,6 +236,7 @@ impl Store {
             segments,
             faults: Faults::disabled(),
             poisoned: false,
+            frame_pool: Pool::new(opts.frame_pool_idle),
         })
     }
 
@@ -249,6 +269,11 @@ impl Store {
     /// Whether the segment tail is poisoned by an unrepaired torn write.
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
+    }
+
+    /// Reuse counters of the WAL frame encode buffer pool.
+    pub fn frame_pool_stats(&self) -> PoolStats {
+        self.frame_pool.stats()
     }
 
     /// The highest version the store holds durably: the greater of the last
@@ -284,7 +309,17 @@ impl Store {
             )
             .at(self.segment, self.wal_len));
         }
-        let frame = wal::encode_record(version, payload);
+        let mut frame = self.frame_pool.take_buf();
+        wal::encode_record_into(&mut frame, version, payload);
+        let result = self.append_frame(version, &frame);
+        frame.clear();
+        self.frame_pool.put(frame);
+        result
+    }
+
+    /// The fallible half of [`Store::append`], operating on an already-encoded
+    /// frame so the buffer can return to the pool on every exit path.
+    fn append_frame(&mut self, version: u64, frame: &[u8]) -> StoreResult<()> {
         if let Some(kind) = self.faults.check(site::WAL_APPEND) {
             if kind == FaultKind::Torn {
                 // Write a partial frame and fail *without* repairing — the
@@ -296,7 +331,7 @@ impl Store {
             }
             return Err(StoreError::injected(site::WAL_APPEND, kind).at(self.segment, self.wal_len));
         }
-        if let Err(e) = self.wal_file.write_all(&frame) {
+        if let Err(e) = self.wal_file.write_all(frame) {
             self.repair_tail();
             return Err(StoreError::io(site::WAL_APPEND, &e).at(self.segment, self.wal_len));
         }
@@ -509,6 +544,7 @@ mod tests {
     fn shardless(version: u64) -> CheckpointState {
         CheckpointState {
             version,
+            epoch: 0,
             sharded: false,
             root_id: 0,
             root_label: String::new(),

@@ -1,0 +1,254 @@
+//! Small object pools for the per-commit hot path.
+//!
+//! Every commit through the durable stack used to mint the same short-lived
+//! allocations from scratch: the WAL frame encode buffer, the commit-record
+//! payload buffer, the resolve scratch vectors of the executors, the round
+//! scratch of the ingest drainer. None of them outlives the commit, so their
+//! backbones can be recycled instead of round-tripping through the global
+//! allocator on every round.
+//!
+//! [`Pool<T>`] is deliberately tiny: a LIFO stack of idle objects with a hard
+//! retention cap and **high-water trimming** — the pool tracks the maximum
+//! number of objects simultaneously checked out over a trim window and, at
+//! the window boundary, drops idle objects beyond that mark. A burst (one
+//! huge batch, a wide sharded resolve) temporarily grows the pool; steady
+//! state shrinks it back to what the workload actually uses, so pooling never
+//! converts a transient spike into permanently retained memory.
+//!
+//! Pools are plain `&mut self` values. Call sites that only hold `&self`
+//! (e.g. `resolve`) wrap one in [`SharedPool`], a `Mutex`-guarded handle
+//! whose clones share the same pool — a pool is a cache, so sharing between
+//! cloned sessions is harmless.
+
+use std::sync::{Arc, Mutex};
+
+/// How many `put` calls make one trim window.
+const TRIM_INTERVAL: usize = 1024;
+
+/// Counters describing how a pool has behaved so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Objects served from the idle stack.
+    pub reused: u64,
+    /// Objects the caller had to create because the pool was empty.
+    pub minted: u64,
+    /// Idle objects dropped by high-water trimming.
+    pub trimmed: u64,
+    /// Objects currently idle in the pool.
+    pub idle: usize,
+}
+
+/// A LIFO object pool with a retention cap and high-water trimming.
+#[derive(Debug)]
+pub struct Pool<T> {
+    idle: Vec<T>,
+    /// Hard cap on retained idle objects; 0 disables pooling entirely (every
+    /// `put` drops, every `take` mints).
+    max_idle: usize,
+    /// Objects currently checked out (best effort: callers that never return
+    /// an object simply leave the counter high until the window resets).
+    in_use: usize,
+    /// Maximum of `in_use` observed in the current trim window.
+    high_water: usize,
+    /// `put` calls since the last trim.
+    puts: usize,
+    reused: u64,
+    minted: u64,
+    trimmed: u64,
+}
+
+impl<T> Pool<T> {
+    /// Creates a pool retaining at most `max_idle` idle objects.
+    pub fn new(max_idle: usize) -> Self {
+        Pool {
+            idle: Vec::new(),
+            max_idle,
+            in_use: 0,
+            high_water: 0,
+            puts: 0,
+            reused: 0,
+            minted: 0,
+            trimmed: 0,
+        }
+    }
+
+    /// Whether the pool retains anything at all (capacity 0 = disabled).
+    pub fn is_enabled(&self) -> bool {
+        self.max_idle > 0
+    }
+
+    /// Takes an idle object, or creates one with `make` when none is idle.
+    pub fn take_or(&mut self, make: impl FnOnce() -> T) -> T {
+        self.in_use += 1;
+        self.high_water = self.high_water.max(self.in_use);
+        match self.idle.pop() {
+            Some(v) => {
+                self.reused += 1;
+                v
+            }
+            None => {
+                self.minted += 1;
+                make()
+            }
+        }
+    }
+
+    /// Returns an object to the pool. The object is retained only while the
+    /// idle stack is below the cap; the caller must have reset it to a
+    /// reusable state (pools never clear on behalf of the caller — they
+    /// cannot know what "clear" means for an arbitrary `T`).
+    pub fn put(&mut self, value: T) {
+        self.in_use = self.in_use.saturating_sub(1);
+        if self.idle.len() < self.max_idle {
+            self.idle.push(value);
+        }
+        self.puts += 1;
+        if self.puts >= TRIM_INTERVAL {
+            self.trim();
+        }
+    }
+
+    /// Drops idle objects beyond the window's high-water mark and opens a new
+    /// window. Called automatically every [`TRIM_INTERVAL`] puts.
+    pub fn trim(&mut self) {
+        let keep = self.high_water.min(self.max_idle);
+        if self.idle.len() > keep {
+            self.trimmed += (self.idle.len() - keep) as u64;
+            self.idle.truncate(keep);
+        }
+        self.high_water = self.in_use;
+        self.puts = 0;
+    }
+
+    /// The pool's behaviour counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            reused: self.reused,
+            minted: self.minted,
+            trimmed: self.trimmed,
+            idle: self.idle.len(),
+        }
+    }
+}
+
+impl Pool<Vec<u8>> {
+    /// Takes a cleared byte buffer (the common WAL/payload encode case).
+    pub fn take_buf(&mut self) -> Vec<u8> {
+        let mut buf = self.take_or(Vec::new);
+        buf.clear();
+        buf
+    }
+}
+
+/// A shareable, interior-mutable pool handle. Clones share the underlying
+/// pool (a pool is a cache; sharing it between cloned sessions is harmless
+/// and keeps `Clone` cheap).
+#[derive(Debug)]
+pub struct SharedPool<T>(Arc<Mutex<Pool<T>>>);
+
+// Not derived: a derived `Clone` would demand `T: Clone`, but cloning the
+// handle only clones the `Arc` — pooled objects are never cloned.
+impl<T> Clone for SharedPool<T> {
+    fn clone(&self) -> Self {
+        SharedPool(Arc::clone(&self.0))
+    }
+}
+
+impl<T> SharedPool<T> {
+    /// Creates a shared pool retaining at most `max_idle` idle objects.
+    pub fn new(max_idle: usize) -> Self {
+        SharedPool(Arc::new(Mutex::new(Pool::new(max_idle))))
+    }
+
+    /// Takes an idle object, or creates one with `make`.
+    pub fn take_or(&self, make: impl FnOnce() -> T) -> T {
+        self.0.lock().expect("pool mutex poisoned").take_or(make)
+    }
+
+    /// Returns an object to the pool (see [`Pool::put`]).
+    pub fn put(&self, value: T) {
+        self.0.lock().expect("pool mutex poisoned").put(value);
+    }
+
+    /// The underlying pool's behaviour counters.
+    pub fn stats(&self) -> PoolStats {
+        self.0.lock().expect("pool mutex poisoned").stats()
+    }
+}
+
+impl<T> SharedPool<Vec<T>> {
+    /// Takes a cleared vector (the resolve/ingest scratch case).
+    pub fn take_vec(&self) -> Vec<T> {
+        let mut v = self.take_or(Vec::new);
+        v.clear();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_reuses_objects() {
+        let mut pool: Pool<Vec<u8>> = Pool::new(4);
+        let a = pool.take_buf();
+        assert_eq!(pool.stats().minted, 1);
+        pool.put(a);
+        let b = pool.take_buf();
+        assert_eq!(pool.stats().reused, 1);
+        assert!(b.is_empty(), "take_buf clears the recycled buffer");
+        pool.put(b);
+        assert_eq!(pool.stats().idle, 1);
+    }
+
+    #[test]
+    fn retention_cap_bounds_the_idle_stack() {
+        let mut pool: Pool<u32> = Pool::new(2);
+        for i in 0..5 {
+            pool.put(i);
+        }
+        assert_eq!(pool.stats().idle, 2, "puts beyond the cap drop");
+    }
+
+    #[test]
+    fn capacity_zero_disables_pooling() {
+        let mut pool: Pool<u32> = Pool::new(0);
+        assert!(!pool.is_enabled());
+        pool.put(1);
+        assert_eq!(pool.stats().idle, 0);
+        assert_eq!(pool.take_or(|| 9), 9);
+        assert_eq!(pool.stats().minted, 1);
+        assert_eq!(pool.stats().reused, 0);
+    }
+
+    #[test]
+    fn high_water_trimming_sheds_burst_retention() {
+        let mut pool: Pool<u32> = Pool::new(16);
+        // burst: 8 simultaneously outstanding, all returned
+        let burst: Vec<u32> = (0..8).map(|_| pool.take_or(|| 0)).collect();
+        for v in burst {
+            pool.put(v);
+        }
+        assert_eq!(pool.stats().idle, 8);
+        // new window with a steady state of 1 outstanding
+        pool.trim(); // window boundary: high-water was 8, keeps all 8
+        let v = pool.take_or(|| 0);
+        pool.put(v);
+        pool.trim(); // this window's high water was 1 → trim idle to 1
+        let stats = pool.stats();
+        assert_eq!(stats.idle, 1, "steady state shrinks the pool: {stats:?}");
+        assert_eq!(stats.trimmed, 7);
+    }
+
+    #[test]
+    fn shared_pool_clones_share_the_pool() {
+        let pool: SharedPool<Vec<u8>> = SharedPool::new(4);
+        let clone = pool.clone();
+        let v = pool.take_or(Vec::new);
+        clone.put(v);
+        assert_eq!(pool.stats().idle, 1);
+        let _ = clone.take_or(Vec::new);
+        assert_eq!(pool.stats().reused, 1);
+    }
+}

@@ -847,16 +847,27 @@ impl Document {
         for (i, &old) in order.iter().enumerate() {
             mapping.insert(old, NodeId::new(start + i as u64));
         }
-        let mut new_nodes = IdSlab::with_capacity(self.nodes.len());
-        for (old, mut data) in std::mem::take(&mut self.nodes).into_entries() {
-            let new_id = *mapping.get(&old).unwrap_or(&old);
-            data.parent = data.parent.map(|p| *mapping.get(&p).unwrap_or(&p));
-            for c in &mut data.children {
-                *c = *mapping.get(c).unwrap_or(c);
-            }
-            for a in &mut data.attributes {
-                *a = *mapping.get(a).unwrap_or(a);
-            }
+        // Remap in old storage order, then insert ascending by new id: the
+        // slab anchors its dense range at the first insert, so out-of-order
+        // insertion would strand lower identifiers in the spill map — the
+        // opposite of what a renumbering is for.
+        let mut entries: Vec<(NodeId, NodeData)> = std::mem::take(&mut self.nodes)
+            .into_entries()
+            .map(|(old, mut data)| {
+                let new_id = *mapping.get(&old).unwrap_or(&old);
+                data.parent = data.parent.map(|p| *mapping.get(&p).unwrap_or(&p));
+                for c in &mut data.children {
+                    *c = *mapping.get(c).unwrap_or(c);
+                }
+                for a in &mut data.attributes {
+                    *a = *mapping.get(a).unwrap_or(a);
+                }
+                (new_id, data)
+            })
+            .collect();
+        entries.sort_unstable_by_key(|(id, _)| *id);
+        let mut new_nodes = IdSlab::with_capacity(entries.len());
+        for (new_id, data) in entries {
             new_nodes.insert(new_id, data);
         }
         self.nodes = new_nodes;

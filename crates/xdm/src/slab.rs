@@ -14,9 +14,9 @@
 //! dense slot simply stays `None`. The corollary is that a slab's footprint
 //! grows with the *highest id ever stored densely*, not with the number of
 //! live entries: a very long session with heavy insert/delete churn
-//! accumulates empty slots. Sessions with such lifetimes should periodically
-//! renumber via `Document::assign_preorder_ids` (which rebuilds the slab
-//! densely) at an agreed synchronisation point.
+//! accumulates empty slots. Session-level compaction (`Executor::compact` in
+//! the façade crate) renumbers via `Document::assign_preorder_ids`, rebuilding
+//! every slab densely and resetting `dead` to zero under a new epoch.
 
 use std::collections::HashMap;
 
@@ -28,10 +28,11 @@ const MAX_DENSE_GAP: u64 = 1024;
 
 /// Slot-occupancy statistics of an [`IdSlab`], as reported by
 /// [`IdSlab::stats`]: the live/dead split of the dense range plus the spilled
-/// sparse entries. Because identifiers (and therefore slots) are never
-/// reused, `dead` is monotone under insert/delete churn — it is the
-/// observable that tells a long-lived session when a compaction checkpoint
-/// (renumbering via `assign_preorder_ids`) would pay off.
+/// sparse entries. Identifiers (and therefore slots) are never reused, so
+/// `dead` grows monotonically under insert/delete churn *within one epoch* —
+/// it is the observable that tells a long-lived session when a compaction
+/// (renumbering via `assign_preorder_ids`) would pay off. Compaction rebuilds
+/// the slab densely: right after it, `dead == 0` and `spill == 0`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SlabStats {
     /// Occupied slots of the dense range.
@@ -225,7 +226,11 @@ impl<T> IdSlab<T> {
     /// Debug invariant walker: panics if the stored length disagrees with the
     /// dense and spill populations, or if an identifier is stored in both the
     /// dense range and the spill map (a shadowing bug: `get` would see only
-    /// the dense copy). O(entries); intended for tests.
+    /// the dense copy). O(entries); intended for tests. These invariants are
+    /// epoch-agnostic: they hold across churn *and* across a compaction
+    /// (which rebuilds the slab densely) — use
+    /// [`assert_compact`](IdSlab::assert_compact) for the stricter
+    /// freshly-compacted shape.
     pub fn assert_consistent(&self) {
         let dense_count = self.dense.iter().filter(|v| v.is_some()).count();
         assert_eq!(
@@ -245,6 +250,18 @@ impl<T> IdSlab<T> {
                 );
             }
         }
+    }
+
+    /// The stricter post-compaction invariant: everything
+    /// [`assert_consistent`](IdSlab::assert_consistent) checks, plus a fully
+    /// dense layout — no dead slots, no spill entries. Holds right after a
+    /// session compaction renumbers identifiers contiguously; ordinary churn
+    /// re-introduces dead slots (within the new epoch) and this stops holding.
+    pub fn assert_compact(&self) {
+        self.assert_consistent();
+        let stats = self.stats();
+        assert_eq!(stats.dead, 0, "compacted slab left {} dead slots", stats.dead);
+        assert_eq!(stats.spill, 0, "compacted slab left {} spill entries", stats.spill);
     }
 
     /// Consumes the slab, yielding all `(id, value)` pairs.
@@ -396,5 +413,15 @@ mod tests {
         let s: IdSlab<u8> = (1..=5u64).map(|i| (NodeId::new(i), i as u8)).collect();
         assert_eq!(s.len(), 5);
         assert_eq!(s.get(NodeId::new(4)), Some(&4));
+    }
+
+    #[test]
+    fn assert_compact_accepts_dense_and_rejects_churned_slabs() {
+        let mut s: IdSlab<u8> = (1..=5u64).map(|i| (NodeId::new(i), i as u8)).collect();
+        s.assert_compact();
+        s.remove(NodeId::new(3));
+        s.assert_consistent(); // churn keeps the general invariants ...
+        let churned = std::panic::catch_unwind(move || s.assert_compact());
+        assert!(churned.is_err(), "... but the dead slot must fail assert_compact");
     }
 }

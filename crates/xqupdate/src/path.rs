@@ -9,12 +9,26 @@ pub enum NodeTest {
     Element(String),
     /// Any element (`*`).
     AnyElement,
+    /// Any element under the given namespace prefix (`ns:*`). Names are
+    /// compared literally — `ns:*` matches every element whose name starts
+    /// with `ns:`, consistent with the prefix-literal name model used
+    /// everywhere else in the stack.
+    ElementPrefix(String),
     /// An attribute with the given name (`@name`).
     Attribute(String),
     /// Any attribute (`@*`).
     AnyAttribute,
+    /// Any attribute under the given namespace prefix (`@ns:*`).
+    AttributePrefix(String),
     /// A text node (`text()`).
     Text,
+}
+
+impl NodeTest {
+    /// Whether `name` (a literal `prefix:local` name) falls under `prefix`.
+    fn prefix_matches(prefix: &str, name: &str) -> bool {
+        name.strip_prefix(prefix).is_some_and(|rest| rest.starts_with(':'))
+    }
 }
 
 /// A comparison operator usable in attribute predicates.
@@ -149,9 +163,21 @@ impl Path {
             } else if name_part == "@*" {
                 NodeTest::AnyAttribute
             } else if let Some(attr) = name_part.strip_prefix('@') {
-                NodeTest::Attribute(attr.to_string())
+                if let Some(prefix) = attr.strip_suffix(":*") {
+                    if prefix.is_empty() {
+                        return Err(format!("empty prefix in wildcard step '@{attr}'"));
+                    }
+                    NodeTest::AttributePrefix(prefix.to_string())
+                } else {
+                    NodeTest::Attribute(attr.to_string())
+                }
             } else if name_part == "*" {
                 NodeTest::AnyElement
+            } else if let Some(prefix) = name_part.strip_suffix(":*") {
+                if prefix.is_empty() {
+                    return Err(format!("empty prefix in wildcard step '{name_part}'"));
+                }
+                NodeTest::ElementPrefix(prefix.to_string())
             } else if !name_part.is_empty() {
                 NodeTest::Element(name_part.to_string())
             } else {
@@ -316,7 +342,12 @@ impl Path {
                 } else {
                     let mut v: Vec<NodeId> =
                         doc.children(ctx).map(|c| c.to_vec()).unwrap_or_default();
-                    if matches!(step.test, NodeTest::Attribute(_) | NodeTest::AnyAttribute) {
+                    if matches!(
+                        step.test,
+                        NodeTest::Attribute(_)
+                            | NodeTest::AnyAttribute
+                            | NodeTest::AttributePrefix(_)
+                    ) {
                         v = doc.attributes(ctx).map(|a| a.to_vec()).unwrap_or_default();
                     }
                     v
@@ -329,11 +360,27 @@ impl Path {
                                 && doc.name(c).ok().flatten() == Some(name.as_str())
                         }
                         NodeTest::AnyElement => doc.kind(c) == Ok(NodeKind::Element),
+                        NodeTest::ElementPrefix(prefix) => {
+                            doc.kind(c) == Ok(NodeKind::Element)
+                                && doc
+                                    .name(c)
+                                    .ok()
+                                    .flatten()
+                                    .is_some_and(|n| NodeTest::prefix_matches(prefix, n))
+                        }
                         NodeTest::Attribute(name) => {
                             doc.kind(c) == Ok(NodeKind::Attribute)
                                 && doc.name(c).ok().flatten() == Some(name.as_str())
                         }
                         NodeTest::AnyAttribute => doc.kind(c) == Ok(NodeKind::Attribute),
+                        NodeTest::AttributePrefix(prefix) => {
+                            doc.kind(c) == Ok(NodeKind::Attribute)
+                                && doc
+                                    .name(c)
+                                    .ok()
+                                    .flatten()
+                                    .is_some_and(|n| NodeTest::prefix_matches(prefix, n))
+                        }
                         NodeTest::Text => doc.kind(c) == Ok(NodeKind::Text),
                     })
                     .collect();
@@ -528,6 +575,45 @@ mod tests {
         let hits = Path::parse("//*[@id=\"p1\"][1]").unwrap().select(&d);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits, Path::parse("/issue/paper[1]").unwrap().select(&d));
+    }
+
+    #[test]
+    fn prefix_wildcards_parse_into_the_enum() {
+        let p = Path::parse("/doc/dc:*").unwrap();
+        assert_eq!(p.steps[1].test, NodeTest::ElementPrefix("dc".into()));
+        let p = Path::parse("/doc/@xlink:*").unwrap();
+        assert_eq!(p.steps[1].test, NodeTest::AttributePrefix("xlink".into()));
+        // fully named steps keep their prefix literally
+        let p = Path::parse("/doc/dc:title").unwrap();
+        assert_eq!(p.steps[1].test, NodeTest::Element("dc:title".into()));
+        // an empty prefix is malformed, not AnyElement
+        assert!(Path::parse("/doc/:*").is_err());
+        assert!(Path::parse("/doc/@:*").is_err());
+    }
+
+    #[test]
+    fn prefix_wildcards_select_and_compose_with_predicates() {
+        let d = parse_document(
+            "<doc xlink:href=\"h\" id=\"i\"><dc:title lang=\"en\">A</dc:title>\
+             <dc:creator>X</dc:creator><dc:title lang=\"de\">B</dc:title>\
+             <title>plain</title><dcterms:issued>2011</dcterms:issued></doc>",
+        )
+        .unwrap();
+        // ns:* matches exactly the dc-prefixed children — not the bare <title>,
+        // not the dcterms one (prefixes match whole, not by substring)
+        assert_eq!(Path::parse("/doc/dc:*").unwrap().select(&d).len(), 3);
+        assert_eq!(Path::parse("/doc/dcterms:*").unwrap().select(&d).len(), 1);
+        // mid-path composition with predicates, on both axes
+        let hits = Path::parse("/doc/dc:*[@lang=\"de\"]/text()").unwrap().select(&d);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(d.text_content(hits[0]), "B");
+        let hits = Path::parse("//dc:*[last()]").unwrap().select(&d);
+        assert_eq!(hits.iter().map(|&h| d.text_content(h)).collect::<Vec<_>>(), vec!["B"]);
+        let hits = Path::parse("/doc/dc:*[2]").unwrap().select(&d);
+        assert_eq!(d.text_content(hits[0]), "X");
+        // attribute prefix wildcard: the xlink attribute but not the bare id
+        assert_eq!(Path::parse("/doc/@xlink:*").unwrap().select(&d).len(), 1);
+        assert_eq!(Path::parse("/doc/@*").unwrap().select(&d).len(), 2);
     }
 
     #[test]

@@ -166,25 +166,47 @@ pub enum CommitRecord<'a> {
     },
     /// A streaming commit: the identified serialization it wrote (`W`).
     Swap(&'a str),
+    /// A compaction: the session renumbered densely and opened `epoch` (`E`).
+    /// Renumbering is deterministic, so the record carries only the epoch it
+    /// opened — replay re-runs the same renumbering over the recovered state.
+    Epoch {
+        /// The epoch the compaction opened.
+        epoch: u64,
+    },
 }
 
 impl CommitRecord<'_> {
     /// Encodes the record into its WAL payload bytes.
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes the record's payload into `out` (appending), so the sink can
+    /// host it in a recycled buffer instead of allocating per commit.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         let discipline = |preserve: bool| if preserve { b'P' } else { b'F' };
-        let (header, body) = match self {
+        match self {
             CommitRecord::Delta { pul, preserve_content_ids } => {
-                (vec![b'D', discipline(*preserve_content_ids)], pul::xmlio::pul_to_xml(pul))
+                out.push(b'D');
+                out.push(discipline(*preserve_content_ids));
+                out.extend_from_slice(pul::xmlio::pul_to_xml(pul).as_bytes());
             }
             CommitRecord::Sharded { puls, preserve_content_ids } => {
-                (vec![b'S', discipline(*preserve_content_ids)], pul::xmlio::puls_to_xml(puls))
+                out.push(b'S');
+                out.push(discipline(*preserve_content_ids));
+                out.extend_from_slice(pul::xmlio::puls_to_xml(puls).as_bytes());
             }
-            CommitRecord::Swap(xml) => (vec![b'W'], (*xml).to_string()),
-        };
-        let mut out = Vec::with_capacity(header.len() + body.len());
-        out.extend_from_slice(&header);
-        out.extend_from_slice(body.as_bytes());
-        out
+            CommitRecord::Swap(xml) => {
+                out.push(b'W');
+                out.extend_from_slice(xml.as_bytes());
+            }
+            CommitRecord::Epoch { epoch } => {
+                out.push(b'E');
+                out.extend_from_slice(epoch.to_string().as_bytes());
+            }
+        }
     }
 }
 
@@ -207,6 +229,8 @@ pub enum CommitPayload {
     },
     /// See [`CommitRecord::Swap`].
     Swap(String),
+    /// See [`CommitRecord::Epoch`].
+    Epoch(u64),
 }
 
 impl CommitPayload {
@@ -249,6 +273,14 @@ impl CommitPayload {
                 let text = std::str::from_utf8(rest)
                     .map_err(|_| Error::store("WAL payload is not UTF-8"))?;
                 Ok(CommitPayload::Swap(text.to_string()))
+            }
+            b'E' => {
+                let text = std::str::from_utf8(rest)
+                    .map_err(|_| Error::store("WAL payload is not UTF-8"))?;
+                let epoch = text
+                    .parse()
+                    .map_err(|_| Error::store(format!("malformed epoch record {text:?}")))?;
+                Ok(CommitPayload::Epoch(epoch))
             }
             other => Err(Error::store(format!("unknown WAL payload kind {other:#04x}"))),
         }
@@ -313,7 +345,13 @@ struct StoreSink {
     faults: Faults,
     retry: RetryPolicy,
     degraded: Arc<AtomicBool>,
+    /// Recycled commit-payload encode buffers: one commit's payload is dead
+    /// once its frame is appended, so the backbone is reused.
+    payload_pool: pul_store::Pool<Vec<u8>>,
 }
+
+/// Idle payload buffers the sink retains (one commit in flight per session).
+const PAYLOAD_POOL_IDLE: usize = 2;
 
 impl CommitSink for StoreSink {
     fn on_commit(&mut self, version: u64, record: CommitRecord<'_>) -> Result<()> {
@@ -322,13 +360,16 @@ impl CommitSink for StoreSink {
                 "session is read-only after an exhausted WAL retry budget".into(),
             ));
         }
-        let payload = record.encode();
+        let mut payload = self.payload_pool.take_buf();
+        record.encode_into(&mut payload);
         let outcome = with_retry(&self.retry, || {
             if let Some(kind) = self.faults.check(site::SINK_COMMIT) {
                 return Err(StoreError::injected(site::SINK_COMMIT, kind));
             }
             self.store.lock().expect("store mutex poisoned").append(version, &payload)
         });
+        payload.clear();
+        self.payload_pool.put(payload);
         match outcome {
             RetryOutcome::Done(()) => Ok(()),
             RetryOutcome::Permanent(e) => Err(Error::Store(e)),
@@ -379,8 +420,24 @@ pub trait DurableBackend: Sized + Send + 'static {
     /// Resolves and commits everything pending (the backend's `commit`),
     /// returning the new version.
     fn commit_all(&mut self) -> Result<u64>;
-    /// The session's slab-churn observable (drives checkpoint triggering).
+    /// The session's slab-churn observable (drives checkpoint and compaction
+    /// triggering).
     fn session_slab_stats(&self) -> SessionSlabStats;
+    /// The session's compaction epoch.
+    fn session_epoch(&self) -> u64;
+    /// Submissions waiting in the session — auto-compaction declines while
+    /// any are pending, so it never fences work already admitted.
+    fn pending_submissions(&self) -> usize;
+    /// The fraction of the live population held in *reclaimable* dead slots
+    /// (drives the compaction trigger). Backends whose layout carries
+    /// structural, unreclaimable dead slots — the sharded partition gaps —
+    /// subtract them here, or the trigger would re-fire forever on a freshly
+    /// compacted session.
+    fn reclaimable_dead_ratio(&self) -> f64;
+    /// Compacts the session: renumbers densely and opens a new epoch. The
+    /// installed sink appends the epoch record before the renumbering, so a
+    /// failed append leaves session and store on the pre-compaction version.
+    fn compact_session(&mut self) -> Result<crate::CompactionReport>;
 }
 
 /// Snapshots one executor core into a shard image. Labels are stored in
@@ -425,6 +482,7 @@ impl DurableBackend for Executor {
     fn checkpoint_state(&self) -> CheckpointState {
         CheckpointState {
             version: self.version(),
+            epoch: self.epoch(),
             sharded: false,
             root_id: 0,
             root_label: String::new(),
@@ -438,7 +496,9 @@ impl DurableBackend for Executor {
                 "checkpoint was written by a sharded session; restore a ShardedExecutor",
             ));
         }
-        Ok(Executor::from_core(core_from_snapshot(&state.shards[0])?))
+        let mut session = Executor::from_core(core_from_snapshot(&state.shards[0])?);
+        session.set_epoch(state.epoch);
+        Ok(session)
     }
 
     fn replay(&mut self, payload: &CommitPayload) -> Result<()> {
@@ -447,6 +507,10 @@ impl DurableBackend for Executor {
                 self.replay_delta(pul, *preserve_content_ids)
             }
             CommitPayload::Swap(xml) => self.replay_swap(xml),
+            CommitPayload::Epoch(epoch) => {
+                self.replay_epoch(*epoch);
+                Ok(())
+            }
             CommitPayload::Sharded { .. } => {
                 Err(Error::store("sharded WAL record replayed into a single executor"))
             }
@@ -468,6 +532,22 @@ impl DurableBackend for Executor {
     fn session_slab_stats(&self) -> SessionSlabStats {
         self.slab_stats()
     }
+
+    fn session_epoch(&self) -> u64 {
+        self.epoch()
+    }
+
+    fn pending_submissions(&self) -> usize {
+        self.pending()
+    }
+
+    fn reclaimable_dead_ratio(&self) -> f64 {
+        self.reclaimable_dead_ratio()
+    }
+
+    fn compact_session(&mut self) -> Result<crate::CompactionReport> {
+        self.compact()
+    }
 }
 
 impl DurableBackend for ShardedExecutor {
@@ -475,6 +555,7 @@ impl DurableBackend for ShardedExecutor {
         let (root_id, root_label) = self.root_identity();
         CheckpointState {
             version: self.version(),
+            epoch: self.epoch(),
             sharded: true,
             root_id: root_id.as_u64(),
             root_label: root_label.to_compact_string(),
@@ -508,7 +589,10 @@ impl DurableBackend for ShardedExecutor {
             );
             shards.push((core_from_snapshot(snap)?, interval));
         }
-        Ok(ShardedExecutor::from_restored(shards, root_id, root_label, state.version))
+        let mut session =
+            ShardedExecutor::from_restored(shards, root_id, root_label, state.version);
+        session.set_epoch(state.epoch);
+        Ok(session)
     }
 
     fn replay(&mut self, payload: &CommitPayload) -> Result<()> {
@@ -536,6 +620,7 @@ impl DurableBackend for ShardedExecutor {
                 self.set_preserve_content_ids(live);
                 replayed.map(|_| ())
             }
+            CommitPayload::Epoch(epoch) => self.replay_epoch(*epoch),
             _ => Err(Error::store("single-executor WAL record replayed into a sharded session")),
         }
     }
@@ -559,6 +644,22 @@ impl DurableBackend for ShardedExecutor {
     fn session_slab_stats(&self) -> SessionSlabStats {
         self.slab_stats()
     }
+
+    fn session_epoch(&self) -> u64 {
+        self.epoch()
+    }
+
+    fn pending_submissions(&self) -> usize {
+        self.pending()
+    }
+
+    fn reclaimable_dead_ratio(&self) -> f64 {
+        self.reclaimable_dead_ratio()
+    }
+
+    fn compact_session(&mut self) -> Result<crate::CompactionReport> {
+        self.compact()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -579,12 +680,23 @@ pub struct DurableOptions {
     /// Identifiers are never reused, so a checkpoint is the only point where
     /// the on-disk image sheds dead slots.
     pub checkpoint_dead_ratio: f64,
+    /// Compact the session (see [`Durable::compact`]) once the backend's
+    /// reclaimable dead ratio reaches this value (default `f64::INFINITY`:
+    /// never — compaction renumbers every identifier and fences producers,
+    /// so auto-triggering is opt-in). The trigger is evaluated between
+    /// committed rounds and declines while submissions are pending.
+    pub compact_dead_ratio: f64,
     /// Keep sealed WAL segments and superseded checkpoints (default true).
     /// Required for [`Durable::read_at`] over the full history; turn off for
     /// a fixed-size store that only ever recovers the latest version.
     pub retain_history: bool,
     /// How transient WAL-append and checkpoint failures are retried.
     pub retry: RetryPolicy,
+    /// Idle buffers the commit path retains per pool (WAL frames, checkpoint
+    /// payload encodes). Default 2 — a steady-state commit reuses its
+    /// buffers instead of round-tripping the allocator. 0 disables pooling:
+    /// the unpooled baseline the `pool_reuse` bench suite gates against.
+    pub pool_idle: usize,
 }
 
 impl Default for DurableOptions {
@@ -593,15 +705,21 @@ impl Default for DurableOptions {
             sync: SyncPolicy::PerCommit,
             checkpoint_wal_bytes: 1 << 20,
             checkpoint_dead_ratio: 0.5,
+            compact_dead_ratio: f64::INFINITY,
             retain_history: true,
             retry: RetryPolicy::default(),
+            pool_idle: PAYLOAD_POOL_IDLE,
         }
     }
 }
 
 impl DurableOptions {
     fn store_options(&self) -> StoreOptions {
-        StoreOptions { sync: self.sync, retain_history: self.retain_history }
+        StoreOptions {
+            sync: self.sync,
+            retain_history: self.retain_history,
+            frame_pool_idle: self.pool_idle,
+        }
     }
 }
 
@@ -680,6 +798,7 @@ impl<B: DurableBackend> Durable<B> {
             faults: self.faults.clone(),
             retry: self.opts.retry,
             degraded: Arc::clone(&self.degraded),
+            payload_pool: pul_store::Pool::new(self.opts.pool_idle),
         }));
         self.backend.install_sink(Some(sink));
     }
@@ -719,6 +838,12 @@ impl<B: DurableBackend> Durable<B> {
     /// Bytes in the live WAL segment.
     pub fn wal_bytes(&self) -> u64 {
         self.store.lock().expect("store mutex poisoned").wal_bytes()
+    }
+
+    /// Reuse counters of the store's WAL frame buffer pool (see
+    /// [`DurableOptions::pool_idle`]).
+    pub fn frame_pool_stats(&self) -> pul_store::PoolStats {
+        self.store.lock().expect("store mutex poisoned").frame_pool_stats()
     }
 
     /// Version of the most recent durable checkpoint.
@@ -789,14 +914,57 @@ impl<B: DurableBackend> Durable<B> {
         Ok(false)
     }
 
-    /// Commits everything pending durably, then runs the checkpoint triggers:
-    /// the one-call maintenance loop body for long-lived sessions.
+    /// Compacts the session durably: the backend renumbers densely behind an
+    /// epoch record (appended through the sink *before* the renumbering, so a
+    /// failed append leaves session and store on the pre-compaction version),
+    /// then a fresh checkpoint freezes the dense image. The checkpoint is
+    /// best-effort — the epoch record alone already recovers bit-identically,
+    /// so its failure must not fail the durably-committed compaction.
+    pub fn compact(&mut self) -> Result<crate::CompactionReport> {
+        if self.is_degraded() {
+            return Err(Error::Degraded(
+                "session is read-only after an exhausted retry budget".into(),
+            ));
+        }
+        let report = self.backend.compact_session()?;
+        let _ = self.checkpoint();
+        Ok(report)
+    }
+
+    /// Compacts if the trigger fires: the backend's *reclaimable* dead ratio
+    /// (dead slots a renumbering can actually free — the sharded session
+    /// subtracts its structural partition gaps) reached `compact_dead_ratio`
+    /// and no submission is pending (compacting under
+    /// pending submissions would fence work already admitted — the ingest
+    /// pipeline calls this between rounds, when the queue has drained). In
+    /// degraded mode the call fails with `XPUL-E09`.
+    pub fn compact_if_due(&mut self) -> Result<bool> {
+        if self.is_degraded() {
+            return Err(Error::Degraded(
+                "session is read-only after an exhausted retry budget".into(),
+            ));
+        }
+        if self.backend.pending_submissions() > 0 {
+            return Ok(false);
+        }
+        let ratio = self.backend.reclaimable_dead_ratio();
+        if ratio > 0.0 && ratio >= self.opts.compact_dead_ratio {
+            self.compact()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Commits everything pending durably, then runs the compaction and
+    /// checkpoint triggers: the one-call maintenance loop body for long-lived
+    /// sessions.
     pub fn commit_durable(&mut self) -> Result<u64> {
         let version = self.backend.commit_all()?;
-        // The commit's WAL record is durable at this point: a checkpoint
-        // failure must not fail the commit (a caller retrying it would
-        // re-apply an applied round). Degradation surfaces on the *next*
-        // commit through the sink.
+        // The commit's WAL record is durable at this point: a compaction or
+        // checkpoint failure must not fail the commit (a caller retrying it
+        // would re-apply an applied round). Degradation surfaces on the
+        // *next* commit through the sink.
+        let _ = self.compact_if_due();
         let _ = self.checkpoint_if_due();
         Ok(version)
     }
@@ -875,8 +1043,19 @@ impl<B: DurableBackend + IngestBackend> IngestBackend for Durable<B> {
         // The round is durably committed: a checkpoint failure here must not
         // fail it, or the ingest pipeline would retry (and re-apply) an
         // already-applied round. Degradation surfaces on the next round.
+        // Compaction does NOT run here — a single flush can carry several
+        // dependent rounds, and renumbering between them would silently
+        // re-target the later rounds' identifiers. The pipeline calls
+        // `maintain` at its quiescent boundaries instead.
         let _ = self.checkpoint_if_due();
         Ok(commit)
+    }
+
+    fn maintain(&mut self) {
+        // Only reached when the whole ingest pipeline is quiescent, so the
+        // renumbering cannot strand any in-flight producer. Failures degrade
+        // the session and surface on the next commit.
+        let _ = self.compact_if_due();
     }
 
     fn discard(&mut self, id: SubmissionId) {

@@ -80,6 +80,20 @@ pub enum Error {
     /// refused rather than risking a torn state. Reads still work; recovery
     /// is reopening the store.
     Degraded(String),
+    /// A pending submission was admitted before the session's last compaction
+    /// epoch: `compact()` renumbered every node identifier, so the ids the
+    /// submission's PUL targets no longer name the nodes its producer meant.
+    /// The submission is fenced rather than silently applied to the wrong
+    /// nodes; the producer must withdraw it and re-submit against the
+    /// current epoch's identifiers.
+    EpochFenced {
+        /// The fenced pending submission.
+        submission: crate::SubmissionId,
+        /// The epoch the submission was admitted under.
+        submission_epoch: u64,
+        /// The session's current epoch.
+        current_epoch: u64,
+    },
 }
 
 impl Error {
@@ -120,6 +134,7 @@ impl Error {
             Error::Store(_) => "XPUL-E07",
             Error::Overload(_) => "XPUL-E08",
             Error::Degraded(_) => "XPUL-E09",
+            Error::EpochFenced { .. } => "XPUL-E10",
         }
     }
 
@@ -182,6 +197,12 @@ impl fmt::Display for Error {
             Error::Store(e) => write!(f, "durable store error: {e}"),
             Error::Overload(msg) => write!(f, "admission control: {msg}"),
             Error::Degraded(msg) => write!(f, "degraded mode: {msg}"),
+            Error::EpochFenced { submission, submission_epoch, current_epoch } => write!(
+                f,
+                "{submission} was admitted under epoch {submission_epoch}, but compaction \
+                 renumbered the document (epoch {current_epoch}): withdraw and re-submit \
+                 against the current identifiers"
+            ),
         }
     }
 }
@@ -254,6 +275,14 @@ mod tests {
             (Error::store("wal append failed"), "XPUL-E07"),
             (Error::Overload("queue at capacity".into()), "XPUL-E08"),
             (Error::Degraded("retries exhausted".into()), "XPUL-E09"),
+            (
+                Error::EpochFenced {
+                    submission: crate::SubmissionId(7),
+                    submission_epoch: 0,
+                    current_epoch: 1,
+                },
+                "XPUL-E10",
+            ),
         ];
         for (e, code) in cases {
             assert_eq!(e.code(), code);

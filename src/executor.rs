@@ -25,6 +25,7 @@ use pul::stream::apply_streaming_with;
 use pul::{Pul, UpdateOp};
 use pul_core::reduce::{reduce_naive, reduce_with, ReductionKind};
 use pul_core::{aggregate, integrate, reconcile_integration, Policy};
+use pul_store::{PoolStats, SharedPool};
 use xdm::{parser, writer, Document};
 use xlabel::Labeling;
 
@@ -87,6 +88,11 @@ struct Submission {
     pul: Pul,
     policy: Policy,
     pre_reduced: Option<Pul>,
+    /// The session epoch the submission was admitted under. Compaction
+    /// renumbers every identifier, so a submission from an earlier epoch is
+    /// fenced at resolve time (`XPUL-E10`) instead of silently targeting
+    /// whatever nodes now wear its ids.
+    epoch: u64,
 }
 
 /// LRU memo of wire-submission reductions, keyed by a hash of the exchange
@@ -335,6 +341,13 @@ pub struct Executor {
     submissions: Vec<Submission>,
     next_submission: u64,
     reduction_cache: ReductionCache,
+    /// The session's compaction epoch: 0 at creation, +1 per [`compact`]
+    /// (Executor::compact). Submissions are stamped with the epoch they were
+    /// admitted under; a mismatch at resolve time is the `XPUL-E10` fence.
+    epoch: u64,
+    /// Recycled resolve scratch — the reduced-PUL and policy backbones die at
+    /// the end of every `resolve`, so their allocations are pooled.
+    scratch: ResolveScratch,
     /// The durability hook: when a [`Durable`](crate::Durable) wrapper
     /// installs a sink, every commit appends its WAL record *before* the
     /// version fence becomes observable, and a failed append rewinds the
@@ -345,6 +358,38 @@ pub struct Executor {
 
 /// Default capacity of the wire-submission reduction cache.
 const DEFAULT_REDUCTION_CACHE_CAPACITY: usize = 32;
+
+/// Default idle capacity of the resolve scratch pools: one resolve is in
+/// flight per session, so one retained backbone per shape is the steady
+/// state (a second absorbs clone-shared sessions).
+pub(crate) const DEFAULT_POOL_IDLE: usize = 2;
+
+/// The pooled scratch of one session's `resolve` path. Clones share the
+/// pools (a pool is a cache; see [`SharedPool`]), and a capacity of 0
+/// disables pooling entirely — the unpooled baseline the benches compare
+/// against.
+#[derive(Debug, Clone)]
+pub(crate) struct ResolveScratch {
+    pub(crate) puls: SharedPool<Vec<Pul>>,
+    pub(crate) policies: SharedPool<Vec<Policy>>,
+}
+
+impl ResolveScratch {
+    pub(crate) fn new(max_idle: usize) -> Self {
+        ResolveScratch { puls: SharedPool::new(max_idle), policies: SharedPool::new(max_idle) }
+    }
+
+    /// Component-wise sum of the scratch pools' counters.
+    pub(crate) fn stats(&self) -> PoolStats {
+        let (a, b) = (self.puls.stats(), self.policies.stats());
+        PoolStats {
+            reused: a.reused + b.reused,
+            minted: a.minted + b.minted,
+            trimmed: a.trimmed + b.trimmed,
+            idle: a.idle + b.idle,
+        }
+    }
+}
 
 impl Executor {
     // ------------------------------------------------------------ construction
@@ -365,6 +410,8 @@ impl Executor {
             submissions: Vec::new(),
             next_submission: 0,
             reduction_cache: ReductionCache::new(DEFAULT_REDUCTION_CACHE_CAPACITY),
+            epoch: 0,
+            scratch: ResolveScratch::new(DEFAULT_POOL_IDLE),
             sink: SinkSlot::default(),
         }
     }
@@ -417,6 +464,14 @@ impl Executor {
         self
     }
 
+    /// Sets the idle capacity of the per-commit scratch pools (builder
+    /// style). `0` disables pooling — every resolve mints its scratch fresh,
+    /// the baseline the `pool_reuse` bench compares against.
+    pub fn pooling(mut self, max_idle: usize) -> Self {
+        self.scratch = ResolveScratch::new(max_idle);
+        self
+    }
+
     // -------------------------------------------------------------- inspection
 
     /// The authoritative document.
@@ -445,9 +500,21 @@ impl Executor {
         self.submissions.len()
     }
 
+    /// The session's compaction epoch: 0 at creation, incremented by every
+    /// [`compact`](Executor::compact). Producers holding identifiers from an
+    /// earlier epoch must re-read the document before submitting again.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Hit/miss counters of the wire-submission reduction cache.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats { hits: self.reduction_cache.hits, misses: self.reduction_cache.misses }
+    }
+
+    /// Reuse counters of the session's resolve scratch pools.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.scratch.stats()
     }
 
     /// Slot-occupancy statistics of the session's dense id-indexed stores
@@ -460,7 +527,16 @@ impl Executor {
         SessionSlabStats {
             nodes: self.core.doc.slab_stats(),
             labels: self.core.labeling.slab_stats(),
+            epoch: self.epoch,
         }
+    }
+
+    /// The fraction of the live population held in reclaimable dead slots.
+    /// For a single executor every dead slot is reclaimable — compaction
+    /// renumbers to a fully dense arena (the sharded session subtracts its
+    /// structural partition floor here).
+    pub fn reclaimable_dead_ratio(&self) -> f64 {
+        self.slab_stats().nodes.dead_ratio()
     }
 
     /// Serializes the authoritative document.
@@ -498,7 +574,7 @@ impl Executor {
     fn submit_inner(&mut self, pul: Pul, policy: Policy, pre_reduced: Option<Pul>) -> SubmissionId {
         let id = SubmissionId(self.next_submission);
         self.next_submission += 1;
-        self.submissions.push(Submission { id, pul, policy, pre_reduced });
+        self.submissions.push(Submission { id, pul, policy, pre_reduced, epoch: self.epoch });
         id
     }
 
@@ -553,21 +629,35 @@ impl Executor {
     /// integrated (Alg. 1), the detected conflicts are reconciled under the
     /// producer policies (Alg. 3), and the survivor is reduced once more.
     /// Fails with [`Error::Reconcile`] when some conflict cannot be solved
-    /// without violating a policy.
+    /// without violating a policy, and with [`Error::EpochFenced`] when a
+    /// pending submission predates the session's last [`compact`]
+    /// (Executor::compact) — its identifiers no longer name the nodes its
+    /// producer meant.
     pub fn resolve(&self) -> Result<Resolution> {
+        if let Some(fenced) = self.submissions.iter().find(|s| s.epoch != self.epoch) {
+            return Err(Error::EpochFenced {
+                submission: fenced.id,
+                submission_epoch: fenced.epoch,
+                current_epoch: self.epoch,
+            });
+        }
         let submitted_ops = self.submissions.iter().map(|s| s.pul.len()).sum();
-        let reduced: Vec<Pul> = self
-            .submissions
-            .iter()
-            .map(|s| match &s.pre_reduced {
-                Some(r) => r.clone(),
-                None => self.strategy.reduce(&s.pul),
-            })
-            .collect();
-        let policies: Vec<Policy> = self.submissions.iter().map(|s| s.policy).collect();
+        let mut reduced = self.scratch.puls.take_vec();
+        reduced.extend(self.submissions.iter().map(|s| match &s.pre_reduced {
+            Some(r) => r.clone(),
+            None => self.strategy.reduce(&s.pul),
+        }));
+        let mut policies = self.scratch.policies.take_vec();
+        policies.extend(self.submissions.iter().map(|s| s.policy));
         let integration = integrate(&reduced);
-        let reconciled = reconcile_integration(&reduced, &integration, &policies)?;
-        let pul = self.strategy.reduce(&reconciled);
+        let reconciled = reconcile_integration(&reduced, &integration, &policies);
+        // The backbones go back to the pool on both exit paths; clearing
+        // first drops the per-resolve contents so only the capacity is kept.
+        reduced.clear();
+        self.scratch.puls.put(reduced);
+        policies.clear();
+        self.scratch.policies.put(policies);
+        let pul = self.strategy.reduce(&reconciled?);
         Ok(Resolution {
             version: self.core.version,
             submission_ids: self.submissions.iter().map(|s| s.id).collect(),
@@ -829,6 +919,75 @@ impl Executor {
         self.core.scope_close(&scope.core);
     }
 
+    // -------------------------------------------------------------- compaction
+
+    /// Renumbers the whole session densely and opens a new epoch.
+    ///
+    /// Identifiers are never reused across commits (§4.1), so insert/delete
+    /// churn strands dead slots in the node arena and the label store until
+    /// [`slab_stats`](Executor::slab_stats) is mostly tombstones. Compaction
+    /// reclaims them: the document is renumbered in preorder starting from 1
+    /// (`assign_preorder_ids`), the labeling is rebuilt densely over the new
+    /// identifiers, the version advances (any outstanding [`Resolution`]
+    /// becomes stale, `XPUL-E01`), and the session epoch increments — every
+    /// submission admitted before the compaction is fenced with `XPUL-E10`
+    /// at resolve time, because the identifiers it carries now name
+    /// different nodes.
+    ///
+    /// Durable sessions append an epoch record through the commit sink
+    /// *before* renumbering: the append is the commit point (renumbering
+    /// itself is infallible), so a failed append leaves the session and the
+    /// store untouched on the pre-compaction version.
+    ///
+    /// Panics if called inside a transaction — a journaled scope records
+    /// inverses in terms of the identifiers compaction is about to rewrite.
+    pub fn compact(&mut self) -> Result<CompactionReport> {
+        assert!(
+            !self.core.doc.journal_is_active(),
+            "compact() inside a transaction scope: rollback could not replay \
+             inverses across the renumbering"
+        );
+        let before = self.slab_stats();
+        if let Some(sink) = self.sink.get() {
+            sink.lock()
+                .expect("commit sink mutex poisoned")
+                .on_commit(self.core.version + 1, CommitRecord::Epoch { epoch: self.epoch + 1 })?;
+        }
+        self.compact_in_place(self.epoch + 1);
+        Ok(CompactionReport {
+            epoch: self.epoch,
+            version: self.core.version,
+            before,
+            after: self.slab_stats(),
+        })
+    }
+
+    /// The infallible, deterministic half of a compaction: renumber, rebuild
+    /// the labeling densely, advance the fences. Shared by the live
+    /// [`compact`](Executor::compact) and by WAL replay of an epoch record,
+    /// so recovery reproduces the compacted state bit-identically.
+    pub(crate) fn compact_in_place(&mut self, epoch: u64) {
+        let _mapping = self.core.doc.assign_preorder_ids(1);
+        self.core.labeling = Labeling::assign(&self.core.doc);
+        self.core.version += 1;
+        self.epoch = epoch;
+        // Cached reductions and pre-reductions reason in pre-compaction
+        // identifiers; the submissions carrying them are fenced, and the
+        // cache must not serve stale ids to post-compaction wire retries.
+        self.reduction_cache.clear();
+    }
+
+    /// Replays a WAL `Epoch` record. The epoch is *set* (not incremented):
+    /// the record is authoritative about the epoch it opened.
+    pub(crate) fn replay_epoch(&mut self, epoch: u64) {
+        self.compact_in_place(epoch);
+    }
+
+    /// Restores the epoch fence from a checkpoint (recovery only).
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     // ---------------------------------------------------------------- recovery
 
     /// Re-applies a WAL `Delta` record: the resolved PUL a committed round
@@ -932,16 +1091,35 @@ pub struct SessionSlabStats {
     pub nodes: xdm::SlabStats,
     /// The labeling's label store.
     pub labels: xdm::SlabStats,
+    /// The session's compaction epoch the stats were taken under.
+    pub epoch: u64,
 }
 
 impl SessionSlabStats {
     /// Component-wise sum (used by the sharded façade to aggregate shards).
+    /// Both sides come from the same session, so the epoch is shared.
     pub fn merged(self, other: SessionSlabStats) -> SessionSlabStats {
         SessionSlabStats {
             nodes: self.nodes.merged(other.nodes),
             labels: self.labels.merged(other.labels),
+            epoch: self.epoch,
         }
     }
+}
+
+/// Summary of a successful [`Executor::compact`] /
+/// [`ShardedExecutor::compact`](crate::ShardedExecutor::compact): what the
+/// renumbering reclaimed and where the fences now stand.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactionReport {
+    /// The epoch the compaction opened.
+    pub epoch: u64,
+    /// The session version the compaction produced.
+    pub version: u64,
+    /// Slab occupancy before the renumbering.
+    pub before: SessionSlabStats,
+    /// Slab occupancy after: dense, no dead slots, no spill.
+    pub after: SessionSlabStats,
 }
 
 /// The ingestion pipeline drives a single executor exactly like a producer

@@ -50,19 +50,19 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pul::{OpName, Pul};
 use pul_core::{Conflict, Policy};
-use pul_store::{site, Faults};
+use pul_store::{site, Faults, PoolStats, SharedPool};
 use xdm::NodeId;
 use xlabel::LabelInterval;
 
 use crate::error::{Error, Result};
-use crate::executor::ReductionStrategy;
+use crate::executor::{ReductionStrategy, DEFAULT_POOL_IDLE};
 use crate::SubmissionId;
 
 // ---------------------------------------------------------------------------
@@ -123,6 +123,14 @@ pub trait IngestBackend: Send + 'static {
 
     /// The policy assumed for submissions that do not carry their own.
     fn default_policy(&self) -> Policy;
+
+    /// Background maintenance, invoked by the pipeline only at a *quiescent*
+    /// boundary: nothing queued, nothing drained, nothing in flight. This is
+    /// the sole point where maintenance that renumbers node identifiers
+    /// (slab compaction) may run — anywhere else it would silently re-target
+    /// PULs already inside the pipeline that were minted against the old
+    /// numbering. Errors are the backend's to surface on a later round.
+    fn maintain(&mut self) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -414,6 +422,10 @@ pub struct IngestQueue<B: IngestBackend> {
     shared: Arc<Shared>,
     default_policy: Policy,
     capacity: usize,
+    /// Recycled round vectors: the drainer fills one per prepared round, the
+    /// committer returns it emptied after the round commits — one steady-state
+    /// allocation instead of one per round.
+    scratch: SharedPool<Vec<PreparedEntry>>,
     drainer: Option<JoinHandle<()>>,
     committer: Option<JoinHandle<B>>,
 }
@@ -446,25 +458,29 @@ impl<B: IngestBackend> IngestQueue<B> {
         // only delay what the coalescer gets to see together.
         let (tx, rx): (SyncSender<Vec<PreparedEntry>>, Receiver<Vec<PreparedEntry>>) =
             sync_channel(1);
+        let scratch: SharedPool<Vec<PreparedEntry>> = SharedPool::new(DEFAULT_POOL_IDLE);
         let drainer = {
             let shared = shared.clone();
+            let scratch = scratch.clone();
             std::thread::Builder::new()
                 .name("ingest-drainer".into())
-                .spawn(move || drainer_loop(&shared, &config, strategy, tx))
+                .spawn(move || drainer_loop(&shared, &config, strategy, tx, &scratch))
                 .expect("spawn ingest drainer")
         };
         let committer = {
             let shared = shared.clone();
             let faults = faults.clone();
+            let scratch = scratch.clone();
             std::thread::Builder::new()
                 .name("ingest-committer".into())
-                .spawn(move || committer_loop(&shared, backend, rx, faults))
+                .spawn(move || committer_loop(&shared, backend, rx, faults, &scratch))
                 .expect("spawn ingest committer")
         };
         IngestQueue {
             shared,
             default_policy,
             capacity,
+            scratch,
             drainer: Some(drainer),
             committer: Some(committer),
         }
@@ -566,6 +582,11 @@ impl<B: IngestBackend> IngestQueue<B> {
         self.shared.state.lock().expect("queue lock").queue.len()
     }
 
+    /// Behaviour counters of the recycled round-vector pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.scratch.stats()
+    }
+
     /// Blocks until everything enqueued so far has been committed or failed.
     /// If the pipeline dies (a backend panic), the orphaned tickets are
     /// poisoned and `flush` returns instead of waiting forever.
@@ -638,6 +659,7 @@ fn drainer_loop(
     config: &IngestConfig,
     strategy: ReductionStrategy,
     tx: SyncSender<Vec<PreparedEntry>>,
+    scratch: &SharedPool<Vec<PreparedEntry>>,
 ) {
     loop {
         let batch = {
@@ -709,17 +731,17 @@ fn drainer_loop(
             }
             // Pre-reduce here, on the drainer thread: reduction dominates
             // resolution (§4.3) and is document-independent, so it overlaps
-            // the committer applying the previous round.
-            let entries: Vec<PreparedEntry> = round
-                .into_iter()
-                .map(|e| PreparedEntry {
-                    reduced: strategy.reduce(&e.pul),
-                    pul: e.pul,
-                    policy: e.policy,
-                    expires: e.expires,
-                    completer: e.completer,
-                })
-                .collect();
+            // the committer applying the previous round. The round vector is
+            // recycled — the committer returns it to the shared pool once the
+            // round settles.
+            let mut entries = scratch.take_vec();
+            entries.extend(round.into_iter().map(|e| PreparedEntry {
+                reduced: strategy.reduce(&e.pul),
+                pul: e.pul,
+                policy: e.policy,
+                expires: e.expires,
+                completer: e.completer,
+            }));
             if let Err(failed) = tx.send(entries) {
                 // Committer gone (panic): the entries of this and all later
                 // rounds are dropped — poisoning their tickets — and their
@@ -802,10 +824,43 @@ fn committer_loop<B: IngestBackend>(
     mut backend: B,
     rx: Receiver<Vec<PreparedEntry>>,
     faults: Faults,
+    scratch: &SharedPool<Vec<PreparedEntry>>,
 ) -> B {
-    while let Ok(entries) = rx.recv() {
+    loop {
+        let mut entries = match rx.try_recv() {
+            Ok(entries) => entries,
+            Err(TryRecvError::Empty) => {
+                // No prepared round waiting. If the producers' queue is empty
+                // and nothing is in flight anywhere in the pipeline, this is
+                // a quiescent round boundary — the only point where id-
+                // renumbering maintenance (compaction) is safe to run.
+                let quiescent = shared
+                    .state
+                    .lock()
+                    .map(|state| state.queue.is_empty() && state.in_flight == 0)
+                    .unwrap_or(false);
+                if quiescent {
+                    backend.maintain();
+                }
+                match rx.recv() {
+                    Ok(entries) => entries,
+                    Err(_) => {
+                        backend.maintain();
+                        break;
+                    }
+                }
+            }
+            // Disconnection means the drainer drained everything and exited:
+            // the pipeline is quiescent by construction, so give maintenance
+            // its final chance before the backend is handed back.
+            Err(TryRecvError::Disconnected) => {
+                backend.maintain();
+                break;
+            }
+        };
         let _settle = InFlightGuard { shared, n: entries.len() };
-        commit_round(&mut backend, entries, true, &faults);
+        commit_round(&mut backend, &mut entries, true, &faults);
+        scratch.put(entries);
     }
     backend
 }
@@ -826,17 +881,18 @@ fn committer_loop<B: IngestBackend>(
 /// produced.
 fn commit_round<B: IngestBackend>(
     backend: &mut B,
-    entries: Vec<PreparedEntry>,
+    entries: &mut Vec<PreparedEntry>,
     retry: bool,
     faults: &Faults,
 ) {
     // Deadline check at commit time: expired members fail with `XPUL-E08`
     // and leave the round *before* the merge, so one expired ticket neither
     // blocks the survivors nor pushes them onto the serialized singleton
-    // path — they still coalesce into a single commit.
+    // path — they still coalesce into a single commit. The round vector is
+    // drained (left empty for the caller to recycle).
     let now = Instant::now();
     let mut live = Vec::with_capacity(entries.len());
-    for entry in entries {
+    for entry in entries.drain(..) {
         if entry.expires.is_some_and(|t| t <= now) {
             entry.completer.complete(Err(Error::Overload(
                 "ticket deadline expired before its round committed".into(),
@@ -877,8 +933,10 @@ fn commit_round<B: IngestBackend>(
         // footprint bug backstop): degrade to sequential singleton rounds so
         // only the failing members fail.
         if retry {
+            let mut single = Vec::with_capacity(1);
             for entry in entries {
-                commit_round(backend, vec![entry], false, faults);
+                single.push(entry);
+                commit_round(backend, &mut single, false, faults);
             }
             return;
         }
@@ -1261,7 +1319,8 @@ mod tests {
             });
             tickets.push(ticket);
         }
-        commit_round(&mut session, entries, true, &Faults::disabled());
+        commit_round(&mut session, &mut entries, true, &Faults::disabled());
+        assert!(entries.is_empty(), "the round vector is drained for recycling");
         let o1 = tickets[0].wait().expect("live member commits");
         let o3 = tickets[2].wait().expect("live member commits");
         let err = tickets[1].wait().unwrap_err();

@@ -96,8 +96,8 @@ pub use durable::{
 };
 pub use error::{Error, Result};
 pub use executor::{
-    CacheStats, CommitReport, Executor, ExecutorCore, ReductionStrategy, SessionSlabStats,
-    SubmissionId,
+    CacheStats, CommitReport, CompactionReport, Executor, ExecutorCore, ReductionStrategy,
+    SessionSlabStats, SubmissionId,
 };
 pub use ingest::{BatchCommit, IngestBackend, IngestConfig, IngestQueue, Ticket, TicketOutcome};
 pub use pul_store::{
@@ -110,11 +110,11 @@ pub use transaction::Transaction;
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::{
-        BatchCommit, CacheStats, CommitReport, Durable, DurableOptions, Error, Executor,
-        ExecutorCore, FaultKind, FaultPlan, Faults, IngestBackend, IngestConfig, IngestQueue,
-        ReductionStrategy, Resolution, Result, RetryPolicy, SessionSlabStats, ShardedCommitReport,
-        ShardedExecutor, ShardedResolution, SubmissionId, SyncPolicy, Ticket, TicketOutcome,
-        Transaction, Trigger,
+        BatchCommit, CacheStats, CommitReport, CompactionReport, Durable, DurableOptions, Error,
+        Executor, ExecutorCore, FaultKind, FaultPlan, Faults, IngestBackend, IngestConfig,
+        IngestQueue, ReductionStrategy, Resolution, Result, RetryPolicy, SessionSlabStats,
+        ShardedCommitReport, ShardedExecutor, ShardedResolution, SubmissionId, SyncPolicy, Ticket,
+        TicketOutcome, Transaction, Trigger,
     };
     pub use pul::{ApplyOptions, OpClass, OpName, Pul, UpdateOp};
     pub use pul_core::{Conflict, ConflictType, Policy};

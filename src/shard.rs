@@ -56,15 +56,15 @@ use std::collections::HashMap;
 use pul::apply::{ApplyOptions, JournalStats};
 use pul::{OpName, Pul, UpdateOp};
 use pul_core::{integrate, reconcile_integration, Conflict, Policy};
-use pul_store::{site, Faults};
+use pul_store::{site, Faults, PoolStats, SharedPool};
 use xdm::{writer, Document, NodeId};
 use xlabel::{LabelInterval, Labeling, NodeLabel, OrderKey};
 
 use crate::durable::{CommitRecord, SharedSink, SinkSlot};
 use crate::error::{Error, Result};
 use crate::executor::{
-    check_resolution_fresh, CoreScope, ExecutorCore, ReductionStrategy, SessionSlabStats,
-    SubmissionId,
+    check_resolution_fresh, CompactionReport, CoreScope, ExecutorCore, ReductionStrategy,
+    SessionSlabStats, SubmissionId, DEFAULT_POOL_IDLE,
 };
 use crate::ingest::{BatchCommit, IngestBackend};
 
@@ -86,6 +86,9 @@ struct ShardedSubmission {
     pul: Pul,
     policy: Policy,
     pre_reduced: Option<Pul>,
+    /// The compaction epoch the submission was admitted under; fenced at
+    /// resolve time with `XPUL-E10` (compaction renumbers every identifier).
+    epoch: u64,
 }
 
 /// The outcome of a sharded resolve: one resolved PUL per shard, ready for
@@ -158,6 +161,18 @@ pub struct ShardedExecutor {
     submissions: Vec<ShardedSubmission>,
     next_submission: u64,
     version: u64,
+    /// The compaction epoch (see [`Executor::epoch`](crate::Executor::epoch)):
+    /// bumped by every [`compact`](ShardedExecutor::compact), fencing all
+    /// identifiers submitted before the renumbering.
+    epoch: u64,
+    /// Aggregate dead slots right after construction or the last compaction:
+    /// every shard document copies the root and skips the slices owned by its
+    /// siblings, so its arena carries a *structural* gap of dead slots that no
+    /// renumbering can reclaim. Only dead slots above this floor are churn.
+    dead_floor: usize,
+    /// Recycled per-shard resolve scratch: the inner sub-PUL vectors of the
+    /// split phase. Clones share the pool; capacity 0 disables pooling.
+    scratch: SharedPool<Vec<Pul>>,
     /// The durability hook (see [`Executor`](crate::Executor)'s field of the
     /// same name): under a sink the WAL append becomes the commit point of
     /// the two-phase protocol — it happens while every shard scope is still
@@ -263,22 +278,25 @@ impl ShardedExecutor {
             // Sibling metadata of the top-level children is refreshed to be
             // shard-local (the shard's first child has no left sibling *here*).
             let mut slabels = Labeling::new();
+            // Root label first: it carries the smallest identifier, and the
+            // label slab anchors its dense range at the first insert —
+            // inserting it last would strand it in the spill map.
+            let mut shard_root = root_label.clone();
+            shard_root.start = lo;
+            shard_root.end = hi;
+            slabels.insert(shard_root);
             for id in sdoc.preorder_from_root() {
                 if id == root_id {
                     continue;
                 }
                 slabels.insert(global.require(id).clone());
             }
-            let mut shard_root = root_label.clone();
-            shard_root.start = lo;
-            shard_root.end = hi;
-            slabels.insert(shard_root);
             slabels.refresh_sibling_flags(&sdoc, root_id);
 
             shards.push(Shard { core: ExecutorCore::from_parts(sdoc, slabels), interval });
         }
 
-        Ok(ShardedExecutor {
+        let mut session = ShardedExecutor {
             shards,
             root_id,
             root_label,
@@ -287,9 +305,14 @@ impl ShardedExecutor {
             submissions: Vec::new(),
             next_submission: 0,
             version: 0,
+            epoch: 0,
+            dead_floor: 0,
+            scratch: SharedPool::new(DEFAULT_POOL_IDLE),
             sink: SinkSlot::default(),
             faults: Faults::disabled(),
-        })
+        };
+        session.dead_floor = session.slab_stats().nodes.dead;
+        Ok(session)
     }
 
     /// Rebuilds a session from restored parts (checkpoint recovery): the
@@ -302,7 +325,7 @@ impl ShardedExecutor {
         root_label: NodeLabel,
         version: u64,
     ) -> Self {
-        ShardedExecutor {
+        let mut session = ShardedExecutor {
             shards: shards.into_iter().map(|(core, interval)| Shard { core, interval }).collect(),
             root_id,
             root_label,
@@ -311,9 +334,17 @@ impl ShardedExecutor {
             submissions: Vec::new(),
             next_submission: 0,
             version,
+            epoch: 0,
+            dead_floor: 0,
+            scratch: SharedPool::new(DEFAULT_POOL_IDLE),
             sink: SinkSlot::default(),
             faults: Faults::disabled(),
-        }
+        };
+        // A restored arena mixes structural and churn dead slots and the split
+        // is not recorded; floor at the current count — conservative (never
+        // over-triggers compaction), self-correcting at the next compaction.
+        session.dead_floor = session.slab_stats().nodes.dead;
+        session
     }
 
     /// The root element identifier and global root label (checkpointing).
@@ -356,6 +387,13 @@ impl ShardedExecutor {
         for shard in &mut self.shards {
             shard.core.set_apply_options(options.clone());
         }
+        self
+    }
+
+    /// Sets the resolve-scratch pool retention (builder style). A capacity of
+    /// 0 disables pooling — the unpooled baseline the benches compare against.
+    pub fn pooling(mut self, max_idle: usize) -> Self {
+        self.scratch = SharedPool::new(max_idle);
         self
     }
 
@@ -404,6 +442,17 @@ impl ShardedExecutor {
     /// Number of submissions waiting to be resolved.
     pub fn pending(&self) -> usize {
         self.submissions.len()
+    }
+
+    /// The session's compaction epoch: 0 at start, +1 per
+    /// [`compact`](ShardedExecutor::compact).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Behaviour counters of the pooled resolve scratch.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.scratch.stats()
     }
 
     /// Reassembles the authoritative document from the shard slices: the root
@@ -500,7 +549,8 @@ impl ShardedExecutor {
     fn submit_inner(&mut self, pul: Pul, policy: Policy, pre_reduced: Option<Pul>) -> SubmissionId {
         let id = SubmissionId(self.next_submission);
         self.next_submission += 1;
-        self.submissions.push(ShardedSubmission { id, pul, policy, pre_reduced });
+        let epoch = self.epoch;
+        self.submissions.push(ShardedSubmission { id, pul, policy, pre_reduced, epoch });
         id
     }
 
@@ -604,6 +654,16 @@ impl ShardedExecutor {
     /// integrates its sub-PULs, reconciles the detected conflicts under the
     /// producer policies and reduces its survivor once more.
     pub fn resolve(&self) -> Result<ShardedResolution> {
+        // Epoch fence: a submission admitted before a compaction reasons in
+        // renumbered-away identifiers and labels — resolving it would route
+        // and conflict-check against the wrong nodes.
+        if let Some(fenced) = self.submissions.iter().find(|s| s.epoch != self.epoch) {
+            return Err(Error::EpochFenced {
+                submission: fenced.id,
+                submission_epoch: fenced.epoch,
+                current_epoch: self.epoch,
+            });
+        }
         let n = self.shards.len();
         let policies: Vec<Policy> = self.submissions.iter().map(|s| s.policy).collect();
         // Per-submission reduction is independent work too: one scoped thread
@@ -642,8 +702,11 @@ impl ShardedExecutor {
 
         // Split every reduced submission into per-shard sub-PULs. All
         // producers stay represented in every shard (possibly with an empty
-        // sub-PUL) so conflict references keep their producer indices.
-        let mut per_shard_subs: Vec<Vec<Pul>> = (0..n).map(|_| Vec::new()).collect();
+        // sub-PUL) so conflict references keep their producer indices. The
+        // vectors come from the session's scratch pool — resolve runs once
+        // per commit round, so recycling them takes the split off the
+        // allocator's hot path.
+        let mut per_shard_subs: Vec<Vec<Pul>> = (0..n).map(|_| self.scratch.take_vec()).collect();
         for pul in &reduced {
             let routes = self.route_ops(pul)?;
             let mut i = 0;
@@ -685,6 +748,10 @@ impl ShardedExecutor {
                     .collect()
             })
         };
+        for mut subs in per_shard_subs {
+            subs.clear();
+            self.scratch.put(subs);
+        }
         let mut per_shard = Vec::with_capacity(n);
         let mut conflicts = Vec::new();
         for outcome in outcomes {
@@ -839,18 +906,117 @@ impl ShardedExecutor {
         })
     }
 
+    // -------------------------------------------------------------- compaction
+
+    /// Compacts the sharded session: reassembles the authoritative document,
+    /// renumbers it in preorder from 1 and re-partitions it into the same
+    /// number of shards with a dense labeling per slice (see
+    /// [`Executor::compact`](crate::Executor::compact) for the epoch/fencing
+    /// contract — it is identical here). Under a sink the epoch record append
+    /// is the commit point: it happens *before* the rebuilt shards are
+    /// installed, so a failed append leaves session and store on the
+    /// pre-compaction version, untouched.
+    pub fn compact(&mut self) -> Result<CompactionReport> {
+        for (k, shard) in self.shards.iter().enumerate() {
+            assert!(
+                !shard.core.doc.journal_is_active(),
+                "compact() inside shard {k}'s open transaction scope: rollback could not \
+                 replay inverses across the renumbering"
+            );
+        }
+        let before = self.slab_stats();
+        // The fallible part first: build the compacted replacement off to the
+        // side, so neither a rebuild error nor a sink error can leave the
+        // session half-renumbered.
+        let rebuilt = self.rebuild_compacted()?;
+        if let Some(sink) = self.sink.get() {
+            sink.lock()
+                .expect("commit sink mutex poisoned")
+                .on_commit(self.version + 1, CommitRecord::Epoch { epoch: self.epoch + 1 })?;
+        }
+        self.install_compacted(rebuilt);
+        self.version += 1;
+        self.epoch += 1;
+        Ok(CompactionReport {
+            epoch: self.epoch,
+            version: self.version,
+            before,
+            after: self.slab_stats(),
+        })
+    }
+
+    /// The renumber-and-repartition core of [`compact`](ShardedExecutor::compact):
+    /// a fresh sharded executor over the preorder-renumbered reassembly, same
+    /// shard count. Deterministic — `document()` reassembles in shard order,
+    /// the renumbering walks preorder, and `new` partitions contiguously — so
+    /// the WAL-replay path rebuilds bit-identical state.
+    fn rebuild_compacted(&self) -> Result<ShardedExecutor> {
+        let mut doc = self.document();
+        let _mapping = doc.assign_preorder_ids(1);
+        ShardedExecutor::new(doc, self.shards.len())
+    }
+
+    /// Installs the rebuilt shards, keeping this session's apply options (the
+    /// identifier discipline is session configuration, not document state).
+    fn install_compacted(&mut self, rebuilt: ShardedExecutor) {
+        let options = self.shards[0].core.apply_options().clone();
+        let ShardedExecutor { mut shards, root_id, root_label, dead_floor, .. } = rebuilt;
+        for shard in &mut shards {
+            shard.core.set_apply_options(options.clone());
+        }
+        self.shards = shards;
+        self.root_id = root_id;
+        self.root_label = root_label;
+        self.dead_floor = dead_floor;
+    }
+
+    /// Re-applies a WAL `Epoch` record during recovery: the same rebuild as a
+    /// live [`compact`](ShardedExecutor::compact), minus the sink (replay
+    /// must not re-append what it reads).
+    pub(crate) fn replay_epoch(&mut self, epoch: u64) -> Result<()> {
+        let rebuilt = self.rebuild_compacted()?;
+        self.install_compacted(rebuilt);
+        self.version += 1;
+        self.epoch = epoch;
+        Ok(())
+    }
+
+    /// Restores the epoch fence from a checkpoint (recovery only).
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     /// Slot-occupancy statistics of the dense id-indexed stores, aggregated
     /// across every shard (see [`Executor::slab_stats`]
     /// (crate::Executor::slab_stats)). Dead slots accumulate per shard —
     /// identifiers are never reused — so this is the churn observable for
     /// long-lived sharded sessions too.
     pub fn slab_stats(&self) -> SessionSlabStats {
-        self.shards.iter().fold(SessionSlabStats::default(), |acc, shard| {
-            acc.merged(SessionSlabStats {
-                nodes: shard.core.document().slab_stats(),
-                labels: shard.core.labeling().slab_stats(),
-            })
-        })
+        self.shards.iter().fold(
+            SessionSlabStats { epoch: self.epoch, ..SessionSlabStats::default() },
+            |acc, shard| {
+                acc.merged(SessionSlabStats {
+                    nodes: shard.core.document().slab_stats(),
+                    labels: shard.core.labeling().slab_stats(),
+                    epoch: self.epoch,
+                })
+            },
+        )
+    }
+
+    /// The fraction of the live population held in *reclaimable* dead slots:
+    /// aggregate dead above the structural partition floor (each shard's
+    /// arena skips the slices owned by its siblings — those gaps survive any
+    /// renumbering and must not count as churn, or the compaction trigger
+    /// would re-fire forever on a freshly compacted sharded session).
+    pub fn reclaimable_dead_ratio(&self) -> f64 {
+        let nodes = self.slab_stats().nodes;
+        nodes.dead.saturating_sub(self.dead_floor) as f64 / nodes.live.max(1) as f64
+    }
+
+    /// The structural dead-slot floor (construction or last compaction).
+    pub fn dead_floor(&self) -> usize {
+        self.dead_floor
     }
 }
 

@@ -12,9 +12,11 @@
 //! * the recovered document and labeling are **bit-identical** (`deep_eq`) to
 //!   the session cloned at the commit of that version, and pass
 //!   `assert_consistent`;
-//! * the sweep runs both against a WAL with no checkpoint beyond the base
-//!   image and against the rotated segment written after a mid-history
-//!   checkpoint;
+//! * the sweep runs against a WAL with no checkpoint beyond the base image,
+//!   against the rotated segment written after a mid-history checkpoint, and
+//!   against a segment holding a compaction **epoch record** — a cut inside
+//!   the epoch record recovers the pre-compaction version, a cut past it
+//!   replays the renumbering bit-identically;
 //! * afterwards, `read_at(v)` materialises every committed version with the
 //!   serialization recorded at its commit.
 //!
@@ -234,6 +236,18 @@ fn run_seed<B: FuzzBackend>(seed: u64, tag: &str) {
     let ckpt_version = durable.checkpoint().unwrap();
     commit_rounds(&mut durable, &mut oracle, seed.wrapping_add(1), 2, &mut history);
     crash_sweep(&store_dir, &root, ckpt_version, &history, &format!("{tag} seed {seed} phase B"));
+
+    // Phase C: rotate onto a fresh segment, then compact *without* a
+    // checkpoint so the epoch record sits in the live WAL. A cut inside the
+    // record recovers the pre-compaction numbering; a cut past it replays the
+    // renumbering bit-identically — including the rounds committed on top of
+    // the new numbering.
+    let ckpt2 = durable.checkpoint().unwrap();
+    let report = durable.compact_session().unwrap();
+    history.push((report.version, durable.backend().clone(), durable.serialization()));
+    oracle.compact().unwrap();
+    commit_rounds(&mut durable, &mut oracle, seed.wrapping_add(2), 2, &mut history);
+    crash_sweep(&store_dir, &root, ckpt2, &history, &format!("{tag} seed {seed} phase C"));
 
     // Point-in-time reads: every committed version materialises with the
     // serialization recorded at its commit.
