@@ -377,6 +377,12 @@ pub fn run_sharded_commit(session: &mut xmlpul::ShardedExecutor) -> usize {
     session.commit().expect("the generated workload commits").applied_ops
 }
 
+/// One measured laned commit: busy shards apply on parallel lanes under
+/// striped identifier fences. Returns the number of applied operations.
+pub fn run_laned_commit(session: &mut xmlpul::ShardedExecutor) -> usize {
+    session.commit_lanes().expect("the generated workload commits").applied_ops
+}
+
 // ---------------------------------------------------------------------------
 // Ingest throughput — committed submissions/sec vs batch size × backend
 // ---------------------------------------------------------------------------
@@ -937,6 +943,103 @@ pub fn run_pool_reuse(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot reads — cold reassembly vs cached MVCC re-reads
+// ---------------------------------------------------------------------------
+
+/// Workload for the snapshot-read suite: a sharded session churned through
+/// `rounds` committed PULs, so a cold snapshot pays a real cross-shard
+/// reassembly over a mutated document.
+pub struct SnapshotReadWorkload {
+    /// The churned session under measurement.
+    pub session: xmlpul::ShardedExecutor,
+}
+
+/// Builds the snapshot-read workload. PULs are generated against the
+/// session's own snapshot (document + labeling), so the generator always
+/// sees the current state; rejected rounds are simply skipped.
+pub fn setup_snapshot_read(doc_nodes: usize, rounds: usize, seed: u64) -> SnapshotReadWorkload {
+    let doc = xmark(&XmarkConfig { target_nodes: doc_nodes, seed });
+    let mut session = xmlpul::ShardedExecutor::new(doc, 4)
+        .expect("the workload document has a root")
+        .policy(Policy::relaxed());
+    let mut committed = 0usize;
+    let mut attempts = 0u64;
+    while committed < rounds && attempts < rounds as u64 * 4 {
+        attempts += 1;
+        let snap = session.snapshot();
+        let pul = generate_pul(
+            snap.document(),
+            snap.labeling(),
+            &PulGenConfig {
+                n_ops: 4,
+                reducible_ratio: 0.2,
+                content_id_base: snap.document().next_id() + 50_000 * (attempts + 1),
+                seed: seed.wrapping_mul(613).wrapping_add(attempts),
+            },
+        );
+        session.submit(pul);
+        if session.commit().is_ok() {
+            committed += 1;
+        }
+    }
+    assert!(committed > 0, "churn committed nothing in {attempts} attempts");
+    SnapshotReadWorkload { session }
+}
+
+/// One cold snapshot: a fresh clone starts with an empty snapshot cache, so
+/// the call pays the full cross-shard reassembly and labeling rebuild.
+pub fn run_snapshot_cold(w: &SnapshotReadWorkload) -> Duration {
+    let cold = w.session.clone();
+    let (snap, d) = timed(|| cold.snapshot());
+    assert_eq!(snap.version(), w.session.version(), "cold snapshot pins the current version");
+    d
+}
+
+/// `reps` cached snapshots at an unchanged version: every call after the
+/// first must be served from the memo — a cache probe plus `Arc` clones, no
+/// reassembly. Returns the per-call cost.
+pub fn run_snapshot_cached(w: &SnapshotReadWorkload, reps: u32) -> Duration {
+    w.session.snapshot(); // prime the cache
+    let (_, d) = timed(|| {
+        for _ in 0..reps {
+            std::hint::black_box(w.session.snapshot());
+        }
+    });
+    d / reps
+}
+
+/// Cold vs cached point-in-time reads on a durable store: `restore_at` pays
+/// checkpoint restore + WAL replay on every call, `read_at` memoizes the
+/// pinned snapshot per version. Returns `(restore_at, read_at-cached)`
+/// per-call costs.
+pub fn run_read_at_cold_vs_cached(
+    w: &DurabilityWorkload,
+    dir: &std::path::Path,
+    reps: u32,
+) -> (Duration, Duration) {
+    let _ = std::fs::remove_dir_all(dir);
+    let mut session = xmlpul::Durable::create(
+        dir,
+        xmlpul::Executor::new(w.doc.clone()),
+        no_checkpoint_opts(xmlpul::SyncPolicy::Off),
+    )
+    .expect("fresh bench store");
+    for pul in &w.puls {
+        session.submit(pul.clone());
+        session.commit().expect("independent workload commits");
+    }
+    let mid = session.version() / 2;
+    let (_, cold) = timed(|| session.restore_at(mid).expect("retained version"));
+    session.read_at(mid).expect("retained version"); // prime the cache
+    let (_, cached) = timed(|| {
+        for _ in 0..reps {
+            std::hint::black_box(session.read_at(mid).expect("retained version"));
+        }
+    });
+    (cold, cached / reps)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1017,6 +1120,30 @@ mod tests {
             }
             previous = Some(xml);
         }
+    }
+
+    #[test]
+    fn snapshot_read_workload_memoizes_re_reads() {
+        let w = setup_snapshot_read(2_000, 4, 5);
+        let _ = run_snapshot_cold(&w);
+        let _ = run_snapshot_cached(&w, 4);
+        let a = w.session.snapshot();
+        let b = w.session.snapshot();
+        assert!(
+            std::sync::Arc::ptr_eq(&a.shared_document(), &b.shared_document()),
+            "re-reads at an unchanged version must share one arena"
+        );
+    }
+
+    #[test]
+    fn laned_commit_matches_serial_commit_content() {
+        let w = setup_shard_scaling(4_000, 4, 60, 11);
+        let session = setup_sharded_session(&w, 4);
+        let mut serial = session.clone();
+        let mut laned = session.clone();
+        assert_eq!(run_sharded_commit(&mut serial), run_laned_commit(&mut laned));
+        assert_eq!(serial.serialize(), laned.serialize(), "laned commit diverged");
+        laned.assert_consistent();
     }
 
     #[test]

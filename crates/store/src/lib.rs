@@ -46,7 +46,7 @@ pub use checkpoint::{CheckpointState, ShardSnapshot};
 pub use crc::{crc32, crc32_parts};
 pub use error::{transient_kind, StoreError, StoreResult};
 pub use faults::{site, FaultKind, FaultPlan, FaultSpec, Faults, Trigger};
-pub use pool::{Pool, PoolStats, SharedPool};
+pub use pool::{Pool, PoolStats, SharedPool, Shrink, DEFAULT_CAPACITY_CAP};
 pub use wal::{ScanOutcome, WalRecord};
 
 /// When appends reach the disk.

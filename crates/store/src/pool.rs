@@ -25,6 +25,40 @@ use std::sync::{Arc, Mutex};
 /// How many `put` calls make one trim window.
 const TRIM_INTERVAL: usize = 1024;
 
+/// Capacity (in items — bytes for `Vec<u8>` buffers) a pooled object may
+/// retain between uses. One burst commit can grow a recycled backbone to
+/// many megabytes; without a cap the pool would pin that peak forever, since
+/// `take_buf`/`take_vec` clear the *length* but never the capacity, and
+/// high-water trimming drops whole objects, not bytes. Oversized objects are
+/// shrunk back to this cap when they return to the pool.
+pub const DEFAULT_CAPACITY_CAP: usize = 1 << 16;
+
+/// Capacity shedding for pooled objects: the pool calls
+/// [`shrink_to_cap`](Shrink::shrink_to_cap) on every returned object so a
+/// transient burst cannot pin its peak backbone for the pool's lifetime.
+pub trait Shrink {
+    /// Sheds retained capacity beyond `cap` items, returning whether any
+    /// capacity was actually released. Objects without meaningful capacity
+    /// keep the default no-op.
+    fn shrink_to_cap(&mut self, _cap: usize) -> bool {
+        false
+    }
+}
+
+impl<T> Shrink for Vec<T> {
+    fn shrink_to_cap(&mut self, cap: usize) -> bool {
+        if self.capacity() > cap {
+            // The pooled object is cleared (or about to be cleared on take);
+            // truncate defensively so `shrink_to` can actually release.
+            self.truncate(cap);
+            self.shrink_to(cap);
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// Counters describing how a pool has behaved so far.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PoolStats {
@@ -32,7 +66,8 @@ pub struct PoolStats {
     pub reused: u64,
     /// Objects the caller had to create because the pool was empty.
     pub minted: u64,
-    /// Idle objects dropped by high-water trimming.
+    /// Idle objects dropped by high-water trimming, plus oversized backbones
+    /// shrunk back to the capacity cap on return (see [`Shrink`]).
     pub trimmed: u64,
     /// Objects currently idle in the pool.
     pub idle: usize,
@@ -45,6 +80,8 @@ pub struct Pool<T> {
     /// Hard cap on retained idle objects; 0 disables pooling entirely (every
     /// `put` drops, every `take` mints).
     max_idle: usize,
+    /// Capacity (items) a returned object may retain (see [`Shrink`]).
+    capacity_cap: usize,
     /// Objects currently checked out (best effort: callers that never return
     /// an object simply leave the counter high until the window resets).
     in_use: usize,
@@ -57,12 +94,20 @@ pub struct Pool<T> {
     trimmed: u64,
 }
 
-impl<T> Pool<T> {
-    /// Creates a pool retaining at most `max_idle` idle objects.
+impl<T: Shrink> Pool<T> {
+    /// Creates a pool retaining at most `max_idle` idle objects, each capped
+    /// at [`DEFAULT_CAPACITY_CAP`] items of retained capacity.
     pub fn new(max_idle: usize) -> Self {
+        Pool::with_capacity_cap(max_idle, DEFAULT_CAPACITY_CAP)
+    }
+
+    /// Creates a pool retaining at most `max_idle` idle objects, shrinking
+    /// any returned object whose capacity exceeds `capacity_cap` items.
+    pub fn with_capacity_cap(max_idle: usize, capacity_cap: usize) -> Self {
         Pool {
             idle: Vec::new(),
             max_idle,
+            capacity_cap,
             in_use: 0,
             high_water: 0,
             puts: 0,
@@ -96,10 +141,15 @@ impl<T> Pool<T> {
     /// Returns an object to the pool. The object is retained only while the
     /// idle stack is below the cap; the caller must have reset it to a
     /// reusable state (pools never clear on behalf of the caller — they
-    /// cannot know what "clear" means for an arbitrary `T`).
-    pub fn put(&mut self, value: T) {
+    /// cannot know what "clear" means for an arbitrary `T`). An object whose
+    /// capacity outgrew the pool's capacity cap is shrunk back before it is
+    /// retained, so one burst cannot pin its peak backbone forever.
+    pub fn put(&mut self, mut value: T) {
         self.in_use = self.in_use.saturating_sub(1);
         if self.idle.len() < self.max_idle {
+            if value.shrink_to_cap(self.capacity_cap) {
+                self.trimmed += 1;
+            }
             self.idle.push(value);
         }
         self.puts += 1;
@@ -154,7 +204,7 @@ impl<T> Clone for SharedPool<T> {
     }
 }
 
-impl<T> SharedPool<T> {
+impl<T: Shrink> SharedPool<T> {
     /// Creates a shared pool retaining at most `max_idle` idle objects.
     pub fn new(max_idle: usize) -> Self {
         SharedPool(Arc::new(Mutex::new(Pool::new(max_idle))))
@@ -188,6 +238,9 @@ impl<T> SharedPool<Vec<T>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Test scalar: no capacity to shed, keeps the trait's no-op default.
+    impl Shrink for u32 {}
 
     #[test]
     fn take_put_reuses_objects() {
@@ -239,6 +292,35 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.idle, 1, "steady state shrinks the pool: {stats:?}");
         assert_eq!(stats.trimmed, 7);
+    }
+
+    #[test]
+    fn oversized_buffers_shrink_on_return() {
+        let mut pool: Pool<Vec<u8>> = Pool::with_capacity_cap(4, 64);
+        let mut buf = pool.take_buf();
+        buf.resize(4096, 0); // burst: the backbone grows past the cap
+        pool.put(buf);
+        assert_eq!(pool.stats().trimmed, 1, "the shrink is counted");
+        let recycled = pool.take_buf();
+        assert!(
+            recycled.capacity() <= 64,
+            "peak capacity must not be pinned: {}",
+            recycled.capacity()
+        );
+        pool.put(recycled);
+        assert_eq!(pool.stats().trimmed, 1, "a within-cap return does not shrink");
+    }
+
+    #[test]
+    fn within_cap_buffers_keep_their_backbone() {
+        let mut pool: Pool<Vec<u8>> = Pool::with_capacity_cap(4, 1024);
+        let mut buf = pool.take_buf();
+        buf.resize(512, 0);
+        let backbone = buf.capacity();
+        pool.put(buf);
+        let recycled = pool.take_buf();
+        assert!(recycled.capacity() >= backbone, "reuse keeps the within-cap backbone");
+        assert_eq!(pool.stats().trimmed, 0);
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub enum OrderRel {
     Unrelated,
 }
 
+/// A cheaply clonable, immutable shared view of a [`Document`] (see
+/// [`Document::to_shared`]). Snapshot readers hold one of these; the live
+/// session keeps mutating its own copy.
+pub type SharedDocument = std::sync::Arc<Document>;
+
 /// An XML document (or, more generally, a rooted node arena).
 ///
 /// The root is normally an element node; standalone fragments used as update
@@ -902,6 +907,19 @@ impl Document {
             .iter()
             .zip(db.children.iter())
             .all(|(&ca, &cb)| self.subtree_equal(ca, other, cb))
+    }
+
+    // ------------------------------------------------------------------
+    // shared immutable views
+    // ------------------------------------------------------------------
+
+    /// Freezes the current state into a cheaply clonable, immutable shared
+    /// view — the arena handle MVCC snapshot readers hold while commits
+    /// proceed on the live copy. The freeze itself copies the arena once
+    /// (O(document)); every clone of the returned handle afterwards is a
+    /// reference-count bump.
+    pub fn to_shared(&self) -> SharedDocument {
+        SharedDocument::new(self.clone())
     }
 
     // ------------------------------------------------------------------

@@ -38,7 +38,7 @@ pub mod slab;
 pub mod tree;
 pub mod writer;
 
-pub use document::{Document, OrderRel};
+pub use document::{Document, OrderRel, SharedDocument};
 pub use error::XdmError;
 pub use events::{Event, EventReader};
 pub use journal::{Journal, JournalMark};

@@ -94,7 +94,7 @@ fn main() {
     // them (Def. 13) and its deterministic reduction yields the compact
     // combined delta v0→v3.
     let mut condensed = archive
-        .read_at(0)
+        .restore_at(0)
         .expect("retained v0")
         .reduction(ReductionStrategy::Deterministic)
         .apply_options(ApplyOptions::producer());

@@ -13,8 +13,11 @@
 //! - **recovery** ([`Durable::open`]) loads the last checkpoint, replays the
 //!   WAL tail through the very same journaled apply path as the live commits,
 //!   and discards any torn or corrupt tail record;
-//! - **[`read_at`](Durable::read_at)** materialises any retained version by
-//!   replaying deltas forward from the nearest checkpoint at or below it.
+//! - **[`read_at`](Durable::read_at)** pins any retained version into an
+//!   immutable [`Snapshot`](crate::Snapshot) by replaying deltas forward from
+//!   the nearest checkpoint at or below it — memoized, so repeated reads of a
+//!   version replay once; [`restore_at`](Durable::restore_at) materialises a
+//!   full mutable session instead.
 //!
 //! The wrapper derefs to its backend, so the whole session API —
 //! `submit` / `resolve` / `commit` — stays available unchanged; commits made
@@ -66,6 +69,7 @@ use crate::error::{Error, Result};
 use crate::executor::{Executor, ExecutorCore, ReductionStrategy, SessionSlabStats, SubmissionId};
 use crate::ingest::{BatchCommit, IngestBackend};
 use crate::shard::{ShardedExecutor, ShardedResolution};
+use crate::snapshot::{Snapshot, SnapshotCache};
 
 // ---------------------------------------------------------------------------
 // Retry policy
@@ -164,6 +168,18 @@ pub enum CommitRecord<'a> {
         /// The committing session's `ApplyOptions::preserve_content_ids`.
         preserve_content_ids: bool,
     },
+    /// A sharded commit applied through the **parallel lane** path (`L`):
+    /// same payload as `S`, but replay must go through
+    /// `ShardedExecutor::commit_resolution_lanes` — the striped identifier
+    /// fences mint different (still deterministic) identifiers than the
+    /// serial path's threaded fence, and replay must mint the same ones the
+    /// live commit did.
+    ShardedLanes {
+        /// The per-shard slices of the resolved round.
+        puls: &'a [Pul],
+        /// The committing session's `ApplyOptions::preserve_content_ids`.
+        preserve_content_ids: bool,
+    },
     /// A streaming commit: the identified serialization it wrote (`W`).
     Swap(&'a str),
     /// A compaction: the session renumbered densely and opened `epoch` (`E`).
@@ -198,6 +214,11 @@ impl CommitRecord<'_> {
                 out.push(discipline(*preserve_content_ids));
                 out.extend_from_slice(pul::xmlio::puls_to_xml(puls).as_bytes());
             }
+            CommitRecord::ShardedLanes { puls, preserve_content_ids } => {
+                out.push(b'L');
+                out.push(discipline(*preserve_content_ids));
+                out.extend_from_slice(pul::xmlio::puls_to_xml(puls).as_bytes());
+            }
             CommitRecord::Swap(xml) => {
                 out.push(b'W');
                 out.extend_from_slice(xml.as_bytes());
@@ -222,6 +243,13 @@ pub enum CommitPayload {
     },
     /// See [`CommitRecord::Sharded`].
     Sharded {
+        /// The per-shard slices of the resolved round.
+        puls: Vec<Pul>,
+        /// The identifier discipline the commit applied under.
+        preserve_content_ids: bool,
+    },
+    /// See [`CommitRecord::ShardedLanes`].
+    ShardedLanes {
         /// The per-shard slices of the resolved round.
         puls: Vec<Pul>,
         /// The identifier discipline the commit applied under.
@@ -265,6 +293,13 @@ impl CommitPayload {
             b'S' => {
                 let (preserve_content_ids, text) = discipline(rest)?;
                 Ok(CommitPayload::Sharded {
+                    puls: pul::xmlio::puls_from_xml(&text)?,
+                    preserve_content_ids,
+                })
+            }
+            b'L' => {
+                let (preserve_content_ids, text) = discipline(rest)?;
+                Ok(CommitPayload::ShardedLanes {
                     puls: pul::xmlio::puls_from_xml(&text)?,
                     preserve_content_ids,
                 })
@@ -348,6 +383,9 @@ struct StoreSink {
     /// Recycled commit-payload encode buffers: one commit's payload is dead
     /// once its frame is appended, so the backbone is reused.
     payload_pool: pul_store::Pool<Vec<u8>>,
+    /// The durable session's `read_at` snapshot cache, shared so a rollback
+    /// invalidates the snapshots of the versions it discards.
+    snapshots: Arc<SnapshotCache>,
 }
 
 /// Idle payload buffers the sink retains (one commit in flight per session).
@@ -389,6 +427,9 @@ impl CommitSink for StoreSink {
             .expect("store mutex poisoned")
             .truncate_to_version(version)
             .expect("WAL truncation failed while rolling back a transaction");
+        // The rolled-back versions' numbers will be reused with different
+        // contents; their cached snapshots must not survive them.
+        self.snapshots.purge_above(version);
     }
 }
 
@@ -417,6 +458,9 @@ pub trait DurableBackend: Sized + Send + 'static {
     fn install_faults(&mut self, _faults: Faults) {}
     /// The current session version.
     fn backend_version(&self) -> u64;
+    /// Pins the current version into an immutable MVCC [`Snapshot`] (the
+    /// backend's own `snapshot()`, memoized per `(version, epoch)`).
+    fn snapshot_now(&self) -> Snapshot;
     /// Resolves and commits everything pending (the backend's `commit`),
     /// returning the new version.
     fn commit_all(&mut self) -> Result<u64>;
@@ -511,7 +555,7 @@ impl DurableBackend for Executor {
                 self.replay_epoch(*epoch);
                 Ok(())
             }
-            CommitPayload::Sharded { .. } => {
+            CommitPayload::Sharded { .. } | CommitPayload::ShardedLanes { .. } => {
                 Err(Error::store("sharded WAL record replayed into a single executor"))
             }
         }
@@ -523,6 +567,10 @@ impl DurableBackend for Executor {
 
     fn backend_version(&self) -> u64 {
         self.version()
+    }
+
+    fn snapshot_now(&self) -> Snapshot {
+        self.snapshot()
     }
 
     fn commit_all(&mut self) -> Result<u64> {
@@ -596,29 +644,43 @@ impl DurableBackend for ShardedExecutor {
     }
 
     fn replay(&mut self, payload: &CommitPayload) -> Result<()> {
-        match payload {
-            CommitPayload::Sharded { puls: per_shard, preserve_content_ids } => {
-                if per_shard.len() != self.shard_count() {
+        // Both sharded record kinds feed the live commit path a synthetic
+        // resolution against the current version with no submissions to
+        // consume, under the identifier discipline the record was committed
+        // with; the record kind selects the path (`S` = serial threaded
+        // fence, `L` = striped lanes), so replay mints the exact identifiers
+        // the live commit did. The sink is never installed while replaying,
+        // so nothing is re-appended.
+        let replay_sharded =
+            |session: &mut Self, per_shard: &[Pul], preserve: bool, lanes: bool| -> Result<()> {
+                if per_shard.len() != session.shard_count() {
                     return Err(Error::store(format!(
                         "WAL record fans out to {} shards, session has {}",
                         per_shard.len(),
-                        self.shard_count()
+                        session.shard_count()
                     )));
                 }
-                // The live commit path, fed a synthetic resolution against the
-                // current version with no submissions to consume, under the
-                // identifier discipline the record was committed with. The
-                // sink is never installed while replaying, so nothing is
-                // re-appended.
-                let live = self.set_preserve_content_ids(*preserve_content_ids);
-                let replayed = self.commit_resolution(ShardedResolution {
-                    version: self.version(),
+                let live = session.set_preserve_content_ids(preserve);
+                let resolution = ShardedResolution {
+                    version: session.version(),
                     submission_ids: Vec::new(),
-                    per_shard: per_shard.clone(),
+                    per_shard: per_shard.to_vec(),
                     conflicts: Vec::new(),
-                });
-                self.set_preserve_content_ids(live);
+                };
+                let replayed = if lanes {
+                    session.commit_resolution_lanes(resolution)
+                } else {
+                    session.commit_resolution(resolution)
+                };
+                session.set_preserve_content_ids(live);
                 replayed.map(|_| ())
+            };
+        match payload {
+            CommitPayload::Sharded { puls, preserve_content_ids } => {
+                replay_sharded(self, puls, *preserve_content_ids, false)
+            }
+            CommitPayload::ShardedLanes { puls, preserve_content_ids } => {
+                replay_sharded(self, puls, *preserve_content_ids, true)
             }
             CommitPayload::Epoch(epoch) => self.replay_epoch(*epoch),
             _ => Err(Error::store("single-executor WAL record replayed into a sharded session")),
@@ -635,6 +697,10 @@ impl DurableBackend for ShardedExecutor {
 
     fn backend_version(&self) -> u64 {
         self.version()
+    }
+
+    fn snapshot_now(&self) -> Snapshot {
+        self.snapshot()
     }
 
     fn commit_all(&mut self) -> Result<u64> {
@@ -737,6 +803,14 @@ pub struct Durable<B: DurableBackend> {
     /// Sticky read-only flag, shared with the sink: set when a WAL append or
     /// checkpoint write exhausts its retry budget.
     degraded: Arc<AtomicBool>,
+    /// Memoized [`read_at`](Durable::read_at) snapshots, keyed by version and
+    /// shared with the sink (a rollback purges the versions it discards).
+    snapshots: Arc<SnapshotCache>,
+    /// The most recent background-maintenance failure — see
+    /// [`last_maintenance_error`](Durable::last_maintenance_error).
+    last_maintenance_error: Option<Error>,
+    /// How many background-maintenance attempts have failed.
+    maintenance_failures: u64,
 }
 
 impl<B: DurableBackend> Durable<B> {
@@ -752,6 +826,9 @@ impl<B: DurableBackend> Durable<B> {
             dead_at_checkpoint: 0,
             faults: Faults::disabled(),
             degraded: Arc::new(AtomicBool::new(false)),
+            snapshots: Arc::new(SnapshotCache::default()),
+            last_maintenance_error: None,
+            maintenance_failures: 0,
         };
         durable.checkpoint()?;
         durable.install();
@@ -787,6 +864,9 @@ impl<B: DurableBackend> Durable<B> {
             dead_at_checkpoint: dead,
             faults: Faults::disabled(),
             degraded: Arc::new(AtomicBool::new(false)),
+            snapshots: Arc::new(SnapshotCache::default()),
+            last_maintenance_error: None,
+            maintenance_failures: 0,
         };
         durable.install();
         Ok(durable)
@@ -799,6 +879,7 @@ impl<B: DurableBackend> Durable<B> {
             retry: self.opts.retry,
             degraded: Arc::clone(&self.degraded),
             payload_pool: pul_store::Pool::new(self.opts.pool_idle),
+            snapshots: Arc::clone(&self.snapshots),
         }));
         self.backend.install_sink(Some(sink));
     }
@@ -927,7 +1008,8 @@ impl<B: DurableBackend> Durable<B> {
             ));
         }
         let report = self.backend.compact_session()?;
-        let _ = self.checkpoint();
+        let after = self.checkpoint();
+        self.note_maintenance(after);
         Ok(report)
     }
 
@@ -963,19 +1045,72 @@ impl<B: DurableBackend> Durable<B> {
         // The commit's WAL record is durable at this point: a compaction or
         // checkpoint failure must not fail the commit (a caller retrying it
         // would re-apply an applied round). Degradation surfaces on the
-        // *next* commit through the sink.
-        let _ = self.compact_if_due();
-        let _ = self.checkpoint_if_due();
+        // *next* commit through the sink; the failure itself is recorded in
+        // `last_maintenance_error` rather than swallowed.
+        let compacted = self.compact_if_due();
+        self.note_maintenance(compacted);
+        let checkpointed = self.checkpoint_if_due();
+        self.note_maintenance(checkpointed);
         Ok(version)
     }
 
-    /// Materialises the session as it was at `version` (a point-in-time
-    /// read): restores the greatest retained checkpoint at or below it and
-    /// replays deltas forward. The returned session is a plain backend with
-    /// no sink — committing to it never touches this store. Requires
-    /// `retain_history`; fails with `XPUL-E07` for pruned or never-durable
-    /// versions.
-    pub fn read_at(&self, version: u64) -> Result<B> {
+    /// Records a background-maintenance outcome: commit paths must stay
+    /// infallible once the round's WAL record is durable, so a failed
+    /// opportunistic compaction or checkpoint is *recorded* here instead of
+    /// surfacing from the commit (where a retry would re-apply the round).
+    fn note_maintenance<T>(&mut self, outcome: Result<T>) {
+        if let Err(e) = outcome {
+            self.maintenance_failures += 1;
+            self.last_maintenance_error = Some(e);
+        }
+    }
+
+    /// The most recent failure of opportunistic background maintenance — the
+    /// post-commit `compact_if_due` / `checkpoint_if_due` triggers and the
+    /// best-effort checkpoint after a durable compaction. `None` when every
+    /// attempt so far succeeded. The error is sticky until a later failure
+    /// replaces it; a degraded session additionally refuses commits with
+    /// `XPUL-E09`.
+    pub fn last_maintenance_error(&self) -> Option<&Error> {
+        self.last_maintenance_error.as_ref()
+    }
+
+    /// How many background-maintenance attempts have failed over this
+    /// session's lifetime (each also recorded, last one in
+    /// [`last_maintenance_error`](Durable::last_maintenance_error)).
+    pub fn maintenance_failures(&self) -> u64 {
+        self.maintenance_failures
+    }
+
+    /// Pins `version` into an immutable [`Snapshot`] (a point-in-time read).
+    /// The first read of a version restores the nearest checkpoint and
+    /// replays deltas forward — O(history); repeated reads of the same
+    /// version are served from a small per-session cache as reference-count
+    /// bumps, and the current version is pinned straight from the live
+    /// backend without touching the store at all. Requires `retain_history`
+    /// for historical versions; fails with `XPUL-E07` for pruned or
+    /// never-durable ones.
+    pub fn read_at(&self, version: u64) -> Result<Snapshot> {
+        if let Some(hit) = self.snapshots.get_version(version) {
+            return Ok(hit);
+        }
+        let snapshot = if version == self.backend.backend_version() {
+            self.backend.snapshot_now()
+        } else {
+            self.restore_at(version)?.snapshot_now()
+        };
+        self.snapshots.insert(snapshot.clone());
+        Ok(snapshot)
+    }
+
+    /// Materialises the session as it was at `version` (a mutable
+    /// point-in-time restore): restores the greatest retained checkpoint at
+    /// or below it and replays deltas forward. The returned session is a
+    /// plain backend with no sink — committing to it never touches this
+    /// store. Requires `retain_history`; fails with `XPUL-E07` for pruned or
+    /// never-durable versions. For read-only access prefer
+    /// [`read_at`](Durable::read_at), which memoizes.
+    pub fn restore_at(&self, version: u64) -> Result<B> {
         let store = self.store.lock().expect("store mutex poisoned");
         let base = store.checkpoint_at_or_before(version).ok_or_else(|| {
             Error::store(format!("no checkpoint at or below version {version} is retained"))
@@ -1047,15 +1182,30 @@ impl<B: DurableBackend + IngestBackend> IngestBackend for Durable<B> {
         // dependent rounds, and renumbering between them would silently
         // re-target the later rounds' identifiers. The pipeline calls
         // `maintain` at its quiescent boundaries instead.
-        let _ = self.checkpoint_if_due();
+        let checkpointed = self.checkpoint_if_due();
+        self.note_maintenance(checkpointed);
         Ok(commit)
+    }
+
+    fn commit_pending_lanes(&mut self, resolution: B::Resolution) -> Result<BatchCommit> {
+        let commit = self.backend.commit_pending_lanes(resolution)?;
+        // Same contract as `commit_pending`: the round is already durable.
+        let checkpointed = self.checkpoint_if_due();
+        self.note_maintenance(checkpointed);
+        Ok(commit)
+    }
+
+    fn snapshot_view(&self) -> Option<crate::Snapshot> {
+        self.backend.snapshot_view()
     }
 
     fn maintain(&mut self) {
         // Only reached when the whole ingest pipeline is quiescent, so the
         // renumbering cannot strand any in-flight producer. Failures degrade
-        // the session and surface on the next commit.
-        let _ = self.compact_if_due();
+        // the session, surface on the next commit, and are recorded in
+        // `last_maintenance_error`.
+        let compacted = self.compact_if_due();
+        self.note_maintenance(compacted);
     }
 
     fn discard(&mut self, id: SubmissionId) {

@@ -19,6 +19,7 @@
 //! See the crate-level quick start for a complete tour.
 
 use std::io::{Read, Write};
+use std::sync::Arc;
 
 use pul::apply::{apply_pul_journaled, ApplyOptions, ApplyReport, JournalScope};
 use pul::stream::apply_streaming_with;
@@ -33,6 +34,7 @@ use crate::durable::{CommitRecord, SharedSink, SinkSlot};
 use crate::error::{Error, Result};
 use crate::ingest::{BatchCommit, IngestBackend};
 use crate::resolution::Resolution;
+use crate::snapshot::{Snapshot, SnapshotCache};
 use crate::transaction::Transaction;
 
 /// How the executor reduces PULs — the session-level replacement for the
@@ -354,6 +356,10 @@ pub struct Executor {
     /// whole commit. Cloned sessions never inherit the sink — two sessions
     /// appending to one log would interleave divergent histories.
     sink: SinkSlot,
+    /// Memoized MVCC snapshots keyed by `(version, epoch)` (see
+    /// [`snapshot`](Executor::snapshot)). Clones start cold — a divergent
+    /// copy reuses version numbers with different contents.
+    snapshots: SnapshotCache,
 }
 
 /// Default capacity of the wire-submission reduction cache.
@@ -413,6 +419,7 @@ impl Executor {
             epoch: 0,
             scratch: ResolveScratch::new(DEFAULT_POOL_IDLE),
             sink: SinkSlot::default(),
+            snapshots: SnapshotCache::default(),
         }
     }
 
@@ -537,6 +544,38 @@ impl Executor {
     /// structural partition floor here).
     pub fn reclaimable_dead_ratio(&self) -> f64 {
         self.slab_stats().nodes.dead_ratio()
+    }
+
+    /// Pins the current version into an immutable MVCC [`Snapshot`]: a
+    /// cheaply clonable view serving reads, serialization and Table-1
+    /// predicate checks while this session commits ahead. The first snapshot
+    /// at a version freezes the document and labeling once (O(document));
+    /// repeated calls at an unchanged `(version, epoch)` are served from the
+    /// session's snapshot cache as reference-count bumps.
+    pub fn snapshot(&self) -> Snapshot {
+        let (version, epoch) = (self.core.version, self.epoch);
+        if self.core.doc.journal_is_active() {
+            // Mid-transaction state is provisional: a rollback would reuse
+            // this version number with different contents, so the view is
+            // built fresh and never memoized.
+            return Snapshot::new(
+                version,
+                epoch,
+                self.core.doc.to_shared(),
+                Arc::new(self.core.labeling.clone()),
+            );
+        }
+        if let Some(hit) = self.snapshots.get(version, epoch) {
+            return hit;
+        }
+        let snapshot = Snapshot::new(
+            version,
+            epoch,
+            self.core.doc.to_shared(),
+            Arc::new(self.core.labeling.clone()),
+        );
+        self.snapshots.insert(snapshot.clone());
+        snapshot
     }
 
     /// Serializes the authoritative document.
@@ -905,6 +944,10 @@ impl Executor {
         self.core.scope_close(&scope.core);
         self.submissions = scope.submissions;
         self.next_submission = scope.next_submission;
+        // The rolled-back versions' numbers will be reused by later commits
+        // with different contents: cached snapshots above the restored
+        // version must not survive.
+        self.snapshots.purge_above(self.core.version);
         // Durable sessions truncate the WAL records of the rolled-back
         // commits, so a crash cannot resurrect them.
         if let Some(sink) = self.sink.get() {
@@ -1054,7 +1097,7 @@ pub(crate) struct ExecutorSnapshot {
 
 #[cfg(test)]
 impl Executor {
-    pub(crate) fn snapshot(&self) -> ExecutorSnapshot {
+    pub(crate) fn oracle_snapshot(&self) -> ExecutorSnapshot {
         ExecutorSnapshot {
             doc: self.core.doc.clone(),
             labeling: self.core.labeling.clone(),
@@ -1143,6 +1186,10 @@ impl IngestBackend for Executor {
         Ok(BatchCommit { version: report.version, applied_ops, conflicts: report.conflicts })
     }
 
+    fn snapshot_view(&self) -> Option<Snapshot> {
+        Some(self.snapshot())
+    }
+
     fn discard(&mut self, id: SubmissionId) {
         let _ = self.withdraw(id);
     }
@@ -1210,7 +1257,7 @@ mod tests {
         let mut session = session();
         let pul = mid_failing_pul(&session);
         session.submit(pul);
-        let oracle = session.snapshot();
+        let oracle = session.oracle_snapshot();
         let err = session.commit();
         assert!(err.is_err(), "duplicate attribute must fail the commit");
         session.assert_matches_snapshot(&oracle);
@@ -1246,7 +1293,7 @@ mod tests {
     #[test]
     fn transaction_rollback_matches_the_snapshot_oracle() {
         let mut session = session();
-        let oracle = session.snapshot();
+        let oracle = session.oracle_snapshot();
         {
             let mut tx = session.transaction();
             let pul = tx.produce("rename node /issue/article[1] as \"paper\"").unwrap();
@@ -1282,13 +1329,13 @@ mod tests {
     #[test]
     fn nested_transactions_rewind_to_their_own_marks() {
         let mut session = session();
-        let oracle = session.snapshot();
+        let oracle = session.oracle_snapshot();
         {
             let mut outer = session.transaction();
             let pul = outer.produce("rename node /issue/article[1] as \"paper\"").unwrap();
             outer.submit(pul);
             outer.apply().unwrap();
-            let after_outer = outer.snapshot();
+            let after_outer = outer.oracle_snapshot();
             {
                 let mut inner = outer.transaction();
                 let pul = inner.produce("delete node /issue/article[1]").unwrap();
@@ -1305,7 +1352,7 @@ mod tests {
     #[test]
     fn streaming_commit_inside_a_transaction_rolls_back() {
         let mut session = session();
-        let oracle = session.snapshot();
+        let oracle = session.oracle_snapshot();
         {
             let mut tx = session.transaction();
             let pul = tx.produce("rename node /issue/article[1] as \"paper\"").unwrap();
@@ -1331,7 +1378,7 @@ mod tests {
         let pul = tx.produce("replace value of node /issue/@volume with \"31\"").unwrap();
         tx.submit(pul);
         tx.apply().unwrap();
-        let after_first = tx.snapshot();
+        let after_first = tx.oracle_snapshot();
         let bad = mid_failing_pul(&tx);
         let bad_id = tx.submit(bad);
         assert!(tx.apply().is_err());

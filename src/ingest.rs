@@ -110,6 +110,24 @@ pub trait IngestBackend: Send + 'static {
     /// replay), with the submissions still pending.
     fn commit_pending(&mut self, resolution: Self::Resolution) -> Result<BatchCommit>;
 
+    /// Like [`commit_pending`](IngestBackend::commit_pending), but the
+    /// backend may fan the resolution's disjoint slices out to **parallel
+    /// commit lanes** (the sharded backend commits each busy shard on its
+    /// own thread). Backends without an intra-commit parallel path — the
+    /// single executor, and `Durable<Executor>` — fall back to the serial
+    /// commit; atomicity and ticket semantics are identical either way.
+    fn commit_pending_lanes(&mut self, resolution: Self::Resolution) -> Result<BatchCommit> {
+        self.commit_pending(resolution)
+    }
+
+    /// Pins the backend's current version into an MVCC
+    /// [`Snapshot`](crate::Snapshot), for the pipeline to publish to readers
+    /// between rounds. Backends without snapshot support return `None` (the
+    /// default).
+    fn snapshot_view(&self) -> Option<crate::Snapshot> {
+        None
+    }
+
     /// Drops a pending submission (after a failed commit, so later rounds do
     /// not resurrect it).
     fn discard(&mut self, id: SubmissionId);
@@ -360,6 +378,18 @@ pub struct IngestConfig {
     /// [`site::INGEST_PREPARE`] and the committer at [`site::INGEST_COMMIT`].
     /// Disabled by default — a single branch per check.
     pub faults: Faults,
+    /// Commit each round through the backend's **parallel lane** path
+    /// ([`IngestBackend::commit_pending_lanes`]) when greater than 1: a
+    /// sharded backend applies the round's busy shards concurrently instead
+    /// of serially. Default 1 (serial) — the laned path stripes fresh
+    /// identifiers differently than the serial path (deterministically, but
+    /// not bit-identically), so it is opt-in.
+    pub commit_lanes: usize,
+    /// Publish an MVCC snapshot of the backend after every committed round,
+    /// readable through [`IngestQueue::latest_snapshot`] without stopping
+    /// the pipeline. Default false — pinning a snapshot keeps the round's
+    /// whole arena alive until readers drop it.
+    pub publish_snapshots: bool,
 }
 
 impl Default for IngestConfig {
@@ -369,6 +399,8 @@ impl Default for IngestConfig {
             tick: Duration::from_millis(2),
             capacity: 1024,
             faults: Faults::disabled(),
+            commit_lanes: 1,
+            publish_snapshots: false,
         }
     }
 }
@@ -411,6 +443,10 @@ struct Shared {
     /// Signaled when in-flight work completes — wakes `flush`.
     settled: Condvar,
     closed: AtomicBool,
+    /// The snapshot of the most recently committed round, published by the
+    /// committer when [`IngestConfig::publish_snapshots`] is on. Readers
+    /// clone it out (a reference-count bump) while commits proceed.
+    latest_snapshot: Mutex<Option<crate::Snapshot>>,
 }
 
 /// A batched, coalescing, pipelined submission queue in front of an
@@ -452,7 +488,10 @@ impl<B: IngestBackend> IngestQueue<B> {
             enqueued: Condvar::new(),
             settled: Condvar::new(),
             closed: AtomicBool::new(false),
+            latest_snapshot: Mutex::new(None),
         });
+        let lanes = config.commit_lanes > 1;
+        let publish = config.publish_snapshots;
         // Depth-1 channel: the drainer prepares (coalesces + reduces) round
         // k+1 while the committer applies round k — deeper pipelining would
         // only delay what the coalescer gets to see together.
@@ -473,7 +512,9 @@ impl<B: IngestBackend> IngestQueue<B> {
             let scratch = scratch.clone();
             std::thread::Builder::new()
                 .name("ingest-committer".into())
-                .spawn(move || committer_loop(&shared, backend, rx, faults, &scratch))
+                .spawn(move || {
+                    committer_loop(&shared, backend, rx, faults, &scratch, lanes, publish)
+                })
                 .expect("spawn ingest committer")
         };
         IngestQueue {
@@ -585,6 +626,15 @@ impl<B: IngestBackend> IngestQueue<B> {
     /// Behaviour counters of the recycled round-vector pool.
     pub fn pool_stats(&self) -> PoolStats {
         self.scratch.stats()
+    }
+
+    /// The MVCC snapshot of the most recently committed round — a
+    /// cheaply-cloned pinned view readers hold while the pipeline keeps
+    /// committing. `None` until the first round commits, or when
+    /// [`IngestConfig::publish_snapshots`] is off (or the backend has no
+    /// snapshot support).
+    pub fn latest_snapshot(&self) -> Option<crate::Snapshot> {
+        self.shared.latest_snapshot.lock().expect("snapshot slot mutex poisoned").clone()
     }
 
     /// Blocks until everything enqueued so far has been committed or failed.
@@ -825,6 +875,8 @@ fn committer_loop<B: IngestBackend>(
     rx: Receiver<Vec<PreparedEntry>>,
     faults: Faults,
     scratch: &SharedPool<Vec<PreparedEntry>>,
+    lanes: bool,
+    publish: bool,
 ) -> B {
     loop {
         let mut entries = match rx.try_recv() {
@@ -859,7 +911,13 @@ fn committer_loop<B: IngestBackend>(
             }
         };
         let _settle = InFlightGuard { shared, n: entries.len() };
-        commit_round(&mut backend, &mut entries, true, &faults);
+        commit_round(&mut backend, &mut entries, true, &faults, lanes);
+        if publish {
+            if let Some(snapshot) = backend.snapshot_view() {
+                *shared.latest_snapshot.lock().expect("snapshot slot mutex poisoned") =
+                    Some(snapshot);
+            }
+        }
         scratch.put(entries);
     }
     backend
@@ -884,7 +942,15 @@ fn commit_round<B: IngestBackend>(
     entries: &mut Vec<PreparedEntry>,
     retry: bool,
     faults: &Faults,
+    lanes: bool,
 ) {
+    let commit = |backend: &mut B, r: B::Resolution| {
+        if lanes {
+            backend.commit_pending_lanes(r)
+        } else {
+            backend.commit_pending(r)
+        }
+    };
     // Deadline check at commit time: expired members fail with `XPUL-E08`
     // and leave the round *before* the merge, so one expired ticket neither
     // blocks the survivors nor pushes them onto the serialized singleton
@@ -915,7 +981,7 @@ fn commit_round<B: IngestBackend>(
                 // Policies steer conflict reconciliation only, and an
                 // independent round cannot conflict — any policy serves.
                 let id = backend.admit(pul, entries[0].policy, Some(reduced));
-                match backend.resolve_pending().and_then(|r| backend.commit_pending(r)) {
+                match backend.resolve_pending().and_then(|r| commit(backend, r)) {
                     Ok(batch) => {
                         for entry in entries {
                             entry.completer.complete(Ok(TicketOutcome {
@@ -936,7 +1002,7 @@ fn commit_round<B: IngestBackend>(
             let mut single = Vec::with_capacity(1);
             for entry in entries {
                 single.push(entry);
-                commit_round(backend, &mut single, false, faults);
+                commit_round(backend, &mut single, false, faults, lanes);
             }
             return;
         }
@@ -955,7 +1021,7 @@ fn commit_round<B: IngestBackend>(
         return;
     }
     let id = backend.admit(entry.pul, entry.policy, Some(entry.reduced));
-    match backend.resolve_pending().and_then(|r| backend.commit_pending(r)) {
+    match backend.resolve_pending().and_then(|r| commit(backend, r)) {
         Ok(batch) => {
             // Per-submission conflict report: OpRef.pul indexes the admission
             // order (a singleton round is index 0 of its own resolution).
@@ -1319,7 +1385,7 @@ mod tests {
             });
             tickets.push(ticket);
         }
-        commit_round(&mut session, &mut entries, true, &Faults::disabled());
+        commit_round(&mut session, &mut entries, true, &Faults::disabled(), false);
         assert!(entries.is_empty(), "the round vector is drained for recycling");
         let o1 = tickets[0].wait().expect("live member commits");
         let o3 = tickets[2].wait().expect("live member commits");

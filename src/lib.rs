@@ -86,6 +86,7 @@ mod executor;
 mod ingest;
 mod resolution;
 mod shard;
+mod snapshot;
 mod transaction;
 
 pub mod fixtures;
@@ -105,6 +106,7 @@ pub use pul_store::{
 };
 pub use resolution::Resolution;
 pub use shard::{ShardedCommitReport, ShardedExecutor, ShardedResolution};
+pub use snapshot::Snapshot;
 pub use transaction::Transaction;
 
 /// The most commonly used items, for glob import in examples and tests.
@@ -113,8 +115,8 @@ pub mod prelude {
         BatchCommit, CacheStats, CommitReport, CompactionReport, Durable, DurableOptions, Error,
         Executor, ExecutorCore, FaultKind, FaultPlan, Faults, IngestBackend, IngestConfig,
         IngestQueue, ReductionStrategy, Resolution, Result, RetryPolicy, SessionSlabStats,
-        ShardedCommitReport, ShardedExecutor, ShardedResolution, SubmissionId, SyncPolicy, Ticket,
-        TicketOutcome, Transaction, Trigger,
+        ShardedCommitReport, ShardedExecutor, ShardedResolution, Snapshot, SubmissionId,
+        SyncPolicy, Ticket, TicketOutcome, Transaction, Trigger,
     };
     pub use pul::{ApplyOptions, OpClass, OpName, Pul, UpdateOp};
     pub use pul_core::{Conflict, ConflictType, Policy};

@@ -52,12 +52,13 @@
 //! threaded from shard to shard.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pul::apply::{ApplyOptions, JournalStats};
 use pul::{OpName, Pul, UpdateOp};
 use pul_core::{integrate, reconcile_integration, Conflict, Policy};
 use pul_store::{site, Faults, PoolStats, SharedPool};
-use xdm::{writer, Document, NodeId};
+use xdm::{Document, NodeId, SharedDocument};
 use xlabel::{LabelInterval, Labeling, NodeLabel, OrderKey};
 
 use crate::durable::{CommitRecord, SharedSink, SinkSlot};
@@ -67,6 +68,7 @@ use crate::executor::{
     SessionSlabStats, SubmissionId, DEFAULT_POOL_IDLE,
 };
 use crate::ingest::{BatchCommit, IngestBackend};
+use crate::snapshot::{Snapshot, SnapshotCache};
 
 /// One shard: an executor core over a slice of the document, plus the label
 /// interval it owns for routing.
@@ -181,6 +183,11 @@ pub struct ShardedExecutor {
     /// Failpoint handle consulted before each shard applies its sub-PUL
     /// (disabled unless a test injects a plan).
     faults: Faults,
+    /// Memoized MVCC snapshots of the reassembled document, keyed by
+    /// `(version, epoch)`: repeated [`document`](ShardedExecutor::document) /
+    /// [`serialize`](ShardedExecutor::serialize) calls between commits stop
+    /// re-grafting the whole tree. Clones start cold.
+    snapshots: SnapshotCache,
 }
 
 impl ShardedExecutor {
@@ -310,6 +317,7 @@ impl ShardedExecutor {
             scratch: SharedPool::new(DEFAULT_POOL_IDLE),
             sink: SinkSlot::default(),
             faults: Faults::disabled(),
+            snapshots: SnapshotCache::default(),
         };
         session.dead_floor = session.slab_stats().nodes.dead;
         Ok(session)
@@ -339,6 +347,7 @@ impl ShardedExecutor {
             scratch: SharedPool::new(DEFAULT_POOL_IDLE),
             sink: SinkSlot::default(),
             faults: Faults::disabled(),
+            snapshots: SnapshotCache::default(),
         };
         // A restored arena mixes structural and churn dead slots and the split
         // is not recorded; floor at the current count — conservative (never
@@ -460,9 +469,10 @@ impl ShardedExecutor {
     /// every shard's top-level subtrees concatenated in shard order.
     /// Identifiers are preserved, and the fresh-identifier counter is the
     /// maximum across shards, so the result is exactly the document a single
-    /// executor would hold. O(document) — meant for checkout, serialization
-    /// and differential tests, not for the commit path.
-    pub fn document(&self) -> Document {
+    /// executor would hold. O(document) — the compaction rebuild and the
+    /// snapshot freeze call this; everything else reads through the memoized
+    /// [`snapshot`](ShardedExecutor::snapshot).
+    fn reassemble(&self) -> Document {
         let next = self.shards.iter().map(|s| s.core.document().next_id()).max().unwrap_or(1);
         let mut out = Document::with_first_id(next);
         let first = self.shards[0].core.document();
@@ -489,9 +499,52 @@ impl ShardedExecutor {
         out
     }
 
-    /// Serializes the reassembled authoritative document.
+    /// The global labeling of the reassembled document: every shard's labels
+    /// (bit-identical to the global assignment — shards never re-key), with
+    /// the root's true whole-document interval instead of a shard's synthetic
+    /// slice, and sibling metadata refreshed across shard boundaries.
+    fn reassemble_labeling(&self, doc: &Document) -> Labeling {
+        let mut labels = Labeling::new();
+        labels.insert(self.root_label.clone());
+        for shard in &self.shards {
+            for label in shard.core.labeling().iter() {
+                if label.id != self.root_id {
+                    labels.insert(label.clone());
+                }
+            }
+        }
+        labels.refresh_sibling_flags(doc, self.root_id);
+        labels
+    }
+
+    /// Pins the current version into an immutable MVCC [`Snapshot`] of the
+    /// reassembled authoritative document (plus its global labeling). The
+    /// first call at a version pays the O(document) reassembly; repeated
+    /// calls at an unchanged `(version, epoch)` are served from the snapshot
+    /// cache as reference-count bumps, and readers holding clones are never
+    /// blocked by — and never block — later commits.
+    pub fn snapshot(&self) -> Snapshot {
+        if let Some(hit) = self.snapshots.get(self.version, self.epoch) {
+            return hit;
+        }
+        let doc = self.reassemble();
+        let labeling = self.reassemble_labeling(&doc);
+        let snapshot = Snapshot::new(self.version, self.epoch, doc.to_shared(), Arc::new(labeling));
+        self.snapshots.insert(snapshot.clone());
+        snapshot
+    }
+
+    /// The reassembled authoritative document, as a shared immutable handle.
+    /// Served through the `(version, epoch)`-keyed snapshot cache: repeated
+    /// calls between commits do no O(document) work.
+    pub fn document(&self) -> SharedDocument {
+        self.snapshot().shared_document()
+    }
+
+    /// Serializes the reassembled authoritative document (memoized alongside
+    /// the snapshot — repeated calls between commits re-copy, not re-walk).
     pub fn serialize(&self) -> String {
-        writer::write_document(&self.document())
+        self.snapshot().serialize()
     }
 
     /// Debug invariant walker: every shard core's document/labeling agreement,
@@ -900,6 +953,196 @@ impl ShardedExecutor {
         })
     }
 
+    /// Resolves everything pending and commits it through the parallel lanes
+    /// of [`commit_resolution_lanes`](ShardedExecutor::commit_resolution_lanes).
+    pub fn commit_lanes(&mut self) -> Result<ShardedCommitReport> {
+        let resolution = self.resolve()?;
+        self.commit_resolution_lanes(resolution)
+    }
+
+    /// Applies a [`ShardedResolution`] with **parallel commit lanes**: every
+    /// busy shard applies its sub-PUL on its own thread, concurrently,
+    /// instead of one after the other.
+    ///
+    /// The serial path threads one identifier fence from shard to shard —
+    /// shard `k+1` cannot even *start* before shard `k` finished minting.
+    /// Lanes replace the threaded fence with **striped fences** computed up
+    /// front: each busy shard's sub-PUL can mint at most
+    /// `Σ_ops(content nodes + 2)` fresh identifiers, so each lane is handed
+    /// the half-open stripe `[start_k, start_k + bound_k)` where `start_k` is
+    /// the prefix sum of the bounds of the busy shards before it (in shard
+    /// order) above the global fence. The stripes are disjoint and depend
+    /// only on the resolution — never on thread scheduling — so a WAL replay
+    /// of the same record mints bit-identical identifiers. A lane that
+    /// overruns its stripe (the bound is a hard contract, not a heuristic)
+    /// aborts the whole commit.
+    ///
+    /// Atomicity is unchanged from [`commit_resolution`]
+    /// (ShardedExecutor::commit_resolution): every lane applies inside an
+    /// open journal scope; any lane's failure rewinds every successful
+    /// lane's scope, restoring the exact pre-commit state. The WAL append
+    /// (`L` record) is still the commit point, after every lane succeeded
+    /// and while all scopes are open.
+    ///
+    /// Identifier assignment *differs* from the serial path (stripes leave
+    /// gaps where the threaded fence packs densely), so a session must not
+    /// mix the two paths under one WAL history for the same commit — the
+    /// `L`/`S` record kinds keep replay on the path that wrote the record.
+    pub fn commit_resolution_lanes(
+        &mut self,
+        resolution: ShardedResolution,
+    ) -> Result<ShardedCommitReport> {
+        self.check_fresh(&resolution)?;
+        let busy: Vec<usize> = resolution
+            .per_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, pul)| !pul.is_empty())
+            .map(|(k, _)| k)
+            .collect();
+        if busy.len() <= 1 {
+            // Nothing to overlap — the serial path writes an `S` record and
+            // mints the exact identifiers a single executor would.
+            return self.commit_resolution(resolution);
+        }
+
+        // The serial path consults the shard failpoint once per busy shard,
+        // in shard order; lanes preserve that schedule by performing every
+        // check on this thread before any lane spawns, so seeded Nth-commit
+        // triggers stay deterministic under concurrency.
+        for _ in &busy {
+            if let Some(kind) = self.faults.check(site::SHARD_APPLY) {
+                return Err(Error::injected(site::SHARD_APPLY, kind));
+            }
+        }
+
+        // The global fence: above every identifier any shard has minted, and
+        // — under the preserving discipline — above every identifier the
+        // parameter trees carry, so a lane's `note_explicit_id` can never
+        // climb out of its stripe.
+        let mut fence = self.shards.iter().map(|s| s.core.document().next_id()).max().unwrap_or(1);
+        if self.preserve_content_ids() {
+            for pul in &resolution.per_shard {
+                for op in pul.iter() {
+                    for tree in op.content().unwrap_or_default() {
+                        fence = fence.max(tree.as_document().next_id());
+                    }
+                }
+            }
+        }
+        let mut stripes = vec![(0u64, 0u64); self.shards.len()];
+        let mut next_start = fence;
+        for &k in &busy {
+            let bound = lane_id_bound(&resolution.per_shard[k]);
+            stripes[k] = (next_start, next_start + bound);
+            next_start += bound;
+        }
+
+        // Phase 1, fanned out: disjoint `&mut` shard borrows, one scoped
+        // thread per busy shard. A failed lane rewinds its own scope before
+        // returning, so after the join only successful lanes are open.
+        let outcomes: Vec<(usize, Result<(pul::apply::ApplyReport, CoreScope)>)> =
+            std::thread::scope(|s| {
+                let per_shard = &resolution.per_shard;
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(k, _)| !per_shard[*k].is_empty())
+                    .map(|(k, shard)| {
+                        let pul = &per_shard[k];
+                        let (start, end) = stripes[k];
+                        (
+                            k,
+                            s.spawn(move || {
+                                let core = &mut shard.core;
+                                let scope = core.scope_open();
+                                core.doc.reserve_ids(start);
+                                let fail = |core: &mut ExecutorCore, scope: &CoreScope, e| {
+                                    core.scope_rewind(scope);
+                                    core.scope_close(scope);
+                                    Err(e)
+                                };
+                                match core.commit_pul(pul) {
+                                    Ok(_) if core.document().next_id() > end => {
+                                        let e = Error::Shard(format!(
+                                            "commit lane {k} overran its identifier stripe \
+                                             [{start}, {end})"
+                                        ));
+                                        fail(core, &scope, e)
+                                    }
+                                    Ok(report) => Ok((report, scope)),
+                                    Err(e) => fail(core, &scope, e),
+                                }
+                            }),
+                        )
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|(k, h)| (k, h.join().expect("commit lane panicked")))
+                    .collect()
+            });
+
+        let mut open: Vec<(usize, CoreScope)> = Vec::new();
+        let mut per_shard_ops = vec![0usize; self.shards.len()];
+        let mut journal = JournalStats::default();
+        let mut failure: Option<Error> = None;
+        for (k, outcome) in outcomes {
+            match outcome {
+                Ok((report, scope)) => {
+                    journal.doc_entries += report.journal.doc_entries;
+                    journal.label_entries += report.journal.label_entries;
+                    per_shard_ops[k] = resolution.per_shard[k].len();
+                    open.push((k, scope));
+                }
+                // Lanes join in shard order, so the error surfaced is the
+                // first busy shard's — the same one the serial path reports.
+                Err(e) => failure = failure.or(Some(e)),
+            }
+        }
+        let abort = |shards: &mut Vec<Shard>, open: &[(usize, CoreScope)]| {
+            for (j, scope) in open.iter().rev() {
+                let core = &mut shards[*j].core;
+                core.scope_rewind(scope);
+                core.scope_close(scope);
+            }
+        };
+        if let Some(e) = failure {
+            abort(&mut self.shards, &open);
+            return Err(e);
+        }
+
+        // The WAL append is still the commit point, while every lane's scope
+        // is open. The `L` kind routes replay through this striped path, so
+        // recovery mints the same identifiers the live commit did.
+        if let Some(sink) = self.sink.get() {
+            let appended = sink.lock().expect("commit sink mutex poisoned").on_commit(
+                self.version + 1,
+                CommitRecord::ShardedLanes {
+                    puls: &resolution.per_shard,
+                    preserve_content_ids: self.preserve_content_ids(),
+                },
+            );
+            if let Err(e) = appended {
+                abort(&mut self.shards, &open);
+                return Err(e);
+            }
+        }
+        for (j, scope) in open.drain(..) {
+            self.shards[j].core.scope_close(&scope);
+        }
+        self.version += 1;
+        self.submissions.retain(|s| !resolution.submission_ids.contains(&s.id));
+        Ok(ShardedCommitReport {
+            version: self.version,
+            applied_ops: per_shard_ops.iter().sum(),
+            per_shard_ops,
+            conflicts: resolution.conflicts,
+            journal,
+        })
+    }
+
     fn check_fresh(&self, resolution: &ShardedResolution) -> Result<()> {
         check_resolution_fresh(resolution.version, self.version, &resolution.submission_ids, |id| {
             self.submissions.iter().any(|s| s.id == id)
@@ -947,11 +1190,11 @@ impl ShardedExecutor {
 
     /// The renumber-and-repartition core of [`compact`](ShardedExecutor::compact):
     /// a fresh sharded executor over the preorder-renumbered reassembly, same
-    /// shard count. Deterministic — `document()` reassembles in shard order,
+    /// shard count. Deterministic — `reassemble()` walks in shard order,
     /// the renumbering walks preorder, and `new` partitions contiguously — so
     /// the WAL-replay path rebuilds bit-identical state.
     fn rebuild_compacted(&self) -> Result<ShardedExecutor> {
-        let mut doc = self.document();
+        let mut doc = self.reassemble();
         let _mapping = doc.assign_preorder_ids(1);
         ShardedExecutor::new(doc, self.shards.len())
     }
@@ -1020,6 +1263,22 @@ impl ShardedExecutor {
     }
 }
 
+/// How many fresh identifiers one shard's sub-PUL can mint, as a hard upper
+/// bound: each grafted parameter node takes at most one (`rep`/`ins` under
+/// the fresh-minting discipline; zero when preserving), plus two per
+/// operation of slack for the implicit text nodes `rep_v`/`rep_c` may
+/// create. The bound depends only on the PUL, so the lane stripes derived
+/// from it are replay-deterministic.
+fn lane_id_bound(pul: &Pul) -> u64 {
+    pul.iter()
+        .map(|op| {
+            let content: u64 =
+                op.content().unwrap_or_default().iter().map(|t| t.size() as u64).sum();
+            content + 2
+        })
+        .sum()
+}
+
 /// The ingestion pipeline drives a sharded session through the same
 /// submit → resolve → commit verbs as a single executor; the label-interval
 /// routing and the two-phase journal commit stay internal to the backend.
@@ -1041,6 +1300,19 @@ impl IngestBackend for ShardedExecutor {
             applied_ops: report.applied_ops,
             conflicts: report.conflicts,
         })
+    }
+
+    fn commit_pending_lanes(&mut self, resolution: ShardedResolution) -> Result<BatchCommit> {
+        let report = self.commit_resolution_lanes(resolution)?;
+        Ok(BatchCommit {
+            version: report.version,
+            applied_ops: report.applied_ops,
+            conflicts: report.conflicts,
+        })
+    }
+
+    fn snapshot_view(&self) -> Option<Snapshot> {
+        Some(self.snapshot())
     }
 
     fn discard(&mut self, id: SubmissionId) {

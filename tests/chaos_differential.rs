@@ -163,7 +163,7 @@ impl ChaosBackend for ShardedExecutor {
             .apply_options(producer_options())
     }
     fn doc(&self) -> Document {
-        self.document()
+        self.document().as_ref().clone()
     }
     fn xml(&self) -> String {
         self.serialize()

@@ -417,13 +417,20 @@ fn durable_epoch_case<B: CompactBackend>(seed: u64) {
     assert_eq!(reopened.backend().cur_epoch(), 1, "{ctx}: epoch survives recovery");
     reopened.backend().check_consistent();
 
-    // Point-in-time reads materialise every version, pre- and post-epoch.
+    // Point-in-time reads materialise every version, pre- and post-epoch —
+    // through the full restore (`restore_at`) and the pinned snapshot
+    // (`read_at`), which must agree.
     for (version, reference, xml) in &history {
-        let at =
-            reopened.read_at(*version).unwrap_or_else(|e| panic!("{ctx}: read_at({version}): {e}"));
-        assert_eq!(&at.xml(), xml, "{ctx}: read_at({version}) serialization");
-        at.assert_deep_eq(reference, &format!("{ctx}: read_at({version})"));
+        let at = reopened
+            .restore_at(*version)
+            .unwrap_or_else(|e| panic!("{ctx}: restore_at({version}): {e}"));
+        assert_eq!(&at.xml(), xml, "{ctx}: restore_at({version}) serialization");
+        at.assert_deep_eq(reference, &format!("{ctx}: restore_at({version})"));
         at.check_consistent();
+        let snap =
+            reopened.read_at(*version).unwrap_or_else(|e| panic!("{ctx}: read_at({version}): {e}"));
+        assert_eq!(&snap.serialize(), xml, "{ctx}: read_at({version}) snapshot serialization");
+        snap.assert_consistent();
     }
 
     fs::remove_dir_all(&root).unwrap();

@@ -250,14 +250,20 @@ fn run_seed<B: FuzzBackend>(seed: u64, tag: &str) {
     crash_sweep(&store_dir, &root, ckpt2, &history, &format!("{tag} seed {seed} phase C"));
 
     // Point-in-time reads: every committed version materialises with the
-    // serialization recorded at its commit.
+    // serialization recorded at its commit — mutable restore and pinned
+    // snapshot alike.
     for (version, reference, serialized) in &history {
         let at = durable
+            .restore_at(*version)
+            .unwrap_or_else(|e| panic!("{tag} seed {seed}: restore_at({version}): {e}"));
+        assert_eq!(&at.serialization(), serialized, "{tag} seed {seed}: restore_at({version})");
+        at.assert_deep_eq(reference, &format!("{tag} seed {seed}: restore_at({version})"));
+        at.check_consistent();
+        let snap = durable
             .read_at(*version)
             .unwrap_or_else(|e| panic!("{tag} seed {seed}: read_at({version}): {e}"));
-        assert_eq!(&at.serialization(), serialized, "{tag} seed {seed}: read_at({version})");
-        at.assert_deep_eq(reference, &format!("{tag} seed {seed}: read_at({version})"));
-        at.check_consistent();
+        assert_eq!(&snap.serialize(), serialized, "{tag} seed {seed}: read_at({version})");
+        snap.assert_consistent();
     }
 
     fs::remove_dir_all(&root).unwrap();
