@@ -34,6 +34,9 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use pul_telemetry::{EventKind, Telemetry};
 
 pub mod checkpoint;
 mod crc;
@@ -130,6 +133,9 @@ pub struct Store {
     /// Recycled WAL frame encode buffers — one append's frame is dead the
     /// moment it hits the file, so its backbone is reused.
     frame_pool: Pool<Vec<u8>>,
+    /// Telemetry handle (disabled unless installed): WAL append/sync/rotate
+    /// timings and bytes, checkpoint duration, fault-hit events.
+    telemetry: Telemetry,
 }
 
 /// Idle frame buffers the store retains between appends (one writer, so one
@@ -173,6 +179,7 @@ impl Store {
             faults: Faults::disabled(),
             poisoned: false,
             frame_pool: Pool::new(opts.frame_pool_idle),
+            telemetry: Telemetry::disabled(),
         })
     }
 
@@ -237,6 +244,7 @@ impl Store {
             faults: Faults::disabled(),
             poisoned: false,
             frame_pool: Pool::new(opts.frame_pool_idle),
+            telemetry: Telemetry::disabled(),
         })
     }
 
@@ -264,6 +272,12 @@ impl Store {
     /// sync, rotation and checkpoint write.
     pub fn set_faults(&mut self, faults: Faults) {
         self.faults = faults;
+    }
+
+    /// Installs the telemetry handle the store records WAL and checkpoint
+    /// timings (and fault-hit events) through. Disabled by default.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Whether the segment tail is poisoned by an unrepaired torn write.
@@ -317,10 +331,18 @@ impl Store {
         result
     }
 
+    /// Records an injected failpoint firing: one counter bump plus a
+    /// structured journal record naming the site.
+    fn note_fault(&self, at: &'static str, kind: FaultKind, version: u64) {
+        self.telemetry.count(|m| &m.fault_hits);
+        self.telemetry.event(EventKind::FaultHit, version, || format!("{at}: injected {kind:?}"));
+    }
+
     /// The fallible half of [`Store::append`], operating on an already-encoded
     /// frame so the buffer can return to the pool on every exit path.
     fn append_frame(&mut self, version: u64, frame: &[u8]) -> StoreResult<()> {
         if let Some(kind) = self.faults.check(site::WAL_APPEND) {
+            self.note_fault(site::WAL_APPEND, kind, version);
             if kind == FaultKind::Torn {
                 // Write a partial frame and fail *without* repairing — the
                 // bytes a kill mid-append would leave on disk.
@@ -331,9 +353,14 @@ impl Store {
             }
             return Err(StoreError::injected(site::WAL_APPEND, kind).at(self.segment, self.wal_len));
         }
+        let write_started = self.telemetry.is_enabled().then(Instant::now);
         if let Err(e) = self.wal_file.write_all(frame) {
             self.repair_tail();
             return Err(StoreError::io(site::WAL_APPEND, &e).at(self.segment, self.wal_len));
+        }
+        if let Some(t0) = write_started {
+            self.telemetry.observe_since(|m| &m.wal_append_ns, t0);
+            self.telemetry.add(|m| &m.wal_append_bytes, frame.len() as u64);
         }
         let need_sync = match self.opts.sync {
             SyncPolicy::PerCommit => true,
@@ -342,14 +369,19 @@ impl Store {
         };
         if need_sync {
             if let Some(kind) = self.faults.check(site::WAL_SYNC) {
+                self.note_fault(site::WAL_SYNC, kind, version);
                 self.repair_tail();
                 return Err(
                     StoreError::injected(site::WAL_SYNC, kind).at(self.segment, self.wal_len)
                 );
             }
+            let sync_started = self.telemetry.is_enabled().then(Instant::now);
             if let Err(e) = self.wal_file.sync_data() {
                 self.repair_tail();
                 return Err(StoreError::io(site::WAL_SYNC, &e).at(self.segment, self.wal_len));
+            }
+            if let Some(t0) = sync_started {
+                self.telemetry.observe_since(|m| &m.wal_sync_ns, t0);
             }
             self.unsynced = 0;
         } else if matches!(self.opts.sync, SyncPolicy::Interval(_)) {
@@ -396,8 +428,10 @@ impl Store {
     /// rotation is reused empty.
     pub fn write_checkpoint(&mut self, state: &CheckpointState) -> StoreResult<()> {
         if let Some(kind) = self.faults.check(site::CKPT_WRITE) {
+            self.note_fault(site::CKPT_WRITE, kind, state.version);
             return Err(StoreError::injected(site::CKPT_WRITE, kind));
         }
+        let ckpt_started = self.telemetry.is_enabled().then(Instant::now);
         let image = checkpoint::encode(state);
         let tmp = self.dir.join("ckpt.tmp");
         {
@@ -407,6 +441,7 @@ impl Store {
             f.sync_all().map_err(|e| werr(&e))?;
         }
         if let Some(kind) = self.faults.check(site::CKPT_RENAME) {
+            self.note_fault(site::CKPT_RENAME, kind, state.version);
             return Err(StoreError::injected(site::CKPT_RENAME, kind));
         }
         let final_path = self.dir.join(checkpoint_name(state.version));
@@ -416,11 +451,16 @@ impl Store {
         if let Ok(d) = File::open(&self.dir) {
             let _ = d.sync_all();
         }
+        if let Some(t0) = ckpt_started {
+            self.telemetry.observe_since(|m| &m.checkpoint_ns, t0);
+        }
 
         // Seal the current segment and rotate to a fresh one.
         if let Some(kind) = self.faults.check(site::WAL_ROTATE) {
+            self.note_fault(site::WAL_ROTATE, kind, state.version);
             return Err(StoreError::injected(site::WAL_ROTATE, kind).at(self.segment, self.wal_len));
         }
+        let rotate_started = self.telemetry.is_enabled().then(Instant::now);
         if !self.poisoned {
             self.wal_file
                 .sync_data()
@@ -459,6 +499,13 @@ impl Store {
         self.checkpoints.push(state.version);
         self.checkpoints.sort_unstable();
         self.checkpoints.dedup();
+        if let Some(t0) = rotate_started {
+            self.telemetry.observe_since(|m| &m.wal_rotate_ns, t0);
+        }
+        let segment = self.segment;
+        self.telemetry.event(EventKind::Checkpoint, state.version, || {
+            format!("checkpoint v{} written, wal rotated to segment {segment}", state.version)
+        });
 
         if !self.opts.retain_history {
             // Everything at or below the checkpoint is reachable from the

@@ -20,6 +20,10 @@ fn main() {
     .expect("well-formed document")
     .reduction(ReductionStrategy::Deterministic);
 
+    // Arm telemetry: every commit below is counted, timed and journaled.
+    // Disabled handles (the default) cost a single branch per probe.
+    session.set_telemetry(Telemetry::enabled());
+
     // A producer evaluates an XQuery Update expression; the result is a PUL.
     let pul = session
         .produce(
@@ -65,4 +69,26 @@ fn main() {
     );
     assert_eq!(session.version(), 1);
     println!("streaming evaluation produced the same document ✓");
+
+    // The armed telemetry handle saw everything: counters, latency summaries
+    // and the structured event journal come out of one snapshot.
+    let snapshot = session.telemetry_snapshot();
+    let metrics = snapshot.metrics.as_ref().expect("telemetry is armed");
+    println!(
+        "\ntelemetry: {} commit(s), {} rollback(s), resolve p95 {} ns, \
+         reduction cache {} hit(s) / {} miss(es)",
+        metrics.commits,
+        metrics.rollbacks,
+        metrics.resolve_ns.p95,
+        snapshot.reduction_cache.hits,
+        snapshot.reduction_cache.misses,
+    );
+    println!("recent events ({} dropped):", snapshot.events_dropped);
+    for event in &snapshot.recent_events {
+        println!("  #{} {} v{}: {}", event.seq, event.kind.label(), event.version, event.detail);
+    }
+    println!("\nexposition excerpt:");
+    for line in snapshot.render_text().lines().filter(|l| l.contains("xmlpul_commits")) {
+        println!("  {line}");
+    }
 }

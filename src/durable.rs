@@ -62,6 +62,7 @@ use pul_store::{
     site, CheckpointState, Faults, ShardSnapshot, Store, StoreError, StoreOptions, StoreResult,
     SyncPolicy,
 };
+use pul_telemetry::{EventKind, Telemetry};
 use xdm::NodeId;
 use xlabel::{LabelInterval, Labeling, NodeLabel, OrderKey};
 
@@ -115,7 +116,12 @@ enum RetryOutcome<T> {
 
 /// Runs `f` under the policy: transient errors retry with exponential
 /// backoff until the attempt count or the operation deadline runs out.
-fn with_retry<T>(retry: &RetryPolicy, mut f: impl FnMut() -> StoreResult<T>) -> RetryOutcome<T> {
+/// Every backoff retry is counted (and journaled) through `telemetry`.
+fn with_retry<T>(
+    retry: &RetryPolicy,
+    telemetry: &Telemetry,
+    mut f: impl FnMut() -> StoreResult<T>,
+) -> RetryOutcome<T> {
     let start = Instant::now();
     let mut backoff = retry.base_backoff;
     let mut attempts = 0u32;
@@ -130,6 +136,10 @@ fn with_retry<T>(retry: &RetryPolicy, mut f: impl FnMut() -> StoreResult<T>) -> 
                 {
                     return RetryOutcome::Exhausted(e);
                 }
+                telemetry.count(|m| &m.retry_attempts);
+                telemetry.event(EventKind::Retry, 0, || {
+                    format!("transient store failure, retrying (attempt {attempts}): {e}")
+                });
                 if !backoff.is_zero() {
                     std::thread::sleep(backoff);
                 }
@@ -386,6 +396,9 @@ struct StoreSink {
     /// The durable session's `read_at` snapshot cache, shared so a rollback
     /// invalidates the snapshots of the versions it discards.
     snapshots: Arc<SnapshotCache>,
+    /// Telemetry handle shared with the whole durable stack: retry counters,
+    /// degraded-mode transition events, rollback truncation events.
+    telemetry: Telemetry,
 }
 
 /// Idle payload buffers the sink retains (one commit in flight per session).
@@ -400,8 +413,12 @@ impl CommitSink for StoreSink {
         }
         let mut payload = self.payload_pool.take_buf();
         record.encode_into(&mut payload);
-        let outcome = with_retry(&self.retry, || {
+        let outcome = with_retry(&self.retry, &self.telemetry, || {
             if let Some(kind) = self.faults.check(site::SINK_COMMIT) {
+                self.telemetry.count(|m| &m.fault_hits);
+                self.telemetry.event(EventKind::FaultHit, version, || {
+                    format!("{}: injected {kind:?}", site::SINK_COMMIT)
+                });
                 return Err(StoreError::injected(site::SINK_COMMIT, kind));
             }
             self.store.lock().expect("store mutex poisoned").append(version, &payload)
@@ -412,7 +429,7 @@ impl CommitSink for StoreSink {
             RetryOutcome::Done(()) => Ok(()),
             RetryOutcome::Permanent(e) => Err(Error::Store(e)),
             RetryOutcome::Exhausted(e) => {
-                self.degraded.store(true, Ordering::SeqCst);
+                note_degraded(&self.degraded, &self.telemetry, version, &e);
                 Err(Error::Degraded(format!("WAL append retries exhausted: {e}")))
             }
         }
@@ -430,6 +447,22 @@ impl CommitSink for StoreSink {
         // The rolled-back versions' numbers will be reused with different
         // contents; their cached snapshots must not survive them.
         self.snapshots.purge_above(version);
+        self.telemetry
+            .event(EventKind::Rollback, version, || format!("WAL truncated back to v{version}"));
+    }
+}
+
+/// Flips the sticky degraded flag, recording the *transition* (not every
+/// refused commit afterwards) as a counter bump plus an `XPUL-E09` journal
+/// event — so the flip is observable the moment it happens, not only through
+/// the next failing commit.
+fn note_degraded(degraded: &AtomicBool, telemetry: &Telemetry, version: u64, cause: &StoreError) {
+    let was = degraded.swap(true, Ordering::SeqCst);
+    if !was {
+        telemetry.count(|m| &m.degraded_transitions);
+        telemetry.event(EventKind::Degraded, version, || {
+            format!("session degraded to read-only: retries exhausted: {cause}")
+        });
     }
 }
 
@@ -456,6 +489,9 @@ pub trait DurableBackend: Sized + Send + 'static {
     /// commit phases (e.g. shard apply). Backends without failpoints ignore
     /// it.
     fn install_faults(&mut self, _faults: Faults) {}
+    /// Installs the telemetry handle the backend records its own commit and
+    /// snapshot metrics through. Backends without instrumentation ignore it.
+    fn install_telemetry(&mut self, _telemetry: Telemetry) {}
     /// The current session version.
     fn backend_version(&self) -> u64;
     /// Pins the current version into an immutable MVCC [`Snapshot`] (the
@@ -563,6 +599,10 @@ impl DurableBackend for Executor {
 
     fn install_sink(&mut self, sink: Option<SharedSink>) {
         self.set_sink(sink);
+    }
+
+    fn install_telemetry(&mut self, telemetry: Telemetry) {
+        self.set_telemetry(telemetry);
     }
 
     fn backend_version(&self) -> u64 {
@@ -695,6 +735,10 @@ impl DurableBackend for ShardedExecutor {
         self.set_faults(faults);
     }
 
+    fn install_telemetry(&mut self, telemetry: Telemetry) {
+        self.set_telemetry(telemetry);
+    }
+
     fn backend_version(&self) -> u64 {
         self.version()
     }
@@ -811,6 +855,9 @@ pub struct Durable<B: DurableBackend> {
     last_maintenance_error: Option<Error>,
     /// How many background-maintenance attempts have failed.
     maintenance_failures: u64,
+    /// Telemetry handle shared with the store, the sink and the backend (see
+    /// [`set_telemetry`](Durable::set_telemetry)). Disabled by default.
+    telemetry: Telemetry,
 }
 
 impl<B: DurableBackend> Durable<B> {
@@ -829,6 +876,7 @@ impl<B: DurableBackend> Durable<B> {
             snapshots: Arc::new(SnapshotCache::default()),
             last_maintenance_error: None,
             maintenance_failures: 0,
+            telemetry: Telemetry::disabled(),
         };
         durable.checkpoint()?;
         durable.install();
@@ -867,6 +915,7 @@ impl<B: DurableBackend> Durable<B> {
             snapshots: Arc::new(SnapshotCache::default()),
             last_maintenance_error: None,
             maintenance_failures: 0,
+            telemetry: Telemetry::disabled(),
         };
         durable.install();
         Ok(durable)
@@ -880,8 +929,40 @@ impl<B: DurableBackend> Durable<B> {
             degraded: Arc::clone(&self.degraded),
             payload_pool: pul_store::Pool::new(self.opts.pool_idle),
             snapshots: Arc::clone(&self.snapshots),
+            telemetry: self.telemetry.clone(),
         }));
         self.backend.install_sink(Some(sink));
+    }
+
+    /// Installs one telemetry handle across the whole durable stack: the
+    /// store (WAL/checkpoint timings), the commit sink (retry counters,
+    /// degraded transitions), and the backend (commit spans, snapshot cache
+    /// probes). Pass [`Telemetry::enabled`] to arm; clones of the same handle
+    /// observe into the same registry.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.store.lock().expect("store mutex poisoned").set_telemetry(telemetry.clone());
+        self.backend.install_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+        self.install();
+    }
+
+    /// The installed telemetry handle (disabled unless
+    /// [`set_telemetry`](Durable::set_telemetry) armed one).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The unified observability snapshot of the durable stack: the shared
+    /// registry and journal tail, the backend session's slab statistics, and
+    /// the WAL frame-pool counters (the reduction-cache component belongs to
+    /// the in-memory executor and is zero here).
+    pub fn telemetry_snapshot(&self) -> crate::TelemetrySnapshot {
+        crate::TelemetrySnapshot::gather(
+            &self.telemetry,
+            self.backend.session_slab_stats(),
+            Default::default(),
+            self.frame_pool_stats(),
+        )
     }
 
     /// Installs an armed failpoint handle across the whole durable stack:
@@ -951,7 +1032,7 @@ impl<B: DurableBackend> Durable<B> {
         let version = state.version;
         let outcome = {
             let mut store = self.store.lock().expect("store mutex poisoned");
-            with_retry(&self.opts.retry, || store.write_checkpoint(&state))
+            with_retry(&self.opts.retry, &self.telemetry, || store.write_checkpoint(&state))
         };
         match outcome {
             RetryOutcome::Done(()) => {
@@ -960,7 +1041,7 @@ impl<B: DurableBackend> Durable<B> {
             }
             RetryOutcome::Permanent(e) => Err(Error::Store(e)),
             RetryOutcome::Exhausted(e) => {
-                self.degraded.store(true, Ordering::SeqCst);
+                note_degraded(&self.degraded, &self.telemetry, version, &e);
                 Err(Error::Degraded(format!("checkpoint retries exhausted: {e}")))
             }
         }
@@ -1061,6 +1142,11 @@ impl<B: DurableBackend> Durable<B> {
     fn note_maintenance<T>(&mut self, outcome: Result<T>) {
         if let Err(e) = outcome {
             self.maintenance_failures += 1;
+            self.telemetry.count(|m| &m.maintenance_failures);
+            let version = self.backend.backend_version();
+            self.telemetry.event(EventKind::MaintenanceFailure, version, || {
+                format!("background maintenance failed: {e}")
+            });
             self.last_maintenance_error = Some(e);
         }
     }
@@ -1092,8 +1178,10 @@ impl<B: DurableBackend> Durable<B> {
     /// never-durable ones.
     pub fn read_at(&self, version: u64) -> Result<Snapshot> {
         if let Some(hit) = self.snapshots.get_version(version) {
+            self.telemetry.count(|m| &m.snapshot_hits);
             return Ok(hit);
         }
+        self.telemetry.count(|m| &m.snapshot_misses);
         let snapshot = if version == self.backend.backend_version() {
             self.backend.snapshot_now()
         } else {

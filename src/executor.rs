@@ -27,6 +27,7 @@ use pul::{Pul, UpdateOp};
 use pul_core::reduce::{reduce_naive, reduce_with, ReductionKind};
 use pul_core::{aggregate, integrate, reconcile_integration, Policy};
 use pul_store::{PoolStats, SharedPool};
+use pul_telemetry::{EventKind, Telemetry};
 use xdm::{parser, writer, Document};
 use xlabel::Labeling;
 
@@ -360,6 +361,11 @@ pub struct Executor {
     /// [`snapshot`](Executor::snapshot)). Clones start cold — a divergent
     /// copy reuses version numbers with different contents.
     snapshots: SnapshotCache,
+    /// Telemetry handle: commit/resolve spans, snapshot cache probes,
+    /// rollback and epoch events. Disabled (a single branch per record call)
+    /// unless [`set_telemetry`](Executor::set_telemetry) arms it; clones
+    /// share the registry.
+    telemetry: Telemetry,
 }
 
 /// Default capacity of the wire-submission reduction cache.
@@ -420,6 +426,7 @@ impl Executor {
             scratch: ResolveScratch::new(DEFAULT_POOL_IDLE),
             sink: SinkSlot::default(),
             snapshots: SnapshotCache::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -428,6 +435,20 @@ impl Executor {
     /// store the sink appends to.
     pub(crate) fn set_sink(&mut self, sink: Option<SharedSink>) {
         self.sink.set(sink);
+    }
+
+    /// Installs the telemetry handle the session records commit/resolve
+    /// spans, snapshot cache probes and lifecycle events through. Pass
+    /// [`Telemetry::enabled`] to arm; the default handle is disabled and
+    /// costs one branch per record call.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The installed telemetry handle (disabled unless
+    /// [`set_telemetry`](Executor::set_telemetry) armed one).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Opens a session on the document serialized in `xml`.
@@ -524,6 +545,21 @@ impl Executor {
         self.scratch.stats()
     }
 
+    /// The unified observability snapshot: the telemetry registry (when a
+    /// handle was armed through [`set_telemetry`](Executor::set_telemetry)),
+    /// the session's slab/cache/pool statistics, and the tail of the event
+    /// journal. Subsumes [`slab_stats`](Executor::slab_stats),
+    /// [`cache_stats`](Executor::cache_stats) and
+    /// [`pool_stats`](Executor::pool_stats), which remain as thin views.
+    pub fn telemetry_snapshot(&self) -> crate::TelemetrySnapshot {
+        crate::TelemetrySnapshot::gather(
+            &self.telemetry,
+            self.slab_stats(),
+            self.cache_stats(),
+            self.pool_stats(),
+        )
+    }
+
     /// Slot-occupancy statistics of the session's dense id-indexed stores
     /// (node arena and labeling): live and dead (never-reused) dense slots
     /// plus spilled sparse entries. Identifiers are never reused (§4.1), so a
@@ -566,8 +602,10 @@ impl Executor {
             );
         }
         if let Some(hit) = self.snapshots.get(version, epoch) {
+            self.telemetry.count(|m| &m.snapshot_hits);
             return hit;
         }
+        self.telemetry.count(|m| &m.snapshot_misses);
         let snapshot = Snapshot::new(
             version,
             epoch,
@@ -673,6 +711,7 @@ impl Executor {
     /// (Executor::compact) — its identifiers no longer name the nodes its
     /// producer meant.
     pub fn resolve(&self) -> Result<Resolution> {
+        let _span = self.telemetry.span(|m| &m.resolve_ns);
         if let Some(fenced) = self.submissions.iter().find(|s| s.epoch != self.epoch) {
             return Err(Error::EpochFenced {
                 submission: fenced.id,
@@ -732,6 +771,7 @@ impl Executor {
     /// for the transaction's own rollback).
     pub fn commit_resolution(&mut self, resolution: Resolution) -> Result<CommitReport> {
         self.check_fresh(&resolution)?;
+        let _span = self.telemetry.span(|m| &m.commit_ns);
         let apply = match self.sink.get() {
             None => self.core.commit_pul(&resolution.pul)?,
             Some(sink) => {
@@ -757,6 +797,7 @@ impl Executor {
                             Err(e) => {
                                 self.core.scope_rewind(&scope);
                                 self.core.scope_close(&scope);
+                                self.telemetry.count(|m| &m.rollbacks);
                                 return Err(e);
                             }
                         }
@@ -770,8 +811,13 @@ impl Executor {
             }
         };
         self.consume_submissions(&resolution);
+        let version = self.core.version;
+        self.telemetry.count(|m| &m.commits);
+        self.telemetry.event(EventKind::Commit, version, || {
+            format!("committed v{version} ({} ops)", resolution.pul.len())
+        });
         Ok(CommitReport {
-            version: self.core.version,
+            version,
             applied_ops: resolution.pul.len(),
             conflicts: resolution.conflicts,
             apply,
@@ -811,6 +857,7 @@ impl Executor {
         writer: &mut W,
     ) -> Result<CommitReport> {
         self.check_fresh(&resolution)?;
+        let _span = self.telemetry.span(|m| &m.commit_ns);
         let mut input = String::new();
         reader.read_to_string(&mut input)?;
         // The resolution reasoned about *this* session's document: applying it
@@ -872,11 +919,17 @@ impl Executor {
                 Err(e) => {
                     self.core.scope_rewind(scope);
                     self.core.scope_close(scope);
+                    self.telemetry.count(|m| &m.rollbacks);
                     return Err(e);
                 }
             }
         }
         self.consume_submissions(&resolution);
+        let version = self.core.version;
+        self.telemetry.count(|m| &m.commits);
+        self.telemetry.event(EventKind::Commit, version, || {
+            format!("streaming-committed v{version} ({} ops)", resolution.pul.len())
+        });
         // The structural report stays empty (the stream never materialises
         // per-op effects), but the journal stats are real: entries recorded
         // while an enclosing transaction scope was active (zero otherwise).
@@ -944,6 +997,11 @@ impl Executor {
         self.core.scope_close(&scope.core);
         self.submissions = scope.submissions;
         self.next_submission = scope.next_submission;
+        let version = self.core.version;
+        self.telemetry.count(|m| &m.rollbacks);
+        self.telemetry.event(EventKind::Rollback, version, || {
+            format!("transaction rolled back to v{version}")
+        });
         // The rolled-back versions' numbers will be reused by later commits
         // with different contents: cached snapshots above the restored
         // version must not survive.
@@ -997,6 +1055,10 @@ impl Executor {
                 .on_commit(self.core.version + 1, CommitRecord::Epoch { epoch: self.epoch + 1 })?;
         }
         self.compact_in_place(self.epoch + 1);
+        let (epoch, version) = (self.epoch, self.core.version);
+        self.telemetry.event(EventKind::CompactionEpoch, version, || {
+            format!("compaction opened epoch {epoch} at v{version}")
+        });
         Ok(CompactionReport {
             epoch: self.epoch,
             version: self.core.version,

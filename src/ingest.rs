@@ -58,6 +58,7 @@ use std::time::{Duration, Instant};
 use pul::{OpName, Pul};
 use pul_core::{Conflict, Policy};
 use pul_store::{site, Faults, PoolStats, SharedPool};
+use pul_telemetry::{EventKind, Telemetry};
 use xdm::NodeId;
 use xlabel::LabelInterval;
 
@@ -390,6 +391,11 @@ pub struct IngestConfig {
     /// the pipeline. Default false — pinning a snapshot keeps the round's
     /// whole arena alive until readers drop it.
     pub publish_snapshots: bool,
+    /// Telemetry handle shared by the queue façade and both pipeline threads:
+    /// queue depth, enqueue-block and per-ticket latencies, coalescing and
+    /// shedding counters, and shed/expired events. Disabled by default — a
+    /// single branch per probe.
+    pub telemetry: Telemetry,
 }
 
 impl Default for IngestConfig {
@@ -401,6 +407,7 @@ impl Default for IngestConfig {
             faults: Faults::disabled(),
             commit_lanes: 1,
             publish_snapshots: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -413,6 +420,10 @@ struct QueuedEntry {
     /// committing once this instant passes (checked at drain and again at
     /// commit). `None` means no deadline.
     expires: Option<Instant>,
+    /// When the entry was enqueued — `None` when telemetry is disabled, so
+    /// the disabled pipeline never reads the clock. Feeds the per-ticket
+    /// latency histogram at completion.
+    enqueued: Option<Instant>,
     completer: TicketCompleter,
 }
 
@@ -423,6 +434,7 @@ struct PreparedEntry {
     reduced: Pul,
     policy: Policy,
     expires: Option<Instant>,
+    enqueued: Option<Instant>,
     completer: TicketCompleter,
 }
 
@@ -458,6 +470,9 @@ pub struct IngestQueue<B: IngestBackend> {
     shared: Arc<Shared>,
     default_policy: Policy,
     capacity: usize,
+    /// Clone of [`IngestConfig::telemetry`] for the enqueue façade (queue
+    /// depth, block latency, shed accounting).
+    telemetry: Telemetry,
     /// Recycled round vectors: the drainer fills one per prepared round, the
     /// committer returns it emptied after the round commits — one steady-state
     /// allocation instead of one per round.
@@ -478,6 +493,7 @@ impl<B: IngestBackend> IngestQueue<B> {
         let default_policy = backend.default_policy();
         let capacity = config.capacity.max(1);
         let faults = config.faults.clone();
+        let telemetry = config.telemetry.clone();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -508,19 +524,23 @@ impl<B: IngestBackend> IngestQueue<B> {
         };
         let committer = {
             let shared = shared.clone();
-            let faults = faults.clone();
             let scratch = scratch.clone();
+            let cfg = CommitterCfg {
+                faults: faults.clone(),
+                telemetry: telemetry.clone(),
+                lanes,
+                publish,
+            };
             std::thread::Builder::new()
                 .name("ingest-committer".into())
-                .spawn(move || {
-                    committer_loop(&shared, backend, rx, faults, &scratch, lanes, publish)
-                })
+                .spawn(move || committer_loop(&shared, backend, rx, &cfg, &scratch))
                 .expect("spawn ingest committer")
         };
         IngestQueue {
             shared,
             default_policy,
             capacity,
+            telemetry,
             scratch,
             drainer: Some(drainer),
             committer: Some(committer),
@@ -574,12 +594,20 @@ impl<B: IngestBackend> IngestQueue<B> {
             return Err(closed_err());
         }
         let mut state = self.shared.state.lock().expect("queue lock");
+        let mut blocked_at: Option<Instant> = None;
         while state.queue.len() >= self.capacity {
             if !block {
+                self.telemetry.count(|m| &m.tickets_shed);
+                self.telemetry.event(EventKind::Shed, 0, || {
+                    format!("submission shed: ingest queue at capacity ({})", self.capacity)
+                });
                 return Err(Error::Overload(format!(
                     "ingest queue at capacity ({} waiting submissions)",
                     self.capacity
                 )));
+            }
+            if blocked_at.is_none() && self.telemetry.is_enabled() {
+                blocked_at = Some(Instant::now());
             }
             if self.shared.closed.load(Ordering::Acquire) {
                 return Err(closed_err());
@@ -599,11 +627,16 @@ impl<B: IngestBackend> IngestQueue<B> {
                 .expect("queue lock");
             state = s;
         }
+        if let Some(t0) = blocked_at {
+            self.telemetry.observe_since(|m| &m.enqueue_block_ns, t0);
+        }
         let (ticket, completer) = Ticket::new();
         if state.queue.is_empty() {
             state.window_start = Some(Instant::now());
         }
-        state.queue.push_back(QueuedEntry { pul, policy, expires, completer });
+        let enqueued = self.telemetry.is_enabled().then(Instant::now);
+        state.queue.push_back(QueuedEntry { pul, policy, expires, enqueued, completer });
+        self.telemetry.gauge_set(|m| &m.queue_depth, state.queue.len() as i64);
         drop(state);
         self.shared.enqueued.notify_all();
         Ok(ticket)
@@ -626,6 +659,26 @@ impl<B: IngestBackend> IngestQueue<B> {
     /// Behaviour counters of the recycled round-vector pool.
     pub fn pool_stats(&self) -> PoolStats {
         self.scratch.stats()
+    }
+
+    /// The telemetry handle installed through [`IngestConfig::telemetry`]
+    /// (disabled unless one was armed): read the pipeline's counters and
+    /// journal from it, or hand clones to more components.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The unified observability snapshot of the queue façade: the registry
+    /// and journal tail plus the round-vector pool counters. The backend's
+    /// slab statistics live behind the pipeline threads — read them from the
+    /// backend's own `telemetry_snapshot()` after [`close`](IngestQueue::close).
+    pub fn telemetry_snapshot(&self) -> crate::TelemetrySnapshot {
+        crate::TelemetrySnapshot::gather(
+            &self.telemetry,
+            Default::default(),
+            Default::default(),
+            self.pool_stats(),
+        )
     }
 
     /// The MVCC snapshot of the most recently committed round — a
@@ -745,7 +798,9 @@ fn drainer_loop(
             state.window_start = None;
             let take = state.queue.len().min(config.flush_threshold.max(1));
             state.in_flight += take;
-            state.queue.drain(..take).collect::<Vec<QueuedEntry>>()
+            let batch = state.queue.drain(..take).collect::<Vec<QueuedEntry>>();
+            config.telemetry.gauge_set(|m| &m.queue_depth, state.queue.len() as i64);
+            batch
         };
         // Space was freed: wake any producer blocked on the capacity bound.
         shared.settled.notify_all();
@@ -759,22 +814,42 @@ fn drainer_loop(
         if !expired.is_empty() {
             let n = expired.len();
             for e in expired {
-                e.completer.complete(Err(Error::Overload(
-                    "ticket deadline expired before the submission was drained".into(),
-                )));
+                expire(
+                    &config.telemetry,
+                    e.enqueued,
+                    e.completer,
+                    "ticket deadline expired before the submission was drained",
+                );
             }
             settle(shared, n);
         }
 
-        let mut rounds = coalesce(batch).into_iter();
+        let rounds = coalesce(batch);
+        for round in &rounds {
+            if round.len() > 1 {
+                config.telemetry.count(|m| &m.rounds_coalesced);
+            } else {
+                config.telemetry.count(|m| &m.rounds_serialized);
+            }
+        }
+        let mut rounds = rounds.into_iter();
         while let Some(round) = rounds.next() {
             // Failpoint: an injected preparation fault fails this round's
             // tickets and nothing reaches the committer; later rounds of the
             // batch (and the pipeline itself) continue.
             if let Some(kind) = config.faults.check(site::INGEST_PREPARE) {
+                config.telemetry.count(|m| &m.fault_hits);
+                config.telemetry.event(EventKind::FaultHit, 0, || {
+                    format!("{}: injected {kind:?}", site::INGEST_PREPARE)
+                });
                 let n = round.len();
                 for e in round {
-                    e.completer.complete(Err(Error::injected(site::INGEST_PREPARE, kind)));
+                    finish(
+                        &config.telemetry,
+                        e.enqueued,
+                        e.completer,
+                        Err(Error::injected(site::INGEST_PREPARE, kind)),
+                    );
                 }
                 settle(shared, n);
                 continue;
@@ -790,6 +865,7 @@ fn drainer_loop(
                 pul: e.pul,
                 policy: e.policy,
                 expires: e.expires,
+                enqueued: e.enqueued,
                 completer: e.completer,
             }));
             if let Err(failed) = tx.send(entries) {
@@ -806,6 +882,42 @@ fn drainer_loop(
             }
         }
     }
+}
+
+/// Completes a ticket, recording its end-to-end latency and the
+/// committed/failed counter for its outcome. Deadline expiry goes through
+/// [`expire`] instead, so the three completion counters stay disjoint:
+/// `tickets_committed + tickets_failed + tickets_expired` = completed tickets.
+fn finish(
+    telemetry: &Telemetry,
+    enqueued: Option<Instant>,
+    completer: TicketCompleter,
+    outcome: Result<TicketOutcome>,
+) {
+    if let Some(t0) = enqueued {
+        telemetry.observe_since(|m| &m.ticket_latency_ns, t0);
+    }
+    match &outcome {
+        Ok(_) => telemetry.count(|m| &m.tickets_committed),
+        Err(_) => telemetry.count(|m| &m.tickets_failed),
+    }
+    completer.complete(outcome);
+}
+
+/// Fails a deadline-expired ticket with `XPUL-E08`, counting it under
+/// `tickets_expired` and journaling a `DeadlineExpired` event.
+fn expire(
+    telemetry: &Telemetry,
+    enqueued: Option<Instant>,
+    completer: TicketCompleter,
+    detail: &'static str,
+) {
+    if let Some(t0) = enqueued {
+        telemetry.observe_since(|m| &m.ticket_latency_ns, t0);
+    }
+    telemetry.count(|m| &m.tickets_expired);
+    telemetry.event(EventKind::DeadlineExpired, 0, || detail.to_string());
+    completer.complete(Err(Error::Overload(detail.into())));
 }
 
 /// Settles `n` drained-but-uncommitted entries: decrements the in-flight
@@ -869,14 +981,21 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
+/// The committer thread's bundled configuration (one struct, so the loop and
+/// `commit_round` keep small signatures as probes accumulate).
+struct CommitterCfg {
+    faults: Faults,
+    telemetry: Telemetry,
+    lanes: bool,
+    publish: bool,
+}
+
 fn committer_loop<B: IngestBackend>(
     shared: &Shared,
     mut backend: B,
     rx: Receiver<Vec<PreparedEntry>>,
-    faults: Faults,
+    cfg: &CommitterCfg,
     scratch: &SharedPool<Vec<PreparedEntry>>,
-    lanes: bool,
-    publish: bool,
 ) -> B {
     loop {
         let mut entries = match rx.try_recv() {
@@ -911,8 +1030,8 @@ fn committer_loop<B: IngestBackend>(
             }
         };
         let _settle = InFlightGuard { shared, n: entries.len() };
-        commit_round(&mut backend, &mut entries, true, &faults, lanes);
-        if publish {
+        commit_round(&mut backend, &mut entries, true, cfg);
+        if cfg.publish {
             if let Some(snapshot) = backend.snapshot_view() {
                 *shared.latest_snapshot.lock().expect("snapshot slot mutex poisoned") =
                     Some(snapshot);
@@ -941,11 +1060,10 @@ fn commit_round<B: IngestBackend>(
     backend: &mut B,
     entries: &mut Vec<PreparedEntry>,
     retry: bool,
-    faults: &Faults,
-    lanes: bool,
+    cfg: &CommitterCfg,
 ) {
     let commit = |backend: &mut B, r: B::Resolution| {
-        if lanes {
+        if cfg.lanes {
             backend.commit_pending_lanes(r)
         } else {
             backend.commit_pending(r)
@@ -960,9 +1078,12 @@ fn commit_round<B: IngestBackend>(
     let mut live = Vec::with_capacity(entries.len());
     for entry in entries.drain(..) {
         if entry.expires.is_some_and(|t| t <= now) {
-            entry.completer.complete(Err(Error::Overload(
-                "ticket deadline expired before its round committed".into(),
-            )));
+            expire(
+                &cfg.telemetry,
+                entry.enqueued,
+                entry.completer,
+                "ticket deadline expired before its round committed",
+            );
         } else {
             live.push(entry);
         }
@@ -972,7 +1093,14 @@ fn commit_round<B: IngestBackend>(
         // Failpoint: an injected committer fault fails the merged attempt
         // exactly like a real commit failure — the round degrades to the
         // singleton retries below, each of which re-checks the failpoint.
-        if faults.check(site::INGEST_COMMIT).is_none() {
+        let injected = cfg.faults.check(site::INGEST_COMMIT);
+        if let Some(kind) = injected {
+            cfg.telemetry.count(|m| &m.fault_hits);
+            cfg.telemetry.event(EventKind::FaultHit, 0, || {
+                format!("{}: injected {kind:?}", site::INGEST_COMMIT)
+            });
+        }
+        if injected.is_none() {
             let merged = Pul::merge_all(entries.iter().map(|e| &e.pul)).and_then(|pul| {
                 Pul::merge_all(entries.iter().map(|e| &e.reduced)).map(|r| (pul, r))
             });
@@ -984,10 +1112,12 @@ fn commit_round<B: IngestBackend>(
                 match backend.resolve_pending().and_then(|r| commit(backend, r)) {
                     Ok(batch) => {
                         for entry in entries {
-                            entry.completer.complete(Ok(TicketOutcome {
-                                version: batch.version,
-                                conflicts: Vec::new(),
-                            }));
+                            finish(
+                                &cfg.telemetry,
+                                entry.enqueued,
+                                entry.completer,
+                                Ok(TicketOutcome { version: batch.version, conflicts: Vec::new() }),
+                            );
                         }
                         return;
                     }
@@ -1002,7 +1132,7 @@ fn commit_round<B: IngestBackend>(
             let mut single = Vec::with_capacity(1);
             for entry in entries {
                 single.push(entry);
-                commit_round(backend, &mut single, false, faults, lanes);
+                commit_round(backend, &mut single, false, cfg);
             }
             return;
         }
@@ -1010,14 +1140,23 @@ fn commit_round<B: IngestBackend>(
         // keep the contract: fail every ticket rather than hang it.
         let err = Error::Ingest("batched commit failed and retry was disabled".into());
         for entry in entries {
-            entry.completer.complete(Err(err.clone()));
+            finish(&cfg.telemetry, entry.enqueued, entry.completer, Err(err.clone()));
         }
         return;
     }
 
     let Some(entry) = entries.pop() else { return };
-    if let Some(kind) = faults.check(site::INGEST_COMMIT) {
-        entry.completer.complete(Err(Error::injected(site::INGEST_COMMIT, kind)));
+    if let Some(kind) = cfg.faults.check(site::INGEST_COMMIT) {
+        cfg.telemetry.count(|m| &m.fault_hits);
+        cfg.telemetry.event(EventKind::FaultHit, 0, || {
+            format!("{}: injected {kind:?}", site::INGEST_COMMIT)
+        });
+        finish(
+            &cfg.telemetry,
+            entry.enqueued,
+            entry.completer,
+            Err(Error::injected(site::INGEST_COMMIT, kind)),
+        );
         return;
     }
     let id = backend.admit(entry.pul, entry.policy, Some(entry.reduced));
@@ -1031,11 +1170,16 @@ fn commit_round<B: IngestBackend>(
                 .filter(|c| c.all_ops().iter().any(|r| r.pul == 0))
                 .cloned()
                 .collect();
-            entry.completer.complete(Ok(TicketOutcome { version: batch.version, conflicts }));
+            finish(
+                &cfg.telemetry,
+                entry.enqueued,
+                entry.completer,
+                Ok(TicketOutcome { version: batch.version, conflicts }),
+            );
         }
         Err(e) => {
             backend.discard(id);
-            entry.completer.complete(Err(e));
+            finish(&cfg.telemetry, entry.enqueued, entry.completer, Err(e));
         }
     }
 }
@@ -1381,11 +1525,18 @@ mod tests {
                 pul,
                 policy,
                 expires: expired.then(Instant::now),
+                enqueued: None,
                 completer,
             });
             tickets.push(ticket);
         }
-        commit_round(&mut session, &mut entries, true, &Faults::disabled(), false);
+        let cfg = CommitterCfg {
+            faults: Faults::disabled(),
+            telemetry: Telemetry::disabled(),
+            lanes: false,
+            publish: false,
+        };
+        commit_round(&mut session, &mut entries, true, &cfg);
         assert!(entries.is_empty(), "the round vector is drained for recycling");
         let o1 = tickets[0].wait().expect("live member commits");
         let o3 = tickets[2].wait().expect("live member commits");

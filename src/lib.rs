@@ -84,6 +84,7 @@ mod durable;
 mod error;
 mod executor;
 mod ingest;
+mod observe;
 mod resolution;
 mod shard;
 mod snapshot;
@@ -101,8 +102,12 @@ pub use executor::{
     SessionSlabStats, SubmissionId,
 };
 pub use ingest::{BatchCommit, IngestBackend, IngestConfig, IngestQueue, Ticket, TicketOutcome};
+pub use observe::TelemetrySnapshot;
 pub use pul_store::{
     site as fault_site, FaultKind, FaultPlan, FaultSpec, Faults, StoreError, SyncPolicy, Trigger,
+};
+pub use pul_telemetry::{
+    Event, EventKind, HistogramSummary, Metrics, MetricsSnapshot, Telemetry, EVENT_JOURNAL_CAP,
 };
 pub use resolution::Resolution;
 pub use shard::{ShardedCommitReport, ShardedExecutor, ShardedResolution};
@@ -113,10 +118,11 @@ pub use transaction::Transaction;
 pub mod prelude {
     pub use crate::{
         BatchCommit, CacheStats, CommitReport, CompactionReport, Durable, DurableOptions, Error,
-        Executor, ExecutorCore, FaultKind, FaultPlan, Faults, IngestBackend, IngestConfig,
-        IngestQueue, ReductionStrategy, Resolution, Result, RetryPolicy, SessionSlabStats,
-        ShardedCommitReport, ShardedExecutor, ShardedResolution, Snapshot, SubmissionId,
-        SyncPolicy, Ticket, TicketOutcome, Transaction, Trigger,
+        Event, EventKind, Executor, ExecutorCore, FaultKind, FaultPlan, Faults, IngestBackend,
+        IngestConfig, IngestQueue, MetricsSnapshot, ReductionStrategy, Resolution, Result,
+        RetryPolicy, SessionSlabStats, ShardedCommitReport, ShardedExecutor, ShardedResolution,
+        Snapshot, SubmissionId, SyncPolicy, Telemetry, TelemetrySnapshot, Ticket, TicketOutcome,
+        Transaction, Trigger,
     };
     pub use pul::{ApplyOptions, OpClass, OpName, Pul, UpdateOp};
     pub use pul_core::{Conflict, ConflictType, Policy};

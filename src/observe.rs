@@ -1,0 +1,135 @@
+//! The unified observability surface: one [`TelemetrySnapshot`] gathering the
+//! metric registry of [`pul_telemetry`], the session's slab/cache/pool
+//! statistics, and the tail of the structured event journal.
+//!
+//! The pre-existing getters ([`Executor::slab_stats`](crate::Executor),
+//! [`Executor::cache_stats`](crate::Executor),
+//! [`Executor::pool_stats`](crate::Executor) and the sharded/ingest
+//! equivalents) remain as thin views of the same state; new code should read
+//! everything through `telemetry_snapshot()` and, for scrape-style export,
+//! [`TelemetrySnapshot::render_text`].
+
+use pul_store::PoolStats;
+use pul_telemetry::{Event, MetricsSnapshot, Telemetry};
+
+use crate::executor::{CacheStats, SessionSlabStats};
+
+/// A point-in-time freeze of everything a session can tell about itself:
+/// the telemetry registry (when armed), the always-available structural
+/// statistics, and the most recent journal events.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// The frozen metric registry — `None` when no telemetry handle was
+    /// armed (the structural statistics below are collected regardless).
+    pub metrics: Option<MetricsSnapshot>,
+    /// Slot occupancy of the dense id-indexed stores (node arena, labeling).
+    pub slab: SessionSlabStats,
+    /// Hit/miss counters of the wire-submission reduction cache (always zero
+    /// for surfaces without one, e.g. the sharded executor).
+    pub reduction_cache: CacheStats,
+    /// Reuse counters of the session's recycled scratch pools.
+    pub pools: PoolStats,
+    /// The tail of the bounded event journal, oldest first (empty when
+    /// telemetry is disabled).
+    pub recent_events: Vec<Event>,
+    /// Events evicted from the journal ring since arming.
+    pub events_dropped: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Assembles a snapshot from a telemetry handle plus the structural
+    /// statistics the owning surface collects for itself.
+    pub(crate) fn gather(
+        telemetry: &Telemetry,
+        slab: SessionSlabStats,
+        reduction_cache: CacheStats,
+        pools: PoolStats,
+    ) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            metrics: telemetry.snapshot(),
+            slab,
+            reduction_cache,
+            pools,
+            recent_events: telemetry.recent_events(),
+            events_dropped: telemetry.events_dropped(),
+        }
+    }
+
+    /// Prometheus-style text exposition: the registry series first (when
+    /// armed), then the structural statistics as gauges. Deterministic
+    /// ordering, suitable for golden tests and scrape endpoints.
+    pub fn render_text(&self) -> String {
+        let mut out = match &self.metrics {
+            Some(metrics) => metrics.render_text(),
+            None => String::new(),
+        };
+        let mut gauge = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP xmlpul_{name} {help}\n# TYPE xmlpul_{name} gauge\nxmlpul_{name} {v}\n"
+            ));
+        };
+        gauge(
+            "slab_nodes_live",
+            "Live dense slots in the node arena.",
+            self.slab.nodes.live as u64,
+        );
+        gauge(
+            "slab_nodes_dead",
+            "Dead (never-reused) dense slots in the node arena.",
+            self.slab.nodes.dead as u64,
+        );
+        gauge(
+            "slab_nodes_spill",
+            "Sparse spill entries of the node arena.",
+            self.slab.nodes.spill as u64,
+        );
+        gauge(
+            "slab_labels_live",
+            "Live dense slots in the label store.",
+            self.slab.labels.live as u64,
+        );
+        gauge(
+            "slab_labels_dead",
+            "Dead (never-reused) dense slots in the label store.",
+            self.slab.labels.dead as u64,
+        );
+        gauge(
+            "slab_labels_spill",
+            "Sparse spill entries of the label store.",
+            self.slab.labels.spill as u64,
+        );
+        gauge(
+            "slab_epoch",
+            "Compaction epoch the slab statistics were taken under.",
+            self.slab.epoch,
+        );
+        gauge(
+            "reduction_cache_hits",
+            "Wire submissions whose reduction came from the cache.",
+            self.reduction_cache.hits,
+        );
+        gauge(
+            "reduction_cache_misses",
+            "Wire submissions that had to be reduced.",
+            self.reduction_cache.misses,
+        );
+        gauge("pool_reused", "Scratch objects served from the idle pool.", self.pools.reused);
+        gauge(
+            "pool_minted",
+            "Scratch objects created because the pool was empty.",
+            self.pools.minted,
+        );
+        gauge(
+            "pool_trimmed",
+            "Idle scratch objects dropped or shrunk by trimming.",
+            self.pools.trimmed,
+        );
+        gauge("pool_idle", "Scratch objects currently idle in the pool.", self.pools.idle as u64);
+        gauge(
+            "events_dropped",
+            "Events evicted from the bounded journal ring.",
+            self.events_dropped,
+        );
+        out
+    }
+}

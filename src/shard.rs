@@ -58,6 +58,7 @@ use pul::apply::{ApplyOptions, JournalStats};
 use pul::{OpName, Pul, UpdateOp};
 use pul_core::{integrate, reconcile_integration, Conflict, Policy};
 use pul_store::{site, Faults, PoolStats, SharedPool};
+use pul_telemetry::{EventKind, Telemetry};
 use xdm::{Document, NodeId, SharedDocument};
 use xlabel::{LabelInterval, Labeling, NodeLabel, OrderKey};
 
@@ -188,6 +189,10 @@ pub struct ShardedExecutor {
     /// [`serialize`](ShardedExecutor::serialize) calls between commits stop
     /// re-grafting the whole tree. Clones start cold.
     snapshots: SnapshotCache,
+    /// Telemetry handle (see [`Executor`](crate::Executor)'s field of the same
+    /// name): disabled by default, a single branch per probe; clones share the
+    /// installed registry.
+    telemetry: Telemetry,
 }
 
 impl ShardedExecutor {
@@ -318,6 +323,7 @@ impl ShardedExecutor {
             sink: SinkSlot::default(),
             faults: Faults::disabled(),
             snapshots: SnapshotCache::default(),
+            telemetry: Telemetry::disabled(),
         };
         session.dead_floor = session.slab_stats().nodes.dead;
         Ok(session)
@@ -348,6 +354,7 @@ impl ShardedExecutor {
             sink: SinkSlot::default(),
             faults: Faults::disabled(),
             snapshots: SnapshotCache::default(),
+            telemetry: Telemetry::disabled(),
         };
         // A restored arena mixes structural and churn dead slots and the split
         // is not recorded; floor at the current count — conservative (never
@@ -370,6 +377,19 @@ impl ShardedExecutor {
     /// Installs the failpoint handle consulted in the two-phase commit.
     pub(crate) fn set_faults(&mut self, faults: Faults) {
         self.faults = faults;
+    }
+
+    /// Installs a telemetry handle: commit/lane timings, snapshot cache
+    /// probes, and structured events are recorded into its registry. Pass
+    /// [`Telemetry::disabled`] to turn instrumentation back off.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The installed telemetry handle (disabled unless
+    /// [`set_telemetry`](ShardedExecutor::set_telemetry) armed one).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Opens a sharded session on the document serialized in `xml`.
@@ -464,6 +484,20 @@ impl ShardedExecutor {
         self.scratch.stats()
     }
 
+    /// The unified observability snapshot (see
+    /// [`Executor::telemetry_snapshot`](crate::Executor::telemetry_snapshot)):
+    /// registry, aggregated shard slab statistics, pool counters and the
+    /// journal tail. The sharded façade has no wire-reduction cache, so that
+    /// component is always zero.
+    pub fn telemetry_snapshot(&self) -> crate::TelemetrySnapshot {
+        crate::TelemetrySnapshot::gather(
+            &self.telemetry,
+            self.slab_stats(),
+            crate::CacheStats::default(),
+            self.pool_stats(),
+        )
+    }
+
     /// Reassembles the authoritative document from the shard slices: the root
     /// (name and attributes from the first shard — the root authority) with
     /// every shard's top-level subtrees concatenated in shard order.
@@ -525,8 +559,10 @@ impl ShardedExecutor {
     /// blocked by — and never block — later commits.
     pub fn snapshot(&self) -> Snapshot {
         if let Some(hit) = self.snapshots.get(self.version, self.epoch) {
+            self.telemetry.count(|m| &m.snapshot_hits);
             return hit;
         }
+        self.telemetry.count(|m| &m.snapshot_misses);
         let doc = self.reassemble();
         let labeling = self.reassemble_labeling(&doc);
         let snapshot = Snapshot::new(self.version, self.epoch, doc.to_shared(), Arc::new(labeling));
@@ -707,6 +743,7 @@ impl ShardedExecutor {
     /// integrates its sub-PULs, reconciles the detected conflicts under the
     /// producer policies and reduces its survivor once more.
     pub fn resolve(&self) -> Result<ShardedResolution> {
+        let _span = self.telemetry.span(|m| &m.resolve_ns);
         // Epoch fence: a submission admitted before a compaction reasons in
         // renumbered-away identifiers and labels — resolving it would route
         // and conflict-check against the wrong nodes.
@@ -864,6 +901,7 @@ impl ShardedExecutor {
         resolution: ShardedResolution,
     ) -> Result<ShardedCommitReport> {
         self.check_fresh(&resolution)?;
+        let _span = self.telemetry.span(|m| &m.commit_ns);
         let mut fence = self.shards.iter().map(|s| s.core.document().next_id()).max().unwrap_or(1);
         let mut open: Vec<(usize, CoreScope)> = Vec::new();
         let mut per_shard_ops = vec![0usize; self.shards.len()];
@@ -881,6 +919,11 @@ impl ShardedExecutor {
                     core.scope_rewind(scope);
                     core.scope_close(scope);
                 }
+                self.telemetry.count(|m| &m.fault_hits);
+                let version = self.version;
+                self.telemetry.event(EventKind::FaultHit, version, || {
+                    format!("{}: injected {kind:?}", site::SHARD_APPLY)
+                });
                 return Err(Error::injected(site::SHARD_APPLY, kind));
             }
             let outcome = {
@@ -936,6 +979,7 @@ impl ShardedExecutor {
                     core.scope_rewind(scope);
                     core.scope_close(scope);
                 }
+                self.telemetry.count(|m| &m.rollbacks);
                 return Err(e);
             }
         }
@@ -944,6 +988,12 @@ impl ShardedExecutor {
         }
         self.version += 1;
         self.submissions.retain(|s| !resolution.submission_ids.contains(&s.id));
+        let version = self.version;
+        self.telemetry.count(|m| &m.commits);
+        self.telemetry.event(EventKind::Commit, version, || {
+            let ops: usize = per_shard_ops.iter().sum();
+            format!("committed v{version} ({ops} ops across shards)")
+        });
         Ok(ShardedCommitReport {
             version: self.version,
             applied_ops: per_shard_ops.iter().sum(),
@@ -1006,15 +1056,27 @@ impl ShardedExecutor {
             return self.commit_resolution(resolution);
         }
 
+        let _span = self.telemetry.span(|m| &m.commit_ns);
+
         // The serial path consults the shard failpoint once per busy shard,
         // in shard order; lanes preserve that schedule by performing every
         // check on this thread before any lane spawns, so seeded Nth-commit
         // triggers stay deterministic under concurrency.
         for _ in &busy {
             if let Some(kind) = self.faults.check(site::SHARD_APPLY) {
+                self.telemetry.count(|m| &m.fault_hits);
+                let version = self.version;
+                self.telemetry.event(EventKind::FaultHit, version, || {
+                    format!("{}: injected {kind:?}", site::SHARD_APPLY)
+                });
                 return Err(Error::injected(site::SHARD_APPLY, kind));
             }
         }
+
+        // The lane prologue — fence computation and stripe carving — is the
+        // serial region every lane waits behind; its latency bounds how much
+        // of the commit can actually overlap.
+        let prologue = self.telemetry.span(|m| &m.fence_lane_prologue_ns);
 
         // The global fence: above every identifier any shard has minted, and
         // — under the preserving discipline — above every identifier the
@@ -1038,9 +1100,12 @@ impl ShardedExecutor {
             next_start += bound;
         }
 
+        drop(prologue);
+
         // Phase 1, fanned out: disjoint `&mut` shard borrows, one scoped
         // thread per busy shard. A failed lane rewinds its own scope before
         // returning, so after the join only successful lanes are open.
+        let telemetry = &self.telemetry;
         let outcomes: Vec<(usize, Result<(pul::apply::ApplyReport, CoreScope)>)> =
             std::thread::scope(|s| {
                 let per_shard = &resolution.per_shard;
@@ -1055,6 +1120,7 @@ impl ShardedExecutor {
                         (
                             k,
                             s.spawn(move || {
+                                let _lane_span = telemetry.span(|m| &m.lane_commit_ns);
                                 let core = &mut shard.core;
                                 let scope = core.scope_open();
                                 core.doc.reserve_ids(start);
@@ -1110,6 +1176,7 @@ impl ShardedExecutor {
         };
         if let Some(e) = failure {
             abort(&mut self.shards, &open);
+            self.telemetry.count(|m| &m.rollbacks);
             return Err(e);
         }
 
@@ -1126,6 +1193,7 @@ impl ShardedExecutor {
             );
             if let Err(e) = appended {
                 abort(&mut self.shards, &open);
+                self.telemetry.count(|m| &m.rollbacks);
                 return Err(e);
             }
         }
@@ -1134,6 +1202,14 @@ impl ShardedExecutor {
         }
         self.version += 1;
         self.submissions.retain(|s| !resolution.submission_ids.contains(&s.id));
+        let version = self.version;
+        let lanes = busy.len();
+        self.telemetry.count(|m| &m.commits);
+        self.telemetry.count(|m| &m.laned_commits);
+        self.telemetry.event(EventKind::Commit, version, || {
+            let ops: usize = per_shard_ops.iter().sum();
+            format!("committed v{version} ({ops} ops across {lanes} lanes)")
+        });
         Ok(ShardedCommitReport {
             version: self.version,
             applied_ops: per_shard_ops.iter().sum(),
@@ -1180,6 +1256,10 @@ impl ShardedExecutor {
         self.install_compacted(rebuilt);
         self.version += 1;
         self.epoch += 1;
+        let (epoch, version) = (self.epoch, self.version);
+        self.telemetry.event(EventKind::CompactionEpoch, version, || {
+            format!("compaction opened epoch {epoch} at v{version}")
+        });
         Ok(CompactionReport {
             epoch: self.epoch,
             version: self.version,
